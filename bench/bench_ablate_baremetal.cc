@@ -1,0 +1,111 @@
+// Ablation A5 — removal of virtualisation: containers vs bare-metal nodes.
+//
+// Paper §III: "One potential scenario in the future development of Cloud
+// Computing is the removal of virtualisation ... removing virtualisation
+// completely and renting out physical nodes rather than virtual ones. Such a
+// 'fine-grained' approach ... would be well-supported by smaller,
+// power-efficient processors - such as the ARMv6 ISA chips found on the Pi."
+//
+// The harness hosts the same web workload three ways — 3 LXC containers per
+// Pi (the PiCloud default), 1 container per Pi, and bare-metal tenancies —
+// and compares RAM overhead, latency and instances-per-watt.
+#include <cstdio>
+
+#include "apps/loadgen.h"
+#include "cloud/cloud.h"
+#include "util/strings.h"
+
+using namespace picloud;
+
+namespace {
+
+struct Outcome {
+  std::string mode;
+  int instances = 0;
+  double mem_overhead_mib = 0;  // runtime overhead across the fleet
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double watts = 0;
+};
+
+Outcome run_mode(const std::string& mode, int per_node, bool bare,
+                 int instance_count) {
+  sim::Simulation sim(31);
+  cloud::PiCloudConfig config;
+  // Consolidated tenancy must actually co-locate: pack with best-fit.
+  config.placement_policy = per_node > 1 ? "best-fit" : "round-robin";
+  config.placement_limits.max_containers_per_node = per_node;
+  cloud::PiCloud cloud(sim, config);
+  cloud.power_on();
+  cloud.await_ready();
+  cloud.run_for(sim::Duration::seconds(5));
+
+  Outcome out;
+  out.mode = mode;
+  std::vector<net::Ipv4Addr> targets;
+  // Small API-style responses: the aggregate reply stream (3600/s) must fit
+  // through the school's 100 Mb gateway uplink where the clients sit, or the
+  // uplink (not the tenancy mode) becomes the experiment.
+  util::Json app_params = util::Json::object();
+  app_params.set("response_bytes", 1024);
+  for (int i = 0; i < instance_count; ++i) {
+    auto record = cloud.spawn_and_wait({.name = util::format("web-%02d", i),
+                                        .app_kind = "httpd",
+                                        .app_params = app_params,
+                                        .bare_metal = bare});
+    if (!record.ok()) break;
+    ++out.instances;
+    targets.push_back(record.value().ip);
+  }
+  double runtime_per_instance =
+      static_cast<double>(bare ? os::Container::kBareMetalRamBytes
+                               : os::Container::kIdleRamBytes);
+  out.mem_overhead_mib = out.instances * runtime_per_instance / (1 << 20);
+
+  apps::HttpLoadGen::Params params;
+  // ~100 req/s per instance: 3-way co-location drives a Pi core to ~86%
+  // utilisation (2e6 cycles/request), whole-node tenancy to ~29%.
+  params.requests_per_sec = 100.0 * out.instances;
+  apps::HttpLoadGen gen(cloud.network(), cloud.admin_ip(), targets, params,
+                        util::Rng(3));
+  gen.start();
+  cloud.run_for(sim::Duration::seconds(30));
+  gen.stop();
+
+  out.p50_ms = gen.latencies().median();
+  out.p99_ms = gen.latencies().p99();
+  out.watts = cloud.current_power_watts();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==============================================================\n");
+  std::printf("ABLATION A5 — virtualisation removal (fine-grained physical\n");
+  std::printf("renting vs LXC containers), 36 httpd instances\n");
+  std::printf("==============================================================\n\n");
+  std::printf("%-24s %9s %12s %9s %9s %9s\n", "tenancy mode", "instances",
+              "rt ovh MiB", "p50 ms", "p99 ms", "watts");
+
+  Outcome consolidated = run_mode("3 containers / Pi", 3, false, 36);
+  Outcome one_per_node = run_mode("1 container / Pi", 1, false, 36);
+  Outcome bare = run_mode("bare-metal / Pi", 1, true, 36);
+  for (const Outcome& o : {consolidated, one_per_node, bare}) {
+    std::printf("%-24s %9d %12.1f %9.2f %9.2f %9.1f\n", o.mode.c_str(),
+                o.instances, o.mem_overhead_mib, o.p50_ms, o.p99_ms, o.watts);
+  }
+
+  std::printf("\nExpected shape: bare-metal strips the 30 MiB/instance\n"
+              "container tax to a 2 MiB stub (more RAM for the workload) and\n"
+              "matches 1-per-node latency; consolidation shares the 700 MHz\n"
+              "core three ways, so its latency is the worst of the three —\n"
+              "the trade the paper's fine-grained-cloud scenario removes.\n");
+  bool ram_saved = bare.mem_overhead_mib < one_per_node.mem_overhead_mib / 5;
+  bool consolidation_slower = consolidated.p50_ms > one_per_node.p50_ms;
+  std::printf("  bare-metal runtime overhead -93%%: %s\n",
+              ram_saved ? "HOLDS" : "DOES NOT HOLD");
+  std::printf("  3-way consolidation slower than whole-node tenancy: %s\n",
+              consolidation_slower ? "HOLDS" : "DOES NOT HOLD");
+  return ram_saved ? 0 : 1;
+}

@@ -1,0 +1,87 @@
+// Ablation A4 — container density per Pi.
+//
+// Paper §II-A: "Currently, we are able to comfortably support three
+// containers concurrently on a Raspberry Pi." The harness sweeps 1..6
+// httpd containers on one Model B under per-container client load and
+// reports latency, throughput and the RAM ceiling — locating the paper's
+// "comfortable three" on the latency/memory curve.
+#include <cstdio>
+
+#include "apps/httpd.h"
+#include "apps/loadgen.h"
+#include "hw/device.h"
+#include "net/topology.h"
+#include "os/node_os.h"
+#include "util/strings.h"
+
+using namespace picloud;
+
+int main() {
+  std::printf("==============================================================\n");
+  std::printf("ABLATION A4 — containers per Pi (Model B, 256 MB)\n");
+  std::printf("(each container: httpd + 10 MiB working set, 15 req/s each)\n");
+  std::printf("==============================================================\n\n");
+  std::printf("%-9s %8s %9s %11s %9s %9s %10s\n", "density", "started",
+              "mem MiB", "served", "p50 ms", "p99 ms", "timeouts");
+
+  double p50_at[7] = {0};
+  int started_at[7] = {0};
+  for (int density = 1; density <= 6; ++density) {
+    sim::Simulation sim(42);
+    net::Fabric fabric(sim);
+    net::Network network(sim, fabric);
+    net::Topology topo = net::build_single_rack(fabric, 2);
+    hw::Device device(0, "pi-r0-00", hw::pi_model_b());
+    os::NodeOs node(sim, device, network, topo.hosts[0]);
+    node.boot();
+    node.set_host_ip(net::Ipv4Addr(10, 0, 0, 1));
+    net::Ipv4Addr client_ip(10, 0, 0, 200);
+    network.bind_ip(client_ip, topo.internet);
+
+    std::vector<net::Ipv4Addr> targets;
+    int started = 0;
+    for (int i = 0; i < density; ++i) {
+      auto created =
+          node.create_container({.name = util::format("web-%d", i)});
+      if (!created.ok()) break;
+      created.value()->set_app(std::make_unique<apps::HttpdApp>());
+      net::Ipv4Addr ip(10, 0, 1, static_cast<std::uint8_t>(i + 1));
+      if (!created.value()->start(ip).ok()) {
+        (void)node.destroy_container(created.value()->name());
+        break;
+      }
+      ++started;
+      targets.push_back(ip);
+    }
+
+    apps::HttpLoadGen::Params params;
+    params.requests_per_sec = 15.0 * started;
+    apps::HttpLoadGen gen(network, client_ip, targets, params, util::Rng(9));
+    gen.start();
+    sim.run_until(sim.now() + sim::Duration::seconds(30));
+    gen.stop();
+    sim.run();
+
+    std::printf("%-9d %8d %9.1f %11llu %9.2f %9.2f %10llu\n", density,
+                started,
+                static_cast<double>(node.memory().used()) / (1 << 20),
+                static_cast<unsigned long long>(gen.completed()),
+                gen.latencies().median(), gen.latencies().p99(),
+                static_cast<unsigned long long>(gen.timed_out()));
+    p50_at[density] = gen.latencies().median();
+    started_at[density] = started;
+  }
+
+  std::printf("\nExpected shape: 1-3 containers fit with stable latency (the\n"
+              "paper's \"comfortable\" envelope); beyond that the 240 MiB\n"
+              "budget (48 system + N x 40) tightens and CPU contention grows\n"
+              "latency; 5+ approaches the RAM ceiling.\n");
+  bool three_started = started_at[3] == 3;
+  bool three_stable = p50_at[3] < p50_at[1] * 6;
+  bool six_capped = started_at[6] < 6 || p50_at[6] > p50_at[3];
+  std::printf("  three containers start and stay responsive: %s\n",
+              three_started && three_stable ? "HOLDS" : "DOES NOT HOLD");
+  std::printf("  six containers hit the ceiling or the latency wall: %s\n",
+              six_capped ? "HOLDS" : "DOES NOT HOLD");
+  return three_started && three_stable ? 0 : 1;
+}

@@ -1,0 +1,136 @@
+// Ablation A9 — oversubscription economics.
+//
+// Paper §I lists "economic strategies for provisioning virtualised resources
+// to incoming user requests" among the provider problems, and §III names
+// "oversubscription to improve cost efficiency". The harness fills the
+// 56-Pi cloud with always-hungry batch tenants under overcommit factors
+// 1.0-3.0 and reports what the provider earns against what the tenants
+// actually receive — the revenue/SLO frontier on real hardware semantics.
+#include <cstdio>
+
+#include "cloud/cloud.h"
+#include "cloud/economics.h"
+#include "util/stats.h"
+#include "util/strings.h"
+
+using namespace picloud;
+
+namespace {
+
+struct Outcome {
+  double overcommit = 1;
+  int tenants = 0;
+  int refused = 0;
+  double revenue_day = 0;
+  double energy_cost_day = 0;
+  double mean_satisfaction = 0;
+  double p5_satisfaction = 0;
+};
+
+Outcome run_overcommit(double overcommit) {
+  sim::Simulation sim(91);
+  cloud::PiCloudConfig cloud_config;
+  cloud_config.placement_limits.max_containers_per_node = 6;
+  cloud::PiCloud cloud(sim, cloud_config);
+  cloud.power_on();
+  cloud.await_ready();
+  cloud.run_for(sim::Duration::seconds(5));
+
+  cloud::CloudEconomics::Config econ_config;
+  econ_config.overcommit = overcommit;
+  econ_config.app_params = util::Json::object().set("chunk_cycles", 200e6);
+  cloud::CloudEconomics econ(sim, cloud.master(), econ_config);
+  econ.set_energy_source([&cloud]() { return cloud.energy_kwh(); });
+
+  Outcome out;
+  out.overcommit = overcommit;
+
+  // Demand far exceeds supply: keep launching pi.small tenants until the
+  // market refuses (56 cores / 0.5 = 112 at overcommit 1; x2, x3 beyond,
+  // memory-capped at 6 containers/node = 336).
+  int demand = 400;
+  int launched = 0;
+  for (int i = 0; i < demand; ++i) {
+    bool done = false;
+    bool ok = false;
+    // Coarse 100e6-cycle chunks keep the event count tractable at 300+
+    // concurrent tenants without changing the fair-share outcome.
+    econ.launch(util::format("tenant-%03d", i), "pi.small", "batch",
+                [&](util::Result<cloud::TenantRecord> result) {
+                  done = true;
+                  ok = result.ok();
+                });
+    cloud.run_until(sim::Duration::seconds(60), [&]() { return done; });
+    if (ok) {
+      ++launched;
+    } else {
+      ++out.refused;
+      break;  // market full: admission is deterministic, stop probing
+    }
+  }
+  out.tenants = launched;
+
+  // Ten minutes of contention, then read the books (rates scale linearly).
+  sim::SimTime epoch = sim.now();
+  cloud.run_for(sim::Duration::minutes(10));
+  double hours = (sim.now() - epoch).to_seconds() / 3600.0;
+  (void)hours;
+  out.revenue_day = econ.revenue_usd(sim.now()) /
+                    ((sim.now().to_seconds()) / 86400.0);
+  // Scale the energy bill to a day at the current burn rate.
+  out.energy_cost_day =
+      econ.energy_cost_usd() / (sim.now().to_seconds() / 86400.0);
+
+  util::Histogram satisfaction;
+  for (const auto& sample : econ.slo_samples(sim.now())) {
+    satisfaction.add(sample.satisfaction());
+  }
+  out.mean_satisfaction = satisfaction.mean();
+  out.p5_satisfaction = satisfaction.percentile(5);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==============================================================\n");
+  std::printf("ABLATION A9 — oversubscription economics (pi.small tenants,\n");
+  std::printf("always-hungry batch workloads, 56 Pis)\n");
+  std::printf("==============================================================\n\n");
+  std::printf("%-10s %8s %12s %12s %11s %10s %10s\n", "overcommit", "tenants",
+              "revenue/day", "energy/day", "profit/day", "SLO mean",
+              "SLO p5");
+
+  Outcome results[3];
+  double factors[3] = {1.0, 2.0, 3.0};
+  for (int i = 0; i < 3; ++i) {
+    results[i] = run_overcommit(factors[i]);
+    std::printf("%-10.1f %8d %11.2f$ %11.2f$ %10.2f$ %9.0f%% %9.0f%%\n",
+                results[i].overcommit, results[i].tenants,
+                results[i].revenue_day, results[i].energy_cost_day,
+                results[i].revenue_day - results[i].energy_cost_day,
+                results[i].mean_satisfaction * 100,
+                results[i].p5_satisfaction * 100);
+  }
+
+  std::printf(
+      "\nExpected shape: overcommit 2.0 doubles sellable tenancy and\n"
+      "revenue while diluting every tenant to ~50%% of entitlement. At 3.0\n"
+      "the OTHER envelope binds first: 48 MiB/tenant against the Pi's\n"
+      "240 MiB usable RAM caps tenancy at 4/node (sold CPU 2.0), so revenue\n"
+      "plateaus — on a 256 MB Pi, memory (not CPU) is the oversubscription\n"
+      "frontier, which is precisely why the paper calls Xen unaffordable\n"
+      "and reaches for containers (SII-B).\n");
+  bool doubling = results[1].tenants == 2 * results[0].tenants &&
+                  results[1].revenue_day > results[0].revenue_day * 1.9;
+  bool slo_dilutes =
+      results[1].mean_satisfaction < results[0].mean_satisfaction * 0.6;
+  bool ram_binds = results[2].tenants == results[1].tenants;
+  std::printf("  2x overcommit -> 2x tenants & revenue: %s\n",
+              doubling ? "HOLDS" : "DOES NOT HOLD");
+  std::printf("  SLO dilutes to ~1/overcommit:          %s\n",
+              slo_dilutes ? "HOLDS" : "DOES NOT HOLD");
+  std::printf("  RAM envelope caps overcommit 3.0:      %s\n",
+              ram_binds ? "HOLDS" : "DOES NOT HOLD");
+  return doubling && slo_dilutes && ram_binds ? 0 : 1;
+}

@@ -1,0 +1,97 @@
+// Ablation A8 — IP-less (SDN-redirected) vs traditional address update
+// during live migration.
+//
+// Paper §III: "we are researching IP-less routing in order to support more
+// flexible and efficient migration. This is a good example of designing
+// synergistic optimisation between different control loops of the Cloud
+// (i.e., networking and virtualisation) that to date operate mostly in
+// isolation." The harness migrates a loaded web instance under both address
+// update schemes and measures the service-visible blackout.
+#include <cstdio>
+
+#include "apps/loadgen.h"
+#include "cloud/cloud.h"
+#include "util/strings.h"
+
+using namespace picloud;
+
+namespace {
+
+struct Outcome {
+  double downtime_s = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t sent = 0;
+};
+
+Outcome run_mode(cloud::AddressUpdateMode mode, double rps) {
+  sim::Simulation sim(81);
+  cloud::PiCloud cloud(sim);
+  cloud.power_on();
+  cloud.await_ready();
+  cloud.run_for(sim::Duration::seconds(5));
+  auto web = cloud.spawn_and_wait(
+      {.name = "web", .app_kind = "httpd", .hostname = "pi-r0-00"});
+  if (!web.ok()) return {};
+
+  apps::HttpLoadGen::Params load;
+  load.requests_per_sec = rps;
+  load.request_timeout = sim::Duration::millis(400);
+  apps::HttpLoadGen gen(cloud.network(), cloud.admin_ip(), {web.value().ip},
+                        load, util::Rng(5));
+  gen.start();
+  cloud.run_for(sim::Duration::seconds(5));
+
+  cloud::MigrationParams params;
+  params.instance = "web";
+  params.from = "pi-r0-00";
+  params.to = "pi-r2-00";  // across the aggregation layer
+  params.live = true;
+  params.address_update = mode;
+  bool done = false;
+  Outcome out;
+  cloud.master().migrations().migrate(params,
+                                      [&](const cloud::MigrationReport& r) {
+                                        done = true;
+                                        out.downtime_s =
+                                            r.downtime.to_seconds();
+                                      });
+  cloud.run_until(sim::Duration::seconds(300), [&]() { return done; });
+  cloud.run_for(sim::Duration::seconds(5));
+  gen.stop();
+  out.lost = gen.timed_out();
+  out.sent = gen.sent();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==============================================================\n");
+  std::printf("ABLATION A8 — IP-less routing for migration (SDN redirect vs\n");
+  std::printf("gratuitous-ARP convergence), httpd under 150 req/s\n");
+  std::printf("==============================================================\n\n");
+  std::printf("%-22s %12s %10s %10s %10s\n", "address update", "downtime ms",
+              "lost", "sent", "loss %");
+
+  Outcome arp = run_mode(cloud::AddressUpdateMode::kArpConvergence, 150);
+  Outcome sdn = run_mode(cloud::AddressUpdateMode::kSdnRedirect, 150);
+  for (auto [label, o] :
+       {std::pair<const char*, Outcome>{"arp-convergence", arp},
+        std::pair<const char*, Outcome>{"sdn-redirect (IP-less)", sdn}}) {
+    std::printf("%-22s %12.1f %10llu %10llu %9.2f%%\n", label,
+                o.downtime_s * 1000, static_cast<unsigned long long>(o.lost),
+                static_cast<unsigned long long>(o.sent),
+                100.0 * o.lost / std::max<std::uint64_t>(o.sent, 1));
+  }
+
+  std::printf("\nExpected shape: the migration itself is identical (same\n"
+              "pre-copy, same final dirty set); only the address-update\n"
+              "mechanism differs. The ~500 ms L2 convergence window loses a\n"
+              "burst of requests; redirecting the identity at the OpenFlow\n"
+              "layer cuts the blackout to a controller round-trip — the\n"
+              "networking/virtualisation synergy the paper proposes.\n");
+  bool holds = arp.downtime_s > sdn.downtime_s + 0.4 && arp.lost > sdn.lost;
+  std::printf("  SDN redirect beats ARP on downtime and loss: %s\n",
+              holds ? "HOLDS" : "DOES NOT HOLD");
+  return holds ? 0 : 1;
+}

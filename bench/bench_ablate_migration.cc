@@ -1,0 +1,105 @@
+// Ablation A2 — migration strategy: stop-and-copy vs iterative pre-copy.
+//
+// Paper §VI (future work): "we will implement sophisticated live migration
+// within the PiCloud". The harness migrates a kvstore of growing dataset
+// size both ways and reports downtime, total bytes moved and duration; a web
+// instance under client load shows the service-visible blackout.
+#include <cstdio>
+
+#include "apps/kvstore.h"
+#include "apps/loadgen.h"
+#include "cloud/cloud.h"
+#include "util/strings.h"
+
+using namespace picloud;
+
+int main() {
+  std::printf("==============================================================\n");
+  std::printf("ABLATION A2 — stop-and-copy vs live pre-copy migration\n");
+  std::printf("==============================================================\n\n");
+
+  std::printf("%-10s %-10s %10s %10s %12s %8s\n", "dataset", "mode",
+              "downtime s", "total s", "moved MiB", "rounds");
+
+  bool live_always_shorter_blackout = true;
+  for (std::uint64_t dataset_mib : {8ull, 32ull, 96ull}) {
+    double downtimes[2] = {0, 0};
+    for (int live = 0; live <= 1; ++live) {
+      sim::Simulation sim(99);
+      cloud::PiCloud cloud(sim);
+      cloud.power_on();
+      if (!cloud.await_ready()) return 1;
+      cloud.run_for(sim::Duration::seconds(5));
+
+      auto record = cloud.spawn_and_wait({.name = "db", .app_kind = "kvstore"});
+      if (!record.ok()) {
+        std::printf("spawn failed: %s\n", record.error().message.c_str());
+        return 1;
+      }
+      // Load the dataset.
+      apps::KvClient kv(cloud.network(), cloud.admin_ip());
+      int stored = 0;
+      for (std::uint64_t i = 0; i < dataset_mib; ++i) {
+        kv.put(record.value().ip, util::format("blob-%03llu",
+                                               static_cast<unsigned long long>(i)),
+               1ull << 20, [&](util::Result<util::Json> r) {
+                 if (r.ok() && r.value().get_bool("ok")) ++stored;
+               });
+      }
+      cloud.run_until(sim::Duration::seconds(120), [&]() {
+        return stored == static_cast<int>(dataset_mib);
+      });
+
+      auto report = cloud.migrate_and_wait("db", "", live != 0,
+                                           sim::Duration::seconds(1200));
+      if (!report.success) {
+        std::printf("migration failed: %s\n", report.error.c_str());
+        return 1;
+      }
+      downtimes[live] = report.downtime.to_seconds();
+      std::printf("%-10s %-10s %10.3f %10.3f %12.1f %8d\n",
+                  util::format("%llu MiB",
+                               static_cast<unsigned long long>(dataset_mib))
+                      .c_str(),
+                  live ? "live" : "stop-copy", report.downtime.to_seconds(),
+                  report.total_duration.to_seconds(),
+                  report.bytes_transferred / (1 << 20),
+                  report.precopy_rounds);
+    }
+    if (downtimes[1] >= downtimes[0]) live_always_shorter_blackout = false;
+  }
+
+  // Service-visible blackout: web instance under load, migrated live.
+  std::printf("\nService continuity under live migration (httpd, 50 req/s):\n");
+  sim::Simulation sim(7);
+  cloud::PiCloud cloud(sim);
+  cloud.power_on();
+  cloud.await_ready();
+  cloud.run_for(sim::Duration::seconds(5));
+  auto web = cloud.spawn_and_wait({.name = "web", .app_kind = "httpd"});
+  if (!web.ok()) return 1;
+  apps::HttpLoadGen::Params params;
+  params.requests_per_sec = 50;
+  params.request_timeout = sim::Duration::seconds(2);
+  apps::HttpLoadGen gen(cloud.network(), cloud.admin_ip(), {web.value().ip},
+                        params, util::Rng(3));
+  gen.start();
+  cloud.run_for(sim::Duration::seconds(5));
+  auto report = cloud.migrate_and_wait("web", "", /*live=*/true);
+  cloud.run_for(sim::Duration::seconds(5));
+  gen.stop();
+  std::printf("  migrated %s -> %s: downtime %.3f s; requests lost %llu of "
+              "%llu (%.1f%%)\n",
+              report.from.c_str(), report.to.c_str(),
+              report.downtime.to_seconds(),
+              static_cast<unsigned long long>(gen.timed_out()),
+              static_cast<unsigned long long>(gen.sent()),
+              100.0 * gen.timed_out() / std::max<std::uint64_t>(gen.sent(), 1));
+
+  std::printf("\nExpected shape: live pre-copy moves more bytes in total but\n"
+              "shrinks the blackout to the final dirty set; stop-copy's\n"
+              "downtime grows linearly with the dataset.\n");
+  std::printf("  live downtime < stop-copy downtime at every size: %s\n",
+              live_always_shorter_blackout ? "HOLDS" : "DOES NOT HOLD");
+  return live_always_shorter_blackout && report.success ? 0 : 1;
+}

@@ -1,0 +1,133 @@
+// Figure 4 — "PiCloud management web interface on pimaster node".
+//
+// Regenerates the web panel's content and exercises the three use cases the
+// paper names (§II-C): "remote monitoring of the CPU load on some/all Pi
+// nodes, spawning new VM instances and specifying (soft) per-VM resource
+// utilisation limits" — each over the real REST path, with latency measured
+// from the admin workstation through the gateway.
+#include <cstdio>
+
+#include "cloud/cloud.h"
+#include "util/stats.h"
+#include "util/strings.h"
+
+using namespace picloud;
+
+int main() {
+  std::printf("==============================================================\n");
+  std::printf("FIGURE 4 — pimaster management web interface\n");
+  std::printf("==============================================================\n\n");
+
+  sim::Simulation sim(4);
+  cloud::PiCloud cloud(sim);
+  cloud.power_on();
+  if (!cloud.await_ready()) {
+    std::printf("fleet failed to register\n");
+    return 1;
+  }
+  cloud.run_for(sim::Duration::seconds(5));  // settle heartbeats
+
+  // --- Use case 1: remote CPU monitoring (all nodes, then a subset) ---------
+  util::Histogram monitor_latency;
+  for (int round = 0; round < 20; ++round) {
+    bool done = false;
+    sim::SimTime start = sim.now();
+    cloud.panel().monitor_cpu({}, [&](auto result) {
+      done = result.ok();
+      monitor_latency.add((sim.now() - start).to_millis());
+    });
+    cloud.run_until(sim::Duration::seconds(10), [&]() { return done; });
+  }
+  std::map<std::string, double> subset_loads;
+  {
+    bool done = false;
+    cloud.panel().monitor_cpu({"pi-r0-00", "pi-r2-07"}, [&](auto result) {
+      done = true;
+      if (result.ok()) subset_loads = result.value();
+    });
+    cloud.run_until(sim::Duration::seconds(10), [&]() { return done; });
+  }
+  std::printf("Use case 1 — remote CPU monitoring:\n");
+  std::printf("  all 56 nodes: %s (ms per panel refresh)\n",
+              monitor_latency.summary().c_str());
+  std::printf("  subset query returned %zu rows (pi-r0-00, pi-r2-07)\n\n",
+              subset_loads.size());
+
+  // --- Use case 2: spawning new VM instances --------------------------------
+  util::Histogram spawn_latency;
+  int spawned = 0;
+  for (int i = 0; i < 12; ++i) {
+    util::Json body = util::Json::object();
+    body.set("name", util::format("web-%02d", i));
+    body.set("app", "httpd");
+    bool done = false;
+    sim::SimTime start = sim.now();
+    cloud.panel().spawn_vm(std::move(body),
+                           [&](util::Result<util::Json> result) {
+                             done = true;
+                             if (result.ok()) {
+                               ++spawned;
+                               // Measured at response arrival, not at the
+                               // driver's polling granularity.
+                               spawn_latency.add(
+                                   (sim.now() - start).to_millis());
+                             }
+                           });
+    cloud.run_until(sim::Duration::seconds(120), [&]() { return done; });
+  }
+  std::printf("Use case 2 — spawning new VM instances:\n");
+  std::printf("  %d/12 spawned; end-to-end latency %s (ms)\n\n", spawned,
+              spawn_latency.summary().c_str());
+
+  // --- Use case 3: per-VM soft resource limits -------------------------------
+  util::Histogram limit_latency;
+  int limited = 0;
+  for (int i = 0; i < 12; ++i) {
+    bool done = false;
+    sim::SimTime start = sim.now();
+    util::Json limits = util::Json::object();
+    limits.set("cpu_limit", 0.5);
+    limits.set("memory_limit",
+               static_cast<unsigned long long>(64ull << 20));
+    cloud.panel().set_vm_limits(util::format("web-%02d", i), std::move(limits),
+                                [&](util::Result<util::Json> result) {
+                                  done = true;
+                                  if (result.ok()) {
+                                    ++limited;
+                                    limit_latency.add(
+                                        (sim.now() - start).to_millis());
+                                  }
+                                });
+    cloud.run_until(sim::Duration::seconds(10), [&]() { return done; });
+  }
+  std::printf("Use case 3 — per-VM soft limits:\n");
+  std::printf("  %d/12 limited to 50%% CPU / 64 MiB; latency %s (ms)\n\n",
+              limited, limit_latency.summary().c_str());
+
+  // --- The rendered panel ------------------------------------------------------
+  cloud.run_for(sim::Duration::seconds(5));
+  auto dashboard = cloud.dashboard();
+  if (!dashboard.ok()) {
+    std::printf("dashboard fetch failed: %s\n",
+                dashboard.error().message.c_str());
+    return 1;
+  }
+  // The 56-node table is long; show the header block and first rows, as the
+  // screenshot's viewport does.
+  const std::string& text = dashboard.value();
+  size_t shown_lines = 0;
+  size_t pos = 0;
+  while (pos < text.size() && shown_lines < 18) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) break;
+    std::printf("%s\n", text.substr(pos, eol - pos).c_str());
+    pos = eol + 1;
+    ++shown_lines;
+  }
+  std::printf("  ... (%u more rows)\n", 56u + 12u - 10u);
+
+  bool ok = spawned == 12 && limited == 12 && monitor_latency.count() == 20;
+  std::printf("\nFIGURE 4 PANEL: %s\n",
+              ok ? "ALL USE CASES REPRODUCED" : "PROBLEMS FOUND");
+  return ok ? 0 : 1;
+}

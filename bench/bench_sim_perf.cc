@@ -1,0 +1,93 @@
+// Microbenchmarks (google-benchmark) for the simulator substrate itself:
+// how fast the scale model runs on the host. Relevant to the paper's
+// methodology argument — the PiCloud exists because simulators trade
+// fidelity for speed; this shows the model's own overhead envelope.
+#include <benchmark/benchmark.h>
+
+#include "cloud/cloud.h"
+#include "net/topology.h"
+#include "sim/simulation.h"
+
+using namespace picloud;
+
+namespace {
+
+// Raw event kernel throughput.
+void BM_EventKernel(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim(1);
+    int remaining = static_cast<int>(state.range(0));
+    std::function<void()> tick = [&]() {
+      if (--remaining > 0) sim.after(sim::Duration::micros(1), tick);
+    };
+    sim.after(sim::Duration::micros(1), tick);
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventKernel)->Arg(1000)->Arg(100000);
+
+// Max-min reallocation cost as concurrent flows grow.
+void BM_FabricReallocate(benchmark::State& state) {
+  sim::Simulation sim(1);
+  net::Fabric fabric(sim);
+  net::Topology topo =
+      net::build_multi_root_tree(fabric, net::MultiRootTreeConfig{});
+  const int flows = static_cast<int>(state.range(0));
+  std::vector<net::FlowId> ids;
+  for (int i = 0; i < flows; ++i) {
+    net::FlowSpec spec;
+    spec.src = topo.hosts[i % 56];
+    spec.dst = topo.hosts[(i * 13 + 7) % 56];
+    spec.bytes = 1e12;
+    ids.push_back(fabric.start_flow(std::move(spec)));
+  }
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    // Churn one flow: cancel + add, which triggers two reallocations.
+    fabric.cancel_flow(ids[cursor % ids.size()]);
+    net::FlowSpec spec;
+    spec.src = topo.hosts[cursor % 56];
+    spec.dst = topo.hosts[(cursor * 17 + 3) % 56];
+    spec.bytes = 1e12;
+    ids[cursor % ids.size()] = fabric.start_flow(std::move(spec));
+    ++cursor;
+  }
+  for (net::FlowId id : ids) fabric.cancel_flow(id);
+  sim.run();
+}
+BENCHMARK(BM_FabricReallocate)->Arg(8)->Arg(64)->Arg(256);
+
+// Whole-cloud boot: 56 nodes x (DHCP DORA + registration + heartbeats).
+void BM_CloudBoot(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim(1);
+    cloud::PiCloud cloud(sim);
+    cloud.power_on();
+    bool ready = cloud.await_ready();
+    benchmark::DoNotOptimize(ready);
+  }
+}
+BENCHMARK(BM_CloudBoot)->Unit(benchmark::kMillisecond);
+
+// One simulated minute of a loaded cloud (management plane + heartbeats).
+void BM_CloudMinute(benchmark::State& state) {
+  sim::Simulation sim(1);
+  cloud::PiCloud cloud(sim);
+  cloud.power_on();
+  cloud.await_ready();
+  for (int i = 0; i < 20; ++i) {
+    (void)cloud.spawn_and_wait(
+        {.name = "web-" + std::to_string(i), .app_kind = "httpd"});
+  }
+  for (auto _ : state) {
+    cloud.run_for(sim::Duration::minutes(1));
+  }
+  state.SetLabel("sim-minutes/wall-iteration");
+}
+BENCHMARK(BM_CloudMinute)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Table I — "Cost breakdown of a testbed consisting 56 servers".
+//
+// Paper values:
+//   Testbed  $112,000 (@$2,000)   10,080W/h (@180W/h)   Cooling: Yes
+//   PiCloud  $1,960   (@$35)      196W/h    (@3.5W/h)   Cooling: No
+//
+// The harness regenerates the table from the device specs, checks the model
+// against the paper numbers, and extends the analysis with the energy
+// economics the paper argues qualitatively (cooling = 33% of total power,
+// PiCloud running from one socket board).
+#include <cstdio>
+#include <cstdlib>
+
+#include "cost/cost_model.h"
+#include "hw/rack.h"
+#include "util/strings.h"
+
+using namespace picloud;
+
+namespace {
+
+int g_failures = 0;
+
+void check_near(const char* what, double got, double want,
+                double tolerance = 1e-9) {
+  bool ok = std::abs(got - want) <= tolerance;
+  std::printf("  %-46s paper=%-12.10g model=%-12.10g %s\n", what, want, got,
+              ok ? "OK" : "MISMATCH");
+  if (!ok) ++g_failures;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==============================================================\n");
+  std::printf("TABLE I — Cost breakdown of a testbed consisting 56 servers\n");
+  std::printf("==============================================================\n\n");
+
+  auto rows = cost::table1(56);
+  std::printf("%s\n", cost::render_table(rows).c_str());
+
+  std::printf("Validation against the paper's Table I:\n");
+  check_near("Testbed capex ($)", rows[0].capex_usd, 112000);
+  check_near("Testbed unit cost ($)", rows[0].unit_cost_usd, 2000);
+  check_near("Testbed IT power (W)", rows[0].it_power_watts, 10080);
+  check_near("Testbed unit power (W)", rows[0].unit_watts, 180);
+  check_near("Testbed needs cooling", rows[0].needs_cooling ? 1 : 0, 1);
+  check_near("PiCloud capex ($)", rows[1].capex_usd, 1960);
+  check_near("PiCloud unit cost ($)", rows[1].unit_cost_usd, 35);
+  check_near("PiCloud IT power (W)", rows[1].it_power_watts, 196);
+  check_near("PiCloud unit power (W)", rows[1].unit_watts, 3.5);
+  check_near("PiCloud needs cooling", rows[1].needs_cooling ? 1 : 0, 0);
+
+  std::printf("\nDerived ratios (paper: \"several orders of magnitude\"):\n");
+  std::printf("  capex ratio  x86/Pi : %6.1fx\n",
+              rows[0].capex_usd / rows[1].capex_usd);
+  std::printf("  power ratio  x86/Pi : %6.1fx (IT only)\n",
+              rows[0].it_power_watts / rows[1].it_power_watts);
+  std::printf("  power ratio  x86/Pi : %6.1fx (incl. 33%% cooling on x86)\n",
+              rows[0].total_power_watts / rows[1].total_power_watts);
+
+  std::printf("\nExtended energy economics (0.15 $/kWh, 24x7 operation):\n");
+  std::printf("  %-10s %14s %16s %16s\n", "Server", "total W", "kWh/year",
+              "energy $/year");
+  for (const auto& row : rows) {
+    double kwh_year = cost::energy_kwh(row.total_power_watts, 24 * 365);
+    std::printf("  %-10s %14.0f %16.0f %16.0f\n", row.label.c_str(),
+                row.total_power_watts, kwh_year, kwh_year * 0.15);
+  }
+  double saving =
+      cost::energy_cost_usd(rows[0].total_power_watts, 24 * 365) -
+      cost::energy_cost_usd(rows[1].total_power_watts, 24 * 365);
+  std::printf("  PiCloud saves $%.0f/year in energy alone.\n", saving);
+
+  std::printf("\nSingle-socket-board check (paper SIII):\n");
+  hw::MachineRoom pi_room;
+  std::vector<std::unique_ptr<hw::Device>> pis;
+  for (int r = 0; r < 4; ++r) {
+    pi_room.racks.push_back(std::make_unique<hw::Rack>(r));
+    for (int i = 0; i < 14; ++i) {
+      pis.push_back(std::make_unique<hw::Device>(
+          static_cast<hw::DeviceId>(r * 14 + i), "pi", hw::pi_model_b()));
+      pi_room.racks[r]->install(pis.back().get());
+    }
+  }
+  std::printf("  PiCloud nameplate: %.0f W of %.0f W board limit -> %s\n",
+              pi_room.total_nameplate_watts(),
+              pi_room.socket_board_limit_watts,
+              pi_room.fits_single_socket_board() ? "fits one socket board"
+                                                 : "DOES NOT FIT");
+
+  std::printf("\n%s\n", g_failures == 0 ? "TABLE I REPRODUCED."
+                                        : "TABLE I MISMATCHES PRESENT.");
+  return g_failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,85 @@
+// Autoscale — the paper's consolidation-for-power loop running closed:
+// a spread-out, lightly-loaded cloud is packed by the Autopilot (live
+// migrations), idle Pis are switched off at the socket board, then a load
+// surge wakes them back up.
+//
+//   $ ./build/examples/autoscale
+#include <cstdio>
+
+#include "apps/loadgen.h"
+#include "cloud/cloud.h"
+#include "util/strings.h"
+
+using namespace picloud;
+
+int main() {
+  sim::Simulation sim(99);
+  cloud::PiCloudConfig config;
+  config.racks = 2;
+  config.hosts_per_rack = 6;
+  config.placement_policy = "round-robin";  // start maximally spread
+  cloud::PiCloud cloud(sim, config);
+  cloud.power_on();
+  if (!cloud.await_ready()) return 1;
+  cloud.run_for(sim::Duration::seconds(5));
+
+  // Six services, one per node to begin with.
+  std::vector<net::Ipv4Addr> tier;
+  for (int i = 0; i < 6; ++i) {
+    auto record = cloud.spawn_and_wait(
+        {.name = util::format("svc-%d", i), .app_kind = "httpd"});
+    if (!record.ok()) return 1;
+    tier.push_back(record.value().ip);
+  }
+  apps::HttpLoadGen::Params quiet;
+  quiet.requests_per_sec = 12;  // 2 req/s each: nighttime traffic
+  apps::HttpLoadGen clients(cloud.network(), cloud.admin_ip(), tier, quiet,
+                            util::Rng(1));
+  clients.start();
+
+  auto snapshot = [&](const char* label) {
+    int on = 0;
+    for (size_t i = 0; i < cloud.node_count(); ++i) {
+      if (cloud.node(i).running()) ++on;
+    }
+    std::printf("%-28s nodes on: %2d/12  draw: %6.1f W  served: %llu\n",
+                label, on, cloud.current_power_watts(),
+                static_cast<unsigned long long>(clients.completed()));
+  };
+  snapshot("spread, before autopilot:");
+
+  // Pack with best-fit and let the autopilot consolidate + park.
+  (void)cloud.master().set_policy("best-fit");
+  cloud::Autopilot::Config auto_config;
+  auto_config.evaluation_period = sim::Duration::seconds(15);
+  auto_config.min_nodes_on = 2;
+  auto_config.wake_cpu_threshold = 0.7;
+  cloud::Autopilot& autopilot = cloud.enable_autopilot(auto_config);
+
+  cloud.run_for(sim::Duration::minutes(10));
+  snapshot("consolidated (night):");
+  std::printf("  autopilot: %llu migrations, %llu nodes parked\n",
+              static_cast<unsigned long long>(autopilot.stats().migrations_ok),
+              static_cast<unsigned long long>(
+                  autopilot.stats().nodes_powered_off));
+
+  // Morning surge: 30x the request rate.
+  std::printf("\n  !! traffic surge: 12 -> 360 req/s\n\n");
+  clients.stop();
+  apps::HttpLoadGen::Params surge;
+  surge.requests_per_sec = 360;
+  apps::HttpLoadGen rush(cloud.network(), cloud.admin_ip(), tier, surge,
+                         util::Rng(2), 40090);
+  rush.start();
+  cloud.run_for(sim::Duration::minutes(5));
+  int woken = static_cast<int>(autopilot.stats().nodes_powered_on);
+  std::printf("%-28s woken nodes: %d  draw: %6.1f W  p99: %.1f ms\n",
+              "after surge:", woken, cloud.current_power_watts(),
+              rush.latencies().p99());
+  rush.stop();
+
+  std::printf("\nThe loop the paper sketches in SIII, closed end-to-end:\n"
+              "placement -> live migration -> socket-board switch -> DHCP\n"
+              "re-registration — all observable on one testbed.\n");
+  return 0;
+}

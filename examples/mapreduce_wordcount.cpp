@@ -1,0 +1,104 @@
+// MapReduce wordcount — the paper's "hadoop" workload (Fig. 3) at cluster
+// scale, comparing rack-affine placement (shuffle stays under one ToR)
+// against spread placement (shuffle crosses the aggregation layer).
+//
+//   $ ./build/examples/mapreduce_wordcount
+#include <cstdio>
+
+#include "apps/mapreduce.h"
+#include "cloud/cloud.h"
+#include "util/strings.h"
+
+using namespace picloud;
+
+namespace {
+
+// Spawns `n` mr-worker containers under the given placement policy and runs
+// one wordcount over them; returns job seconds and bytes the fabric carried.
+struct RunResult {
+  double seconds = -1;
+  double fabric_bytes = 0;
+  int workers_spread_over_racks = 0;
+};
+
+RunResult run_job(const std::string& policy, const std::string& group,
+                  bool spread_racks) {
+  sim::Simulation sim(77);
+  cloud::PiCloudConfig config;
+  config.placement_policy = policy;
+  cloud::PiCloud cloud(sim, config);
+  cloud.power_on();
+  if (!cloud.await_ready()) return {};
+  cloud.run_for(sim::Duration::seconds(5));
+
+  std::vector<net::Ipv4Addr> workers;
+  std::set<int> racks_used;
+  for (int i = 0; i < 8; ++i) {
+    auto record = cloud.spawn_and_wait({.name = util::format("mr-%d", i),
+                                        .app_kind = "mr-worker",
+                                        .rack_affinity =
+                                            spread_racks ? i % 4 : -1,
+                                        .affinity_group = group});
+    if (!record.ok()) return {};
+    workers.push_back(record.value().ip);
+    // Which rack did it land in?
+    cloud::NodeDaemon* daemon =
+        cloud.daemon_by_hostname(record.value().hostname);
+    if (daemon != nullptr) racks_used.insert(daemon->rack());
+  }
+
+  double before = cloud.fabric().total_bytes_carried();
+  apps::MapReduceDriver driver(cloud.network(), cloud.admin_ip());
+  apps::MapReduceJobSpec job;
+  job.job_id = "wordcount";
+  job.input_bytes = 256ull << 20;  // a day of logs
+  job.map_tasks = 16;
+  job.map_cycles_per_byte = 2;
+  job.shuffle_fraction = 0.4;
+  job.workers = workers;
+  job.reducers = {workers[0], workers[1], workers[2], workers[3]};
+
+  RunResult out;
+  bool done = false;
+  driver.run(job, [&](const apps::MapReduceJobResult& r) {
+    done = true;
+    out.seconds = r.success ? r.duration.to_seconds() : -1;
+  });
+  cloud.run_until(sim::Duration::minutes(30), [&]() { return done; });
+  out.fabric_bytes = cloud.fabric().total_bytes_carried() - before;
+  out.workers_spread_over_racks = static_cast<int>(racks_used.size());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("MapReduce wordcount on the PiCloud: 256 MiB input, 16 map\n");
+  std::printf("tasks over 8 workers, 4 reducers, 40%% shuffle.\n\n");
+  std::printf("%-22s %8s %12s %14s\n", "placement", "racks", "job time s",
+              "fabric MiB");
+
+  RunResult affine = run_job("rack-affinity", "wordcount", false);
+  std::printf("%-22s %8d %12.2f %14.1f\n", "rack-affinity (local)",
+              affine.workers_spread_over_racks, affine.seconds,
+              affine.fabric_bytes / (1 << 20));
+
+  RunResult spread = run_job("round-robin", "", true);
+  std::printf("%-22s %8d %12.2f %14.1f\n", "round-robin (spread)",
+              spread.workers_spread_over_racks, spread.seconds,
+              spread.fabric_bytes / (1 << 20));
+
+  if (affine.seconds < 0 || spread.seconds < 0) {
+    std::printf("\na job failed to complete\n");
+    return 1;
+  }
+  std::printf(
+      "\nWith rack-affinity the whole job (and its shuffle) stays under one\n"
+      "ToR switch: fewer fabric byte-hops, but the 14-Pi rack co-locates\n"
+      "workers and maps contend for the 700 MHz cores. Spreading across\n"
+      "racks gives every worker a whole Pi — faster maps — at the price of\n"
+      "shuffle traffic on the aggregation layer. Neither wins outright:\n"
+      "that cross-layer trade is exactly what the PiCloud exists to expose\n"
+      "(paper SIII-SIV), and what single-layer simulators hide.\n");
+  return 0;
+}

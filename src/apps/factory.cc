@@ -1,0 +1,34 @@
+#include "apps/factory.h"
+
+#include "apps/batch.h"
+#include "apps/dfs.h"
+#include "apps/httpd.h"
+#include "apps/kvstore.h"
+#include "apps/mapreduce.h"
+
+namespace picloud::apps {
+
+util::Result<std::unique_ptr<os::ContainerApp>> make_app(
+    const std::string& kind, const util::Json& params) {
+  if (kind == "httpd") {
+    return std::unique_ptr<os::ContainerApp>(
+        new HttpdApp(HttpdParams::from_json(params)));
+  }
+  if (kind == "kvstore") {
+    return std::unique_ptr<os::ContainerApp>(
+        new KvStoreApp(KvStoreParams::from_json(params)));
+  }
+  if (kind == "mr-worker") {
+    return std::unique_ptr<os::ContainerApp>(new MapReduceWorkerApp);
+  }
+  if (kind == "dfs-node") {
+    return std::unique_ptr<os::ContainerApp>(new DfsNodeApp);
+  }
+  if (kind == "batch") {
+    return std::unique_ptr<os::ContainerApp>(
+        new BatchApp(BatchParams::from_json(params)));
+  }
+  return util::Error::make("not_found", "unknown app kind: " + kind);
+}
+
+}  // namespace picloud::apps

@@ -1,0 +1,20 @@
+// App factory: builds ContainerApp instances from the "app" / "app_params"
+// fields of a spawn request. Wired into every NodeDaemon by the PiCloud
+// facade, mirroring how the paper's image carries a fixed set of runnable
+// services (webserver / database / hadoop, Fig. 3).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "os/container.h"
+#include "util/json.h"
+#include "util/result.h"
+
+namespace picloud::apps {
+
+// Known kinds: "httpd", "kvstore", "mr-worker", "batch", "dfs-node".
+util::Result<std::unique_ptr<os::ContainerApp>> make_app(
+    const std::string& kind, const util::Json& params);
+
+}  // namespace picloud::apps

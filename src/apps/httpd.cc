@@ -1,0 +1,88 @@
+#include "apps/httpd.h"
+
+#include "util/logging.h"
+
+namespace picloud::apps {
+
+using util::Json;
+
+HttpdParams HttpdParams::from_json(const Json& j) {
+  HttpdParams p;
+  p.port = static_cast<std::uint16_t>(j.get_number("port", 80));
+  p.cycles_per_request = j.get_number("cycles_per_request", 2e6);
+  p.response_bytes =
+      static_cast<std::uint64_t>(j.get_number("response_bytes", 8192));
+  p.working_set_bytes = static_cast<std::uint64_t>(
+      j.get_number("working_set_bytes", 10.0 * (1 << 20)));
+  return p;
+}
+
+Json HttpdParams::to_json() const {
+  Json j = Json::object();
+  j.set("port", port);
+  j.set("cycles_per_request", cycles_per_request);
+  j.set("response_bytes", static_cast<unsigned long long>(response_bytes));
+  j.set("working_set_bytes",
+        static_cast<unsigned long long>(working_set_bytes));
+  return j;
+}
+
+HttpdApp::HttpdApp(HttpdParams params) : params_(params) {}
+
+void HttpdApp::start(os::Container& container) {
+  container_ = &container;
+  // Page cache / doc root resident set.
+  working_set_resident_ =
+      container.alloc_memory(params_.working_set_bytes).ok();
+  if (!working_set_resident_) {
+    LOG_WARN("httpd", "%s: working set does not fit; serving degraded",
+             container.name().c_str());
+  }
+  container.listen(params_.port,
+                   [this](const net::Message& msg) { on_request(msg); });
+}
+
+void HttpdApp::stop() {
+  if (container_ == nullptr) return;
+  container_->unlisten(params_.port);
+  if (working_set_resident_) {
+    container_->free_memory(params_.working_set_bytes);
+    working_set_resident_ = false;
+  }
+  container_ = nullptr;
+}
+
+void HttpdApp::on_request(const net::Message& msg) {
+  if (container_ == nullptr) return;
+  auto parsed = Json::parse(msg.payload);
+  if (!parsed.ok()) return;
+  // Copy what the reply needs; the request message dies with this handler.
+  net::Ipv4Addr reply_to = msg.src;
+  std::uint16_t reply_port = msg.src_port;
+  Json request = std::move(parsed).value();
+
+  container_->run_cpu(params_.cycles_per_request, [this, reply_to, reply_port,
+                                                   request](bool completed) {
+    if (!completed || container_ == nullptr) {
+      ++requests_dropped_;
+      return;
+    }
+    ++requests_served_;
+    Json body = Json::object();
+    body.set("id", request.get_number("id"));
+    body.set("status", 200);
+    body.set("path", request.get_string("path", "/"));
+    container_->send(reply_to, reply_port, body.dump(), params_.port,
+                     static_cast<double>(params_.response_bytes));
+  });
+}
+
+util::Json HttpdApp::status() const {
+  Json j = Json::object();
+  j.set("requests", static_cast<unsigned long long>(requests_served_));
+  j.set("dropped", static_cast<unsigned long long>(requests_dropped_));
+  j.set("port", params_.port);
+  return j;
+}
+
+}  // namespace picloud::apps

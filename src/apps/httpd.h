@@ -1,0 +1,56 @@
+// Lightweight httpd — the paper's canonical Pi workload.
+//
+// §IV: "We are therefore currently limited to a subset of software
+// (lightweight httpd servers, hadoop etc.) at the application layer that can
+// be used to emulate current DC workloads." Each GET costs CPU cycles under
+// the container's cgroup and returns a response body over the fabric, so
+// request latency reflects both CPU contention on the Pi and network
+// congestion on the path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "os/container.h"
+#include "util/json.h"
+
+namespace picloud::apps {
+
+struct HttpdParams {
+  std::uint16_t port = 80;
+  double cycles_per_request = 2e6;     // ~3 ms alone on a 700 MHz Pi
+  std::uint64_t response_bytes = 8192; // page size
+  std::uint64_t working_set_bytes = 10ull << 20;  // resident beyond idle
+
+  static HttpdParams from_json(const util::Json& j);
+  util::Json to_json() const;
+};
+
+class HttpdApp : public os::ContainerApp {
+ public:
+  explicit HttpdApp(HttpdParams params = {});
+
+  std::string kind() const override { return "httpd"; }
+  void start(os::Container& container) override;
+  void stop() override;
+  util::Json status() const override;
+  double dirty_bytes_per_sec() const override {
+    // Logs + caches churn a slice of the working set.
+    return static_cast<double>(params_.working_set_bytes) * 0.02;
+  }
+
+  std::uint64_t requests_served() const { return requests_served_; }
+  std::uint64_t requests_dropped() const { return requests_dropped_; }
+  const HttpdParams& params() const { return params_; }
+
+ private:
+  void on_request(const net::Message& msg);
+
+  HttpdParams params_;
+  os::Container* container_ = nullptr;
+  bool working_set_resident_ = false;
+  std::uint64_t requests_served_ = 0;
+  std::uint64_t requests_dropped_ = 0;  // refused (e.g. OOM at start)
+};
+
+}  // namespace picloud::apps

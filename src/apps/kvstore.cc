@@ -1,0 +1,130 @@
+#include "apps/kvstore.h"
+
+#include "util/logging.h"
+
+namespace picloud::apps {
+
+using util::Json;
+
+KvStoreParams KvStoreParams::from_json(const Json& j) {
+  KvStoreParams p;
+  p.port = static_cast<std::uint16_t>(j.get_number("port", 6379));
+  p.cycles_per_op = j.get_number("cycles_per_op", 0.5e6);
+  return p;
+}
+
+KvStoreApp::KvStoreApp(KvStoreParams params) : params_(params) {}
+
+void KvStoreApp::start(os::Container& container) {
+  container_ = &container;
+  // Re-charge the dataset (fresh start: zero; post-migration: full set).
+  if (stored_bytes_ > 0) {
+    util::Status charged = container.alloc_memory(stored_bytes_);
+    if (!charged.ok()) {
+      LOG_WARN("kvstore", "%s: dataset no longer fits (%s); dropping it",
+               container.name().c_str(), charged.error().message.c_str());
+      values_.clear();
+      stored_bytes_ = 0;
+    }
+  }
+  container.listen(params_.port,
+                   [this](const net::Message& msg) { on_request(msg); });
+}
+
+void KvStoreApp::stop() {
+  if (container_ == nullptr) return;
+  container_->unlisten(params_.port);
+  if (stored_bytes_ > 0) container_->free_memory(stored_bytes_);
+  container_ = nullptr;
+}
+
+void KvStoreApp::reply(net::Ipv4Addr to, std::uint16_t port, Json body,
+                       double padding) {
+  if (container_ == nullptr) return;
+  container_->send(to, port, body.dump(), params_.port, padding);
+}
+
+void KvStoreApp::on_request(const net::Message& msg) {
+  if (container_ == nullptr) return;
+  auto parsed = Json::parse(msg.payload);
+  if (!parsed.ok()) return;
+  Json request = std::move(parsed).value();
+  net::Ipv4Addr reply_to = msg.src;
+  std::uint16_t reply_port = msg.src_port;
+
+  container_->run_cpu(params_.cycles_per_op, [this, request, reply_to,
+                                              reply_port](bool completed) {
+    if (!completed || container_ == nullptr) return;
+    std::string op = request.get_string("op");
+    std::string key = request.get_string("key");
+    Json body = Json::object();
+    body.set("id", request.get_number("id"));
+
+    if (op == "put") {
+      auto bytes = static_cast<std::uint64_t>(request.get_number("bytes"));
+      auto existing = values_.find(key);
+      std::uint64_t old_bytes =
+          existing != values_.end() ? existing->second : 0;
+      std::uint64_t delta = bytes > old_bytes ? bytes - old_bytes : 0;
+      if (delta > 0 && !container_->alloc_memory(delta).ok()) {
+        ++ops_rejected_;
+        body.set("ok", false);
+        body.set("error", "out of memory");
+        reply(reply_to, reply_port, std::move(body));
+        return;
+      }
+      if (old_bytes > bytes) container_->free_memory(old_bytes - bytes);
+      values_[key] = bytes;
+      stored_bytes_ = stored_bytes_ + bytes - old_bytes;
+      ++ops_served_;
+      body.set("ok", true);
+      reply(reply_to, reply_port, std::move(body));
+      return;
+    }
+
+    if (op == "get") {
+      auto it = values_.find(key);
+      ++ops_served_;
+      if (it == values_.end()) {
+        body.set("ok", false);
+        body.set("error", "no such key");
+        reply(reply_to, reply_port, std::move(body));
+        return;
+      }
+      body.set("ok", true);
+      body.set("bytes", static_cast<unsigned long long>(it->second));
+      // The value itself rides as padding.
+      reply(reply_to, reply_port, std::move(body),
+            static_cast<double>(it->second));
+      return;
+    }
+
+    if (op == "del") {
+      auto it = values_.find(key);
+      if (it != values_.end()) {
+        container_->free_memory(it->second);
+        stored_bytes_ -= it->second;
+        values_.erase(it);
+      }
+      ++ops_served_;
+      body.set("ok", true);
+      reply(reply_to, reply_port, std::move(body));
+      return;
+    }
+
+    ++ops_rejected_;
+    body.set("ok", false);
+    body.set("error", "unknown op");
+    reply(reply_to, reply_port, std::move(body));
+  });
+}
+
+util::Json KvStoreApp::status() const {
+  Json j = Json::object();
+  j.set("keys", static_cast<unsigned long long>(values_.size()));
+  j.set("bytes", static_cast<unsigned long long>(stored_bytes_));
+  j.set("ops", static_cast<unsigned long long>(ops_served_));
+  return j;
+}
+
+}  // namespace picloud::apps

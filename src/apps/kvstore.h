@@ -1,0 +1,62 @@
+// In-memory key-value database container (the "Database Container" of the
+// paper's Fig. 3 software stack).
+//
+// Values are charged to the container's memory cgroup, so a store that
+// outgrows its limit sees real insertion failures — the per-VM soft limit
+// behaviour the management API controls. The dataset survives migration:
+// stop() keeps the map, start() re-charges it on the destination node.
+//
+// Wire protocol (JSON datagrams on port 6379):
+//   {"op":"put","key":k,"bytes":n,"id":i}   -> {"ok":true,"id":i}
+//   {"op":"get","key":k,"id":i}             -> {"ok":true,"bytes":n,"id":i}
+//   {"op":"del","key":k,"id":i}             -> {"ok":true,"id":i}
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "os/container.h"
+#include "util/json.h"
+
+namespace picloud::apps {
+
+struct KvStoreParams {
+  std::uint16_t port = 6379;
+  double cycles_per_op = 0.5e6;
+
+  static KvStoreParams from_json(const util::Json& j);
+};
+
+class KvStoreApp : public os::ContainerApp {
+ public:
+  explicit KvStoreApp(KvStoreParams params = {});
+
+  std::string kind() const override { return "kvstore"; }
+  void start(os::Container& container) override;
+  void stop() override;
+  util::Json status() const override;
+  double dirty_bytes_per_sec() const override {
+    // Write-heavy stores dirty pages fast; scale with stored bytes.
+    return 128.0 * 1024 + static_cast<double>(stored_bytes_) * 0.05;
+  }
+
+  size_t key_count() const { return values_.size(); }
+  std::uint64_t stored_bytes() const { return stored_bytes_; }
+  std::uint64_t ops_served() const { return ops_served_; }
+  std::uint64_t ops_rejected() const { return ops_rejected_; }
+
+ private:
+  void on_request(const net::Message& msg);
+  void reply(net::Ipv4Addr to, std::uint16_t port, util::Json body,
+             double padding = 0);
+
+  KvStoreParams params_;
+  os::Container* container_ = nullptr;
+  std::map<std::string, std::uint64_t> values_;  // key -> value size
+  std::uint64_t stored_bytes_ = 0;
+  std::uint64_t ops_served_ = 0;
+  std::uint64_t ops_rejected_ = 0;
+};
+
+}  // namespace picloud::apps

@@ -1,0 +1,262 @@
+#include "apps/loadgen.h"
+
+#include <cassert>
+
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace picloud::apps {
+
+using util::Json;
+
+// ---------------------------------------------------------------------------
+// HttpLoadGen
+
+HttpLoadGen::HttpLoadGen(net::Network& network, net::Ipv4Addr self,
+                         std::vector<net::Ipv4Addr> targets, Params params,
+                         util::Rng rng, std::uint16_t client_port)
+    : network_(network),
+      sim_(network.simulation()),
+      self_(self),
+      targets_(std::move(targets)),
+      params_(params),
+      rng_(rng),
+      port_(client_port) {
+  network_.listen(self_, port_,
+                  [this](const net::Message& msg) { on_message(msg); });
+}
+
+HttpLoadGen::~HttpLoadGen() {
+  stop();
+  network_.unlisten(self_, port_);
+}
+
+void HttpLoadGen::start() {
+  if (running_) return;
+  running_ = true;
+  fire_next();
+}
+
+void HttpLoadGen::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (arrival_event_ != 0) {
+    sim_.cancel(arrival_event_);
+    arrival_event_ = 0;
+  }
+}
+
+void HttpLoadGen::set_targets(std::vector<net::Ipv4Addr> targets) {
+  targets_ = std::move(targets);
+  next_target_ = 0;
+}
+
+void HttpLoadGen::set_rate(double requests_per_sec) {
+  params_.requests_per_sec = requests_per_sec;
+  // When idled at rate 0 the arrival chain has stopped; rearm it.
+  if (running_ && arrival_event_ == 0 && requests_per_sec > 0) fire_next();
+}
+
+void HttpLoadGen::fire_next() {
+  if (!running_ || params_.requests_per_sec <= 0) return;
+  double gap = rng_.exponential(1.0 / params_.requests_per_sec);
+  arrival_event_ = sim_.after(sim::Duration::seconds(gap), [this]() {
+    arrival_event_ = 0;
+    if (!running_) return;
+    if (!targets_.empty()) {
+      net::Ipv4Addr target = targets_[next_target_ % targets_.size()];
+      ++next_target_;
+      std::uint64_t id = next_id_++;
+      ++sent_;
+      Json body = Json::object();
+      body.set("op", "get");
+      body.set("path", "/index.html");
+      body.set("id", static_cast<unsigned long long>(id));
+
+      Pending pending;
+      pending.sent_at = sim_.now();
+      pending.timeout_event =
+          sim_.after(params_.request_timeout, [this, id]() {
+            auto it = pending_.find(id);
+            if (it == pending_.end()) return;
+            pending_.erase(it);
+            ++timed_out_;
+          });
+      pending_[id] = pending;
+
+      net::Message msg;
+      msg.src = self_;
+      msg.dst = target;
+      msg.src_port = port_;
+      msg.dst_port = params_.server_port;
+      msg.payload = body.dump();
+      msg.padding_bytes = static_cast<double>(params_.request_bytes);
+      network_.send(std::move(msg));
+    }
+    fire_next();
+  });
+}
+
+void HttpLoadGen::on_message(const net::Message& msg) {
+  auto parsed = Json::parse(msg.payload);
+  if (!parsed.ok()) return;
+  auto id = static_cast<std::uint64_t>(parsed.value().get_number("id"));
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;  // late reply after timeout
+  sim_.cancel(it->second.timeout_event);
+  latencies_.add((sim_.now() - it->second.sent_at).to_millis());
+  pending_.erase(it);
+  ++completed_;
+}
+
+// ---------------------------------------------------------------------------
+// BackgroundTraffic
+
+BackgroundTraffic::BackgroundTraffic(net::Fabric& fabric,
+                                     const net::Topology& topology,
+                                     Params params, util::Rng rng)
+    : fabric_(fabric), topology_(topology), params_(params), rng_(rng) {}
+
+void BackgroundTraffic::start() {
+  if (running_) return;
+  running_ = true;
+  fire_next();
+}
+
+void BackgroundTraffic::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (arrival_event_ != 0) {
+    fabric_.simulation().cancel(arrival_event_);
+    arrival_event_ = 0;
+  }
+}
+
+void BackgroundTraffic::fire_next() {
+  if (!running_ || params_.flows_per_sec <= 0) return;
+  double gap = rng_.exponential(1.0 / params_.flows_per_sec);
+  arrival_event_ =
+      fabric_.simulation().after(sim::Duration::seconds(gap), [this]() {
+        arrival_event_ = 0;
+        if (!running_) return;
+        const auto& hosts = topology_.hosts;
+        if (hosts.size() >= 2) {
+          size_t src_idx = static_cast<size_t>(
+              rng_.uniform_int(0, static_cast<std::int64_t>(hosts.size()) - 1));
+          int src_rack = topology_.host_rack[src_idx];
+          size_t dst_idx = src_idx;
+          bool want_local = rng_.chance(params_.rack_locality);
+          // Rejection-sample a destination matching the locality choice
+          // (bounded; falls back to any distinct host).
+          for (int tries = 0; tries < 32; ++tries) {
+            size_t candidate = static_cast<size_t>(rng_.uniform_int(
+                0, static_cast<std::int64_t>(hosts.size()) - 1));
+            if (candidate == src_idx) continue;
+            bool local = topology_.host_rack[candidate] == src_rack;
+            if (local == want_local) {
+              dst_idx = candidate;
+              break;
+            }
+            dst_idx = candidate;  // fallback
+          }
+          if (dst_idx != src_idx) {
+            // Pareto sizes with the requested mean: mean = alpha*xm/(alpha-1).
+            double xm = params_.mean_flow_bytes * (params_.pareto_alpha - 1) /
+                        params_.pareto_alpha;
+            double bytes = rng_.pareto(params_.pareto_alpha, xm);
+            net::FlowSpec flow;
+            flow.src = hosts[src_idx];
+            flow.dst = hosts[dst_idx];
+            flow.bytes = bytes;
+            fabric_.start_flow(std::move(flow));
+            ++flows_started_;
+            bytes_offered_ += bytes;
+          }
+        }
+        fire_next();
+      });
+}
+
+// ---------------------------------------------------------------------------
+// KvClient
+
+KvClient::KvClient(net::Network& network, net::Ipv4Addr self,
+                   std::uint16_t client_port)
+    : network_(network),
+      sim_(network.simulation()),
+      self_(self),
+      port_(client_port) {
+  network_.listen(self_, port_,
+                  [this](const net::Message& msg) { on_message(msg); });
+}
+
+KvClient::~KvClient() { network_.unlisten(self_, port_); }
+
+void KvClient::request(net::Ipv4Addr server, std::uint16_t server_port,
+                       Json body, Callback cb) {
+  std::uint64_t id = next_id_++;
+  body.set("id", static_cast<unsigned long long>(id));
+  Pending pending;
+  pending.cb = std::move(cb);
+  pending.timeout_event =
+      sim_.after(sim::Duration::seconds(10), [this, id]() {
+        auto it = pending_.find(id);
+        if (it == pending_.end()) return;
+        Callback cb = std::move(it->second.cb);
+        pending_.erase(it);
+        cb(util::Error::make("timeout", "kv request timed out"));
+      });
+  pending_[id] = std::move(pending);
+
+  net::Message msg;
+  msg.src = self_;
+  msg.dst = server;
+  msg.src_port = port_;
+  msg.dst_port = server_port;
+  msg.payload = body.dump();
+  // put carries the value's bytes on the wire.
+  if (body.get_string("op") == "put") {
+    msg.padding_bytes = body.get_number("bytes");
+  }
+  network_.send(std::move(msg));
+}
+
+void KvClient::put(net::Ipv4Addr server, const std::string& key,
+                   std::uint64_t bytes, Callback cb,
+                   std::uint16_t server_port) {
+  Json body = Json::object();
+  body.set("op", "put");
+  body.set("key", key);
+  body.set("bytes", static_cast<unsigned long long>(bytes));
+  request(server, server_port, std::move(body), std::move(cb));
+}
+
+void KvClient::get(net::Ipv4Addr server, const std::string& key, Callback cb,
+                   std::uint16_t server_port) {
+  Json body = Json::object();
+  body.set("op", "get");
+  body.set("key", key);
+  request(server, server_port, std::move(body), std::move(cb));
+}
+
+void KvClient::del(net::Ipv4Addr server, const std::string& key, Callback cb,
+                   std::uint16_t server_port) {
+  Json body = Json::object();
+  body.set("op", "del");
+  body.set("key", key);
+  request(server, server_port, std::move(body), std::move(cb));
+}
+
+void KvClient::on_message(const net::Message& msg) {
+  auto parsed = Json::parse(msg.payload);
+  if (!parsed.ok()) return;
+  auto id = static_cast<std::uint64_t>(parsed.value().get_number("id"));
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  sim_.cancel(it->second.timeout_event);
+  Callback cb = std::move(it->second.cb);
+  pending_.erase(it);
+  cb(std::move(parsed).value());
+}
+
+}  // namespace picloud::apps

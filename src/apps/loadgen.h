@@ -1,0 +1,154 @@
+// Workload and traffic generation.
+//
+// The paper's core critique of simulators is unrealistic traffic: "Traffic
+// patterns in operational Cloud DC networks constantly change over time and
+// are generally unpredictable" (§I, citing Gill et al. and VL2). Two
+// generators reproduce the relevant behaviours:
+//
+//   * HttpLoadGen — open-loop Poisson request stream against a pool of web
+//     instances (the "public website hosting" use case), measuring
+//     end-to-end latency (CPU contention + fabric congestion).
+//   * BackgroundTraffic — VL2-style machine-to-machine flows: Poisson
+//     arrivals, Pareto (heavy-tailed) sizes, tunable rack locality.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "net/fabric.h"
+#include "net/network.h"
+#include "net/topology.h"
+#include "sim/simulation.h"
+#include "util/json.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace picloud::apps {
+
+class HttpLoadGen {
+ public:
+  struct Params {
+    double requests_per_sec = 20;
+    std::uint16_t server_port = 80;
+    sim::Duration request_timeout = sim::Duration::seconds(10);
+    std::uint64_t request_bytes = 256;  // GET + headers
+  };
+
+  HttpLoadGen(net::Network& network, net::Ipv4Addr self,
+              std::vector<net::Ipv4Addr> targets, Params params,
+              util::Rng rng, std::uint16_t client_port = 40080);
+  ~HttpLoadGen();
+
+  void start();
+  void stop();
+
+  // Adds/replaces the target pool (targets rotate round-robin).
+  void set_targets(std::vector<net::Ipv4Addr> targets);
+
+  // Changes the offered rate; takes effect from the next arrival (the
+  // TracePlayer's knob for diurnal/flash-crowd dynamics).
+  void set_rate(double requests_per_sec);
+  double rate() const { return params_.requests_per_sec; }
+
+  const util::Histogram& latencies() const { return latencies_; }
+  std::uint64_t sent() const { return sent_; }
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t timed_out() const { return timed_out_; }
+
+ private:
+  void fire_next();
+  void on_message(const net::Message& msg);
+
+  net::Network& network_;
+  sim::Simulation& sim_;
+  net::Ipv4Addr self_;
+  std::vector<net::Ipv4Addr> targets_;
+  Params params_;
+  util::Rng rng_;
+  std::uint16_t port_;
+  bool running_ = false;
+  size_t next_target_ = 0;
+  std::uint64_t next_id_ = 1;
+  sim::EventId arrival_event_ = 0;
+
+  struct Pending {
+    sim::SimTime sent_at;
+    sim::EventId timeout_event = 0;
+  };
+  std::map<std::uint64_t, Pending> pending_;
+  util::Histogram latencies_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t timed_out_ = 0;
+};
+
+// Machine-to-machine background flows straight on the fabric.
+class BackgroundTraffic {
+ public:
+  struct Params {
+    double flows_per_sec = 10;
+    double mean_flow_bytes = 1 << 20;   // Pareto-distributed around this
+    double pareto_alpha = 1.5;          // heavy tail
+    // Probability the destination shares the source's rack (Gill et al.:
+    // most DC traffic stays rack-local).
+    double rack_locality = 0.7;
+  };
+
+  BackgroundTraffic(net::Fabric& fabric, const net::Topology& topology,
+                    Params params, util::Rng rng);
+
+  void start();
+  void stop();
+
+  std::uint64_t flows_started() const { return flows_started_; }
+  double bytes_offered() const { return bytes_offered_; }
+
+ private:
+  void fire_next();
+
+  net::Fabric& fabric_;
+  const net::Topology& topology_;
+  Params params_;
+  util::Rng rng_;
+  bool running_ = false;
+  sim::EventId arrival_event_ = 0;
+  std::uint64_t flows_started_ = 0;
+  double bytes_offered_ = 0;
+};
+
+// Thin client for KvStoreApp (used by examples/tests).
+class KvClient {
+ public:
+  KvClient(net::Network& network, net::Ipv4Addr self,
+           std::uint16_t client_port = 46379);
+  ~KvClient();
+
+  using Callback = std::function<void(util::Result<util::Json>)>;
+  void put(net::Ipv4Addr server, const std::string& key, std::uint64_t bytes,
+           Callback cb, std::uint16_t server_port = 6379);
+  void get(net::Ipv4Addr server, const std::string& key, Callback cb,
+           std::uint16_t server_port = 6379);
+  void del(net::Ipv4Addr server, const std::string& key, Callback cb,
+           std::uint16_t server_port = 6379);
+
+ private:
+  void request(net::Ipv4Addr server, std::uint16_t server_port,
+               util::Json body, Callback cb);
+  void on_message(const net::Message& msg);
+
+  net::Network& network_;
+  sim::Simulation& sim_;
+  net::Ipv4Addr self_;
+  std::uint16_t port_;
+  std::uint64_t next_id_ = 1;
+  struct Pending {
+    Callback cb;
+    sim::EventId timeout_event = 0;
+  };
+  std::map<std::uint64_t, Pending> pending_;
+};
+
+}  // namespace picloud::apps

@@ -1,0 +1,68 @@
+#include "cloud/chaos.h"
+
+#include "util/logging.h"
+
+namespace picloud::cloud {
+
+ChaosMonkey::ChaosMonkey(sim::Simulation& sim, net::Fabric& fabric,
+                         Config config, util::Rng rng)
+    : sim_(sim), fabric_(fabric), config_(config), rng_(rng) {}
+
+ChaosMonkey::~ChaosMonkey() { stop(); }
+
+void ChaosMonkey::add_node(NodeDaemon* daemon) { nodes_.push_back(daemon); }
+
+void ChaosMonkey::add_link(net::LinkId link) { links_.push_back(link); }
+
+void ChaosMonkey::start() {
+  if (running_) return;
+  running_ = true;
+  tick_task_ = sim::PeriodicTask(sim_, config_.tick, [this]() { tick(); });
+}
+
+void ChaosMonkey::stop() {
+  if (!running_) return;
+  running_ = false;
+  tick_task_.stop();
+}
+
+void ChaosMonkey::tick() {
+  double dt = config_.tick.to_seconds();
+  // Memoryless per-tick hazard: P(fail) = dt / MTBF, P(repair) = dt / MTTR.
+  double node_fail_p = dt / config_.node_mtbf.to_seconds();
+  double node_repair_p = dt / config_.node_mttr.to_seconds();
+  double link_fail_p = dt / config_.link_mtbf.to_seconds();
+  double link_repair_p = dt / config_.link_mttr.to_seconds();
+
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (down_nodes_.count(i) > 0) {
+      if (rng_.chance(node_repair_p)) {
+        down_nodes_.erase(i);
+        ++stats_.node_repairs;
+        LOG_INFO("chaos", "repairing node %zu (power cycle)", i);
+        nodes_[i]->start();  // re-runs DHCP + registration
+      }
+    } else if (rng_.chance(node_fail_p)) {
+      down_nodes_.insert(i);
+      ++stats_.node_crashes;
+      LOG_WARN("chaos", "crashing node %zu", i);
+      nodes_[i]->crash();
+    }
+  }
+
+  for (size_t i = 0; i < links_.size(); ++i) {
+    if (down_links_.count(i) > 0) {
+      if (rng_.chance(link_repair_p)) {
+        down_links_.erase(i);
+        ++stats_.link_repairs;
+        fabric_.set_link_pair_up(links_[i], true);
+      }
+    } else if (rng_.chance(link_fail_p)) {
+      down_links_.insert(i);
+      ++stats_.link_cuts;
+      fabric_.set_link_pair_up(links_[i], false);
+    }
+  }
+}
+
+}  // namespace picloud::cloud

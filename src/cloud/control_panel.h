@@ -1,0 +1,71 @@
+// ControlPanel — the pimaster's web-based control panel (paper Fig. 4).
+//
+// "An outward-facing webserver on pimaster provides a web-based control
+// panel to users and administrators ... Typical use-case scenarios include
+// remote monitoring of the CPU load on some/all Pi nodes, spawning new VM
+// instances and specifying (soft) per-VM resource utilisation limits."
+//
+// The panel is modelled as an administrator's browser session: it talks to
+// the pimaster exclusively over the REST API (every click costs real
+// round-trips on the fabric) and renders the dashboard as text — the same
+// node grid, instance table and cluster header the screenshot shows.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/addr.h"
+#include "net/network.h"
+#include "proto/rest.h"
+#include "util/json.h"
+#include "util/result.h"
+
+namespace picloud::cloud {
+
+class ControlPanel {
+ public:
+  ControlPanel(net::Network& network, net::Ipv4Addr self,
+               net::Ipv4Addr master, std::uint16_t master_port = 9000);
+
+  // --- Panel pages -------------------------------------------------------------
+  // Fetches summary + nodes + instances and renders the dashboard text.
+  void render_dashboard(std::function<void(util::Result<std::string>)> cb);
+
+  // --- Use cases from §II-C ------------------------------------------------------
+  // CPU load of the named nodes (empty = all). Result maps hostname -> load.
+  using CpuCallback =
+      std::function<void(util::Result<std::map<std::string, double>>)>;
+  void monitor_cpu(std::vector<std::string> hostnames, CpuCallback cb);
+
+  // Spawning a new VM instance through the panel's "new instance" form.
+  using JsonCallback = std::function<void(util::Result<util::Json>)>;
+  void spawn_vm(util::Json spec, JsonCallback cb);
+
+  // Soft per-VM resource limits.
+  void set_vm_limits(const std::string& instance, util::Json limits,
+                     JsonCallback cb);
+
+  // Kick off a migration from the instance row's action menu.
+  void migrate_vm(const std::string& instance, const std::string& to,
+                  bool live, JsonCallback cb);
+
+  void delete_vm(const std::string& instance, JsonCallback cb);
+
+  proto::RestClient& client() { return client_; }
+
+  // Pure rendering helper (unit-testable): builds the dashboard text from
+  // the three API payloads.
+  static std::string render(const util::Json& summary, const util::Json& nodes,
+                            const util::Json& instances);
+
+ private:
+  void get_json(const std::string& path, JsonCallback cb);
+
+  net::Ipv4Addr master_;
+  std::uint16_t master_port_;
+  proto::RestClient client_;
+};
+
+}  // namespace picloud::cloud

@@ -1,0 +1,174 @@
+#include "cloud/economics.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace picloud::cloud {
+
+std::vector<Offering> standard_offerings() {
+  return {
+      {"pi.micro", 0.25, 40ull << 20, 0.008},
+      {"pi.small", 0.50, 48ull << 20, 0.018},
+      {"pi.large", 1.00, 96ull << 20, 0.040},
+  };
+}
+
+CloudEconomics::CloudEconomics(sim::Simulation& sim, PiMaster& master,
+                               Config config)
+    : sim_(sim), master_(master), config_(std::move(config)) {}
+
+util::Result<Offering> CloudEconomics::offering(const std::string& name) const {
+  for (const Offering& o : config_.catalogue) {
+    if (o.name == name) return o;
+  }
+  return util::Error::make("not_found", "no such offering: " + name);
+}
+
+double CloudEconomics::cpu_sold(const std::string& hostname) const {
+  double sold = 0;
+  for (const auto& [instance, tenant] : tenants_) {
+    if (tenant.active && tenant.hostname == hostname) {
+      sold += tenant.offering.cpu_fraction;
+    }
+  }
+  return sold;
+}
+
+util::Result<std::string> CloudEconomics::pick_host(const Offering& offering) {
+  std::vector<NodeView> views = master_.admission_views();
+  std::sort(views.begin(), views.end(),
+            [](const NodeView& a, const NodeView& b) {
+              return a.hostname < b.hostname;
+            });
+  const PlacementLimits& limits = master_.master_config().placement_limits;
+  for (const NodeView& v : views) {
+    if (!v.alive) continue;
+    if (v.containers >= limits.max_containers_per_node) continue;
+    if (static_cast<double>(v.mem_used + offering.memory_bytes) >
+        static_cast<double>(v.mem_capacity) * limits.mem_headroom) {
+      continue;
+    }
+    // The economic dimension: sell CPU only up to the overcommit budget.
+    if (cpu_sold(v.hostname) + offering.cpu_fraction >
+        config_.overcommit + 1e-9) {
+      continue;
+    }
+    return v.hostname;
+  }
+  return util::Error::make("no_capacity",
+                           "no node within the overcommit budget");
+}
+
+void CloudEconomics::launch(const std::string& instance,
+                            const std::string& offering_name,
+                            const std::string& app_kind, LaunchCallback cb) {
+  auto chosen = offering(offering_name);
+  if (!chosen.ok()) {
+    ++rejected_;
+    cb(chosen.error());
+    return;
+  }
+  auto host = pick_host(chosen.value());
+  if (!host.ok()) {
+    ++rejected_;
+    cb(host.error());
+    return;
+  }
+
+  PiMaster::SpawnSpec spec;
+  spec.name = instance;
+  spec.app_kind = app_kind;
+  spec.app_params = config_.app_params;
+  spec.cpu_limit = chosen.value().cpu_fraction;
+  spec.memory_limit = chosen.value().memory_bytes;
+  spec.hostname = host.value();
+  master_.spawn_instance(
+      std::move(spec),
+      [this, instance, offering = chosen.value(),
+       cb](util::Result<InstanceRecord> result) {
+        if (!result.ok()) {
+          ++rejected_;
+          cb(result.error());
+          return;
+        }
+        TenantRecord tenant;
+        tenant.instance = instance;
+        tenant.offering = offering;
+        tenant.hostname = result.value().hostname;
+        tenant.launched_at = sim_.now();
+        tenants_[instance] = tenant;
+        LOG_INFO("economics", "tenant %s (%s, $%.3f/h) on %s",
+                 instance.c_str(), offering.name.c_str(),
+                 offering.price_per_hour, tenant.hostname.c_str());
+        cb(tenant);
+      });
+}
+
+void CloudEconomics::terminate(const std::string& instance,
+                               PiMaster::SimpleCallback cb) {
+  auto it = tenants_.find(instance);
+  if (it == tenants_.end() || !it->second.active) {
+    cb(util::Error::make("not_found", "no active tenant: " + instance));
+    return;
+  }
+  master_.delete_instance(instance, [this, instance,
+                                     cb](util::Status status) {
+    if (status.ok()) {
+      auto it = tenants_.find(instance);
+      if (it != tenants_.end()) {
+        it->second.active = false;
+        it->second.terminated_at = sim_.now();
+      }
+    }
+    cb(status);
+  });
+}
+
+double CloudEconomics::revenue_usd(sim::SimTime now) const {
+  double total = 0;
+  for (const auto& [instance, tenant] : tenants_) {
+    total += tenant.accrued_usd(now);
+  }
+  return total;
+}
+
+double CloudEconomics::energy_cost_usd() const {
+  return energy_kwh_ ? energy_kwh_() * config_.usd_per_kwh : 0.0;
+}
+
+std::vector<TenantRecord> CloudEconomics::tenants() const {
+  std::vector<TenantRecord> out;
+  out.reserve(tenants_.size());
+  for (const auto& [instance, tenant] : tenants_) out.push_back(tenant);
+  return out;
+}
+
+size_t CloudEconomics::active_tenants() const {
+  size_t n = 0;
+  for (const auto& [instance, tenant] : tenants_) {
+    if (tenant.active) ++n;
+  }
+  return n;
+}
+
+std::vector<SloSample> CloudEconomics::slo_samples(sim::SimTime now) {
+  std::vector<SloSample> out;
+  for (const auto& [instance, tenant] : tenants_) {
+    if (!tenant.active) continue;
+    NodeDaemon* daemon = master_.node_daemon(tenant.hostname);
+    if (daemon == nullptr) continue;
+    os::Container* container = daemon->node().find_container(instance);
+    if (container == nullptr) continue;
+    SloSample sample;
+    sample.instance = instance;
+    sample.entitled_cycles = tenant.offering.cpu_fraction *
+                             daemon->node().cpu().capacity() *
+                             (now - tenant.launched_at).to_seconds();
+    sample.delivered_cycles = container->cpu_cycles_used();
+    out.push_back(sample);
+  }
+  return out;
+}
+
+}  // namespace picloud::cloud

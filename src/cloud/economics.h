@@ -1,0 +1,126 @@
+// Pay-as-you-go economics: offerings, billing, oversubscription.
+//
+// The paper's opening sentence frames the cloud as "outsourcing
+// infrastructure on a 'pay-as-you-go' basis", lists "economic strategies
+// for provisioning virtualised resources to incoming user requests" among
+// the provider problems (§I), and names "oversubscription to improve cost
+// efficiency" as a management lever (§III). CloudEconomics is that layer on
+// top of the pimaster:
+//
+//   * a catalogue of instance offerings (a CPU fraction + RAM at an hourly
+//     price — EC2-style types scaled to a Pi);
+//   * admission control that may *oversell* CPU: the sum of sold fractions
+//     on a node can exceed 1.0 by the configured overcommit factor (tenant
+//     cgroups then share what physically exists);
+//   * metered billing per tenant-hour, energy cost from the socket board,
+//     and delivered-vs-entitled CPU as the SLO metric.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cloud/pimaster.h"
+#include "sim/simulation.h"
+
+namespace picloud::cloud {
+
+// An instance type in the catalogue.
+struct Offering {
+  std::string name;            // "pi.small"
+  double cpu_fraction = 0.5;   // of one Pi core, sold as the cgroup limit
+  std::uint64_t memory_bytes = 30ull << 20;
+  double price_per_hour = 0.02;  // USD
+};
+
+// Default catalogue: fractions of a 700 MHz core.
+std::vector<Offering> standard_offerings();
+
+struct TenantRecord {
+  std::string instance;
+  Offering offering;
+  std::string hostname;
+  sim::SimTime launched_at;
+  bool active = true;
+  sim::SimTime terminated_at;
+
+  double hours(sim::SimTime now) const {
+    sim::SimTime end = active ? now : terminated_at;
+    return (end - launched_at).to_seconds() / 3600.0;
+  }
+  double accrued_usd(sim::SimTime now) const {
+    return hours(now) * offering.price_per_hour;
+  }
+};
+
+// Per-tenant SLO sample: what they bought vs what the scheduler delivered.
+struct SloSample {
+  std::string instance;
+  double entitled_cycles = 0;
+  double delivered_cycles = 0;
+  double satisfaction() const {
+    return entitled_cycles > 0
+               ? std::min(delivered_cycles / entitled_cycles, 1.0)
+               : 1.0;
+  }
+};
+
+class CloudEconomics {
+ public:
+  struct Config {
+    std::vector<Offering> catalogue = standard_offerings();
+    // CPU may be sold up to this multiple of physical capacity per node.
+    double overcommit = 1.0;
+    double usd_per_kwh = 0.15;
+    // Parameters handed to every tenant app at launch.
+    util::Json app_params;
+  };
+
+  CloudEconomics(sim::Simulation& sim, PiMaster& master, Config config);
+
+  // Energy source: wired to the facade's socket board (kWh so far).
+  void set_energy_source(std::function<double()> kwh) {
+    energy_kwh_ = std::move(kwh);
+  }
+
+  // --- The tenant API ------------------------------------------------------------
+  // Launches a tenant of the named offering running `app_kind`. Placement:
+  // first node (hostname order) whose *sold* CPU stays within the
+  // overcommit budget and whose placement envelope fits. Asynchronous.
+  using LaunchCallback = std::function<void(util::Result<TenantRecord>)>;
+  void launch(const std::string& instance, const std::string& offering,
+              const std::string& app_kind, LaunchCallback cb);
+  void terminate(const std::string& instance, PiMaster::SimpleCallback cb);
+
+  util::Result<Offering> offering(const std::string& name) const;
+
+  // --- The books -------------------------------------------------------------------
+  double revenue_usd(sim::SimTime now) const;   // accrued across tenants
+  double energy_cost_usd() const;               // socket board * tariff
+  double profit_usd(sim::SimTime now) const {
+    return revenue_usd(now) - energy_cost_usd();
+  }
+  // Sold CPU (fractions of a core) on a node right now.
+  double cpu_sold(const std::string& hostname) const;
+  std::vector<TenantRecord> tenants() const;
+  size_t active_tenants() const;
+  std::uint64_t rejected_launches() const { return rejected_; }
+
+  // SLO: delivered vs entitled cycles per active tenant since launch.
+  // Requires the master's node accessor to reach the containers.
+  std::vector<SloSample> slo_samples(sim::SimTime now);
+
+ private:
+  util::Result<std::string> pick_host(const Offering& offering);
+
+  sim::Simulation& sim_;
+  PiMaster& master_;
+  Config config_;
+  std::function<double()> energy_kwh_;
+  std::map<std::string, TenantRecord> tenants_;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace picloud::cloud

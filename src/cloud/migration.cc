@@ -1,0 +1,254 @@
+#include "cloud/migration.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+
+namespace picloud::cloud {
+
+const char* address_update_name(AddressUpdateMode mode) {
+  switch (mode) {
+    case AddressUpdateMode::kArpConvergence: return "arp";
+    case AddressUpdateMode::kSdnRedirect: return "sdn";
+  }
+  return "?";
+}
+
+util::Json MigrationReport::to_json() const {
+  util::Json j = util::Json::object();
+  j.set("instance", instance);
+  j.set("from", from);
+  j.set("to", to);
+  j.set("live", live);
+  j.set("success", success);
+  j.set("address_update", address_update);
+  if (!error.empty()) j.set("error", error);
+  j.set("bytes", bytes_transferred);
+  j.set("rounds", precopy_rounds);
+  j.set("duration_s", total_duration.to_seconds());
+  j.set("downtime_s", downtime.to_seconds());
+  return j;
+}
+
+struct MigrationCoordinator::Session {
+  MigrationParams params;
+  DoneCallback done;
+  MigrationReport report;
+  sim::SimTime started;
+  sim::SimTime frozen_at;
+  NodeDaemon* src = nullptr;
+  NodeDaemon* dst = nullptr;
+  os::Container* container = nullptr;
+  double pending_bytes = 0;  // memory image / dirty set to copy next
+  double dirty_rate = 0;     // bytes/sec the app dirties while running
+};
+
+MigrationCoordinator::MigrationCoordinator(sim::Simulation& sim,
+                                           net::Fabric& fabric,
+                                           NodeAccessor accessor)
+    : sim_(sim), fabric_(fabric), accessor_(std::move(accessor)) {}
+
+void MigrationCoordinator::migrate(MigrationParams params, DoneCallback done) {
+  auto session = std::make_shared<Session>();
+  session->params = std::move(params);
+  session->done = std::move(done);
+  session->started = sim_.now();
+  session->report.instance = session->params.instance;
+  session->report.from = session->params.from;
+  session->report.to = session->params.to;
+  session->report.live = session->params.live;
+  session->report.address_update =
+      address_update_name(session->params.address_update);
+
+  if (migrating_.count(session->params.instance) > 0) {
+    fail(session, "instance is already migrating");
+    return;
+  }
+  session->src = accessor_(session->params.from);
+  session->dst = accessor_(session->params.to);
+  if (session->src == nullptr || session->dst == nullptr) {
+    fail(session, "unknown source or destination node");
+    return;
+  }
+  if (session->src == session->dst) {
+    fail(session, "source and destination are the same node");
+    return;
+  }
+  session->container =
+      session->src->node().find_container(session->params.instance);
+  if (session->container == nullptr ||
+      session->container->state() == os::ContainerState::kDestroyed) {
+    fail(session, "no such container on source node");
+    return;
+  }
+  if (!session->dst->node().running()) {
+    fail(session, "destination node is down");
+    return;
+  }
+
+  migrating_.insert(session->params.instance);
+  ++in_flight_;
+
+  session->pending_bytes =
+      static_cast<double>(session->container->memory_usage());
+  session->dirty_rate = session->container->app() != nullptr
+                            ? session->container->app()->dirty_bytes_per_sec()
+                            : 0.0;
+
+  LOG_INFO("migrate", "%s: %s -> %s (%s, %.1f MB)",
+           session->params.instance.c_str(), session->params.from.c_str(),
+           session->params.to.c_str(),
+           session->params.live ? "live" : "stop-copy",
+           session->pending_bytes / (1 << 20));
+
+  // Prepare phase: destination caches the rootfs layers.
+  session->dst->prefetch_layers(
+      session->params.layers.as_array(),
+      [this, session](util::Status status) {
+        if (!status.ok()) {
+          migrating_.erase(session->params.instance);
+          --in_flight_;
+          fail(session, "destination prefetch failed: " +
+                            status.error().message);
+          return;
+        }
+        if (session->params.live) {
+          precopy_round(session);
+        } else {
+          // Stop-and-copy: freeze first, move everything in one blackout.
+          (void)session->container->freeze();
+          session->frozen_at = sim_.now();
+          final_copy(session);
+        }
+      });
+}
+
+void MigrationCoordinator::precopy_round(std::shared_ptr<Session> session) {
+  // Freeze point reached? Copy the remainder under blackout.
+  if (session->report.precopy_rounds >= session->params.max_precopy_rounds ||
+      session->pending_bytes <= session->params.stop_threshold_bytes) {
+    (void)session->container->freeze();
+    session->frozen_at = sim_.now();
+    final_copy(session);
+    return;
+  }
+  ++session->report.precopy_rounds;
+  double bytes = session->pending_bytes;
+  sim::SimTime round_start = sim_.now();
+
+  net::FlowSpec flow;
+  flow.src = session->src->node().fabric_node();
+  flow.dst = session->dst->node().fabric_node();
+  flow.bytes = bytes;
+  flow.on_complete = [this, session, bytes, round_start](net::FlowId,
+                                                         bool success) {
+    if (!success) {
+      migrating_.erase(session->params.instance);
+      --in_flight_;
+      (void)session->container->thaw();  // no-op unless frozen
+      fail(session, "pre-copy transfer failed (network)");
+      return;
+    }
+    session->report.bytes_transferred += bytes;
+    // Pages dirtied while this round was copying become the next round.
+    double elapsed = (sim_.now() - round_start).to_seconds();
+    session->pending_bytes =
+        std::min(session->dirty_rate * elapsed,
+                 static_cast<double>(session->container->memory_usage()));
+    precopy_round(session);
+  };
+  fabric_.start_flow(std::move(flow));
+}
+
+void MigrationCoordinator::final_copy(std::shared_ptr<Session> session) {
+  double bytes = std::max(session->pending_bytes, 1.0);
+  net::FlowSpec flow;
+  flow.src = session->src->node().fabric_node();
+  flow.dst = session->dst->node().fabric_node();
+  flow.bytes = bytes;
+  flow.on_complete = [this, session, bytes](net::FlowId, bool success) {
+    if (!success) {
+      migrating_.erase(session->params.instance);
+      --in_flight_;
+      (void)session->container->thaw();
+      fail(session, "final memory copy failed (network)");
+      return;
+    }
+    session->report.bytes_transferred += bytes;
+    commit(session);
+  };
+  fabric_.start_flow(std::move(flow));
+}
+
+void MigrationCoordinator::commit(std::shared_ptr<Session> session) {
+  migrating_.erase(session->params.instance);
+  --in_flight_;
+
+  os::Container* source = session->container;
+  os::ContainerConfig config = source->config();
+  net::Ipv4Addr ip = source->ip();
+  // Quiesce the app while the frozen source still exists (it frees its
+  // working set and deregisters its listeners there), then lift it out.
+  std::unique_ptr<os::ContainerApp> app = source->detach_app();
+  if (app) app->stop();
+
+  // Secure a home on the destination BEFORE tearing the source down, so a
+  // refused create (capacity raced away) rolls back instead of losing the
+  // instance.
+  auto created = session->dst->node().create_container(config);
+  if (!created.ok()) {
+    (void)source->thaw();
+    source->set_app(std::move(app));  // restarts the app on the source
+    fail(session, "destination create failed (rolled back): " +
+                      created.error().message);
+    return;
+  }
+
+  // Point of no return: release the source (frees its RAM and unbinds the
+  // IP from the old host). The identity then stays dark while the network
+  // learns its new location: a full L2 convergence under the traditional
+  // scheme, or one controller round-trip under SDN redirection (the
+  // paper's "IP-less routing" direction).
+  (void)session->src->node().destroy_container(config.name);
+  sim::Duration darkness =
+      session->params.address_update == AddressUpdateMode::kArpConvergence
+          ? kArpConvergenceDelay
+          : kSdnUpdateDelay;
+  os::Container* target = created.value();
+  // The app object rides through the closure to the deferred restart. The
+  // source container object no longer exists past this point; only its
+  // captured name/config do.
+  auto shared_app =
+      std::make_shared<std::unique_ptr<os::ContainerApp>>(std::move(app));
+  std::string name = config.name;
+  sim_.after(darkness, [this, session, target, ip, name, shared_app]() {
+    target->set_app(std::move(*shared_app));
+    util::Status started = target->start(ip);
+    if (!started.ok()) {
+      (void)session->dst->node().destroy_container(name);
+      fail(session, "destination start failed: " + started.error().message);
+      return;
+    }
+    session->report.success = true;
+    session->report.downtime = sim_.now() - session->frozen_at;
+    finish(session);
+  });
+}
+
+void MigrationCoordinator::fail(std::shared_ptr<Session> session,
+                                const std::string& error) {
+  session->report.success = false;
+  session->report.error = error;
+  LOG_WARN("migrate", "%s: FAILED: %s", session->params.instance.c_str(),
+           error.c_str());
+  finish(session);
+}
+
+void MigrationCoordinator::finish(std::shared_ptr<Session> session) {
+  session->report.total_duration = sim_.now() - session->started;
+  history_.push_back(session->report);
+  if (session->done) session->done(session->report);
+}
+
+}  // namespace picloud::cloud

@@ -1,0 +1,120 @@
+#include "cloud/monitor.h"
+
+namespace picloud::cloud {
+
+util::Json NodeSample::to_json() const {
+  util::Json j = util::Json::object();
+  j.set("cpu", cpu_utilization);
+  j.set("mem_used", static_cast<unsigned long long>(mem_used));
+  j.set("mem_capacity", static_cast<unsigned long long>(mem_capacity));
+  j.set("sd_used", static_cast<unsigned long long>(sd_used));
+  j.set("containers", containers_total);
+  j.set("running", containers_running);
+  j.set("watts", power_watts);
+  return j;
+}
+
+NodeSample NodeSample::from_json(const util::Json& j, sim::SimTime at) {
+  NodeSample s;
+  s.at = at;
+  s.cpu_utilization = j.get_number("cpu");
+  s.mem_used = static_cast<std::uint64_t>(j.get_number("mem_used"));
+  s.mem_capacity = static_cast<std::uint64_t>(j.get_number("mem_capacity"));
+  s.sd_used = static_cast<std::uint64_t>(j.get_number("sd_used"));
+  s.containers_total = static_cast<int>(j.get_number("containers"));
+  s.containers_running = static_cast<int>(j.get_number("running"));
+  s.power_watts = j.get_number("watts");
+  return s;
+}
+
+ClusterMonitor::ClusterMonitor(sim::Simulation& sim,
+                               sim::Duration liveness_window)
+    : sim_(sim), liveness_window_(liveness_window) {}
+
+void ClusterMonitor::register_node(const std::string& hostname,
+                                   const std::string& mac, net::Ipv4Addr ip,
+                                   int rack, double cpu_capacity_hz) {
+  NodeRecord& rec = records_[hostname];
+  rec.hostname = hostname;
+  rec.mac = mac;
+  rec.ip = ip;
+  rec.rack = rack;
+  rec.cpu_capacity_hz = cpu_capacity_hz;
+  rec.registered_at = sim_.now();
+  rec.last_seen = sim_.now();
+}
+
+bool ClusterMonitor::known(const std::string& hostname) const {
+  return records_.count(hostname) > 0;
+}
+
+void ClusterMonitor::record_sample(const std::string& hostname,
+                                   const NodeSample& sample) {
+  auto it = records_.find(hostname);
+  if (it == records_.end()) return;  // unregistered: ignore
+  NodeRecord& rec = it->second;
+  if (rec.history.empty()) rec.baseline_mem = sample.mem_used;
+  rec.last_seen = sample.at;
+  rec.latest = sample;
+  rec.history.push_back(sample);
+  while (rec.history.size() > kHistoryDepth) rec.history.pop_front();
+  ++samples_;
+}
+
+bool ClusterMonitor::alive(const std::string& hostname) const {
+  auto it = records_.find(hostname);
+  if (it == records_.end()) return false;
+  return sim_.now() - it->second.last_seen <= liveness_window_;
+}
+
+std::optional<NodeRecord> ClusterMonitor::node(
+    const std::string& hostname) const {
+  auto it = records_.find(hostname);
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<NodeRecord> ClusterMonitor::nodes() const {
+  std::vector<NodeRecord> out;
+  out.reserve(records_.size());
+  for (const auto& [hostname, rec] : records_) out.push_back(rec);
+  return out;
+}
+
+std::vector<NodeView> ClusterMonitor::views() const {
+  std::vector<NodeView> out;
+  out.reserve(records_.size());
+  for (const auto& [hostname, rec] : records_) {
+    NodeView v;
+    v.hostname = rec.hostname;
+    v.rack = rec.rack;
+    v.alive = alive(hostname);
+    v.mem_capacity = rec.latest.mem_capacity;
+    v.mem_used = rec.latest.mem_used;
+    v.baseline_mem = rec.baseline_mem;
+    v.cpu_capacity_hz = rec.cpu_capacity_hz;
+    v.cpu_utilization = rec.latest.cpu_utilization;
+    v.containers = rec.latest.containers_total;
+    out.push_back(v);
+  }
+  return out;
+}
+
+ClusterSummary ClusterMonitor::summary() const {
+  ClusterSummary s;
+  s.nodes_total = static_cast<int>(records_.size());
+  double cpu_sum = 0;
+  for (const auto& [hostname, rec] : records_) {
+    if (!alive(hostname)) continue;
+    ++s.nodes_alive;
+    cpu_sum += rec.latest.cpu_utilization;
+    s.containers_running += rec.latest.containers_running;
+    s.mem_used += rec.latest.mem_used;
+    s.mem_capacity += rec.latest.mem_capacity;
+    s.power_watts += rec.latest.power_watts;
+  }
+  s.avg_cpu_utilization = s.nodes_alive > 0 ? cpu_sum / s.nodes_alive : 0;
+  return s;
+}
+
+}  // namespace picloud::cloud

@@ -1,0 +1,97 @@
+// ClusterMonitor — the pimaster's live view of every node.
+//
+// Node daemons push heartbeat stats over REST; the monitor keeps the latest
+// sample and a short history per node, computes cluster aggregates, and
+// declares nodes dead when heartbeats stop (the panel's red rows). This is
+// the data behind the Fig. 4 web interface and the "remote monitoring of the
+// CPU load on some/all Pi nodes" use case (§II-C).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cloud/placement.h"
+#include "net/addr.h"
+#include "sim/simulation.h"
+#include "util/json.h"
+
+namespace picloud::cloud {
+
+// One heartbeat sample as reported by a node daemon.
+struct NodeSample {
+  sim::SimTime at;
+  double cpu_utilization = 0;
+  std::uint64_t mem_used = 0;
+  std::uint64_t mem_capacity = 0;
+  std::uint64_t sd_used = 0;
+  int containers_total = 0;
+  int containers_running = 0;
+  double power_watts = 0;
+
+  util::Json to_json() const;
+  static NodeSample from_json(const util::Json& j, sim::SimTime at);
+};
+
+struct NodeRecord {
+  std::string hostname;
+  std::string mac;
+  net::Ipv4Addr ip;
+  int rack = -1;
+  double cpu_capacity_hz = 0;
+  sim::SimTime registered_at;
+  sim::SimTime last_seen;
+  // Memory in use before any container was placed (first heartbeat):
+  // the OS's own footprint, used for authoritative placement accounting.
+  std::uint64_t baseline_mem = 0;
+  NodeSample latest;
+  std::deque<NodeSample> history;  // bounded ring
+};
+
+struct ClusterSummary {
+  int nodes_total = 0;
+  int nodes_alive = 0;
+  int containers_running = 0;
+  double avg_cpu_utilization = 0;  // across live nodes
+  std::uint64_t mem_used = 0;
+  std::uint64_t mem_capacity = 0;
+  double power_watts = 0;
+};
+
+class ClusterMonitor {
+ public:
+  static constexpr size_t kHistoryDepth = 60;
+
+  ClusterMonitor(sim::Simulation& sim,
+                 sim::Duration liveness_window = sim::Duration::seconds(10));
+
+  // Registration (first contact after DHCP).
+  void register_node(const std::string& hostname, const std::string& mac,
+                     net::Ipv4Addr ip, int rack, double cpu_capacity_hz);
+  bool known(const std::string& hostname) const;
+
+  // Heartbeat ingestion.
+  void record_sample(const std::string& hostname, const NodeSample& sample);
+
+  // A node is alive when a heartbeat arrived within the liveness window.
+  bool alive(const std::string& hostname) const;
+  std::optional<NodeRecord> node(const std::string& hostname) const;
+  std::vector<NodeRecord> nodes() const;  // hostname order
+  // Placement-policy input.
+  std::vector<NodeView> views() const;
+  ClusterSummary summary() const;
+
+  size_t node_count() const { return records_.size(); }
+  std::uint64_t samples_ingested() const { return samples_; }
+
+ private:
+  sim::Simulation& sim_;
+  sim::Duration liveness_window_;
+  std::map<std::string, NodeRecord> records_;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace picloud::cloud

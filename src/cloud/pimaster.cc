@@ -1,0 +1,714 @@
+#include "cloud/pimaster.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "os/container.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace picloud::cloud {
+
+using proto::HttpRequest;
+using proto::HttpResponse;
+using proto::Method;
+using proto::PathParams;
+using util::Json;
+
+util::Json InstanceRecord::to_json() const {
+  Json j = Json::object();
+  j.set("name", name);
+  j.set("node", hostname);
+  j.set("ip", ip.to_string());
+  j.set("image", image);
+  j.set("app", app_kind);
+  j.set("state", state);
+  j.set("created_s", created_at.to_seconds());
+  return j;
+}
+
+PiMaster::PiMaster(net::Network& network, net::NetNodeId fabric_node,
+                   Config config)
+    : network_(network),
+      sim_(network.simulation()),
+      node_(fabric_node),
+      config_(std::move(config)),
+      monitor_(sim_, config_.node_liveness_window) {
+  auto policy = make_policy(config_.placement_policy);
+  assert(policy.ok());
+  policy_ = std::move(policy).value();
+  policy_->set_limits(config_.placement_limits);
+  policy_name_ = config_.placement_policy;
+  install_routes();
+}
+
+PiMaster::~PiMaster() { stop(); }
+
+void PiMaster::start() {
+  if (started_) return;
+  started_ = true;
+  network_.bind_ip(config_.ip, node_);
+
+  proto::DhcpServerConfig dhcp_config;
+  dhcp_config.subnet = config_.subnet;
+  dhcp_config.range_start = config_.dhcp_range_start;
+  dhcp_config.range_end = config_.dhcp_range_end;
+  dhcp_ = std::make_unique<proto::DhcpServer>(network_, node_, config_.ip,
+                                              dhcp_config);
+  dhcp_->set_lease_callback([this](const proto::DhcpLease& lease) {
+    if (!lease.hostname.empty()) {
+      dns_->add_record(lease.hostname, lease.ip);
+    }
+  });
+  dhcp_->start();
+
+  dns_ = std::make_unique<proto::DnsServer>(network_, config_.ip);
+  dns_->add_record("pimaster", config_.ip);
+  dns_->start();
+
+  server_ = std::make_unique<proto::RestServer>(network_, config_.ip, kPort,
+                                                &router_);
+  server_->start();
+  client_ = std::make_unique<proto::RestClient>(network_, config_.ip);
+
+  migrations_ = std::make_unique<MigrationCoordinator>(
+      sim_, network_.fabric(), [this](const std::string& hostname) {
+        return node_accessor_ ? node_accessor_(hostname) : nullptr;
+      });
+
+  // The stock Raspbian+LXC rootfs every instance spawns from.
+  if (!images_.latest(config_.default_image).ok()) {
+    (void)images_.add_base(config_.default_image, 1800ull << 20,
+                           "Raspbian wheezy + LXC tools");
+  }
+  LOG_INFO("pimaster", "up at %s (policy %s)", config_.ip.to_string().c_str(),
+           policy_name_.c_str());
+}
+
+void PiMaster::stop() {
+  if (!started_) return;
+  started_ = false;
+  server_.reset();
+  client_.reset();
+  dns_.reset();
+  dhcp_.reset();
+  migrations_.reset();
+  network_.unbind_ip(config_.ip);
+}
+
+void PiMaster::set_node_accessor(MigrationCoordinator::NodeAccessor accessor) {
+  node_accessor_ = std::move(accessor);
+}
+
+util::Result<std::string> PiMaster::resolve_image(
+    const std::string& requested) const {
+  if (requested.empty()) return images_.latest(config_.default_image);
+  if (requested.find(':') != std::string::npos) {
+    auto layer = images_.get(requested);
+    if (!layer.ok()) return layer.error();
+    return requested;
+  }
+  return images_.latest(requested);
+}
+
+util::Result<util::Json> PiMaster::layer_list(
+    const std::string& image_id) const {
+  auto chain = images_.chain(image_id);
+  if (!chain.ok()) return chain.error();
+  Json layers = Json::array();
+  for (const auto& layer : chain.value()) {
+    Json j = Json::object();
+    j.set("id", layer.id());
+    j.set("bytes", static_cast<unsigned long long>(layer.layer_bytes));
+    layers.push_back(std::move(j));
+  }
+  return layers;
+}
+
+std::vector<NodeView> PiMaster::placement_views() const {
+  std::vector<NodeView> views = monitor_.views();
+  // Heartbeats lag the truth by up to one period, so fuse in the master's
+  // own authoritative registry (placed instances) plus in-flight
+  // reservations — otherwise back-to-back spawns overpack a node.
+  std::map<std::string, Reservation> placed;
+  for (const auto& [name, record] : instances_) {
+    placed[record.hostname].mem += record.mem_reserved;
+    placed[record.hostname].containers += 1;
+  }
+  for (auto& view : views) {
+    std::uint64_t known_mem = view.baseline_mem;
+    int known_containers = 0;
+    auto it = placed.find(view.hostname);
+    if (it != placed.end()) {
+      known_mem += it->second.mem;
+      known_containers += it->second.containers;
+    }
+    auto pending = reservations_.find(view.hostname);
+    if (pending != reservations_.end()) {
+      known_mem += pending->second.mem;
+      known_containers += pending->second.containers;
+    }
+    view.mem_used = std::max(view.mem_used, known_mem);
+    view.containers = std::max(view.containers, known_containers);
+  }
+  if (network_observer_) {
+    std::map<int, double> rack_util = network_observer_();
+    for (auto& view : views) {
+      auto it = rack_util.find(view.rack);
+      if (it != rack_util.end()) view.rack_uplink_utilization = it->second;
+    }
+  }
+  return views;
+}
+
+void PiMaster::spawn_instance(SpawnSpec spec, SpawnCallback cb) {
+  if (spec.name.empty()) {
+    ++spawns_failed_;
+    cb(util::Error::make("invalid", "instance name required"));
+    return;
+  }
+  if (instances_.count(spec.name) > 0) {
+    ++spawns_failed_;
+    cb(util::Error::make("exists", "instance name in use: " + spec.name));
+    return;
+  }
+  auto image = resolve_image(spec.image);
+  if (!image.ok()) {
+    ++spawns_failed_;
+    cb(image.error());
+    return;
+  }
+  auto layers = layer_list(image.value());
+  if (!layers.ok()) {
+    ++spawns_failed_;
+    cb(layers.error());
+    return;
+  }
+
+  // Admission control + placement.
+  std::uint64_t mem_needed =
+      spec.memory_limit > 0 ? spec.memory_limit
+      : spec.bare_metal     ? os::Container::kBareMetalRamBytes
+                            : os::Container::kIdleRamBytes;
+  std::string hostname = spec.hostname;
+  if (hostname.empty()) {
+    PlacementRequest request;
+    request.instance_name = spec.name;
+    request.mem_bytes = mem_needed;
+    request.rack_affinity = spec.rack_affinity;
+    request.affinity_group = spec.affinity_group;
+    auto picked = policy_->pick(placement_views(), request);
+    if (!picked.ok()) {
+      ++spawns_failed_;
+      cb(picked.error());
+      return;
+    }
+    hostname = picked.value();
+  } else if (!monitor_.alive(hostname)) {
+    ++spawns_failed_;
+    cb(util::Error::make("unavailable", "pinned node is not alive"));
+    return;
+  }
+  auto node_ip = node_ips_.find(hostname);
+  if (node_ip == node_ips_.end()) {
+    ++spawns_failed_;
+    cb(util::Error::make("unavailable", "no management address for node"));
+    return;
+  }
+
+  // Container address from the DHCP pool ("customised IP policies"):
+  // synthetic locally-administered MAC per virtual host.
+  std::string mac = util::format("02:00:00:%02x:%02x:%02x",
+                                 (next_container_mac_ >> 16) & 0xff,
+                                 (next_container_mac_ >> 8) & 0xff,
+                                 next_container_mac_ & 0xff);
+  ++next_container_mac_;
+  auto container_ip = dhcp_->allocate_static(mac, spec.name);
+  if (!container_ip.ok()) {
+    ++spawns_failed_;
+    cb(container_ip.error());
+    return;
+  }
+
+  // Reserve capacity while the spawn is in flight (guards concurrent
+  // placements from double-booking a node).
+  reservations_[hostname].mem += mem_needed;
+  reservations_[hostname].containers += 1;
+
+  Json body = Json::object();
+  body.set("name", spec.name);
+  body.set("image", image.value());
+  body.set("layers", layers.value());
+  body.set("ip", container_ip.value().to_string());
+  body.set("cpu_shares", spec.cpu_shares);
+  body.set("cpu_limit", spec.cpu_limit);
+  body.set("memory_limit", static_cast<unsigned long long>(spec.memory_limit));
+  if (spec.bare_metal) body.set("bare_metal", true);
+  if (!spec.app_kind.empty()) {
+    body.set("app", spec.app_kind);
+    body.set("app_params", spec.app_params);
+  }
+
+  net::Ipv4Addr daemon_ip = node_ip->second;
+  net::Ipv4Addr vip = container_ip.value();
+  client_->call(
+      daemon_ip, NodeDaemon::kPort, Method::kPost, "/containers",
+      std::move(body),
+      [this, spec, hostname, vip, mem_needed, cb,
+       image = image.value()](util::Result<HttpResponse> result) {
+        auto& reservation = reservations_[hostname];
+        reservation.mem -= std::min(reservation.mem, mem_needed);
+        reservation.containers = std::max(reservation.containers - 1, 0);
+
+        auto fail = [&](util::Error error) {
+          dhcp_->release(vip);
+          ++spawns_failed_;
+          cb(std::move(error));
+        };
+        if (!result.ok()) {
+          fail(result.error());
+          return;
+        }
+        if (!result.value().ok()) {
+          fail(util::Error::make(
+              result.value().body.get_string("error", "error"),
+              result.value().body.get_string("message", "spawn refused")));
+          return;
+        }
+        InstanceRecord record;
+        record.name = spec.name;
+        record.hostname = hostname;
+        record.ip = vip;
+        record.image = image;
+        record.app_kind = spec.app_kind;
+        record.state = "running";
+        record.mem_reserved = mem_needed;
+        record.created_at = sim_.now();
+        instances_[spec.name] = record;
+        dns_->add_record(spec.name, vip);
+        ++spawns_ok_;
+        LOG_INFO("pimaster", "spawned %s on %s at %s", spec.name.c_str(),
+                 hostname.c_str(), vip.to_string().c_str());
+        cb(std::move(record));
+      },
+      config_.spawn_timeout);
+}
+
+void PiMaster::delete_instance(const std::string& name, SimpleCallback cb) {
+  auto it = instances_.find(name);
+  if (it == instances_.end()) {
+    cb(util::Error::make("not_found", "no such instance: " + name));
+    return;
+  }
+  InstanceRecord record = it->second;
+  auto node_ip = node_ips_.find(record.hostname);
+  if (node_ip == node_ips_.end() || !monitor_.alive(record.hostname)) {
+    // The hosting node is gone or dark: there is nothing to ask. Repair the
+    // registry directly (the container died with its node).
+    dhcp_->release(record.ip);
+    dns_->remove_record(name);
+    instances_.erase(name);
+    cb(util::Status::success());
+    return;
+  }
+  client_->call(
+      node_ip->second, NodeDaemon::kPort, Method::kDelete,
+      "/containers/" + name, Json(),
+      [this, name, record, cb](util::Result<HttpResponse> result) {
+        if (!result.ok()) {
+          cb(util::Error::make("unavailable", result.error().message));
+          return;
+        }
+        // 404 from the daemon still clears master state (drift repair).
+        dhcp_->release(record.ip);
+        dns_->remove_record(name);
+        instances_.erase(name);
+        cb(util::Status::success());
+      });
+}
+
+void PiMaster::migrate_instance(const std::string& name, const std::string& to,
+                                bool live,
+                                MigrationCoordinator::DoneCallback cb,
+                                AddressUpdateMode address_update) {
+  auto it = instances_.find(name);
+  if (it == instances_.end()) {
+    MigrationReport report;
+    report.instance = name;
+    report.success = false;
+    report.error = "no such instance";
+    cb(report);
+    return;
+  }
+  InstanceRecord& record = it->second;
+
+  std::string destination = to;
+  if (!destination.empty()) {
+    // Explicit destinations still pass admission control: the envelope
+    // (3 containers per Pi, RAM headroom) binds migrations too.
+    bool fits = false;
+    for (const NodeView& view : placement_views()) {
+      if (view.hostname != destination) continue;
+      fits = view.alive &&
+             view.containers <
+                 config_.placement_limits.max_containers_per_node &&
+             static_cast<double>(view.mem_used + record.mem_reserved) <=
+                 static_cast<double>(view.mem_capacity) *
+                     config_.placement_limits.mem_headroom;
+      break;
+    }
+    if (!fits) {
+      MigrationReport report;
+      report.instance = name;
+      report.from = record.hostname;
+      report.to = destination;
+      report.success = false;
+      report.error = "destination fails admission control";
+      cb(report);
+      return;
+    }
+  }
+  if (destination.empty()) {
+    // Policy-driven destination, excluding the current host.
+    PlacementRequest request;
+    request.instance_name = name;
+    request.mem_bytes = os::Container::kIdleRamBytes;
+    std::vector<NodeView> views = placement_views();
+    views.erase(std::remove_if(views.begin(), views.end(),
+                               [&](const NodeView& v) {
+                                 return v.hostname == record.hostname;
+                               }),
+                views.end());
+    auto picked = policy_->pick(views, request);
+    if (!picked.ok()) {
+      MigrationReport report;
+      report.instance = name;
+      report.from = record.hostname;
+      report.success = false;
+      report.error = "no destination with capacity";
+      cb(report);
+      return;
+    }
+    destination = picked.value();
+  }
+
+  MigrationParams params;
+  params.instance = name;
+  params.from = record.hostname;
+  params.to = destination;
+  params.live = live;
+  params.address_update = address_update;
+  auto layers = layer_list(record.image);
+  if (layers.ok()) params.layers = layers.value();
+
+  record.state = "migrating";
+  migrations_->migrate(std::move(params), [this, name, destination,
+                                           cb](const MigrationReport& report) {
+    auto it = instances_.find(name);
+    if (it != instances_.end()) {
+      it->second.state = "running";
+      if (report.success) it->second.hostname = destination;
+    }
+    cb(report);
+  });
+}
+
+bool PiMaster::instance_healthy(const std::string& name) const {
+  auto it = instances_.find(name);
+  if (it == instances_.end()) return false;
+  const InstanceRecord& record = it->second;
+  if (record.state != "running") return false;
+  if (!monitor_.alive(record.hostname)) return false;
+  // Registry drift check: a node that power-cycled re-registers as alive
+  // but its containers died with it. Probe the daemon's actual state.
+  NodeDaemon* daemon = node_daemon(record.hostname);
+  if (daemon == nullptr) return false;
+  os::Container* container = daemon->node().find_container(name);
+  return container != nullptr &&
+         container->state() == os::ContainerState::kRunning;
+}
+
+util::Result<InstanceRecord> PiMaster::instance(const std::string& name) const {
+  auto it = instances_.find(name);
+  if (it == instances_.end()) {
+    return util::Error::make("not_found", "no such instance: " + name);
+  }
+  return it->second;
+}
+
+std::vector<InstanceRecord> PiMaster::instances() const {
+  std::vector<InstanceRecord> out;
+  out.reserve(instances_.size());
+  for (const auto& [name, record] : instances_) out.push_back(record);
+  return out;
+}
+
+util::Status PiMaster::set_policy(const std::string& name) {
+  auto policy = make_policy(name);
+  if (!policy.ok()) return policy.error();
+  policy_ = std::move(policy).value();
+  policy_->set_limits(config_.placement_limits);
+  policy_name_ = name;
+  return util::Status::success();
+}
+
+void PiMaster::install_routes() {
+  router_.handle(
+      Method::kPost, "/register",
+      [this](const HttpRequest& req, const PathParams&) {
+        std::string hostname = req.body.get_string("hostname");
+        auto ip = net::Ipv4Addr::parse(req.body.get_string("ip"));
+        if (hostname.empty() || !ip) {
+          return HttpResponse::bad_request("hostname and ip required");
+        }
+        monitor_.register_node(hostname, req.body.get_string("mac"), *ip,
+                               static_cast<int>(req.body.get_number("rack", -1)),
+                               req.body.get_number("cpu_hz"));
+        node_ips_[hostname] = *ip;
+        return HttpResponse::make(200, Json("registered"));
+      });
+
+  router_.handle(
+      Method::kPost, "/nodes/:hostname/stats",
+      [this](const HttpRequest& req, const PathParams& params) {
+        const std::string& hostname = params.at("hostname");
+        if (!monitor_.known(hostname)) {
+          return HttpResponse::not_found("unregistered node");
+        }
+        monitor_.record_sample(hostname,
+                               NodeSample::from_json(req.body, sim_.now()));
+        return HttpResponse::make(200);
+      });
+
+  router_.handle(Method::kGet, "/nodes",
+                 [this](const HttpRequest&, const PathParams&) {
+                   Json list = Json::array();
+                   for (const NodeRecord& rec : monitor_.nodes()) {
+                     Json j = rec.latest.to_json();
+                     j.set("hostname", rec.hostname);
+                     j.set("ip", rec.ip.to_string());
+                     j.set("rack", rec.rack);
+                     j.set("alive", monitor_.alive(rec.hostname));
+                     list.push_back(std::move(j));
+                   }
+                   return HttpResponse::make(200, std::move(list));
+                 });
+
+  router_.handle(Method::kGet, "/nodes/:hostname",
+                 [this](const HttpRequest&, const PathParams& params) {
+                   auto rec = monitor_.node(params.at("hostname"));
+                   if (!rec) return HttpResponse::not_found();
+                   Json j = rec->latest.to_json();
+                   j.set("hostname", rec->hostname);
+                   j.set("ip", rec->ip.to_string());
+                   j.set("rack", rec->rack);
+                   j.set("alive", monitor_.alive(rec->hostname));
+                   return HttpResponse::make(200, std::move(j));
+                 });
+
+  router_.handle(Method::kGet, "/cluster/summary",
+                 [this](const HttpRequest&, const PathParams&) {
+                   ClusterSummary s = monitor_.summary();
+                   Json j = Json::object();
+                   j.set("nodes_total", s.nodes_total);
+                   j.set("nodes_alive", s.nodes_alive);
+                   j.set("containers_running", s.containers_running);
+                   j.set("avg_cpu", s.avg_cpu_utilization);
+                   j.set("mem_used", static_cast<unsigned long long>(s.mem_used));
+                   j.set("mem_capacity",
+                         static_cast<unsigned long long>(s.mem_capacity));
+                   j.set("watts", s.power_watts);
+                   return HttpResponse::make(200, std::move(j));
+                 });
+
+  router_.handle(Method::kGet, "/instances",
+                 [this](const HttpRequest&, const PathParams&) {
+                   Json list = Json::array();
+                   for (const auto& record : instances()) {
+                     list.push_back(record.to_json());
+                   }
+                   return HttpResponse::make(200, std::move(list));
+                 });
+
+  router_.handle(Method::kGet, "/instances/:name",
+                 [this](const HttpRequest&, const PathParams& params) {
+                   auto record = instance(params.at("name"));
+                   if (!record.ok()) return HttpResponse::not_found();
+                   return HttpResponse::make(200, record.value().to_json());
+                 });
+
+  router_.handle_async(
+      Method::kPost, "/instances",
+      [this](const HttpRequest& req, const PathParams&,
+             proto::Responder respond) {
+        SpawnSpec spec;
+        spec.name = req.body.get_string("name");
+        spec.image = req.body.get_string("image");
+        spec.app_kind = req.body.get_string("app");
+        spec.app_params = req.body.get("app_params");
+        spec.cpu_shares = req.body.get_number("cpu_shares", 1024);
+        spec.cpu_limit = req.body.get_number("cpu_limit", 0);
+        spec.memory_limit =
+            static_cast<std::uint64_t>(req.body.get_number("memory_limit", 0));
+        spec.rack_affinity =
+            static_cast<int>(req.body.get_number("rack", -1));
+        spec.affinity_group = req.body.get_string("group");
+        spec.hostname = req.body.get_string("node");
+        spec.bare_metal = req.body.get_bool("bare_metal");
+        spawn_instance(std::move(spec),
+                       [respond = std::move(respond)](
+                           util::Result<InstanceRecord> result) {
+                         if (!result.ok()) {
+                           respond(HttpResponse::from_error(result.error()));
+                           return;
+                         }
+                         respond(HttpResponse::make(
+                             201, result.value().to_json()));
+                       });
+      });
+
+  router_.handle_async(
+      Method::kDelete, "/instances/:name",
+      [this](const HttpRequest&, const PathParams& params,
+             proto::Responder respond) {
+        delete_instance(params.at("name"),
+                        [respond = std::move(respond)](util::Status status) {
+                          if (!status.ok()) {
+                            respond(HttpResponse::from_error(status.error()));
+                            return;
+                          }
+                          respond(HttpResponse::make(204));
+                        });
+      });
+
+  router_.handle_async(
+      Method::kPut, "/instances/:name/limits",
+      [this](const HttpRequest& req, const PathParams& params,
+             proto::Responder respond) {
+        auto record = instance(params.at("name"));
+        if (!record.ok()) {
+          respond(HttpResponse::not_found());
+          return;
+        }
+        auto node_ip = node_ips_.find(record.value().hostname);
+        if (node_ip == node_ips_.end()) {
+          respond(HttpResponse::service_unavailable("hosting node unknown"));
+          return;
+        }
+        client_->call(node_ip->second, NodeDaemon::kPort, Method::kPut,
+                      "/containers/" + record.value().name + "/limits",
+                      req.body,
+                      [respond = std::move(respond)](
+                          util::Result<HttpResponse> result) {
+                        if (!result.ok()) {
+                          respond(HttpResponse::service_unavailable(
+                              result.error().message));
+                          return;
+                        }
+                        respond(result.value());
+                      });
+      });
+
+  router_.handle_async(
+      Method::kPost, "/instances/:name/migrate",
+      [this](const HttpRequest& req, const PathParams& params,
+             proto::Responder respond) {
+        AddressUpdateMode mode =
+            req.body.get_string("address_update", "sdn") == "arp"
+                ? AddressUpdateMode::kArpConvergence
+                : AddressUpdateMode::kSdnRedirect;
+        migrate_instance(params.at("name"), req.body.get_string("to"),
+                         req.body.get_bool("live", true),
+                         [respond = std::move(respond)](
+                             const MigrationReport& report) {
+                           respond(HttpResponse::make(
+                               report.success ? 200 : 409, report.to_json()));
+                         },
+                         mode);
+      });
+
+  router_.handle(Method::kGet, "/images",
+                 [this](const HttpRequest&, const PathParams&) {
+                   Json list = Json::array();
+                   for (const auto& id : images_.list()) {
+                     auto layer = images_.get(id);
+                     Json j = Json::object();
+                     j.set("id", id);
+                     j.set("bytes", static_cast<unsigned long long>(
+                                        layer.value().layer_bytes));
+                     j.set("note", layer.value().note);
+                     list.push_back(std::move(j));
+                   }
+                   return HttpResponse::make(200, std::move(list));
+                 });
+
+  router_.handle(
+      Method::kPost, "/images",
+      [this](const HttpRequest& req, const PathParams&) {
+        auto id = images_.add_base(
+            req.body.get_string("name"),
+            static_cast<std::uint64_t>(req.body.get_number("bytes")),
+            req.body.get_string("note"));
+        if (!id.ok()) return HttpResponse::from_error(id.error());
+        return HttpResponse::make(201, Json(id.value()));
+      });
+
+  router_.handle(
+      Method::kPost, "/images/:name/patch",
+      [this](const HttpRequest& req, const PathParams& params) {
+        auto id = images_.patch(
+            params.at("name"),
+            static_cast<std::uint64_t>(req.body.get_number("bytes")),
+            req.body.get_string("note"));
+        if (!id.ok()) return HttpResponse::from_error(id.error());
+        return HttpResponse::make(201, Json(id.value()));
+      });
+
+  router_.handle(
+      Method::kPost, "/images/:name/upgrade",
+      [this](const HttpRequest& req, const PathParams& params) {
+        auto id = images_.upgrade(
+            params.at("name"),
+            static_cast<std::uint64_t>(req.body.get_number("bytes")),
+            req.body.get_string("note"));
+        if (!id.ok()) return HttpResponse::from_error(id.error());
+        return HttpResponse::make(201, Json(id.value()));
+      });
+
+  router_.handle(Method::kGet, "/network",
+                 [this](const HttpRequest&, const PathParams&) {
+                   Json racks = Json::array();
+                   if (network_observer_) {
+                     for (const auto& [rack, util] : network_observer_()) {
+                       Json j = Json::object();
+                       j.set("rack", rack);
+                       j.set("uplink_utilization", util);
+                       racks.push_back(std::move(j));
+                     }
+                   }
+                   Json body = Json::object();
+                   body.set("racks", std::move(racks));
+                   return HttpResponse::make(200, std::move(body));
+                 });
+
+  router_.handle(Method::kGet, "/policy",
+                 [this](const HttpRequest&, const PathParams&) {
+                   Json j = Json::object();
+                   j.set("name", policy_name_);
+                   return HttpResponse::make(200, std::move(j));
+                 });
+
+  router_.handle(Method::kPut, "/policy",
+                 [this](const HttpRequest& req, const PathParams&) {
+                   util::Status status =
+                       set_policy(req.body.get_string("name"));
+                   if (!status.ok()) {
+                     return HttpResponse::from_error(status.error());
+                   }
+                   Json j = Json::object();
+                   j.set("name", policy_name_);
+                   return HttpResponse::make(200, std::move(j));
+                 });
+}
+
+}  // namespace picloud::cloud

@@ -1,0 +1,170 @@
+#include "cloud/placement.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace picloud::cloud {
+
+bool PlacementPolicy::fits(const NodeView& node,
+                           const PlacementRequest& request,
+                           const PlacementLimits& limits) {
+  if (!node.alive) return false;
+  if (node.containers >= limits.max_containers_per_node) return false;
+  if (request.rack_affinity >= 0 && node.rack != request.rack_affinity) {
+    return false;
+  }
+  double budget =
+      static_cast<double>(node.mem_capacity) * limits.mem_headroom;
+  return static_cast<double>(node.mem_used + request.mem_bytes) <= budget;
+}
+
+namespace {
+
+util::Error no_capacity() {
+  return util::Error::make("no_capacity", "no node can host the instance");
+}
+
+// Stable hostname order regardless of caller ordering.
+std::vector<const NodeView*> sorted_by_name(const std::vector<NodeView>& nodes) {
+  std::vector<const NodeView*> out;
+  out.reserve(nodes.size());
+  for (const auto& n : nodes) out.push_back(&n);
+  std::sort(out.begin(), out.end(), [](const NodeView* a, const NodeView* b) {
+    return a->hostname < b->hostname;
+  });
+  return out;
+}
+
+}  // namespace
+
+util::Result<std::string> FirstFitPolicy::pick(
+    const std::vector<NodeView>& nodes, const PlacementRequest& request) {
+  for (const NodeView* n : sorted_by_name(nodes)) {
+    if (fits(*n, request, limits_)) return n->hostname;
+  }
+  return no_capacity();
+}
+
+util::Result<std::string> BestFitPolicy::pick(
+    const std::vector<NodeView>& nodes, const PlacementRequest& request) {
+  const NodeView* best = nullptr;
+  for (const NodeView* n : sorted_by_name(nodes)) {
+    if (!fits(*n, request, limits_)) continue;
+    if (best == nullptr || n->mem_free() < best->mem_free()) best = n;
+  }
+  if (best == nullptr) return no_capacity();
+  return best->hostname;
+}
+
+util::Result<std::string> WorstFitPolicy::pick(
+    const std::vector<NodeView>& nodes, const PlacementRequest& request) {
+  const NodeView* best = nullptr;
+  for (const NodeView* n : sorted_by_name(nodes)) {
+    if (!fits(*n, request, limits_)) continue;
+    if (best == nullptr || n->mem_free() > best->mem_free()) best = n;
+  }
+  if (best == nullptr) return no_capacity();
+  return best->hostname;
+}
+
+util::Result<std::string> RoundRobinPolicy::pick(
+    const std::vector<NodeView>& nodes, const PlacementRequest& request) {
+  auto ordered = sorted_by_name(nodes);
+  if (ordered.empty()) return no_capacity();
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    const NodeView* n = ordered[(cursor_ + i) % ordered.size()];
+    if (fits(*n, request, limits_)) {
+      cursor_ = (cursor_ + i + 1) % ordered.size();
+      return n->hostname;
+    }
+  }
+  return no_capacity();
+}
+
+util::Result<std::string> LeastLoadedPolicy::pick(
+    const std::vector<NodeView>& nodes, const PlacementRequest& request) {
+  const NodeView* best = nullptr;
+  for (const NodeView* n : sorted_by_name(nodes)) {
+    if (!fits(*n, request, limits_)) continue;
+    if (best == nullptr || n->cpu_utilization < best->cpu_utilization) {
+      best = n;
+    }
+  }
+  if (best == nullptr) return no_capacity();
+  return best->hostname;
+}
+
+util::Result<std::string> RackAffinityPolicy::pick(
+    const std::vector<NodeView>& nodes, const PlacementRequest& request) {
+  auto ordered = sorted_by_name(nodes);
+  // Prefer the rack this group already lives in.
+  auto group = group_rack_.find(request.affinity_group);
+  if (!request.affinity_group.empty() && group != group_rack_.end()) {
+    for (const NodeView* n : ordered) {
+      if (n->rack == group->second && fits(*n, request, limits_)) {
+        return n->hostname;
+      }
+    }
+    // Rack full: fall through and migrate the group's spill elsewhere.
+  }
+  // Pick the rack with the most free memory, then first fit inside it.
+  std::map<int, std::uint64_t> rack_free;
+  for (const NodeView* n : ordered) {
+    if (fits(*n, request, limits_)) rack_free[n->rack] += n->mem_free();
+  }
+  if (rack_free.empty()) return no_capacity();
+  int best_rack = rack_free.begin()->first;
+  std::uint64_t best_free = rack_free.begin()->second;
+  for (const auto& [rack, free] : rack_free) {
+    if (free > best_free) {
+      best_rack = rack;
+      best_free = free;
+    }
+  }
+  for (const NodeView* n : ordered) {
+    if (n->rack != best_rack || !fits(*n, request, limits_)) continue;
+    if (!request.affinity_group.empty()) {
+      group_rack_[request.affinity_group] = best_rack;
+    }
+    return n->hostname;
+  }
+  return no_capacity();
+}
+
+util::Result<std::string> CongestionAwarePolicy::pick(
+    const std::vector<NodeView>& nodes, const PlacementRequest& request) {
+  const NodeView* best = nullptr;
+  for (const NodeView* n : sorted_by_name(nodes)) {
+    if (!fits(*n, request, limits_)) continue;
+    if (best == nullptr ||
+        n->rack_uplink_utilization < best->rack_uplink_utilization -
+                                         1e-9 ||
+        (std::abs(n->rack_uplink_utilization -
+                  best->rack_uplink_utilization) <= 1e-9 &&
+         n->cpu_utilization < best->cpu_utilization)) {
+      best = n;
+    }
+  }
+  if (best == nullptr) return no_capacity();
+  return best->hostname;
+}
+
+util::Result<std::unique_ptr<PlacementPolicy>> make_policy(
+    const std::string& name) {
+  if (name == "first-fit") return std::unique_ptr<PlacementPolicy>(new FirstFitPolicy);
+  if (name == "best-fit") return std::unique_ptr<PlacementPolicy>(new BestFitPolicy);
+  if (name == "worst-fit") return std::unique_ptr<PlacementPolicy>(new WorstFitPolicy);
+  if (name == "round-robin") return std::unique_ptr<PlacementPolicy>(new RoundRobinPolicy);
+  if (name == "least-loaded") return std::unique_ptr<PlacementPolicy>(new LeastLoadedPolicy);
+  if (name == "rack-affinity") return std::unique_ptr<PlacementPolicy>(new RackAffinityPolicy);
+  if (name == "congestion-aware") return std::unique_ptr<PlacementPolicy>(new CongestionAwarePolicy);
+  return util::Error::make("not_found", "unknown placement policy: " + name);
+}
+
+std::vector<std::string> policy_names() {
+  return {"first-fit",   "best-fit",     "worst-fit",      "round-robin",
+          "least-loaded", "rack-affinity", "congestion-aware"};
+}
+
+}  // namespace picloud::cloud

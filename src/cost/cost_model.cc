@@ -1,0 +1,65 @@
+#include "cost/cost_model.h"
+
+#include "util/strings.h"
+
+namespace picloud::cost {
+
+CostRow cost_row(const std::string& label, const hw::DeviceSpec& spec,
+                 int units) {
+  CostRow row;
+  row.label = label;
+  row.units = units;
+  row.unit_cost_usd = spec.unit_cost_usd;
+  row.capex_usd = spec.unit_cost_usd * units;
+  row.unit_watts = spec.peak_watts;
+  row.it_power_watts = spec.peak_watts * units;
+  row.needs_cooling = spec.needs_cooling;
+  if (spec.needs_cooling) {
+    double total = row.it_power_watts / (1.0 - kCoolingFractionOfTotal);
+    row.cooling_watts = total - row.it_power_watts;
+    row.total_power_watts = total;
+  } else {
+    row.total_power_watts = row.it_power_watts;
+  }
+  return row;
+}
+
+std::vector<CostRow> table1(int units) {
+  return {
+      cost_row("Testbed", hw::x86_server(), units),
+      cost_row("PiCloud", hw::pi_model_b(), units),
+  };
+}
+
+double energy_kwh(double watts, double hours) {
+  return watts * hours / 1000.0;
+}
+
+double energy_cost_usd(double watts, double hours, double usd_per_kwh) {
+  return energy_kwh(watts, hours) * usd_per_kwh;
+}
+
+double breakeven_hours(const CostRow& expensive, const CostRow& cheap,
+                       double usd_per_kwh) {
+  double capex_gap = expensive.capex_usd - cheap.capex_usd;
+  double power_gap_watts =
+      expensive.total_power_watts - cheap.total_power_watts;
+  if (power_gap_watts <= 0) return -1.0;
+  double usd_per_hour = power_gap_watts / 1000.0 * usd_per_kwh;
+  return -capex_gap / usd_per_hour;  // capex gap is positive: already ahead
+}
+
+std::string render_table(const std::vector<CostRow>& rows) {
+  std::string out;
+  out += util::format("%-10s %14s %18s %10s\n", "Server", "Cost",
+                      "Power Needs", "Cooling?");
+  for (const CostRow& row : rows) {
+    out += util::format("%-10s $%-8.0f (@$%.0f) %7.0fW (@%.1fW) %9s\n",
+                        row.label.c_str(), row.capex_usd, row.unit_cost_usd,
+                        row.it_power_watts, row.unit_watts,
+                        row.needs_cooling ? "Yes" : "No");
+  }
+  return out;
+}
+
+}  // namespace picloud::cost

@@ -1,0 +1,56 @@
+// Cost and power accounting — reproduces the paper's Table I and extends it
+// with energy economics (§III power measurement, §IV cost discussion).
+//
+// Table I (paper):
+//   Testbed  $112,000 (@$2,000)   10,080W/h (@180W/h)   Cooling: Yes
+//   PiCloud  $1,960   (@$35)      196W/h    (@3.5W/h)   Cooling: No
+//
+// The paper also notes cooling "reportedly accounts for 33% of the total
+// power consumption in Cloud DCs"; the extended rows charge that overhead to
+// cooled testbeds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/spec.h"
+
+namespace picloud::cost {
+
+struct CostRow {
+  std::string label;
+  int units = 0;
+  double unit_cost_usd = 0;
+  double capex_usd = 0;         // units * unit cost
+  double unit_watts = 0;        // nameplate per unit
+  double it_power_watts = 0;    // units * unit watts
+  bool needs_cooling = false;
+  double cooling_watts = 0;     // overhead when cooled
+  double total_power_watts = 0; // IT + cooling
+};
+
+// Fraction of *total* power that cooling represents in a cooled DC
+// (paper §IV: 33%). IT power of P implies total P / (1 - f).
+inline constexpr double kCoolingFractionOfTotal = 0.33;
+
+// Builds one row from a device spec at the given scale.
+CostRow cost_row(const std::string& label, const hw::DeviceSpec& spec,
+                 int units);
+
+// The paper's Table I: 56 commodity x86 servers vs 56 Raspberry Pis.
+std::vector<CostRow> table1(int units = 56);
+
+// Energy economics over a time horizon.
+double energy_kwh(double watts, double hours);
+double energy_cost_usd(double watts, double hours,
+                       double usd_per_kwh = 0.15);
+// Hours of continuous operation after which the x86 testbed's total spend
+// (capex + energy) overtakes the PiCloud's. Returns a negative value when
+// the cheaper-capex row is also cheaper in power (never overtaken).
+double breakeven_hours(const CostRow& expensive, const CostRow& cheap,
+                       double usd_per_kwh = 0.15);
+
+// Renders rows in the paper's table shape.
+std::string render_table(const std::vector<CostRow>& rows);
+
+}  // namespace picloud::cost

@@ -1,0 +1,21 @@
+#include "hw/device.h"
+
+#include "util/strings.h"
+
+namespace picloud::hw {
+
+Device::Device(DeviceId id, std::string hostname, DeviceSpec spec)
+    : id_(id),
+      hostname_(std::move(hostname)),
+      spec_(std::move(spec)),
+      power_(hostname_, spec_.idle_watts, spec_.peak_watts) {}
+
+std::string Device::mac_address() const {
+  // b8:27:eb is the Raspberry Pi Foundation OUI.
+  const char* oui =
+      spec_.device_class == DeviceClass::kRaspberryPi ? "b8:27:eb" : "00:1a:2b";
+  return util::format("%s:%02x:%02x:%02x", oui, (id_ >> 16) & 0xff,
+                      (id_ >> 8) & 0xff, id_ & 0xff);
+}
+
+}  // namespace picloud::hw

@@ -1,0 +1,47 @@
+// A physical machine in the scale model: identity + spec + power rail.
+//
+// Devices are inert hardware; behaviour lives above them (os::NodeOs runs
+// *on* a Device, net::Topology wires its NIC into the fabric). This mirrors
+// the paper's Fig. 3 stack where "ARM System on Chip" is the bottom layer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hw/power.h"
+#include "hw/spec.h"
+#include "sim/time.h"
+
+namespace picloud::hw {
+
+// Stable device identifier, dense from 0 (index into cluster tables).
+using DeviceId = std::uint32_t;
+inline constexpr DeviceId kInvalidDevice = ~0u;
+
+class Device {
+ public:
+  Device(DeviceId id, std::string hostname, DeviceSpec spec);
+
+  DeviceId id() const { return id_; }
+  const std::string& hostname() const { return hostname_; }
+  const DeviceSpec& spec() const { return spec_; }
+
+  // Canonical Raspberry Pi MAC prefix b8:27:eb followed by the device id.
+  std::string mac_address() const;
+
+  PowerMeter& power() { return power_; }
+  const PowerMeter& power() const { return power_; }
+
+  // Powers the board on/off at time `t`; off devices draw 0 W and the OS
+  // layer above is expected to halt.
+  void set_powered(sim::SimTime t, bool on) { power_.set_powered(t, on); }
+  bool powered() const { return power_.powered(); }
+
+ private:
+  DeviceId id_;
+  std::string hostname_;
+  DeviceSpec spec_;
+  PowerMeter power_;
+};
+
+}  // namespace picloud::hw

@@ -1,0 +1,59 @@
+#include "hw/power.h"
+
+#include <algorithm>
+
+namespace picloud::hw {
+
+PowerMeter::PowerMeter(std::string label, double idle_watts, double peak_watts)
+    : label_(std::move(label)), idle_watts_(idle_watts), peak_watts_(peak_watts) {}
+
+double PowerMeter::current_watts() const {
+  if (!powered_) return 0.0;
+  return idle_watts_ + (peak_watts_ - idle_watts_) * utilization_;
+}
+
+void PowerMeter::set_utilization(sim::SimTime t, double utilization) {
+  utilization_ = std::clamp(utilization, 0.0, 1.0);
+  update(t);
+}
+
+void PowerMeter::set_powered(sim::SimTime t, bool on) {
+  powered_ = on;
+  update(t);
+}
+
+void PowerMeter::update(sim::SimTime t) {
+  watts_signal_.set(t.to_seconds(), current_watts());
+}
+
+void PowerDistributionBoard::attach(const PowerMeter* meter) {
+  meters_.push_back(meter);
+}
+
+double PowerDistributionBoard::current_watts() const {
+  double total = 0;
+  for (const auto* m : meters_) total += m->current_watts();
+  return total;
+}
+
+double PowerDistributionBoard::joules(sim::SimTime t) const {
+  double total = 0;
+  for (const auto* m : meters_) total += m->joules(t);
+  return total;
+}
+
+double PowerDistributionBoard::kwh(sim::SimTime t) const {
+  return joules(t) / 3.6e6;
+}
+
+std::vector<PowerDistributionBoard::Reading> PowerDistributionBoard::readings(
+    sim::SimTime t) const {
+  std::vector<Reading> out;
+  out.reserve(meters_.size());
+  for (const auto* m : meters_) {
+    out.push_back(Reading{m->label(), m->current_watts(), m->kwh(t)});
+  }
+  return out;
+}
+
+}  // namespace picloud::hw

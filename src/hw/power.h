@@ -1,0 +1,77 @@
+// Power and energy accounting.
+//
+// Paper §III: "The PiCloud allows us to both isolate individual components
+// to measure their power consumption characteristics, or instrument directly
+// across the whole Cloud: we can run the PiCloud from a single trailing
+// power socket board." PowerMeter is the per-component instrument;
+// PowerDistributionBoard aggregates meters like that trailing socket board.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/stats.h"
+
+namespace picloud::hw {
+
+// Linear idle→peak power model driven by a utilisation signal in [0, 1].
+// P(u) = idle + (peak - idle) * u. Energy is integrated over simulated time.
+class PowerMeter {
+ public:
+  PowerMeter() = default;
+  PowerMeter(std::string label, double idle_watts, double peak_watts);
+
+  // Reports a utilisation change at simulated time `t`.
+  void set_utilization(sim::SimTime t, double utilization);
+
+  // Marks the device off (draws 0 W) / on (draws >= idle) from time `t`.
+  void set_powered(sim::SimTime t, bool on);
+
+  const std::string& label() const { return label_; }
+  bool powered() const { return powered_; }
+  double current_watts() const;
+  double peak_watts() const { return peak_watts_; }
+  double idle_watts() const { return idle_watts_; }
+
+  // Energy drawn up to time `t`, in joules / kWh.
+  double joules(sim::SimTime t) const { return watts_signal_.integral(t.to_seconds()); }
+  double kwh(sim::SimTime t) const { return joules(t) / 3.6e6; }
+  // Time-average power over the metered interval.
+  double average_watts(sim::SimTime t) const { return watts_signal_.average(t.to_seconds()); }
+
+ private:
+  void update(sim::SimTime t);
+
+  std::string label_;
+  double idle_watts_ = 0.0;
+  double peak_watts_ = 0.0;
+  double utilization_ = 0.0;
+  bool powered_ = true;
+  util::TimeWeighted watts_signal_;
+};
+
+// Aggregates many meters: whole-rack or whole-cloud draw, like the paper's
+// single trailing power socket board.
+class PowerDistributionBoard {
+ public:
+  void attach(const PowerMeter* meter);
+
+  double current_watts() const;
+  double joules(sim::SimTime t) const;
+  double kwh(sim::SimTime t) const;
+  size_t meter_count() const { return meters_.size(); }
+
+  // Per-meter breakdown rows: (label, current W, kWh so far).
+  struct Reading {
+    std::string label;
+    double watts;
+    double kwh;
+  };
+  std::vector<Reading> readings(sim::SimTime t) const;
+
+ private:
+  std::vector<const PowerMeter*> meters_;
+};
+
+}  // namespace picloud::hw

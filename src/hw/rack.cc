@@ -1,0 +1,50 @@
+#include "hw/rack.h"
+
+#include "util/strings.h"
+
+namespace picloud::hw {
+
+Rack::Rack(int index, RackGeometry geometry)
+    : index_(index),
+      name_(util::format("rack-%d", index)),
+      geometry_(geometry) {}
+
+bool Rack::install(Device* device) {
+  if (free_slots() <= 0) return false;
+  devices_.push_back(device);
+  return true;
+}
+
+double Rack::nameplate_watts() const {
+  double total = 0;
+  for (const auto* d : devices_) total += d->spec().peak_watts;
+  return total;
+}
+
+double Rack::current_watts() const {
+  double total = 0;
+  for (const auto* d : devices_) total += d->power().current_watts();
+  return total;
+}
+
+double Rack::device_cost_usd() const {
+  double total = 0;
+  for (const auto* d : devices_) total += d->spec().unit_cost_usd;
+  return total;
+}
+
+double MachineRoom::total_nameplate_watts() const {
+  double total = 0;
+  for (const auto& r : racks) total += r->nameplate_watts();
+  return total;
+}
+
+double MachineRoom::total_footprint_cm2() const {
+  double total = 0;
+  for (const auto& r : racks) {
+    total += r->geometry().width_cm * r->geometry().depth_cm;
+  }
+  return total;
+}
+
+}  // namespace picloud::hw

@@ -1,0 +1,73 @@
+// Racks and the physical build of the PiCloud (paper Fig. 1).
+//
+// The Glasgow build houses 14 Model B devices per Lego-brick rack, 4 racks
+// total. Rack captures the physical grouping (it also names the ToR switch
+// the net layer attaches these devices to) plus the "Lego" geometry used for
+// the Fig. 1 inventory bench: footprint, weight and power budget per rack —
+// enough to validate the paper's claims that the PiCloud needs no special
+// space, cooling, or power infrastructure.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/device.h"
+
+namespace picloud::hw {
+
+// Physical constants of the Lego rack build. Rough but honest figures for a
+// 14-slot Lego enclosure with a 16-port ToR switch on top.
+struct RackGeometry {
+  double width_cm = 26.0;
+  double depth_cm = 13.0;
+  double height_cm = 30.0;
+  double weight_kg = 1.8;  // bricks + boards + cables
+  int slots = 14;
+};
+
+class Rack {
+ public:
+  Rack(int index, RackGeometry geometry = RackGeometry{});
+
+  int index() const { return index_; }
+  // Rack name, e.g. "rack-0"; the ToR switch is named "<rack>-tor".
+  const std::string& name() const { return name_; }
+  std::string tor_switch_name() const { return name_ + "-tor"; }
+  const RackGeometry& geometry() const { return geometry_; }
+
+  // Installs a device into the next free slot. Returns false if full.
+  bool install(Device* device);
+
+  const std::vector<Device*>& devices() const { return devices_; }
+  int free_slots() const { return geometry_.slots - static_cast<int>(devices_.size()); }
+
+  // Peak (nameplate) power draw of everything in the rack, in watts.
+  double nameplate_watts() const;
+  // Live draw at this instant.
+  double current_watts() const;
+  // Purchase cost of the installed devices.
+  double device_cost_usd() const;
+
+ private:
+  int index_;
+  std::string name_;
+  RackGeometry geometry_;
+  std::vector<Device*> devices_;  // non-owning; cluster owns devices
+};
+
+// The machine-room view: all racks plus the head node and the power board.
+// "we can run the PiCloud from a single trailing power socket board" —
+// modelled as a socket board with a current limit (UK 13 A * 230 V).
+struct MachineRoom {
+  std::vector<std::unique_ptr<Rack>> racks;
+  double socket_board_limit_watts = 13.0 * 230.0;
+
+  double total_nameplate_watts() const;
+  bool fits_single_socket_board() const {
+    return total_nameplate_watts() <= socket_board_limit_watts;
+  }
+  double total_footprint_cm2() const;
+};
+
+}  // namespace picloud::hw

@@ -1,0 +1,56 @@
+#include "hw/spec.h"
+
+namespace picloud::hw {
+
+DeviceSpec pi_model_b() {
+  DeviceSpec s;
+  s.name = "raspberry-pi-model-b";
+  s.device_class = DeviceClass::kRaspberryPi;
+  s.cores = 1;
+  s.core_hz = 700e6;
+  s.ram_bytes = 256ull << 20;
+  s.nic_bits_per_sec = 100e6;
+  s.storage_bytes = 16ull << 30;  // SanDisk 16 GB SD card (paper §II-A)
+  s.idle_watts = 2.0;
+  s.peak_watts = 3.5;  // Table I rate
+  s.needs_cooling = false;
+  s.unit_cost_usd = 35.0;  // Table I rate
+  return s;
+}
+
+DeviceSpec pi_model_b_rev2() {
+  DeviceSpec s = pi_model_b();
+  s.name = "raspberry-pi-model-b-rev2";
+  s.ram_bytes = 512ull << 20;  // 2012 RAM doubling, same price (paper §IV)
+  return s;
+}
+
+DeviceSpec pi_model_a() {
+  DeviceSpec s = pi_model_b();
+  s.name = "raspberry-pi-model-a";
+  s.nic_bits_per_sec = 0;  // no Ethernet port
+  s.idle_watts = 1.2;
+  s.peak_watts = 2.5;
+  s.unit_cost_usd = 25.0;  // paper §IV
+  return s;
+}
+
+DeviceSpec x86_server() {
+  DeviceSpec s;
+  s.name = "commodity-x86-server";
+  s.device_class = DeviceClass::kX86Server;
+  s.cores = 8;
+  s.core_hz = 2.5e9;
+  s.ram_bytes = 16ull << 30;
+  s.nic_bits_per_sec = 1e9;
+  s.storage_bytes = 1ull << 40;
+  s.storage_read_bps = 120e6 * 8;
+  s.storage_write_bps = 120e6 * 8;
+  s.idle_watts = 90.0;
+  s.peak_watts = 180.0;  // Table I rate
+  s.needs_cooling = true;
+  s.unit_cost_usd = 2000.0;  // Table I rate
+  return s;
+}
+
+}  // namespace picloud::hw

@@ -1,0 +1,65 @@
+// Hardware specifications for the device classes the paper discusses.
+//
+// Numbers come from the paper itself where given (Table I: $35 and 3.5 W per
+// Pi, $2,000 and 180 W per x86 server; §II-A: 256 MB RAM, 16 GB SanDisk SD
+// card; §IV: BCM2835, ARMv6) and from public Raspberry Pi Model A/B specs
+// otherwise (700 MHz ARM1176JZF-S, 100 Mb/s Ethernet on Model B, Model A has
+// no Ethernet and 256 MB; the 2012 RAM doubling to 512 MB is exposed as the
+// `rev2` spec — paper §IV "recently ... doubled the RAM ... same price").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace picloud::hw {
+
+// What kind of machine a spec describes; drives cost/cooling accounting.
+enum class DeviceClass { kRaspberryPi, kX86Server };
+
+struct DeviceSpec {
+  std::string name;            // "raspberry-pi-model-b"
+  DeviceClass device_class = DeviceClass::kRaspberryPi;
+
+  // Compute: a single scalar core frequency. The scheduler hands out
+  // cycle budgets, so heterogeneous clusters (Pi + x86 gateway) mix cleanly.
+  int cores = 1;
+  double core_hz = 700e6;
+
+  // Memory.
+  std::uint64_t ram_bytes = 256ull << 20;
+
+  // Network interface (0 for Model A which has no Ethernet port).
+  double nic_bits_per_sec = 100e6;
+
+  // Local storage (SD card for Pis, disk for servers).
+  std::uint64_t storage_bytes = 16ull << 30;
+  double storage_read_bps = 20e6 * 8;   // 20 MB/s sequential read (class-10 SD)
+  double storage_write_bps = 10e6 * 8;  // 10 MB/s sequential write
+
+  // Power envelope (paper Table I rates are peak/nameplate per unit).
+  double idle_watts = 2.0;
+  double peak_watts = 3.5;
+  bool needs_cooling = false;
+
+  // Unit cost in USD.
+  double unit_cost_usd = 35.0;
+
+  // Total CPU capacity in cycles/second.
+  double cycles_per_sec() const { return core_hz * cores; }
+};
+
+// Raspberry Pi Model B (the 56 PiCloud nodes): 256 MB, 100 Mb Ethernet.
+DeviceSpec pi_model_b();
+
+// Raspberry Pi Model B rev2: RAM doubled to 512 MB at the same price
+// (paper §IV).
+DeviceSpec pi_model_b_rev2();
+
+// Raspberry Pi Model A: 256 MB, no Ethernet, $25 (paper §IV "as little as
+// $25"). Included for completeness; cannot join the network fabric.
+DeviceSpec pi_model_a();
+
+// Commodity x86 server from Table I: $2,000, 180 W, needs cooling.
+DeviceSpec x86_server();
+
+}  // namespace picloud::hw

@@ -1,0 +1,40 @@
+#include "net/addr.h"
+
+#include "util/strings.h"
+
+namespace picloud::net {
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(const std::string& dotted) {
+  auto parts = util::split(dotted, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t value = 0;
+  for (const auto& p : parts) {
+    unsigned long long octet = 0;
+    if (!util::parse_u64(p, &octet) || octet > 255) return std::nullopt;
+    value = (value << 8) | static_cast<std::uint32_t>(octet);
+  }
+  return Ipv4Addr(value);
+}
+
+std::string Ipv4Addr::to_string() const {
+  return util::format("%u.%u.%u.%u", (value_ >> 24) & 0xff,
+                      (value_ >> 16) & 0xff, (value_ >> 8) & 0xff,
+                      value_ & 0xff);
+}
+
+std::optional<Subnet> Subnet::parse(const std::string& cidr) {
+  auto parts = util::split(cidr, '/');
+  if (parts.size() != 2) return std::nullopt;
+  auto base = Ipv4Addr::parse(parts[0]);
+  unsigned long long prefix = 0;
+  if (!base || !util::parse_u64(parts[1], &prefix) || prefix > 32) {
+    return std::nullopt;
+  }
+  return Subnet(*base, static_cast<int>(prefix));
+}
+
+std::string Subnet::to_string() const {
+  return util::format("%s/%d", base_.to_string().c_str(), prefix_len_);
+}
+
+}  // namespace picloud::net

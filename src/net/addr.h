@@ -1,0 +1,84 @@
+// Network addressing: IPv4 addresses and subnets.
+//
+// The pimaster implements "customised IP and naming policies through DHCP
+// and DNS" (paper §II-A); those services need real address arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace picloud::net {
+
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | d) {}
+
+  static std::optional<Ipv4Addr> parse(const std::string& dotted);
+  static constexpr Ipv4Addr any() { return Ipv4Addr(0); }
+  static constexpr Ipv4Addr broadcast() { return Ipv4Addr(0xFFFFFFFFu); }
+
+  constexpr std::uint32_t value() const { return value_; }
+  constexpr bool is_any() const { return value_ == 0; }
+  constexpr bool is_broadcast() const { return value_ == 0xFFFFFFFFu; }
+
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const Ipv4Addr&) const = default;
+
+  // Next address (for allocator iteration).
+  constexpr Ipv4Addr next() const { return Ipv4Addr(value_ + 1); }
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+// A CIDR subnet, e.g. 10.0.1.0/24.
+class Subnet {
+ public:
+  constexpr Subnet() = default;
+  constexpr Subnet(Ipv4Addr base, int prefix_len)
+      : base_(Ipv4Addr(base.value() & mask_for(prefix_len))),
+        prefix_len_(prefix_len) {}
+
+  static std::optional<Subnet> parse(const std::string& cidr);  // "10.0.1.0/24"
+
+  constexpr Ipv4Addr base() const { return base_; }
+  constexpr int prefix_len() const { return prefix_len_; }
+  constexpr std::uint32_t mask() const { return mask_for(prefix_len_); }
+
+  constexpr bool contains(Ipv4Addr a) const {
+    return (a.value() & mask()) == base_.value();
+  }
+  // First/last assignable host address (network and broadcast excluded).
+  constexpr Ipv4Addr first_host() const { return Ipv4Addr(base_.value() + 1); }
+  constexpr Ipv4Addr last_host() const {
+    return Ipv4Addr((base_.value() | ~mask()) - 1);
+  }
+  constexpr std::uint32_t host_capacity() const {
+    std::uint32_t size = ~mask();
+    return size >= 2 ? size - 1 : 0;  // minus network & broadcast
+  }
+  constexpr Ipv4Addr broadcast_addr() const {
+    return Ipv4Addr(base_.value() | ~mask());
+  }
+
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const Subnet&) const = default;
+
+ private:
+  static constexpr std::uint32_t mask_for(int prefix_len) {
+    return prefix_len <= 0 ? 0u
+         : prefix_len >= 32 ? 0xFFFFFFFFu
+         : ~((1u << (32 - prefix_len)) - 1);
+  }
+  Ipv4Addr base_;
+  int prefix_len_ = 0;
+};
+
+}  // namespace picloud::net

@@ -1,0 +1,354 @@
+#include "net/fabric.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace picloud::net {
+
+namespace {
+// Below this many remaining bytes a flow is considered drained (guards
+// against floating-point residue keeping a flow alive forever).
+constexpr double kDrainEpsilonBytes = 1e-6;
+}  // namespace
+
+Fabric::Fabric(sim::Simulation& sim) : sim_(sim) {}
+
+NetNodeId Fabric::add_node(NodeKind kind, std::string name) {
+  NetNodeId id = static_cast<NetNodeId>(nodes_.size());
+  nodes_.push_back(NetNode{id, kind, std::move(name), {}});
+  return id;
+}
+
+std::pair<LinkId, LinkId> Fabric::add_link(NetNodeId a, NetNodeId b,
+                                           double capacity_bps,
+                                           sim::Duration delay) {
+  assert(a < nodes_.size() && b < nodes_.size() && a != b);
+  assert(capacity_bps > 0);
+  LinkId ab = static_cast<LinkId>(links_.size());
+  LinkId ba = ab + 1;
+  links_.push_back(DirectedLink{ab, a, b, capacity_bps, delay, true, 0, 0, 0});
+  links_.push_back(DirectedLink{ba, b, a, capacity_bps, delay, true, 0, 0, 0});
+  nodes_[a].out_links.push_back(ab);
+  nodes_[b].out_links.push_back(ba);
+  return {ab, ba};
+}
+
+std::optional<NetNodeId> Fabric::find_node(const std::string& name) const {
+  for (const auto& n : nodes_) {
+    if (n.name == name) return n.id;
+  }
+  return std::nullopt;
+}
+
+LinkId Fabric::reverse(LinkId id) const {
+  // Links are created in pairs: even id is a->b, odd id is b->a.
+  return (id % 2 == 0) ? id + 1 : id - 1;
+}
+
+std::vector<LinkId> Fabric::shortest_path(NetNodeId src, NetNodeId dst) const {
+  if (src == dst || src >= nodes_.size() || dst >= nodes_.size()) return {};
+  std::vector<LinkId> via(nodes_.size(), kInvalidLink);
+  std::vector<bool> visited(nodes_.size(), false);
+  std::deque<NetNodeId> queue{src};
+  visited[src] = true;
+  while (!queue.empty()) {
+    NetNodeId u = queue.front();
+    queue.pop_front();
+    if (u == dst) break;
+    for (LinkId lid : nodes_[u].out_links) {
+      const DirectedLink& l = links_[lid];
+      if (!l.up || visited[l.to]) continue;
+      visited[l.to] = true;
+      via[l.to] = lid;
+      queue.push_back(l.to);
+    }
+  }
+  if (!visited[dst]) return {};
+  std::vector<LinkId> path;
+  for (NetNodeId u = dst; u != src; u = links_[via[u]].from) {
+    path.push_back(via[u]);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<std::vector<LinkId>> Fabric::equal_cost_paths(
+    NetNodeId src, NetNodeId dst, size_t max_paths) const {
+  std::vector<std::vector<LinkId>> out;
+  if (src == dst || src >= nodes_.size() || dst >= nodes_.size()) return out;
+  // BFS levels from src.
+  constexpr int kUnreached = std::numeric_limits<int>::max();
+  std::vector<int> dist(nodes_.size(), kUnreached);
+  std::deque<NetNodeId> queue{src};
+  dist[src] = 0;
+  while (!queue.empty()) {
+    NetNodeId u = queue.front();
+    queue.pop_front();
+    for (LinkId lid : nodes_[u].out_links) {
+      const DirectedLink& l = links_[lid];
+      if (!l.up || dist[l.to] != kUnreached) continue;
+      dist[l.to] = dist[u] + 1;
+      queue.push_back(l.to);
+    }
+  }
+  if (dist[dst] == kUnreached) return out;
+  // DFS over the shortest-path DAG, deterministic link order.
+  std::vector<LinkId> current;
+  std::function<void(NetNodeId)> dfs = [&](NetNodeId u) {
+    if (out.size() >= max_paths) return;
+    if (u == dst) {
+      out.push_back(current);
+      return;
+    }
+    for (LinkId lid : nodes_[u].out_links) {
+      const DirectedLink& l = links_[lid];
+      if (!l.up || dist[l.to] != dist[u] + 1) continue;
+      current.push_back(lid);
+      dfs(l.to);
+      current.pop_back();
+      if (out.size() >= max_paths) return;
+    }
+  };
+  dfs(src);
+  return out;
+}
+
+sim::Duration Fabric::path_delay(const std::vector<LinkId>& path) const {
+  sim::Duration total = sim::Duration::zero();
+  for (LinkId lid : path) total += links_[lid].delay;
+  return total;
+}
+
+bool Fabric::path_up(const std::vector<LinkId>& path) const {
+  for (LinkId lid : path) {
+    if (!links_[lid].up) return false;
+  }
+  return true;
+}
+
+std::vector<LinkId> Fabric::route_flow(NetNodeId src, NetNodeId dst,
+                                       FlowId id) {
+  if (routing_ != nullptr) return routing_->route(*this, src, dst, id);
+  return shortest_path(src, dst);
+}
+
+FlowId Fabric::start_flow(FlowSpec spec) {
+  assert(spec.src < nodes_.size() && spec.dst < nodes_.size());
+  assert(spec.bytes >= 0);
+  FlowId id = next_flow_id_++;
+  ++flows_started_;
+
+  if (spec.src == spec.dst) {
+    // Loopback: no fabric involvement.
+    FlowCallback cb = spec.on_complete;
+    sim_.after(kLoopbackDelay, [cb, id]() {
+      if (cb) cb(id, true);
+    });
+    ++flows_completed_;
+    return id;
+  }
+
+  std::vector<LinkId> path = route_flow(spec.src, spec.dst, id);
+  if (path.empty()) {
+    FlowCallback cb = spec.on_complete;
+    sim_.after(sim::Duration::zero(), [cb, id]() {
+      if (cb) cb(id, false);
+    });
+    ++flows_failed_;
+    if (routing_ != nullptr) routing_->on_flow_end(id);
+    return id;
+  }
+
+  Flow flow;
+  flow.id = id;
+  flow.spec = std::move(spec);
+  flow.path = std::move(path);
+  flow.remaining_bytes = std::max(flow.spec.bytes, kDrainEpsilonBytes);
+  flow.last_update = sim_.now();
+  flows_.emplace(id, std::move(flow));
+  reallocate();
+  return id;
+}
+
+void Fabric::cancel_flow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  finish_flow(id, /*success=*/false);
+}
+
+std::vector<LinkId> Fabric::flow_path(FlowId id) const {
+  auto it = flows_.find(id);
+  return it != flows_.end() ? it->second.path : std::vector<LinkId>{};
+}
+
+double Fabric::flow_rate_bps(FlowId id) const {
+  auto it = flows_.find(id);
+  return it != flows_.end() ? it->second.rate_bps : 0.0;
+}
+
+void Fabric::settle(Flow& flow) {
+  sim::Duration elapsed = sim_.now() - flow.last_update;
+  if (elapsed > sim::Duration::zero() && flow.rate_bps > 0) {
+    double sent = flow.rate_bps / 8.0 * elapsed.to_seconds();
+    sent = std::min(sent, flow.remaining_bytes);
+    flow.remaining_bytes -= sent;
+    for (LinkId lid : flow.path) links_[lid].bytes_carried += sent;
+  }
+  flow.last_update = sim_.now();
+}
+
+void Fabric::reallocate() {
+  // 1. Settle all flows to now.
+  for (auto& [id, flow] : flows_) settle(flow);
+
+  // 2. Progressive-filling max-min fair share.
+  std::vector<double> residual(links_.size());
+  std::vector<int> unfixed_count(links_.size(), 0);
+  for (const auto& l : links_) residual[l.id] = l.capacity_bps;
+  for (auto& [id, flow] : flows_) {
+    flow.rate_bps = -1;  // unfixed marker
+    for (LinkId lid : flow.path) ++unfixed_count[lid];
+  }
+
+  size_t unfixed = flows_.size();
+  while (unfixed > 0) {
+    // Find the bottleneck link: minimum fair share among loaded links.
+    double best = std::numeric_limits<double>::infinity();
+    LinkId best_link = kInvalidLink;
+    for (const auto& l : links_) {
+      if (unfixed_count[l.id] == 0) continue;
+      double share = residual[l.id] / unfixed_count[l.id];
+      if (share < best) {
+        best = share;
+        best_link = l.id;
+      }
+    }
+    if (best_link == kInvalidLink) break;  // defensive; cannot happen
+    // Floating-point residue can drive a residual slightly negative; a fixed
+    // rate must never be, or the flow would look unfixed to later rounds.
+    best = std::max(best, 0.0);
+    // Fix every unfixed flow crossing the bottleneck at the fair share.
+    for (auto& [id, flow] : flows_) {
+      if (flow.rate_bps >= 0) continue;
+      bool crosses = std::find(flow.path.begin(), flow.path.end(),
+                               best_link) != flow.path.end();
+      if (!crosses) continue;
+      flow.rate_bps = best;
+      --unfixed;
+      for (LinkId lid : flow.path) {
+        residual[lid] -= best;
+        --unfixed_count[lid];
+      }
+    }
+  }
+
+  // 3. Refresh link allocation gauges.
+  for (auto& l : links_) {
+    l.allocated_bps = 0;
+    l.active_flows = 0;
+  }
+  for (const auto& [id, flow] : flows_) {
+    for (LinkId lid : flow.path) {
+      links_[lid].allocated_bps += flow.rate_bps;
+      links_[lid].active_flows += 1;
+    }
+  }
+
+  // 4. Reschedule completion events. When a flow's rate is unchanged its
+  // projected finish time is unchanged too (settle() moved last_update and
+  // remaining consistently), so the existing event stays — this keeps event
+  // churn proportional to the flows a change actually touched.
+  for (auto& [id, flow] : flows_) {
+    if (flow.completion_event != 0 && flow.rate_bps == flow.scheduled_rate) {
+      continue;
+    }
+    if (flow.completion_event != 0) {
+      sim_.cancel(flow.completion_event);
+      flow.completion_event = 0;
+    }
+    flow.scheduled_rate = flow.rate_bps;
+    if (flow.rate_bps <= 0) {
+      // No capacity at all (fully saturated zero-residual path after a cut);
+      // leave the flow parked — the next reallocate will retry.
+      continue;
+    }
+    double seconds = flow.remaining_bytes * 8.0 / flow.rate_bps;
+    FlowId fid = id;
+    flow.completion_event =
+        sim_.after(sim::Duration::seconds(seconds),
+                   [this, fid]() { finish_flow(fid, /*success=*/true); });
+  }
+}
+
+void Fabric::finish_flow(FlowId id, bool success) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  Flow& flow = it->second;
+  settle(flow);
+  if (flow.completion_event != 0) sim_.cancel(flow.completion_event);
+  FlowCallback cb = std::move(flow.spec.on_complete);
+  flows_.erase(it);
+  if (success) {
+    ++flows_completed_;
+  } else {
+    ++flows_failed_;
+  }
+  if (routing_ != nullptr) routing_->on_flow_end(id);
+  reallocate();
+  if (cb) cb(id, success);
+}
+
+void Fabric::set_link_pair_up(LinkId id, bool up) {
+  LinkId a = id;
+  LinkId b = reverse(id);
+  links_[a].up = up;
+  links_[b].up = up;
+  LOG_INFO("fabric", "link %s <-> %s %s", nodes_[links_[a].from].name.c_str(),
+           nodes_[links_[a].to].name.c_str(), up ? "up" : "DOWN");
+  if (up) {
+    reallocate();
+    return;
+  }
+  // Reroute or fail the flows that crossed the dead pair.
+  std::vector<FlowId> affected;
+  for (const auto& [fid, flow] : flows_) {
+    for (LinkId lid : flow.path) {
+      if (lid == a || lid == b) {
+        affected.push_back(fid);
+        break;
+      }
+    }
+  }
+  for (FlowId fid : affected) {
+    auto it = flows_.find(fid);
+    if (it == flows_.end()) continue;
+    Flow& flow = it->second;
+    settle(flow);
+    std::vector<LinkId> new_path =
+        route_flow(flow.spec.src, flow.spec.dst, fid);
+    if (new_path.empty()) {
+      finish_flow(fid, /*success=*/false);
+    } else {
+      flow.path = std::move(new_path);
+    }
+  }
+  reallocate();
+}
+
+double Fabric::max_link_utilization() const {
+  double max_util = 0;
+  for (const auto& l : links_) max_util = std::max(max_util, l.utilization());
+  return max_util;
+}
+
+double Fabric::total_bytes_carried() const {
+  double total = 0;
+  for (const auto& l : links_) total += l.bytes_carried;
+  return total;
+}
+
+}  // namespace picloud::net

@@ -1,0 +1,180 @@
+// The network fabric: nodes, directed links, and byte-accurate flows with
+// progressive-filling max-min fair bandwidth sharing.
+//
+// This is the flow-level network model from DESIGN.md §6.2. Congestion is
+// emergent: when many flows cross a link, each gets its fair share and
+// completion events move accordingly — exactly the cross-layer behaviour the
+// paper argues simulators miss (naive VM consolidation → congestion).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.h"
+#include "sim/time.h"
+#include "util/stats.h"
+
+namespace picloud::net {
+
+using NetNodeId = std::uint32_t;
+using LinkId = std::uint32_t;
+using FlowId = std::uint64_t;
+
+inline constexpr NetNodeId kInvalidNode = ~0u;
+inline constexpr LinkId kInvalidLink = ~0u;
+
+enum class NodeKind { kHost, kSwitch, kRouter };
+
+struct NetNode {
+  NetNodeId id = kInvalidNode;
+  NodeKind kind = NodeKind::kHost;
+  std::string name;
+  std::vector<LinkId> out_links;  // directed links leaving this node
+};
+
+struct DirectedLink {
+  LinkId id = kInvalidLink;
+  NetNodeId from = kInvalidNode;
+  NetNodeId to = kInvalidNode;
+  double capacity_bps = 0;
+  sim::Duration delay;  // propagation + store-and-forward latency
+  bool up = true;
+
+  // Live allocation state (maintained by the fair-share allocator).
+  double allocated_bps = 0;
+  int active_flows = 0;
+  // Cumulative bytes carried (monitoring / SDN stats).
+  double bytes_carried = 0;
+
+  double utilization() const {
+    return capacity_bps > 0 ? allocated_bps / capacity_bps : 0.0;
+  }
+};
+
+class Fabric;
+
+// Computes the path a new flow takes. Implemented by the static shortest-path
+// router and by the OpenFlow/SDN controller (net/sdn.h).
+class RoutingProvider {
+ public:
+  virtual ~RoutingProvider() = default;
+  // Returns directed link ids from src to dst, or empty when unreachable.
+  virtual std::vector<LinkId> route(Fabric& fabric, NetNodeId src,
+                                    NetNodeId dst, FlowId flow) = 0;
+  // Notified when a flow finishes or is cancelled (lets SDN age rules).
+  virtual void on_flow_end(FlowId /*flow*/) {}
+};
+
+// Completion callback: success=false when the flow was failed by a link cut
+// with no alternative route, or cancelled.
+using FlowCallback = std::function<void(FlowId, bool success)>;
+
+struct FlowSpec {
+  NetNodeId src = kInvalidNode;
+  NetNodeId dst = kInvalidNode;
+  double bytes = 0;
+  FlowCallback on_complete;  // may be empty
+};
+
+class Fabric {
+ public:
+  explicit Fabric(sim::Simulation& sim);
+
+  // --- Topology construction -----------------------------------------------
+  NetNodeId add_node(NodeKind kind, std::string name);
+  // Adds a full-duplex link (two directed links). Returns {a->b, b->a}.
+  std::pair<LinkId, LinkId> add_link(NetNodeId a, NetNodeId b,
+                                     double capacity_bps, sim::Duration delay);
+  // Installs the routing provider (not owned). Defaults to static BFS
+  // shortest path when none is set.
+  void set_routing(RoutingProvider* routing) { routing_ = routing; }
+  RoutingProvider* routing() const { return routing_; }
+
+  // --- Introspection --------------------------------------------------------
+  const NetNode& node(NetNodeId id) const { return nodes_[id]; }
+  const DirectedLink& link(LinkId id) const { return links_[id]; }
+  size_t node_count() const { return nodes_.size(); }
+  size_t link_count() const { return links_.size(); }
+  std::optional<NetNodeId> find_node(const std::string& name) const;
+  // The reverse direction of a directed link.
+  LinkId reverse(LinkId id) const;
+  size_t active_flow_count() const { return flows_.size(); }
+  sim::Simulation& simulation() { return sim_; }
+
+  // BFS shortest path over up links (deterministic neighbour order).
+  // Returns directed link ids, empty if unreachable or src == dst.
+  std::vector<LinkId> shortest_path(NetNodeId src, NetNodeId dst) const;
+  // All equal-cost (minimum-hop) paths, up to `max_paths`, deterministic
+  // order. Used by ECMP and congestion-aware SDN policies.
+  std::vector<std::vector<LinkId>> equal_cost_paths(NetNodeId src,
+                                                    NetNodeId dst,
+                                                    size_t max_paths = 16) const;
+  // Sum of link delays along a path.
+  sim::Duration path_delay(const std::vector<LinkId>& path) const;
+  bool path_up(const std::vector<LinkId>& path) const;
+
+  // --- Failure injection ----------------------------------------------------
+  // Takes both directions of the full-duplex pair up/down and reroutes or
+  // fails the flows crossing it.
+  void set_link_pair_up(LinkId id, bool up);
+
+  // --- Flows -----------------------------------------------------------------
+  // Starts a byte flow. Completion fires when the last byte has been
+  // serialised at the fair-share rate (propagation delay is exposed via
+  // path_delay() and added by the messaging layer). A flow between
+  // unreachable endpoints fails immediately (callback with success=false,
+  // scheduled, not inline). src == dst completes after a loopback delay.
+  FlowId start_flow(FlowSpec spec);
+  // Cancels a flow; its callback fires with success=false.
+  void cancel_flow(FlowId id);
+  // The path assigned to an active flow (empty if finished/unknown).
+  std::vector<LinkId> flow_path(FlowId id) const;
+  double flow_rate_bps(FlowId id) const;
+
+  // --- Monitoring ------------------------------------------------------------
+  // Instantaneous utilisation in [0,1] of the most loaded link.
+  double max_link_utilization() const;
+  // Total bytes carried across all links (each hop counted).
+  double total_bytes_carried() const;
+  std::uint64_t flows_started() const { return flows_started_; }
+  std::uint64_t flows_completed() const { return flows_completed_; }
+  std::uint64_t flows_failed() const { return flows_failed_; }
+
+  static constexpr sim::Duration kLoopbackDelay = sim::Duration::micros(20);
+
+ private:
+  struct Flow {
+    FlowId id = 0;
+    FlowSpec spec;
+    std::vector<LinkId> path;
+    double remaining_bytes = 0;
+    double rate_bps = 0;
+    // Rate the live completion event was computed with (reschedule guard).
+    double scheduled_rate = -1;
+    sim::SimTime last_update;
+    sim::EventId completion_event = 0;
+  };
+
+  // Charges elapsed transfer against remaining bytes and link counters.
+  void settle(Flow& flow);
+  // Recomputes all rates (max-min fair) and reschedules completions.
+  void reallocate();
+  void finish_flow(FlowId id, bool success);
+  std::vector<LinkId> route_flow(NetNodeId src, NetNodeId dst, FlowId id);
+
+  sim::Simulation& sim_;
+  std::vector<NetNode> nodes_;
+  std::vector<DirectedLink> links_;
+  RoutingProvider* routing_ = nullptr;
+  std::map<FlowId, Flow> flows_;  // ordered -> deterministic allocation
+  FlowId next_flow_id_ = 1;
+  std::uint64_t flows_started_ = 0;
+  std::uint64_t flows_completed_ = 0;
+  std::uint64_t flows_failed_ = 0;
+};
+
+}  // namespace picloud::net

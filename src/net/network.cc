@@ -1,0 +1,185 @@
+#include "net/network.h"
+
+#include <cassert>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace picloud::net {
+
+Network::Network(sim::Simulation& sim, Fabric& fabric)
+    : sim_(sim), fabric_(fabric) {}
+
+void Network::bind_ip(Ipv4Addr ip, NetNodeId node) {
+  assert(!ip.is_any() && !ip.is_broadcast());
+  ip_to_node_[ip] = node;
+}
+
+void Network::unbind_ip(Ipv4Addr ip) { ip_to_node_.erase(ip); }
+
+std::optional<NetNodeId> Network::resolve(Ipv4Addr ip) const {
+  auto it = ip_to_node_.find(ip);
+  if (it == ip_to_node_.end()) return std::nullopt;
+  return it->second;
+}
+
+size_t Network::ips_on_node(NetNodeId node) const {
+  size_t n = 0;
+  for (const auto& [ip, nid] : ip_to_node_) {
+    if (nid == node) ++n;
+  }
+  return n;
+}
+
+void Network::listen(Ipv4Addr ip, std::uint16_t port, Handler handler) {
+  listeners_[{ip.value(), port}] = std::move(handler);
+}
+
+void Network::unlisten(Ipv4Addr ip, std::uint16_t port) {
+  listeners_.erase({ip.value(), port});
+}
+
+bool Network::send(Message msg) {
+  auto src_node = resolve(msg.src);
+  if (!src_node) return false;
+  ++sent_;
+
+  if (msg.dst.is_broadcast()) {
+    // Deliver a copy to every listener on the port, except the sender.
+    // Collect first: transmit() may mutate listener state via callbacks.
+    std::vector<Ipv4Addr> targets;
+    for (const auto& [key, handler] : listeners_) {
+      if (key.second != msg.dst_port) continue;
+      Ipv4Addr ip(key.first);
+      if (ip == msg.src) continue;
+      targets.push_back(ip);
+    }
+    if (targets.empty()) {
+      ++dropped_;
+      return true;
+    }
+    for (Ipv4Addr target : targets) {
+      auto dst_node = resolve(target);
+      if (!dst_node) continue;
+      Message copy = msg;
+      copy.dst = target;
+      transmit(*src_node, *dst_node, std::move(copy));
+    }
+    return true;
+  }
+
+  auto dst_node = resolve(msg.dst);
+  if (!dst_node) {
+    ++dropped_;
+    LOG_DEBUG("net", "no route to host %s", msg.dst.to_string().c_str());
+    return true;
+  }
+  transmit(*src_node, *dst_node, std::move(msg));
+  return true;
+}
+
+void Network::transmit(NetNodeId src_node, NetNodeId dst_node, Message msg) {
+  FlowSpec spec;
+  spec.src = src_node;
+  spec.dst = dst_node;
+  spec.bytes = msg.wire_bytes();
+  spec.on_complete = [this, msg = std::move(msg)](FlowId id, bool success) {
+    auto delay_it = pending_delay_.find(id);
+    sim::Duration delay = delay_it != pending_delay_.end()
+                              ? delay_it->second
+                              : Fabric::kLoopbackDelay;
+    if (delay_it != pending_delay_.end()) pending_delay_.erase(delay_it);
+    if (!success) {
+      ++dropped_;
+      return;
+    }
+    sim_.after(delay, [this, msg]() { deliver(msg); });
+  };
+  FlowId id = fabric_.start_flow(std::move(spec));
+  // The flow is still registered until its completion event fires, so the
+  // assigned path (and its propagation delay) is observable here.
+  std::vector<LinkId> path = fabric_.flow_path(id);
+  if (!path.empty()) pending_delay_[id] = fabric_.path_delay(path);
+}
+
+void Network::listen_node(NetNodeId node, std::uint16_t port, Handler handler) {
+  node_listeners_[{node, port}] = std::move(handler);
+}
+
+void Network::unlisten_node(NetNodeId node, std::uint16_t port) {
+  node_listeners_.erase({node, port});
+}
+
+void Network::send_to_node(NetNodeId src_node, std::optional<NetNodeId> dst_node,
+                           Message msg) {
+  ++sent_;
+  if (dst_node) {
+    transmit_to_node(src_node, *dst_node, std::move(msg));
+    return;
+  }
+  // L2 broadcast to every node listener on the port.
+  std::vector<NetNodeId> targets;
+  for (const auto& [key, handler] : node_listeners_) {
+    if (key.second == msg.dst_port && key.first != src_node) {
+      targets.push_back(key.first);
+    }
+  }
+  if (targets.empty()) {
+    ++dropped_;
+    return;
+  }
+  for (NetNodeId target : targets) {
+    transmit_to_node(src_node, target, msg);
+  }
+}
+
+void Network::transmit_to_node(NetNodeId src_node, NetNodeId dst_node,
+                               Message msg) {
+  FlowSpec spec;
+  spec.src = src_node;
+  spec.dst = dst_node;
+  spec.bytes = msg.wire_bytes();
+  spec.on_complete = [this, dst_node, msg = std::move(msg)](FlowId id,
+                                                            bool success) {
+    auto delay_it = pending_delay_.find(id);
+    sim::Duration delay = delay_it != pending_delay_.end()
+                              ? delay_it->second
+                              : Fabric::kLoopbackDelay;
+    if (delay_it != pending_delay_.end()) pending_delay_.erase(delay_it);
+    if (!success) {
+      ++dropped_;
+      return;
+    }
+    sim_.after(delay, [this, dst_node, msg]() { deliver_to_node(dst_node, msg); });
+  };
+  FlowId id = fabric_.start_flow(std::move(spec));
+  std::vector<LinkId> path = fabric_.flow_path(id);
+  if (!path.empty()) pending_delay_[id] = fabric_.path_delay(path);
+}
+
+void Network::deliver_to_node(NetNodeId node, Message msg) {
+  auto it = node_listeners_.find({node, msg.dst_port});
+  if (it == node_listeners_.end()) {
+    ++dropped_;
+    return;
+  }
+  ++delivered_;
+  Handler handler = it->second;
+  handler(msg);
+}
+
+void Network::deliver(Message msg) {
+  auto it = listeners_.find({msg.dst.value(), msg.dst_port});
+  if (it == listeners_.end()) {
+    ++dropped_;
+    LOG_DEBUG("net", "port unreachable %s:%u", msg.dst.to_string().c_str(),
+              msg.dst_port);
+    return;
+  }
+  ++delivered_;
+  // Copy the handler: it may unlisten itself while running.
+  Handler handler = it->second;
+  handler(msg);
+}
+
+}  // namespace picloud::net

@@ -1,0 +1,213 @@
+#include "net/topology.h"
+
+#include "net/sdn.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+#include "util/strings.h"
+
+namespace picloud::net {
+
+std::vector<int> Topology::hosts_in_rack(int rack) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < hosts.size(); ++i) {
+    if (host_rack[i] == rack) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+Topology build_multi_root_tree(Fabric& fabric, const MultiRootTreeConfig& cfg) {
+  assert(cfg.racks > 0 && cfg.hosts_per_rack > 0 && cfg.aggregation_switches > 0);
+  Topology topo;
+  topo.kind = "multi-root-tree";
+
+  // Aggregation roots (the OpenFlow switches).
+  for (int a = 0; a < cfg.aggregation_switches; ++a) {
+    topo.agg_switches.push_back(
+        fabric.add_node(NodeKind::kSwitch, util::format("agg-%d", a)));
+  }
+  // Gateway ("the School's university gateway, which functions as a core or
+  // border router") and the Internet beyond it.
+  topo.gateway = fabric.add_node(NodeKind::kRouter, "gateway");
+  topo.internet = fabric.add_node(NodeKind::kHost, "internet");
+  fabric.add_link(topo.gateway, topo.internet, cfg.internet_bps, cfg.link_delay);
+  for (NetNodeId agg : topo.agg_switches) {
+    fabric.add_link(agg, topo.gateway, cfg.agg_uplink_bps, cfg.link_delay);
+  }
+
+  // Racks: hosts behind a ToR, ToR multi-homed to every aggregation root.
+  for (int r = 0; r < cfg.racks; ++r) {
+    NetNodeId tor =
+        fabric.add_node(NodeKind::kSwitch, util::format("rack-%d-tor", r));
+    topo.tor_switches.push_back(tor);
+    for (NetNodeId agg : topo.agg_switches) {
+      fabric.add_link(tor, agg, cfg.tor_uplink_bps, cfg.link_delay);
+    }
+    for (int h = 0; h < cfg.hosts_per_rack; ++h) {
+      NetNodeId host = fabric.add_node(
+          NodeKind::kHost, util::format("pi-r%d-%02d", r, h));
+      fabric.add_link(host, tor, cfg.host_link_bps, cfg.link_delay);
+      topo.hosts.push_back(host);
+      topo.host_rack.push_back(r);
+    }
+  }
+  return topo;
+}
+
+Topology build_fat_tree(Fabric& fabric, const FatTreeConfig& cfg) {
+  assert(cfg.k >= 2 && cfg.k % 2 == 0);
+  const int k = cfg.k;
+  const int half = k / 2;
+  Topology topo;
+  topo.kind = "fat-tree";
+
+  // Core layer: (k/2)^2 switches.
+  for (int c = 0; c < half * half; ++c) {
+    topo.core_switches.push_back(
+        fabric.add_node(NodeKind::kSwitch, util::format("core-%d", c)));
+  }
+
+  // Pods.
+  for (int p = 0; p < k; ++p) {
+    std::vector<NetNodeId> pod_agg;
+    for (int a = 0; a < half; ++a) {
+      NetNodeId agg = fabric.add_node(NodeKind::kSwitch,
+                                      util::format("pod%d-agg%d", p, a));
+      pod_agg.push_back(agg);
+      topo.agg_switches.push_back(agg);
+      // Aggregation switch a connects to core switches [a*half, (a+1)*half).
+      for (int c = 0; c < half; ++c) {
+        fabric.add_link(agg, topo.core_switches[a * half + c],
+                        cfg.fabric_link_bps, cfg.link_delay);
+      }
+    }
+    for (int e = 0; e < half; ++e) {
+      NetNodeId edge = fabric.add_node(NodeKind::kSwitch,
+                                       util::format("pod%d-edge%d", p, e));
+      int rack = static_cast<int>(topo.tor_switches.size());
+      topo.tor_switches.push_back(edge);
+      for (NetNodeId agg : pod_agg) {
+        fabric.add_link(edge, agg, cfg.fabric_link_bps, cfg.link_delay);
+      }
+      for (int h = 0; h < half; ++h) {
+        NetNodeId host = fabric.add_node(
+            NodeKind::kHost, util::format("pi-p%d-e%d-%d", p, e, h));
+        fabric.add_link(host, edge, cfg.host_link_bps, cfg.link_delay);
+        topo.hosts.push_back(host);
+        topo.host_rack.push_back(rack);
+      }
+    }
+  }
+
+  if (cfg.with_gateway) {
+    topo.gateway = fabric.add_node(NodeKind::kRouter, "gateway");
+    topo.internet = fabric.add_node(NodeKind::kHost, "internet");
+    fabric.add_link(topo.gateway, topo.internet, cfg.internet_bps,
+                    cfg.link_delay);
+    for (NetNodeId core : topo.core_switches) {
+      fabric.add_link(core, topo.gateway, cfg.fabric_link_bps, cfg.link_delay);
+    }
+  }
+  return topo;
+}
+
+Topology build_single_rack(Fabric& fabric, int hosts, double host_link_bps,
+                           sim::Duration link_delay) {
+  assert(hosts > 0);
+  Topology topo;
+  topo.kind = "single-rack";
+  NetNodeId tor = fabric.add_node(NodeKind::kSwitch, "rack-0-tor");
+  topo.tor_switches.push_back(tor);
+  topo.gateway = fabric.add_node(NodeKind::kRouter, "gateway");
+  topo.internet = fabric.add_node(NodeKind::kHost, "internet");
+  fabric.add_link(tor, topo.gateway, host_link_bps * 10, link_delay);
+  fabric.add_link(topo.gateway, topo.internet, host_link_bps, link_delay);
+  for (int h = 0; h < hosts; ++h) {
+    NetNodeId host =
+        fabric.add_node(NodeKind::kHost, util::format("pi-r0-%02d", h));
+    fabric.add_link(host, tor, host_link_bps, link_delay);
+    topo.hosts.push_back(host);
+    topo.host_rack.push_back(0);
+  }
+  return topo;
+}
+
+TopologyAnalysis analyze_topology(Fabric& fabric, const Topology& topo) {
+  TopologyAnalysis out;
+  const size_t n = topo.hosts.size();
+  if (n == 0) return out;
+
+  // Hop statistics via BFS from every host.
+  out.fully_connected = true;
+  double hop_sum = 0;
+  size_t pair_count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      auto path = fabric.shortest_path(topo.hosts[i], topo.hosts[j]);
+      if (path.empty()) {
+        out.fully_connected = false;
+        continue;
+      }
+      hop_sum += static_cast<double>(path.size());
+      out.max_hop_count =
+          std::max(out.max_hop_count, static_cast<int>(path.size()));
+      ++pair_count;
+    }
+  }
+  out.avg_hop_count = pair_count > 0 ? hop_sum / static_cast<double>(pair_count) : 0;
+
+  // Oversubscription at the edge (ToR) layer: host-facing capacity over
+  // upstream capacity, worst case across switches.
+  for (NetNodeId tor : topo.tor_switches) {
+    double down = 0;
+    double up = 0;
+    for (LinkId lid : fabric.node(tor).out_links) {
+      const DirectedLink& l = fabric.link(lid);
+      if (fabric.node(l.to).kind == NodeKind::kHost) {
+        down += l.capacity_bps;
+      } else {
+        up += l.capacity_bps;
+      }
+    }
+    if (up > 0) out.oversubscription = std::max(out.oversubscription, down / up);
+  }
+
+  // Measured bisection bandwidth: pair host i with host i + n/2 and read the
+  // aggregate max-min rate the fabric allocates. Measured under a
+  // congestion-aware multipath routing policy — single-path routing would
+  // collapse a fat-tree's core onto one path, understating the fabric (the
+  // PiCloud is SDN-ready precisely so multipath policies are possible).
+  SdnController bisection_router(fabric.simulation(),
+                                 SdnPolicy::kLeastCongested);
+  RoutingProvider* previous_routing = fabric.routing();
+  fabric.set_routing(&bisection_router);
+  size_t half = n / 2;
+  std::vector<FlowId> flows;
+  for (size_t i = 0; i < half; ++i) {
+    FlowSpec spec;
+    spec.src = topo.hosts[i];
+    spec.dst = topo.hosts[i + half];
+    spec.bytes = 1e15;  // effectively infinite; cancelled below
+    flows.push_back(fabric.start_flow(std::move(spec)));
+  }
+  double total_rate = 0;
+  for (FlowId f : flows) total_rate += fabric.flow_rate_bps(f);
+  out.bisection_bps = total_rate;
+  for (FlowId f : flows) fabric.cancel_flow(f);
+  fabric.set_routing(previous_routing);
+
+  size_t switches = 0;
+  for (size_t i = 0; i < fabric.node_count(); ++i) {
+    if (fabric.node(static_cast<NetNodeId>(i)).kind == NodeKind::kSwitch) {
+      ++switches;
+    }
+  }
+  out.switch_count = switches;
+  out.link_count = fabric.link_count() / 2;
+  return out;
+}
+
+}  // namespace picloud::net

@@ -1,0 +1,88 @@
+// Topology builders for the PiCloud network (paper Fig. 2).
+//
+// The physical build: "Machines in the same rack are connected to the same
+// Top of Rack (ToR) switch, which in turn connect to the rest of the topology
+// through an OpenFlow-enabled aggregation switch" — a canonical multi-root
+// tree — and "the PiCloud clusters can easily be re-cabled to form a fat-tree
+// topology". Both cablings are provided, plus a single-rack layout for tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/fabric.h"
+#include "sim/time.h"
+
+namespace picloud::net {
+
+// The built topology: fabric node handles for every layer of Fig. 2.
+struct Topology {
+  std::string kind;  // "multi-root-tree", "fat-tree", "single-rack"
+
+  std::vector<NetNodeId> hosts;     // index = host index, dense
+  std::vector<int> host_rack;       // rack index per host
+  std::vector<NetNodeId> tor_switches;   // edge layer, one per rack
+  std::vector<NetNodeId> agg_switches;   // aggregation (OpenFlow) layer
+  std::vector<NetNodeId> core_switches;  // fat-tree core (empty otherwise)
+  NetNodeId gateway = kInvalidNode;   // university gateway / border router
+  NetNodeId internet = kInvalidNode;  // the world beyond the gateway
+
+  int rack_count() const { return static_cast<int>(tor_switches.size()); }
+  std::vector<int> hosts_in_rack(int rack) const;
+};
+
+struct MultiRootTreeConfig {
+  int racks = 4;           // the Glasgow build
+  int hosts_per_rack = 14;
+  int aggregation_switches = 2;  // multi-root: every ToR uplinks to each root
+  double host_link_bps = 100e6;  // Pi Model B Ethernet
+  double tor_uplink_bps = 1e9;
+  double agg_uplink_bps = 1e9;   // aggregation -> gateway
+  double internet_bps = 100e6;   // the School's uplink
+  sim::Duration link_delay = sim::Duration::micros(50);
+};
+
+// Builds the paper's topology: hosts -> ToR -> aggregation roots -> gateway
+// -> Internet.
+Topology build_multi_root_tree(Fabric& fabric, const MultiRootTreeConfig& cfg);
+
+struct FatTreeConfig {
+  int k = 4;  // pods; k^3/4 hosts, full bisection bandwidth
+  double host_link_bps = 100e6;
+  double fabric_link_bps = 100e6;  // uniform fabric links (re-cabled PiCloud)
+  sim::Duration link_delay = sim::Duration::micros(50);
+  bool with_gateway = true;  // hang the gateway + Internet off the core
+  double internet_bps = 100e6;
+};
+
+// Canonical k-ary fat-tree (Al-Fares et al.): k pods of k/2 edge and k/2
+// aggregation switches, (k/2)^2 core switches, k/2 hosts per edge switch.
+// Each edge switch is reported as one "rack". Requires even k >= 2.
+Topology build_fat_tree(Fabric& fabric, const FatTreeConfig& cfg);
+
+// One rack behind a single switch wired to a gateway — unit-test scale.
+Topology build_single_rack(Fabric& fabric, int hosts,
+                           double host_link_bps = 100e6,
+                           sim::Duration link_delay = sim::Duration::micros(50));
+
+// --- Topology analysis (Fig. 2 bench) ---------------------------------------
+
+struct TopologyAnalysis {
+  bool fully_connected = false;   // every host pair reachable
+  double avg_hop_count = 0;       // mean shortest-path hops, host pairs
+  int max_hop_count = 0;
+  // Worst-case ratio of downstream host bandwidth to uplink capacity at any
+  // switch layer (1.0 = non-blocking).
+  double oversubscription = 0;
+  // Capacity crossing a host bisection (min over sampled balanced cuts of
+  // the aggregate rate achievable between the halves).
+  double bisection_bps = 0;
+  size_t switch_count = 0;
+  size_t link_count = 0;  // full-duplex pairs
+};
+
+// Computes the analysis on the built topology. `bisection_pairs` host pairs
+// are loaded simultaneously to measure achievable bisection throughput.
+TopologyAnalysis analyze_topology(Fabric& fabric, const Topology& topo);
+
+}  // namespace picloud::net

@@ -1,0 +1,75 @@
+#include "os/memory.h"
+
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace picloud::os {
+
+MemoryManager::MemoryManager(std::uint64_t capacity_bytes)
+    : capacity_(capacity_bytes) {}
+
+MemGroupId MemoryManager::create_group(std::uint64_t limit_bytes) {
+  MemGroupId id = next_group_++;
+  groups_[id] = Group{limit_bytes, 0};
+  return id;
+}
+
+void MemoryManager::destroy_group(MemGroupId group) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return;
+  assert(it->second.usage <= used_);
+  used_ -= it->second.usage;
+  groups_.erase(it);
+}
+
+void MemoryManager::set_limit(MemGroupId group, std::uint64_t limit_bytes) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return;
+  it->second.limit = limit_bytes;
+}
+
+util::Status MemoryManager::charge(MemGroupId group, std::uint64_t bytes) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) {
+    return util::Error::make("not_found", "no such memory group");
+  }
+  if (used_ + bytes > capacity_) {
+    return util::Error::make(
+        "oom", util::format("node OOM: need %llu, available %llu",
+                            static_cast<unsigned long long>(bytes),
+                            static_cast<unsigned long long>(available())));
+  }
+  Group& g = it->second;
+  if (g.limit > 0 && g.usage + bytes > g.limit) {
+    return util::Error::make(
+        "limit", util::format("cgroup memory limit: need %llu, headroom %llu",
+                              static_cast<unsigned long long>(bytes),
+                              static_cast<unsigned long long>(
+                                  g.limit > g.usage ? g.limit - g.usage : 0)));
+  }
+  g.usage += bytes;
+  used_ += bytes;
+  return util::Status::success();
+}
+
+void MemoryManager::uncharge(MemGroupId group, std::uint64_t bytes) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return;
+  Group& g = it->second;
+  assert(bytes <= g.usage);
+  g.usage -= bytes;
+  used_ -= bytes;
+}
+
+std::uint64_t MemoryManager::group_usage(MemGroupId group) const {
+  auto it = groups_.find(group);
+  return it != groups_.end() ? it->second.usage : 0;
+}
+
+std::uint64_t MemoryManager::group_limit(MemGroupId group) const {
+  auto it = groups_.find(group);
+  return it != groups_.end() ? it->second.limit : 0;
+}
+
+}  // namespace picloud::os

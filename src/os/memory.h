@@ -1,0 +1,61 @@
+// Per-node memory accounting with cgroup limits.
+//
+// The original Raspberry Pi's 256 MB is the constraint that shaped the whole
+// PiCloud design ("full virtualisation technologies such as Xen are
+// memory-intensive when compared to the 256MB RAM capacity", §II-B), so the
+// model enforces it strictly: a charge that would exceed the node's RAM
+// fails — the caller sees the same OOM a real over-packed Pi would.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "util/result.h"
+
+namespace picloud::os {
+
+using MemGroupId = std::uint32_t;
+
+class MemoryManager {
+ public:
+  explicit MemoryManager(std::uint64_t capacity_bytes);
+
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t used() const { return used_; }
+  std::uint64_t available() const { return capacity_ - used_; }
+
+  // Creates an accounting group. `limit_bytes` of 0 means no group cap
+  // (node capacity still applies).
+  MemGroupId create_group(std::uint64_t limit_bytes = 0);
+  void destroy_group(MemGroupId group);  // releases any remaining charge
+  // Adjusts the group limit. May be set below current usage: existing pages
+  // stay resident (a *soft* limit, like the paper's per-VM limits) but new
+  // charges fail until usage drops below it.
+  void set_limit(MemGroupId group, std::uint64_t limit_bytes);
+
+  // Charges bytes to the group. Fails with "oom" (node exhausted) or
+  // "limit" (group cap exceeded).
+  util::Status charge(MemGroupId group, std::uint64_t bytes);
+  void uncharge(MemGroupId group, std::uint64_t bytes);
+
+  std::uint64_t group_usage(MemGroupId group) const;
+  std::uint64_t group_limit(MemGroupId group) const;
+  double utilization() const {
+    return capacity_ > 0
+               ? static_cast<double>(used_) / static_cast<double>(capacity_)
+               : 0.0;
+  }
+
+ private:
+  struct Group {
+    std::uint64_t limit = 0;
+    std::uint64_t usage = 0;
+  };
+
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::map<MemGroupId, Group> groups_;
+  MemGroupId next_group_ = 1;
+};
+
+}  // namespace picloud::os

@@ -1,0 +1,170 @@
+#include "os/node_os.h"
+
+#include <cassert>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace picloud::os {
+
+NodeOs::NodeOs(sim::Simulation& sim, hw::Device& device, net::Network& network,
+               net::NetNodeId fabric_node)
+    : sim_(sim), device_(device), network_(network), fabric_node_(fabric_node) {
+  const hw::DeviceSpec& spec = device_.spec();
+  cpu_ = std::make_unique<CpuScheduler>(sim_, spec.cycles_per_sec());
+  std::uint64_t usable_ram =
+      spec.ram_bytes > kGpuReservedBytes ? spec.ram_bytes - kGpuReservedBytes
+                                         : spec.ram_bytes;
+  memory_ = std::make_unique<MemoryManager>(usable_ram);
+  sdcard_ = std::make_unique<storage::SdCard>(
+      sim_, spec.storage_bytes, spec.storage_read_bps / 8.0,
+      spec.storage_write_bps / 8.0);
+}
+
+void NodeOs::boot() {
+  if (running_) return;
+  running_ = true;
+  device_.set_powered(sim_.now(), true);
+  system_mem_group_ = memory_->create_group();
+  util::Status s = memory_->charge(system_mem_group_, kSystemRamBytes);
+  assert(s.ok());
+  (void)s;
+  system_cpu_group_ = cpu_->create_group(/*shares=*/128);
+  cpu_->set_utilization_listener([this](double util) {
+    device_.power().set_utilization(sim_.now(), util);
+  });
+  LOG_INFO("os", "%s: booted (%s, %s RAM usable)", hostname().c_str(),
+           device_.spec().name.c_str(),
+           util::human_bytes(static_cast<double>(memory_->capacity())).c_str());
+}
+
+void NodeOs::shutdown() {
+  if (!running_) return;
+  // Graceful: stop containers first.
+  std::vector<std::string> names;
+  for (const auto& [name, c] : containers_) names.push_back(name);
+  for (const auto& name : names) (void)destroy_container(name);
+  if (!host_ip_.is_any()) network_.unbind_ip(host_ip_);
+  host_ip_ = net::Ipv4Addr::any();
+  memory_->destroy_group(system_mem_group_);
+  cpu_->destroy_group(system_cpu_group_);
+  cpu_->set_utilization_listener(nullptr);
+  device_.set_powered(sim_.now(), false);
+  running_ = false;
+  LOG_INFO("os", "%s: shut down", hostname().c_str());
+}
+
+void NodeOs::crash() {
+  if (!running_) return;
+  LOG_WARN("os", "%s: CRASH", hostname().c_str());
+  // No cleanup courtesy: containers are destroyed outright.
+  containers_.clear();  // Container dtor -> destroy() -> stop() best effort
+  if (!host_ip_.is_any()) network_.unbind_ip(host_ip_);
+  host_ip_ = net::Ipv4Addr::any();
+  // Power loss clears RAM and kills every process: the accounting groups
+  // die with it, or repeated crash/boot cycles would leak the 48 MiB
+  // system footprint until boot cannot charge it.
+  memory_->destroy_group(system_mem_group_);
+  cpu_->set_utilization_listener(nullptr);
+  cpu_->destroy_group(system_cpu_group_);
+  device_.set_powered(sim_.now(), false);
+  running_ = false;
+}
+
+void NodeOs::set_host_ip(net::Ipv4Addr ip) {
+  if (!host_ip_.is_any()) network_.unbind_ip(host_ip_);
+  host_ip_ = ip;
+  if (!host_ip_.is_any()) network_.bind_ip(host_ip_, fabric_node_);
+}
+
+bool NodeOs::has_image_layer(const std::string& layer_id) const {
+  return image_cache_.count(layer_id) > 0;
+}
+
+util::Status NodeOs::add_image_layer(const std::string& layer_id,
+                                     std::uint64_t bytes) {
+  if (has_image_layer(layer_id)) return util::Status::success();
+  if (!sdcard_->reserve(bytes)) {
+    return util::Error::make(
+        "disk_full", util::format("%s: SD card full caching %s",
+                                  hostname().c_str(), layer_id.c_str()));
+  }
+  image_cache_[layer_id] = bytes;
+  return util::Status::success();
+}
+
+std::vector<std::string> NodeOs::cached_layers() const {
+  std::vector<std::string> out;
+  out.reserve(image_cache_.size());
+  for (const auto& [id, bytes] : image_cache_) out.push_back(id);
+  return out;
+}
+
+util::Result<Container*> NodeOs::create_container(ContainerConfig config) {
+  if (!running_) {
+    return util::Error::make("state", hostname() + " is not running");
+  }
+  if (config.name.empty()) {
+    return util::Error::make("invalid", "container name required");
+  }
+  if (containers_.count(config.name) > 0) {
+    return util::Error::make("exists",
+                             "container name in use: " + config.name);
+  }
+  if (!config.image_id.empty() && !has_image_layer(config.image_id)) {
+    return util::Error::make("no_image",
+                             "image not cached locally: " + config.image_id);
+  }
+  auto container = std::make_unique<Container>(*this, std::move(config));
+  Container* raw = container.get();
+  containers_[raw->name()] = std::move(container);
+  return raw;
+}
+
+Container* NodeOs::find_container(const std::string& name) {
+  auto it = containers_.find(name);
+  return it != containers_.end() ? it->second.get() : nullptr;
+}
+
+util::Status NodeOs::destroy_container(const std::string& name) {
+  auto it = containers_.find(name);
+  if (it == containers_.end()) {
+    return util::Error::make("not_found", "no such container: " + name);
+  }
+  it->second->destroy();
+  containers_.erase(it);
+  return util::Status::success();
+}
+
+std::vector<Container*> NodeOs::containers() {
+  std::vector<Container*> out;
+  out.reserve(containers_.size());
+  for (auto& [name, c] : containers_) out.push_back(c.get());
+  return out;
+}
+
+size_t NodeOs::running_container_count() const {
+  size_t n = 0;
+  for (const auto& [name, c] : containers_) {
+    if (c->state() == ContainerState::kRunning ||
+        c->state() == ContainerState::kFrozen) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+NodeOs::NodeStats NodeOs::stats() const {
+  NodeStats s;
+  s.cpu_utilization = cpu_->utilization();
+  s.mem_used = memory_->used();
+  s.mem_capacity = memory_->capacity();
+  s.sd_used = sdcard_->used_bytes();
+  s.sd_capacity = sdcard_->capacity_bytes();
+  s.containers_total = static_cast<int>(containers_.size());
+  s.containers_running = static_cast<int>(running_container_count());
+  s.power_watts = device_.power().current_watts();
+  return s;
+}
+
+}  // namespace picloud::os

@@ -1,0 +1,109 @@
+// NodeOs — the Raspbian-like operating system of one Pi (paper Fig. 3).
+//
+// Composes the device's resources into the stack a container sees:
+//   ARM SoC (hw::Device) -> Raspbian (this class: scheduler, memory, SD
+//   card, image cache) -> LXC (os::Container) -> apps.
+// The management daemon (cloud::NodeDaemon) runs *on top of* NodeOs just as
+// the paper's bespoke API daemon runs on each Pi.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/device.h"
+#include "net/addr.h"
+#include "net/network.h"
+#include "os/container.h"
+#include "os/memory.h"
+#include "os/scheduler.h"
+#include "storage/sdcard.h"
+#include "util/result.h"
+
+namespace picloud::os {
+
+class NodeOs {
+ public:
+  // RAM the Raspbian system itself occupies after boot.
+  static constexpr std::uint64_t kSystemRamBytes = 48ull << 20;
+  // Minimum GPU memory split on a Pi: unavailable to the OS.
+  static constexpr std::uint64_t kGpuReservedBytes = 16ull << 20;
+
+  NodeOs(sim::Simulation& sim, hw::Device& device, net::Network& network,
+         net::NetNodeId fabric_node);
+
+  // --- Boot / halt --------------------------------------------------------------
+  // Powers the device, charges system RAM, wires CPU utilisation into the
+  // power meter. Idempotent.
+  void boot();
+  // Graceful: stops containers, releases resources, powers off.
+  void shutdown();
+  // Failure injection: the node dies instantly; containers are destroyed
+  // without cleanup, IPs unbound.
+  void crash();
+  bool running() const { return running_; }
+
+  // --- Identity ------------------------------------------------------------------
+  const std::string& hostname() const { return device_.hostname(); }
+  hw::Device& device() { return device_; }
+  net::NetNodeId fabric_node() const { return fabric_node_; }
+  void set_host_ip(net::Ipv4Addr ip);
+  net::Ipv4Addr host_ip() const { return host_ip_; }
+
+  // --- Subsystems ------------------------------------------------------------------
+  sim::Simulation& simulation() { return sim_; }
+  CpuScheduler& cpu() { return *cpu_; }
+  MemoryManager& memory() { return *memory_; }
+  storage::SdCard& sdcard() { return *sdcard_; }
+  net::Network& network() { return network_; }
+
+  // --- Image cache ------------------------------------------------------------------
+  bool has_image_layer(const std::string& layer_id) const;
+  // Reserves SD space for the layer; fails when the card is full.
+  util::Status add_image_layer(const std::string& layer_id,
+                               std::uint64_t bytes);
+  std::vector<std::string> cached_layers() const;
+
+  // --- Containers --------------------------------------------------------------------
+  // Creates a container definition (rootfs must already be cached).
+  util::Result<Container*> create_container(ContainerConfig config);
+  Container* find_container(const std::string& name);
+  // Stops (if needed) and removes the container.
+  util::Status destroy_container(const std::string& name);
+  std::vector<Container*> containers();
+  size_t container_count() const { return containers_.size(); }
+  size_t running_container_count() const;
+
+  // --- Monitoring ----------------------------------------------------------------------
+  struct NodeStats {
+    double cpu_utilization = 0;
+    std::uint64_t mem_used = 0;
+    std::uint64_t mem_capacity = 0;
+    std::uint64_t sd_used = 0;
+    std::uint64_t sd_capacity = 0;
+    int containers_total = 0;
+    int containers_running = 0;
+    double power_watts = 0;
+  };
+  NodeStats stats() const;
+
+ private:
+  sim::Simulation& sim_;
+  hw::Device& device_;
+  net::Network& network_;
+  net::NetNodeId fabric_node_;
+  net::Ipv4Addr host_ip_;
+  bool running_ = false;
+
+  std::unique_ptr<CpuScheduler> cpu_;
+  std::unique_ptr<MemoryManager> memory_;
+  std::unique_ptr<storage::SdCard> sdcard_;
+  MemGroupId system_mem_group_ = 0;
+  CgroupId system_cpu_group_ = kInvalidCgroup;
+
+  std::map<std::string, std::uint64_t> image_cache_;  // layer id -> bytes
+  std::map<std::string, std::unique_ptr<Container>> containers_;
+};
+
+}  // namespace picloud::os

@@ -1,0 +1,203 @@
+#include "proto/http.h"
+
+#include "util/strings.h"
+
+namespace picloud::proto {
+
+const char* method_name(Method m) {
+  switch (m) {
+    case Method::kGet: return "GET";
+    case Method::kPost: return "POST";
+    case Method::kPut: return "PUT";
+    case Method::kDelete: return "DELETE";
+  }
+  return "?";
+}
+
+std::optional<Method> parse_method(const std::string& name) {
+  if (name == "GET") return Method::kGet;
+  if (name == "POST") return Method::kPost;
+  if (name == "PUT") return Method::kPut;
+  if (name == "DELETE") return Method::kDelete;
+  return std::nullopt;
+}
+
+std::string HttpRequest::serialize() const {
+  util::Json j = util::Json::object();
+  j.set("m", method_name(method));
+  j.set("p", path);
+  if (!body.is_null()) j.set("b", body);
+  j.set("i", static_cast<unsigned long long>(id));
+  return j.dump();
+}
+
+util::Result<HttpRequest> HttpRequest::parse(const std::string& wire) {
+  auto parsed = util::Json::parse(wire);
+  if (!parsed.ok()) return parsed.error();
+  const util::Json& j = parsed.value();
+  auto method = parse_method(j.get_string("m"));
+  if (!method) return util::Error::make("bad_request", "unknown method");
+  HttpRequest req;
+  req.method = *method;
+  req.path = j.get_string("p");
+  req.body = j.get("b");
+  req.id = static_cast<std::uint64_t>(j.get_number("i"));
+  if (req.path.empty() || req.path[0] != '/') {
+    return util::Error::make("bad_request", "path must start with /");
+  }
+  return req;
+}
+
+std::string HttpResponse::serialize() const {
+  util::Json j = util::Json::object();
+  j.set("s", status);
+  if (!body.is_null()) j.set("b", body);
+  j.set("i", static_cast<unsigned long long>(id));
+  return j.dump();
+}
+
+util::Result<HttpResponse> HttpResponse::parse(const std::string& wire) {
+  auto parsed = util::Json::parse(wire);
+  if (!parsed.ok()) return parsed.error();
+  const util::Json& j = parsed.value();
+  HttpResponse resp;
+  resp.status = static_cast<int>(j.get_number("s", 0));
+  if (resp.status < 100 || resp.status > 599) {
+    return util::Error::make("bad_response", "invalid status code");
+  }
+  resp.body = j.get("b");
+  resp.id = static_cast<std::uint64_t>(j.get_number("i"));
+  return resp;
+}
+
+HttpResponse HttpResponse::make(int status, util::Json body) {
+  HttpResponse r;
+  r.status = status;
+  r.body = std::move(body);
+  return r;
+}
+
+namespace {
+HttpResponse error_response(int status, const std::string& code,
+                            const std::string& message) {
+  util::Json body = util::Json::object();
+  body.set("error", code);
+  body.set("message", message);
+  return HttpResponse::make(status, std::move(body));
+}
+}  // namespace
+
+HttpResponse HttpResponse::not_found(const std::string& message) {
+  return error_response(404, "not_found", message);
+}
+
+HttpResponse HttpResponse::bad_request(const std::string& message) {
+  return error_response(400, "bad_request", message);
+}
+
+HttpResponse HttpResponse::conflict(const std::string& message) {
+  return error_response(409, "conflict", message);
+}
+
+HttpResponse HttpResponse::service_unavailable(const std::string& message) {
+  return error_response(503, "unavailable", message);
+}
+
+HttpResponse HttpResponse::from_error(const util::Error& error) {
+  int status = 500;
+  if (error.code == "not_found" || error.code == "no_image") status = 404;
+  else if (error.code == "exists" || error.code == "conflict" ||
+           error.code == "state") status = 409;
+  else if (error.code == "invalid" || error.code == "bad_request") status = 400;
+  else if (error.code == "oom" || error.code == "limit" ||
+           error.code == "no_capacity" || error.code == "disk_full") status = 507;
+  else if (error.code == "timeout" || error.code == "unavailable") status = 503;
+  return error_response(status, error.code, error.message);
+}
+
+void Router::handle(Method method, const std::string& pattern,
+                    RouteHandler handler) {
+  handle_async(method, pattern,
+               [handler = std::move(handler)](const HttpRequest& req,
+                                              const PathParams& params,
+                                              Responder respond) {
+                 respond(handler(req, params));
+               });
+}
+
+void Router::handle_async(Method method, const std::string& pattern,
+                          AsyncRouteHandler handler) {
+  Route route;
+  route.method = method;
+  route.pattern = pattern;
+  route.segments = util::split_nonempty(pattern, '/');
+  route.handler = std::move(handler);
+  routes_.push_back(std::move(route));
+}
+
+bool Router::match(const Route& route, const std::vector<std::string>& parts,
+                   PathParams* params) {
+  if (route.segments.size() != parts.size()) return false;
+  PathParams captured;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    const std::string& seg = route.segments[i];
+    if (!seg.empty() && seg[0] == ':') {
+      captured[seg.substr(1)] = parts[i];
+    } else if (seg != parts[i]) {
+      return false;
+    }
+  }
+  *params = std::move(captured);
+  return true;
+}
+
+void Router::dispatch_async(const HttpRequest& request,
+                            Responder respond) const {
+  auto parts = util::split_nonempty(request.path, '/');
+  bool path_matched = false;
+  // Later registrations win: scan newest-first.
+  for (auto it = routes_.rbegin(); it != routes_.rend(); ++it) {
+    PathParams params;
+    if (!match(*it, parts, &params)) continue;
+    path_matched = true;
+    if (it->method != request.method) continue;
+    std::uint64_t id = request.id;
+    it->handler(request, params,
+                [respond = std::move(respond), id](HttpResponse resp) {
+                  resp.id = id;
+                  respond(std::move(resp));
+                });
+    return;
+  }
+  HttpResponse resp = path_matched
+                          ? error_response(405, "method_not_allowed",
+                                           "method not allowed on this path")
+                          : HttpResponse::not_found("no route for " +
+                                                    request.path);
+  resp.id = request.id;
+  respond(std::move(resp));
+}
+
+HttpResponse Router::dispatch(const HttpRequest& request) const {
+  HttpResponse out = error_response(504, "pending",
+                                    "handler did not respond synchronously");
+  bool responded = false;
+  dispatch_async(request, [&out, &responded](HttpResponse resp) {
+    out = std::move(resp);
+    responded = true;
+  });
+  (void)responded;
+  return out;
+}
+
+std::vector<std::string> Router::describe() const {
+  std::vector<std::string> out;
+  out.reserve(routes_.size());
+  for (const auto& r : routes_) {
+    out.push_back(util::format("%s %s", method_name(r.method),
+                               r.pattern.c_str()));
+  }
+  return out;
+}
+
+}  // namespace picloud::proto

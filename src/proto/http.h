@@ -1,0 +1,96 @@
+// HTTP-style request/response types and a path router.
+//
+// The paper's management plane is RESTful (§II-C: "controls workloads
+// running on the Pi devices using RESTful interfaces"), so the model carries
+// real method/path/status semantics. Requests serialize to a compact JSON
+// envelope on the wire (the fabric charges the serialized size).
+//
+// Router supports literal segments and ":param" captures:
+//   router.handle(Method::kPost, "/containers/:name/freeze", handler);
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/result.h"
+
+namespace picloud::proto {
+
+enum class Method { kGet, kPost, kPut, kDelete };
+
+const char* method_name(Method m);
+std::optional<Method> parse_method(const std::string& name);
+
+struct HttpRequest {
+  Method method = Method::kGet;
+  std::string path;        // "/nodes/pi-r0-03/containers"
+  util::Json body;         // JSON payload (null for body-less requests)
+  std::uint64_t id = 0;    // correlation id, set by the client
+
+  std::string serialize() const;
+  static util::Result<HttpRequest> parse(const std::string& wire);
+};
+
+struct HttpResponse {
+  int status = 200;
+  util::Json body;
+  std::uint64_t id = 0;  // echoes the request id
+
+  bool ok() const { return status >= 200 && status < 300; }
+  std::string serialize() const;
+  static util::Result<HttpResponse> parse(const std::string& wire);
+
+  static HttpResponse make(int status, util::Json body = util::Json());
+  // Convenience bodies: {"error": code, "message": ...}.
+  static HttpResponse not_found(const std::string& message = "not found");
+  static HttpResponse bad_request(const std::string& message);
+  static HttpResponse conflict(const std::string& message);
+  static HttpResponse service_unavailable(const std::string& message);
+  static HttpResponse from_error(const util::Error& error);
+};
+
+// Captured ":param" values, by name.
+using PathParams = std::map<std::string, std::string>;
+using RouteHandler =
+    std::function<HttpResponse(const HttpRequest&, const PathParams&)>;
+// Async handlers receive a responder they must invoke exactly once —
+// possibly after further network round trips (pimaster proxying a spawn to
+// a node daemon).
+using Responder = std::function<void(HttpResponse)>;
+using AsyncRouteHandler =
+    std::function<void(const HttpRequest&, const PathParams&, Responder)>;
+
+class Router {
+ public:
+  // Registers a route; ":name" segments capture. Later registrations win on
+  // exact duplicates.
+  void handle(Method method, const std::string& pattern, RouteHandler handler);
+  void handle_async(Method method, const std::string& pattern,
+                    AsyncRouteHandler handler);
+  // Dispatches; 404 when nothing matches. The responder may fire later.
+  void dispatch_async(const HttpRequest& request, Responder respond) const;
+  // Synchronous convenience for purely-sync routers (unit tests, local
+  // panels): returns 504 if the matched handler did not respond inline.
+  HttpResponse dispatch(const HttpRequest& request) const;
+  size_t route_count() const { return routes_.size(); }
+  // All registered "METHOD pattern" strings (control panel's API index).
+  std::vector<std::string> describe() const;
+
+ private:
+  struct Route {
+    Method method;
+    std::vector<std::string> segments;  // pre-split pattern
+    std::string pattern;
+    AsyncRouteHandler handler;
+  };
+  static bool match(const Route& route, const std::vector<std::string>& parts,
+                    PathParams* params);
+  std::vector<Route> routes_;
+};
+
+}  // namespace picloud::proto

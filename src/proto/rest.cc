@@ -1,0 +1,116 @@
+#include "proto/rest.h"
+
+#include "util/logging.h"
+
+namespace picloud::proto {
+
+RestServer::RestServer(net::Network& network, net::Ipv4Addr ip,
+                       std::uint16_t port, Router* router)
+    : network_(network), ip_(ip), port_(port), router_(router) {}
+
+RestServer::~RestServer() { stop(); }
+
+void RestServer::start() {
+  if (serving_) return;
+  serving_ = true;
+  network_.listen(ip_, port_,
+                  [this](const net::Message& msg) { on_message(msg); });
+}
+
+void RestServer::stop() {
+  if (!serving_) return;
+  serving_ = false;
+  network_.unlisten(ip_, port_);
+}
+
+void RestServer::on_message(const net::Message& msg) {
+  ++requests_served_;
+  net::Ipv4Addr reply_to = msg.src;
+  std::uint16_t reply_port = msg.src_port;
+  auto send_reply = [this, reply_to, reply_port](HttpResponse response) {
+    net::Message reply;
+    reply.src = ip_;
+    reply.dst = reply_to;
+    reply.src_port = port_;
+    reply.dst_port = reply_port;
+    reply.payload = response.serialize();
+    network_.send(std::move(reply));
+  };
+  auto request = HttpRequest::parse(msg.payload);
+  if (!request.ok()) {
+    send_reply(HttpResponse::bad_request(request.error().message));
+    return;
+  }
+  router_->dispatch_async(request.value(), std::move(send_reply));
+}
+
+RestClient::RestClient(net::Network& network, net::Ipv4Addr self,
+                       std::uint16_t ephemeral_port)
+    : network_(network),
+      sim_(network.simulation()),
+      self_(self),
+      port_(ephemeral_port) {
+  network_.listen(self_, port_,
+                  [this](const net::Message& msg) { on_message(msg); });
+}
+
+RestClient::~RestClient() {
+  network_.unlisten(self_, port_);
+  // Fail anything still in flight so callers are never left hanging.
+  // Collect first: finish() mutates pending_.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(pending_.size());
+  for (const auto& [id, p] : pending_) ids.push_back(id);
+  for (std::uint64_t id : ids) {
+    finish(id, util::Error::make("cancelled", "client destroyed"));
+  }
+}
+
+void RestClient::call(net::Ipv4Addr server, std::uint16_t port, Method method,
+                      const std::string& path, util::Json body,
+                      ResponseCallback cb, sim::Duration timeout) {
+  std::uint64_t id = next_id_++;
+  ++calls_made_;
+  HttpRequest request;
+  request.method = method;
+  request.path = path;
+  request.body = std::move(body);
+  request.id = id;
+
+  Pending pending;
+  pending.cb = std::move(cb);
+  pending.timeout_event = sim_.after(timeout, [this, id]() {
+    ++timeouts_;
+    finish(id, util::Error::make("timeout", "REST call timed out"));
+  });
+  pending_[id] = std::move(pending);
+
+  net::Message msg;
+  msg.src = self_;
+  msg.dst = server;
+  msg.src_port = port_;
+  msg.dst_port = port;
+  msg.payload = request.serialize();
+  network_.send(std::move(msg));
+  // Drops are handled by the timeout: a datagram network, reliability here.
+}
+
+void RestClient::on_message(const net::Message& msg) {
+  auto response = HttpResponse::parse(msg.payload);
+  if (!response.ok()) {
+    LOG_WARN("rest", "unparseable response at %s", self_.to_string().c_str());
+    return;
+  }
+  finish(response.value().id, response.value());
+}
+
+void RestClient::finish(std::uint64_t id, util::Result<HttpResponse> result) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;  // late response after timeout
+  Pending pending = std::move(it->second);
+  pending_.erase(it);
+  if (pending.timeout_event != 0) sim_.cancel(pending.timeout_event);
+  if (pending.cb) pending.cb(std::move(result));
+}
+
+}  // namespace picloud::proto

@@ -1,0 +1,108 @@
+// RESTful transport: HTTP requests/responses carried as messages over the
+// simulated network, with correlation ids and client-side timeouts.
+//
+// Paper §II-C: "There is an API daemon on each Pi providing a RESTful
+// management interface for facilitating virtual host management and
+// interacting with a head node (the pimaster)." RestServer is that daemon's
+// transport; RestClient is what pimaster and the web panel use to reach it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "net/addr.h"
+#include "net/network.h"
+#include "proto/http.h"
+#include "sim/simulation.h"
+#include "util/result.h"
+
+namespace picloud::proto {
+
+// Serves a Router on (ip, port). The router is borrowed; callers keep it
+// alive and may keep registering routes while serving.
+class RestServer {
+ public:
+  RestServer(net::Network& network, net::Ipv4Addr ip, std::uint16_t port,
+             Router* router);
+  ~RestServer();
+
+  RestServer(const RestServer&) = delete;
+  RestServer& operator=(const RestServer&) = delete;
+
+  void start();
+  void stop();
+  bool serving() const { return serving_; }
+
+  net::Ipv4Addr ip() const { return ip_; }
+  std::uint16_t port() const { return port_; }
+
+  std::uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  void on_message(const net::Message& msg);
+
+  net::Network& network_;
+  net::Ipv4Addr ip_;
+  std::uint16_t port_;
+  Router* router_;
+  bool serving_ = false;
+  std::uint64_t requests_served_ = 0;
+};
+
+// Asynchronous REST client. One instance per caller identity (an IP); all
+// in-flight calls share one ephemeral port and demultiplex on the
+// correlation id.
+class RestClient {
+ public:
+  static constexpr sim::Duration kDefaultTimeout = sim::Duration::seconds(5);
+
+  RestClient(net::Network& network, net::Ipv4Addr self,
+             std::uint16_t ephemeral_port = 49152);
+  ~RestClient();
+
+  RestClient(const RestClient&) = delete;
+  RestClient& operator=(const RestClient&) = delete;
+
+  using ResponseCallback = std::function<void(util::Result<HttpResponse>)>;
+
+  // Issues a request; the callback fires exactly once with the response or
+  // a "timeout" error.
+  void call(net::Ipv4Addr server, std::uint16_t port, Method method,
+            const std::string& path, util::Json body, ResponseCallback cb,
+            sim::Duration timeout = kDefaultTimeout);
+
+  // Shorthands.
+  void get(net::Ipv4Addr server, std::uint16_t port, const std::string& path,
+           ResponseCallback cb) {
+    call(server, port, Method::kGet, path, util::Json(), std::move(cb));
+  }
+  void post(net::Ipv4Addr server, std::uint16_t port, const std::string& path,
+            util::Json body, ResponseCallback cb) {
+    call(server, port, Method::kPost, path, std::move(body), std::move(cb));
+  }
+
+  size_t inflight() const { return pending_.size(); }
+  std::uint64_t calls_made() const { return calls_made_; }
+  std::uint64_t timeouts() const { return timeouts_; }
+
+ private:
+  struct Pending {
+    ResponseCallback cb;
+    sim::EventId timeout_event = 0;
+  };
+
+  void on_message(const net::Message& msg);
+  void finish(std::uint64_t id, util::Result<HttpResponse> result);
+
+  net::Network& network_;
+  sim::Simulation& sim_;
+  net::Ipv4Addr self_;
+  std::uint16_t port_;
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, Pending> pending_;
+  std::uint64_t calls_made_ = 0;
+  std::uint64_t timeouts_ = 0;
+};
+
+}  // namespace picloud::proto

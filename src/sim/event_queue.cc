@@ -1,0 +1,62 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace picloud::sim {
+
+EventId EventQueue::schedule(SimTime t, EventFn fn) {
+  EventId id = next_id_++;
+  heap_.push_back(Entry{t, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end());
+  if (cancelled_.size() <= id) cancelled_.resize(id + 1, false);
+  ++live_count_;
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id == 0 || id >= cancelled_.size() || cancelled_[id]) return;
+  cancelled_[id] = true;
+  assert(live_count_ > 0);
+  --live_count_;
+  ++dead_in_heap_;
+  // Rebuild once the majority of the heap is corpses (amortised O(1)).
+  if (dead_in_heap_ > live_count_ + 1024) compact();
+}
+
+void EventQueue::compact() {
+  std::erase_if(heap_, [this](const Entry& e) { return is_cancelled(e.id); });
+  std::make_heap(heap_.begin(), heap_.end());
+  dead_in_heap_ = 0;
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && is_cancelled(heap_.front().id)) {
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.pop_back();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled();
+  assert(!heap_.empty());
+  return heap_.front().time;
+}
+
+SimTime EventQueue::run_next() {
+  drop_cancelled();
+  // drop_cancelled popped an unknown number of corpses; the counter only
+  // tracks those still buried mid-heap, so clamp rather than decrement.
+  dead_in_heap_ = std::min(dead_in_heap_, heap_.size());
+  assert(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end());
+  Entry entry = std::move(heap_.back());
+  heap_.pop_back();
+  cancelled_[entry.id] = true;  // mark fired so late cancel() is a no-op
+  assert(live_count_ > 0);
+  --live_count_;
+  entry.fn();
+  return entry.time;
+}
+
+}  // namespace picloud::sim

@@ -1,0 +1,70 @@
+// Deterministic discrete-event queue.
+//
+// Events are (time, sequence, callback) triples ordered by time with FIFO
+// tie-break on the monotonically increasing sequence number, so two events
+// scheduled for the same instant always fire in scheduling order — the
+// property that makes whole-cloud runs bit-reproducible (DESIGN.md §6.1).
+//
+// Cancellation is lazy (dead entries are skipped at pop time) with periodic
+// compaction: rate-rescheduling workloads (the fair-share allocators cancel
+// and re-arm completion events on every change) would otherwise grow the
+// heap without bound.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace picloud::sim {
+
+using EventFn = std::function<void()>;
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  // Schedules `fn` at absolute time `t`. Returns an id usable with cancel().
+  EventId schedule(SimTime t, EventFn fn);
+
+  // Cancels a pending event. Cancelling an already-fired or unknown id is a
+  // no-op (the common "timer raced with completion" pattern).
+  void cancel(EventId id);
+
+  bool empty() const { return live_count_ == 0; }
+  std::size_t size() const { return live_count_; }
+
+  // Time of the earliest pending event. Requires !empty().
+  SimTime next_time() const;
+
+  // Pops and runs the earliest event. Requires !empty().
+  // Returns the time the event fired at.
+  SimTime run_next();
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;  // doubles as the FIFO sequence number
+    EventFn fn;
+    // Min-heap via std::*_heap with greater-than comparison.
+    bool operator<(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return id > other.id;
+    }
+  };
+
+  bool is_cancelled(EventId id) const {
+    return id < cancelled_.size() && cancelled_[id];
+  }
+  void drop_cancelled() const;
+  void compact();
+
+  mutable std::vector<Entry> heap_;
+  std::uint64_t next_id_ = 1;
+  std::size_t live_count_ = 0;
+  std::size_t dead_in_heap_ = 0;
+  // Cancelled/fired ids, marked true; indexed by id.
+  mutable std::vector<bool> cancelled_;
+};
+
+}  // namespace picloud::sim

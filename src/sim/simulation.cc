@@ -1,0 +1,89 @@
+#include "sim/simulation.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace picloud::sim {
+
+Simulation::Simulation(std::uint64_t seed) : now_(SimTime::zero()), rng_(seed) {}
+
+EventId Simulation::after(Duration delay, EventFn fn) {
+  assert(delay >= Duration::zero());
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+EventId Simulation::at(SimTime t, EventFn fn) {
+  assert(t >= now_);
+  return queue_.schedule(t, std::move(fn));
+}
+
+void Simulation::run_until(SimTime horizon) {
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    if (queue_.next_time() > horizon) break;
+    // Advance the clock BEFORE the callback runs so now() is the event time
+    // inside handlers.
+    now_ = queue_.next_time();
+    queue_.run_next();
+    ++events_executed_;
+  }
+  if (!stop_requested_ && now_ < horizon) now_ = horizon;
+}
+
+void Simulation::run() {
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    now_ = queue_.next_time();
+    queue_.run_next();
+    ++events_executed_;
+  }
+}
+
+void Simulation::install_clock_log_sink() {
+  util::Logging::set_sink([this](util::LogLevel level,
+                                 const std::string& component,
+                                 const std::string& message) {
+    std::fprintf(stderr, "%s [%-5s] %s: %s\n", now().to_string().c_str(),
+                 util::log_level_name(level), component.c_str(),
+                 message.c_str());
+  });
+}
+
+PeriodicTask::PeriodicTask(Simulation& sim, Duration period,
+                           std::function<void()> fn) {
+  assert(period > Duration::zero());
+  state_ = std::make_shared<State>();
+  state_->sim = &sim;
+  state_->period = period;
+  state_->fn = std::move(fn);
+  arm(state_);
+}
+
+void PeriodicTask::arm(const std::shared_ptr<State>& state) {
+  std::weak_ptr<State> weak = state;
+  state->pending = state->sim->after(state->period, [weak]() {
+    auto self = weak.lock();
+    if (!self || !self->alive) return;
+    self->fn();
+    if (self->alive) arm(self);  // fn() may have stopped the task
+  });
+}
+
+PeriodicTask::~PeriodicTask() { stop(); }
+
+PeriodicTask& PeriodicTask::operator=(PeriodicTask&& other) noexcept {
+  if (this != &other) {
+    stop();
+    state_ = std::move(other.state_);
+  }
+  return *this;
+}
+
+void PeriodicTask::stop() {
+  if (!state_) return;
+  state_->alive = false;
+  state_->sim->cancel(state_->pending);
+  state_.reset();
+}
+
+}  // namespace picloud::sim

@@ -1,0 +1,102 @@
+// Simulation — the deterministic event loop every other module hangs off.
+//
+// Single-threaded by design: determinism is worth more to a research testbed
+// than parallel speed (a full 56-node PiCloud day simulates in seconds).
+// Components receive a Simulation& at construction and use after()/at() to
+// schedule their behaviour; nothing in the codebase reads wall-clock time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace picloud::sim {
+
+class Simulation {
+ public:
+  // `seed` feeds the root RNG; fork per-component streams from rng().
+  explicit Simulation(std::uint64_t seed = 1);
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` to run after `delay` (>= 0) from now.
+  EventId after(Duration delay, EventFn fn);
+
+  // Schedules `fn` at absolute time `t` (>= now).
+  EventId at(SimTime t, EventFn fn);
+
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  // Runs events until the queue drains or `horizon` is passed (events at
+  // exactly `horizon` still run). Advances now() to `horizon` if the queue
+  // drained earlier, so time-weighted metrics integrate over the full window.
+  void run_until(SimTime horizon);
+
+  // Runs until the event queue is empty.
+  void run();
+
+  // Convenience: run_until(now + d).
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  // Stops the current run_*() call after the in-flight event completes.
+  void stop() { stop_requested_ = true; }
+
+  // Root RNG for this simulation; components should fork() their own stream.
+  util::Rng& rng() { return rng_; }
+
+  // Number of events executed so far (for bench reporting).
+  std::uint64_t events_executed() const { return events_executed_; }
+
+  // Installs a log sink that prefixes the simulated clock, e.g.
+  // "[   1.250000s] [INFO ] dhcp: OFFER 10.0.1.17 to b8:27:eb:...".
+  void install_clock_log_sink();
+
+ private:
+  EventQueue queue_;
+  SimTime now_;
+  util::Rng rng_;
+  bool stop_requested_ = false;
+  std::uint64_t events_executed_ = 0;
+};
+
+// A repeating timer with RAII / explicit-stop semantics. Used by monitoring
+// daemons (stat sampling), DHCP lease refresh, workload generators.
+//
+// The callback fires every `period`, first firing one period after start().
+// Destroying or stop()ping the task cancels future firings. Movable.
+class PeriodicTask {
+ public:
+  PeriodicTask() = default;
+  PeriodicTask(Simulation& sim, Duration period, std::function<void()> fn);
+  ~PeriodicTask();
+
+  PeriodicTask(PeriodicTask&&) noexcept = default;
+  PeriodicTask& operator=(PeriodicTask&&) noexcept;
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void stop();
+  bool active() const { return state_ != nullptr && state_->alive; }
+
+ private:
+  struct State {
+    Simulation* sim;
+    Duration period;
+    std::function<void()> fn;
+    EventId pending = 0;
+    bool alive = true;
+  };
+  static void arm(const std::shared_ptr<State>& state);
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace picloud::sim

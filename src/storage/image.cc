@@ -1,0 +1,129 @@
+#include "storage/image.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace picloud::storage {
+
+std::string ImageLayer::id() const {
+  return util::format("%s:%d", name.c_str(), version);
+}
+
+util::Result<std::string> ImageStore::add_base(const std::string& name,
+                                               std::uint64_t bytes,
+                                               const std::string& note) {
+  if (latest_version_.count(name) > 0) {
+    return util::Error::make("exists", "image name already registered: " + name);
+  }
+  ImageLayer layer;
+  layer.name = name;
+  layer.version = 1;
+  layer.layer_bytes = bytes;
+  layer.note = note;
+  std::string id = layer.id();
+  layers_[id] = layer;
+  latest_version_[name] = 1;
+  return id;
+}
+
+util::Result<std::string> ImageStore::patch(const std::string& name,
+                                            std::uint64_t delta_bytes,
+                                            const std::string& note) {
+  auto it = latest_version_.find(name);
+  if (it == latest_version_.end()) {
+    return util::Error::make("not_found", "no such image: " + name);
+  }
+  ImageLayer layer;
+  layer.name = name;
+  layer.version = it->second + 1;
+  layer.layer_bytes = delta_bytes;
+  layer.parent_id = util::format("%s:%d", name.c_str(), it->second);
+  layer.note = note;
+  std::string id = layer.id();
+  layers_[id] = layer;
+  it->second = layer.version;
+  return id;
+}
+
+util::Result<std::string> ImageStore::upgrade(const std::string& name,
+                                              std::uint64_t bytes,
+                                              const std::string& note) {
+  auto it = latest_version_.find(name);
+  if (it == latest_version_.end()) {
+    return util::Error::make("not_found", "no such image: " + name);
+  }
+  ImageLayer layer;
+  layer.name = name;
+  layer.version = it->second + 1;
+  layer.layer_bytes = bytes;
+  layer.note = note;  // no parent: self-contained release
+  std::string id = layer.id();
+  layers_[id] = layer;
+  it->second = layer.version;
+  return id;
+}
+
+util::Result<ImageLayer> ImageStore::get(const std::string& id) const {
+  auto it = layers_.find(id);
+  if (it == layers_.end()) {
+    return util::Error::make("not_found", "no such image id: " + id);
+  }
+  return it->second;
+}
+
+util::Result<std::string> ImageStore::latest(const std::string& name) const {
+  auto it = latest_version_.find(name);
+  if (it == latest_version_.end()) {
+    return util::Error::make("not_found", "no such image: " + name);
+  }
+  return util::format("%s:%d", name.c_str(), it->second);
+}
+
+util::Result<std::vector<ImageLayer>> ImageStore::chain(
+    const std::string& id) const {
+  std::vector<ImageLayer> out;
+  std::string current = id;
+  while (true) {
+    auto layer = get(current);
+    if (!layer.ok()) return layer.error();
+    out.push_back(layer.value());
+    if (!layer.value().parent_id) break;
+    current = *layer.value().parent_id;
+    if (out.size() > layers_.size()) {
+      return util::Error::make("cycle", "image layer chain has a cycle");
+    }
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+util::Result<std::uint64_t> ImageStore::installed_bytes(
+    const std::string& id) const {
+  auto layers = chain(id);
+  if (!layers.ok()) return layers.error();
+  std::uint64_t total = 0;
+  for (const auto& l : layers.value()) total += l.layer_bytes;
+  return total;
+}
+
+util::Result<std::uint64_t> ImageStore::transfer_bytes(
+    const std::string& id, const std::vector<std::string>& cached) const {
+  auto layers = chain(id);
+  if (!layers.ok()) return layers.error();
+  std::uint64_t total = 0;
+  for (const auto& l : layers.value()) {
+    bool have = std::find(cached.begin(), cached.end(), l.id()) != cached.end();
+    if (!have) total += l.layer_bytes;
+  }
+  return total;
+}
+
+std::vector<std::string> ImageStore::list() const {
+  std::vector<std::string> out;
+  out.reserve(layers_.size());
+  for (const auto& [id, layer] : layers_) out.push_back(id);
+  return out;
+}
+
+}  // namespace picloud::storage

@@ -1,0 +1,75 @@
+// Container image model: layered, content-addressed-ish images with
+// upgrade / patch / spawn operations.
+//
+// Paper §II-A: the pimaster "hosts image management tools providing image
+// upgrading, patching, and spawning". Images form layer chains (a patch is a
+// delta layer on a parent), so nodes that already cache the parent only
+// transfer the delta — the behaviour that makes mass-patching a 56-node
+// cloud tractable over 100 Mb links.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace picloud::storage {
+
+// An immutable image layer. `id` is "name:version".
+struct ImageLayer {
+  std::string name;          // e.g. "raspbian-lxc"
+  int version = 1;
+  std::uint64_t layer_bytes = 0;   // bytes added by this layer alone
+  std::optional<std::string> parent_id;  // layer below, if any
+  std::string note;          // human description ("security patch CVE-…")
+
+  std::string id() const;
+};
+
+// The pimaster-side registry of images.
+class ImageStore {
+ public:
+  // Registers a fresh base image (version 1, no parent).
+  util::Result<std::string> add_base(const std::string& name,
+                                     std::uint64_t bytes,
+                                     const std::string& note = "");
+
+  // Creates version N+1 of `name` as a delta layer of `delta_bytes` on the
+  // current latest version. Returns the new image id.
+  util::Result<std::string> patch(const std::string& name,
+                                  std::uint64_t delta_bytes,
+                                  const std::string& note = "");
+
+  // Full upgrade: new self-contained version (no parent chain), e.g. a new
+  // Raspbian release.
+  util::Result<std::string> upgrade(const std::string& name,
+                                    std::uint64_t bytes,
+                                    const std::string& note = "");
+
+  util::Result<ImageLayer> get(const std::string& id) const;
+  // Latest version id for a name.
+  util::Result<std::string> latest(const std::string& name) const;
+
+  // The layer chain for an image, base first.
+  util::Result<std::vector<ImageLayer>> chain(const std::string& id) const;
+
+  // Total bytes a node must hold to run this image (whole chain).
+  util::Result<std::uint64_t> installed_bytes(const std::string& id) const;
+
+  // Bytes that must be transferred to a node already caching `cached`
+  // layer ids (missing layers only).
+  util::Result<std::uint64_t> transfer_bytes(
+      const std::string& id, const std::vector<std::string>& cached) const;
+
+  std::vector<std::string> list() const;
+  size_t count() const { return layers_.size(); }
+
+ private:
+  std::map<std::string, ImageLayer> layers_;  // by id
+  std::map<std::string, int> latest_version_;  // by name
+};
+
+}  // namespace picloud::storage

@@ -1,0 +1,62 @@
+#include "storage/sdcard.h"
+
+#include <cassert>
+
+namespace picloud::storage {
+
+SdCard::SdCard(sim::Simulation& sim, std::uint64_t capacity_bytes,
+               double read_bytes_per_sec, double write_bytes_per_sec)
+    : sim_(sim),
+      capacity_(capacity_bytes),
+      read_bps_(read_bytes_per_sec),
+      write_bps_(write_bytes_per_sec) {
+  assert(read_bps_ > 0 && write_bps_ > 0);
+}
+
+bool SdCard::reserve(std::uint64_t bytes) {
+  if (used_ + bytes > capacity_) return false;
+  used_ += bytes;
+  return true;
+}
+
+void SdCard::release(std::uint64_t bytes) {
+  assert(bytes <= used_);
+  used_ -= bytes;
+}
+
+void SdCard::read(std::uint64_t bytes, IoCallback on_done) {
+  enqueue(IoRequest{bytes, /*is_write=*/false, std::move(on_done)});
+}
+
+void SdCard::write(std::uint64_t bytes, IoCallback on_done) {
+  enqueue(IoRequest{bytes, /*is_write=*/true, std::move(on_done)});
+}
+
+void SdCard::enqueue(IoRequest req) {
+  queue_.push_back(std::move(req));
+  if (!busy_) service_next();
+}
+
+void SdCard::service_next() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  IoRequest req = std::move(queue_.front());
+  queue_.pop_front();
+  double bps = req.is_write ? write_bps_ : read_bps_;
+  double seconds = static_cast<double>(req.bytes) / bps;
+  if (req.is_write) {
+    bytes_written_ += static_cast<double>(req.bytes);
+  } else {
+    bytes_read_ += static_cast<double>(req.bytes);
+  }
+  sim_.after(sim::Duration::seconds(seconds),
+             [this, cb = std::move(req.on_done)]() {
+               if (cb) cb();
+               service_next();
+             });
+}
+
+}  // namespace picloud::storage

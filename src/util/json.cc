@@ -1,0 +1,437 @@
+#include "util/json.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace picloud::util {
+
+namespace {
+const std::string kEmptyString;
+const JsonArray kEmptyArray;
+const JsonObject kEmptyObject;
+const Json kNullJson;
+}  // namespace
+
+Json::Json(JsonArray a)
+    : type_(Type::kArray), arr_(std::make_unique<JsonArray>(std::move(a))) {}
+
+Json::Json(JsonObject o)
+    : type_(Type::kObject), obj_(std::make_unique<JsonObject>(std::move(o))) {}
+
+Json::Json(const Json& other)
+    : type_(other.type_), bool_(other.bool_), num_(other.num_), str_(other.str_) {
+  if (other.arr_) arr_ = std::make_unique<JsonArray>(*other.arr_);
+  if (other.obj_) obj_ = std::make_unique<JsonObject>(*other.obj_);
+}
+
+Json::Json(Json&&) noexcept = default;
+
+Json& Json::operator=(const Json& other) {
+  if (this != &other) *this = Json(other);
+  return *this;
+}
+
+Json& Json::operator=(Json&&) noexcept = default;
+
+Json::~Json() = default;
+
+const std::string& Json::as_string() const {
+  assert(is_string() || is_null());
+  return is_string() ? str_ : kEmptyString;
+}
+
+const JsonArray& Json::as_array() const {
+  return is_array() && arr_ ? *arr_ : kEmptyArray;
+}
+
+const JsonObject& Json::as_object() const {
+  return is_object() && obj_ ? *obj_ : kEmptyObject;
+}
+
+JsonArray& Json::mutable_array() {
+  if (!is_array()) {
+    assert(is_null());
+    type_ = Type::kArray;
+    arr_ = std::make_unique<JsonArray>();
+  }
+  return *arr_;
+}
+
+JsonObject& Json::mutable_object() {
+  if (!is_object()) {
+    assert(is_null());
+    type_ = Type::kObject;
+    obj_ = std::make_unique<JsonObject>();
+  }
+  return *obj_;
+}
+
+bool Json::has(const std::string& key) const {
+  return is_object() && obj_ && obj_->count(key) > 0;
+}
+
+const Json& Json::get(const std::string& key) const {
+  if (is_object() && obj_) {
+    auto it = obj_->find(key);
+    if (it != obj_->end()) return it->second;
+  }
+  return kNullJson;
+}
+
+double Json::get_number(const std::string& key, double fallback) const {
+  const Json& v = get(key);
+  return v.is_number() ? v.as_number() : fallback;
+}
+
+std::string Json::get_string(const std::string& key, std::string fallback) const {
+  const Json& v = get(key);
+  return v.is_string() ? v.as_string() : std::move(fallback);
+}
+
+bool Json::get_bool(const std::string& key, bool fallback) const {
+  const Json& v = get(key);
+  return v.is_bool() ? v.as_bool() : fallback;
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  mutable_object()[key] = std::move(value);
+  return *this;
+}
+
+Json& Json::push_back(Json value) {
+  mutable_array().push_back(std::move(value));
+  return *this;
+}
+
+size_t Json::size() const {
+  if (is_array() && arr_) return arr_->size();
+  if (is_object() && obj_) return obj_->size();
+  return 0;
+}
+
+const Json& Json::operator[](size_t i) const {
+  if (is_array() && arr_ && i < arr_->size()) return (*arr_)[i];
+  return kNullJson;
+}
+
+bool Json::operator==(const Json& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull: return true;
+    case Type::kBool: return bool_ == other.bool_;
+    case Type::kNumber: return num_ == other.num_;
+    case Type::kString: return str_ == other.str_;
+    case Type::kArray: return as_array() == other.as_array();
+    case Type::kObject: return as_object() == other.as_object();
+  }
+  return false;
+}
+
+namespace {
+
+void escape_string(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += format("\\u%04x", c);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void dump_number(double d, std::string* out) {
+  if (std::isnan(d) || std::isinf(d)) {  // not representable in JSON
+    *out += "null";
+    return;
+  }
+  double rounded = std::nearbyint(d);
+  if (rounded == d && std::fabs(d) < 9.007199254740992e15) {
+    *out += format("%lld", static_cast<long long>(d));
+  } else {
+    *out += format("%.17g", d);
+  }
+}
+
+void newline_indent(std::string* out, int indent, int depth) {
+  if (indent <= 0) return;
+  out->push_back('\n');
+  out->append(static_cast<size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string* out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull: *out += "null"; break;
+    case Type::kBool: *out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: dump_number(num_, out); break;
+    case Type::kString: escape_string(str_, out); break;
+    case Type::kArray: {
+      const JsonArray& a = as_array();
+      if (a.empty()) {
+        *out += "[]";
+        break;
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        newline_indent(out, indent, depth + 1);
+        a[i].dump_to(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      const JsonObject& o = as_object();
+      if (o.empty()) {
+        *out += "{}";
+        break;
+      }
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : o) {
+        if (!first) out->push_back(',');
+        first = false;
+        newline_indent(out, indent, depth + 1);
+        escape_string(k, out);
+        *out += indent > 0 ? ": " : ":";
+        v.dump_to(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(&out, /*indent=*/0, /*depth=*/0);
+  return out;
+}
+
+std::string Json::pretty() const {
+  std::string out;
+  dump_to(&out, /*indent=*/2, /*depth=*/0);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser — recursive descent over a string_view with position tracking.
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Json> parse() {
+    skip_ws();
+    Result<Json> v = parse_value();
+    if (!v.ok()) return v;
+    skip_ws();
+    if (pos_ != text_.size()) return error("trailing characters");
+    return v;
+  }
+
+ private:
+  Error error(const std::string& what) {
+    return Error::make("json_parse",
+                       format("%s at offset %zu", what.c_str(), pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool eat_word(std::string_view w) {
+    if (text_.substr(pos_, w.size()) == w) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> parse_value() {
+    if (depth_ > kMaxDepth) return error("nesting too deep");
+    if (pos_ >= text_.size()) return error("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      Result<std::string> s = parse_string();
+      if (!s.ok()) return s.error();
+      return Json(std::move(s).value());
+    }
+    if (eat_word("null")) return Json(nullptr);
+    if (eat_word("true")) return Json(true);
+    if (eat_word("false")) return Json(false);
+    return parse_number();
+  }
+
+  Result<Json> parse_object() {
+    ++depth_;
+    eat('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (eat('}')) {
+      --depth_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return error("expected object key");
+      }
+      Result<std::string> key = parse_string();
+      if (!key.ok()) return key.error();
+      skip_ws();
+      if (!eat(':')) return error("expected ':'");
+      skip_ws();
+      Result<Json> value = parse_value();
+      if (!value.ok()) return value;
+      obj.set(key.value(), std::move(value).value());
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat('}')) break;
+      return error("expected ',' or '}'");
+    }
+    --depth_;
+    return obj;
+  }
+
+  Result<Json> parse_array() {
+    ++depth_;
+    eat('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (eat(']')) {
+      --depth_;
+      return arr;
+    }
+    while (true) {
+      skip_ws();
+      Result<Json> value = parse_value();
+      if (!value.ok()) return value;
+      arr.push_back(std::move(value).value());
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat(']')) break;
+      return error("expected ',' or ']'");
+    }
+    --depth_;
+    return arr;
+  }
+
+  Result<std::string> parse_string() {
+    eat('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return error("bad escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return error("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return error("bad hex digit in \\u escape");
+            }
+            // UTF-8 encode (basic multilingual plane only; surrogate pairs
+            // are passed through as replacement characters — management
+            // payloads are ASCII in practice).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return error("unknown escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return error("unterminated string");
+  }
+
+  Result<Json> parse_number() {
+    size_t start = pos_;
+    if (eat('-')) { /* sign */ }
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return error("expected value");
+    std::string num(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double d = std::strtod(num.c_str(), &end);
+    if (end != num.c_str() + num.size()) return error("bad number");
+    return Json(d);
+  }
+
+  static constexpr int kMaxDepth = 128;
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Result<Json> Json::parse(std::string_view text) {
+  return Parser(text).parse();
+}
+
+}  // namespace picloud::util

@@ -1,0 +1,47 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace picloud::util {
+
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+Logging::Sink g_sink;
+
+void default_sink(LogLevel level, const std::string& component,
+                  const std::string& message) {
+  std::fprintf(stderr, "[%-5s] %s: %s\n", log_level_name(level),
+               component.c_str(), message.c_str());
+}
+
+}  // namespace
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+LogLevel Logging::level() { return g_level; }
+
+void Logging::set_level(LogLevel level) { g_level = level; }
+
+void Logging::set_sink(Sink sink) { g_sink = std::move(sink); }
+
+void Logging::log(LogLevel level, const std::string& component,
+                  const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  if (g_sink) {
+    g_sink(level, component, message);
+  } else {
+    default_sink(level, component, message);
+  }
+}
+
+}  // namespace picloud::util

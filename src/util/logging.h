@@ -1,0 +1,53 @@
+// Leveled logging with a pluggable sink.
+//
+// The simulation kernel installs a sink that prefixes messages with the
+// simulated clock, so logs read like the syslog of a real PiCloud run.
+// Default level is kWarn so tests and benches stay quiet; examples raise it.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "util/strings.h"
+
+namespace picloud::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+const char* log_level_name(LogLevel level);
+
+// Global logging configuration. Not thread-safe by design: the simulator is
+// single-threaded (deterministic DES), per DESIGN.md §6.
+class Logging {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string& component,
+                                  const std::string& message)>;
+
+  static LogLevel level();
+  static void set_level(LogLevel level);
+  // Replaces the sink (default writes to stderr). Pass nullptr to restore.
+  static void set_sink(Sink sink);
+
+  static void log(LogLevel level, const std::string& component,
+                  const std::string& message);
+};
+
+#define PICLOUD_LOG(lvl_, comp_, ...)                                   \
+  do {                                                                  \
+    if (static_cast<int>(lvl_) >=                                       \
+        static_cast<int>(::picloud::util::Logging::level())) {          \
+      ::picloud::util::Logging::log(lvl_, comp_,                        \
+                                    ::picloud::util::format(__VA_ARGS__)); \
+    }                                                                   \
+  } while (0)
+
+#define LOG_DEBUG(component, ...) \
+  PICLOUD_LOG(::picloud::util::LogLevel::kDebug, component, __VA_ARGS__)
+#define LOG_INFO(component, ...) \
+  PICLOUD_LOG(::picloud::util::LogLevel::kInfo, component, __VA_ARGS__)
+#define LOG_WARN(component, ...) \
+  PICLOUD_LOG(::picloud::util::LogLevel::kWarn, component, __VA_ARGS__)
+#define LOG_ERROR(component, ...) \
+  PICLOUD_LOG(::picloud::util::LogLevel::kError, component, __VA_ARGS__)
+
+}  // namespace picloud::util

@@ -1,0 +1,86 @@
+// Result<T> — lightweight expected-style error propagation for expected
+// (non-programming-error) failures across module boundaries.
+//
+// The PiCloud management plane deals in fallible operations constantly
+// (REST calls that 404, placements that do not fit, migrations that abort),
+// so the codebase follows the Core Guidelines advice of reserving exceptions
+// for programming errors and uses Result<T> for anticipated failure.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace picloud::util {
+
+// An error with a short machine-readable code and a human-readable message.
+struct Error {
+  std::string code;     // e.g. "not_found", "no_capacity", "timeout"
+  std::string message;  // free-form detail for logs / HTTP bodies
+
+  static Error make(std::string code, std::string message) {
+    return Error{std::move(code), std::move(message)};
+  }
+};
+
+// Result<T>: either a value or an Error. Modeled after std::expected
+// (which is C++23; we target C++20).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+
+  // Returns the contained value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+// Result<void> analogue.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // success
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  static Status success() { return Status{}; }
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace picloud::util

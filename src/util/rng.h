@@ -1,0 +1,67 @@
+// Deterministic random number generation.
+//
+// Every stochastic element in the simulation (workload arrivals, request
+// sizes, traffic pattern choices, failure injection) draws from an explicit
+// Rng stream seeded from the experiment configuration, so a run is
+// bit-reproducible. Uses xoshiro256** (public-domain algorithm by Blackman
+// and Vigna) with splitmix64 seeding.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace picloud::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Creates an independent child stream; parent and child sequences do not
+  // overlap in practice (distinct splitmix64-derived states).
+  Rng fork();
+
+  // Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  // Uniform in [0, 1).
+  double next_double();
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  // Pareto with shape alpha (> 0) and minimum xm (> 0): heavy-tailed flow
+  // sizes, matching measured DC traffic distributions.
+  double pareto(double alpha, double xm);
+
+  // Normal via Box-Muller.
+  double normal(double mean, double stddev);
+
+  // Bernoulli trial.
+  bool chance(double p);
+
+  // Picks an index in [0, weights.size()) proportionally to weights.
+  // Requires a non-empty vector with non-negative entries, not all zero.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace picloud::util

@@ -1,0 +1,108 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace picloud::util {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  double na = static_cast<double>(count_);
+  double nb = static_cast<double>(other.count_);
+  double delta = other.mean_ - mean_;
+  double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+std::string RunningStats::summary() const {
+  return format("n=%lld, mean=%.3f, min=%.3f, max=%.3f, sd=%.3f",
+                static_cast<long long>(count_), mean(), min(), max(), stddev());
+}
+
+void Histogram::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+double Histogram::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank with linear interpolation.
+  double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, samples_.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double Histogram::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+std::string Histogram::summary() const {
+  return format("n=%zu, p50=%.3f, p95=%.3f, p99=%.3f, max=%.3f", count(),
+                percentile(50), percentile(95), percentile(99), max());
+}
+
+void TimeWeighted::set(double t_seconds, double value) {
+  if (!started_) {
+    started_ = true;
+    start_t_ = last_t_ = t_seconds;
+    value_ = value;
+    return;
+  }
+  assert(t_seconds >= last_t_);
+  integral_ += value_ * (t_seconds - last_t_);
+  last_t_ = t_seconds;
+  value_ = value;
+}
+
+double TimeWeighted::integral(double t_seconds) const {
+  if (!started_) return 0.0;
+  assert(t_seconds >= last_t_);
+  return integral_ + value_ * (t_seconds - last_t_);
+}
+
+double TimeWeighted::average(double t_seconds) const {
+  if (!started_ || t_seconds <= start_t_) return value_;
+  return integral(t_seconds) / (t_seconds - start_t_);
+}
+
+}  // namespace picloud::util

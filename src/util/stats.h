@@ -1,0 +1,81 @@
+// Statistics collection: running summaries, percentile histograms and
+// time-weighted averages. Used by the monitoring layer (per-node CPU / memory
+// / network gauges), by benches (latency distributions) and by the power
+// model (energy integration).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace picloud::util {
+
+// Count / mean / min / max / stddev over a stream of samples, O(1) memory.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  std::string summary() const;  // "n=…, mean=…, min=…, max=…, sd=…"
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // Welford accumulator
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Exact-percentile histogram: stores samples, sorts lazily. Fine for the
+// sample counts benches produce (<= millions).
+class Histogram {
+ public:
+  void add(double x);
+  size_t count() const { return samples_.size(); }
+  double percentile(double p) const;  // p in [0, 100]
+  double median() const { return percentile(50); }
+  double p99() const { return percentile(99); }
+  double mean() const;
+  double min() const { return percentile(0); }
+  double max() const { return percentile(100); }
+
+  std::string summary() const;  // "n=…, p50=…, p95=…, p99=…, max=…"
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+// Integral of a piecewise-constant signal over time: used for average
+// utilisation and energy (power integrated over simulated time).
+class TimeWeighted {
+ public:
+  // Records that the signal changed to `value` at time `t_seconds`.
+  // Times must be non-decreasing.
+  void set(double t_seconds, double value);
+
+  // Integral of the signal from the first set() up to `t_seconds`.
+  double integral(double t_seconds) const;
+
+  // Time-average of the signal over [first set, t_seconds].
+  double average(double t_seconds) const;
+
+  double current() const { return value_; }
+
+ private:
+  bool started_ = false;
+  double start_t_ = 0.0;
+  double last_t_ = 0.0;
+  double value_ = 0.0;
+  double integral_ = 0.0;
+};
+
+}  // namespace picloud::util

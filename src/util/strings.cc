@@ -1,0 +1,106 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace picloud::util {
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_nonempty(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  for (auto& part : split(s, sep)) {
+    if (!part.empty()) out.push_back(std::move(part));
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string_view trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool parse_u64(std::string_view s, unsigned long long* out) {
+  if (s.empty()) return false;
+  unsigned long long v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    unsigned long long digit = static_cast<unsigned long long>(c - '0');
+    if (v > (~0ULL - digit) / 10) return false;  // overflow
+    v = v * 10 + digit;
+  }
+  *out = v;
+  return true;
+}
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args2;
+  va_copy(args2, args);
+  int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+  }
+  va_end(args2);
+  return out;
+}
+
+std::string human_bytes(double bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int unit = 0;
+  while (bytes >= 1024.0 && unit < 4) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  return format("%.1f %s", bytes, kUnits[unit]);
+}
+
+std::string pad(std::string_view s, size_t width) {
+  std::string out(s.substr(0, width));
+  out.resize(width, ' ');
+  return out;
+}
+
+}  // namespace picloud::util

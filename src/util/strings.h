@@ -1,0 +1,43 @@
+// Small string helpers used across the code base (splitting REST paths,
+// formatting dashboard tables, building container names).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace picloud::util {
+
+// Splits `s` on `sep`, keeping empty fields ("a//b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view s, char sep);
+
+// Splits and drops empty fields ("/a//b/" -> {"a","b"}); the natural form
+// for URL path segments.
+std::vector<std::string> split_nonempty(std::string_view s, char sep);
+
+// Joins `parts` with `sep` between each pair.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+// True if `s` begins with / ends with the given prefix / suffix.
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+// Strips ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+// Lower-cases ASCII characters only.
+std::string to_lower(std::string_view s);
+
+// Parses a non-negative integer; returns false on any non-digit or overflow.
+bool parse_u64(std::string_view s, unsigned long long* out);
+
+// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Human-readable byte count: "30.0 MiB", "1.5 GiB".
+std::string human_bytes(double bytes);
+
+// Pads/truncates to an exact column width (for the text control panel).
+std::string pad(std::string_view s, size_t width);
+
+}  // namespace picloud::util

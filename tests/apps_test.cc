@@ -1,0 +1,270 @@
+// Application tests: httpd under load and limits, kvstore semantics and
+// OOM behaviour, MapReduce end-to-end on a small cluster, traffic
+// generators.
+#include <gtest/gtest.h>
+
+#include "apps/factory.h"
+#include "apps/httpd.h"
+#include "apps/kvstore.h"
+#include "apps/loadgen.h"
+#include "apps/mapreduce.h"
+#include "hw/device.h"
+#include "os/node_os.h"
+#include "net/topology.h"
+#include "sim/simulation.h"
+
+namespace picloud::apps {
+namespace {
+
+// A rack of real NodeOs instances to host containers on.
+struct AppWorld {
+  sim::Simulation sim;
+  net::Fabric fabric{sim};
+  net::Network network{sim, fabric};
+  net::Topology topo;
+  std::vector<std::unique_ptr<hw::Device>> devices;
+  std::vector<std::unique_ptr<os::NodeOs>> nodes;
+  net::Ipv4Addr client_ip{10, 0, 0, 200};
+
+  explicit AppWorld(int host_count = 4) {
+    topo = net::build_single_rack(fabric, host_count);
+    for (int i = 0; i < host_count; ++i) {
+      devices.push_back(std::make_unique<hw::Device>(
+          i, "pi-r0-" + std::to_string(i), hw::pi_model_b()));
+      nodes.push_back(std::make_unique<os::NodeOs>(
+          sim, *devices.back(), network, topo.hosts[i]));
+      nodes.back()->boot();
+      nodes.back()->set_host_ip(net::Ipv4Addr(10, 0, 0, 1 + i));
+    }
+    network.bind_ip(client_ip, topo.internet);
+  }
+
+  // Starts a container with `app` on node `n` and returns its IP.
+  net::Ipv4Addr launch(int n, const std::string& name,
+                       std::unique_ptr<os::ContainerApp> app,
+                       std::uint64_t mem_limit = 0) {
+    auto created =
+        nodes[n]->create_container({.name = name, .memory_limit = mem_limit});
+    EXPECT_TRUE(created.ok());
+    created.value()->set_app(std::move(app));
+    net::Ipv4Addr ip(10, 0, 1, static_cast<std::uint8_t>(nodes[n]->container_count()));
+    ip = net::Ipv4Addr(10, 0, 1,
+                       static_cast<std::uint8_t>(10 * (n + 1) +
+                                                 nodes[n]->container_count()));
+    EXPECT_TRUE(created.value()->start(ip).ok());
+    return ip;
+  }
+};
+
+TEST(Httpd, ServesRequestsAndCounts) {
+  AppWorld w;
+  auto ip = w.launch(0, "web", std::make_unique<HttpdApp>());
+  HttpLoadGen::Params params;
+  params.requests_per_sec = 30;
+  HttpLoadGen gen(w.network, w.client_ip, {ip}, params, util::Rng(3));
+  gen.start();
+  w.sim.run_until(w.sim.now() + sim::Duration::seconds(10));
+  gen.stop();
+  EXPECT_GT(gen.completed(), 250u);
+  EXPECT_EQ(gen.timed_out(), 0u);
+  auto* app = dynamic_cast<HttpdApp*>(
+      w.nodes[0]->find_container("web")->app());
+  ASSERT_NE(app, nullptr);
+  EXPECT_EQ(app->requests_served(), gen.completed());
+}
+
+TEST(Httpd, CpuCapRaisesLatencyUnderLoad) {
+  AppWorld w;
+  auto measure = [&](int node_index, const std::string& name,
+                     double cpu_limit) {
+    auto created = w.nodes[node_index]->create_container(
+        {.name = name, .cpu_limit = cpu_limit});
+    EXPECT_TRUE(created.ok());
+    created.value()->set_app(std::make_unique<HttpdApp>());
+    net::Ipv4Addr ip(10, 0, 2, static_cast<std::uint8_t>(node_index + 1));
+    EXPECT_TRUE(created.value()->start(ip).ok());
+    HttpLoadGen::Params params;
+    params.requests_per_sec = 40;
+    HttpLoadGen gen(w.network, w.client_ip, {ip}, params, util::Rng(5),
+                    static_cast<std::uint16_t>(41000 + node_index));
+    gen.start();
+    w.sim.run_until(w.sim.now() + sim::Duration::seconds(20));
+    gen.stop();
+    return gen.latencies().median();
+  };
+  double fast = measure(0, "fast", 0.0);
+  double slow = measure(1, "slow", 0.05);  // throttled to 35 MHz
+  EXPECT_GT(slow, fast * 5);
+}
+
+TEST(Kvstore, PutGetDelWithMemoryCharging) {
+  AppWorld w;
+  auto ip = w.launch(0, "db", std::make_unique<KvStoreApp>());
+  KvClient client(w.network, w.client_ip);
+  bool put_ok = false, get_ok = false, del_ok = false, gone = false;
+  client.put(ip, "k1", 1 << 20, [&](util::Result<util::Json> r) {
+    put_ok = r.ok() && r.value().get_bool("ok");
+    client.get(ip, "k1", [&](util::Result<util::Json> r2) {
+      get_ok = r2.ok() && r2.value().get_bool("ok") &&
+               r2.value().get_number("bytes") == double(1 << 20);
+      client.del(ip, "k1", [&](util::Result<util::Json> r3) {
+        del_ok = r3.ok() && r3.value().get_bool("ok");
+        client.get(ip, "k1", [&](util::Result<util::Json> r4) {
+          gone = r4.ok() && !r4.value().get_bool("ok");
+        });
+      });
+    });
+  });
+  w.sim.run();
+  EXPECT_TRUE(put_ok);
+  EXPECT_TRUE(get_ok);
+  EXPECT_TRUE(del_ok);
+  EXPECT_TRUE(gone);
+}
+
+TEST(Kvstore, CgroupLimitRejectsOversizedDataset) {
+  AppWorld w;
+  // 64 MB cgroup: 30 idle + datasets must stay under.
+  auto ip = w.launch(0, "db", std::make_unique<KvStoreApp>(), 64ull << 20);
+  KvClient client(w.network, w.client_ip);
+  int accepted = 0, rejected = 0;
+  std::function<void(int)> put_next = [&](int i) {
+    if (i >= 10) return;
+    client.put(ip, "k" + std::to_string(i), 8ull << 20,
+               [&, i](util::Result<util::Json> r) {
+                 ASSERT_TRUE(r.ok());
+                 if (r.value().get_bool("ok")) {
+                   ++accepted;
+                 } else {
+                   ++rejected;
+                 }
+                 put_next(i + 1);
+               });
+  };
+  put_next(0);
+  w.sim.run();
+  // 30 MB idle + 4 x 8 MB = 62 MB fits; the 5th 8 MB put crosses 64 MB.
+  EXPECT_EQ(accepted, 4);
+  EXPECT_EQ(rejected, 6);
+}
+
+TEST(Kvstore, StateSurvivesStopStart) {
+  AppWorld w;
+  auto ip = w.launch(0, "db", std::make_unique<KvStoreApp>());
+  KvClient client(w.network, w.client_ip);
+  client.put(ip, "persistent", 4096, [](util::Result<util::Json>) {});
+  w.sim.run();
+  os::Container* c = w.nodes[0]->find_container("db");
+  auto* app = dynamic_cast<KvStoreApp*>(c->app());
+  ASSERT_TRUE(c->stop().ok());
+  EXPECT_EQ(app->key_count(), 1u);  // dataset retained across stop
+  ASSERT_TRUE(c->start(ip).ok());
+  bool got = false;
+  client.get(ip, "persistent", [&](util::Result<util::Json> r) {
+    got = r.ok() && r.value().get_bool("ok");
+  });
+  w.sim.run();
+  EXPECT_TRUE(got);
+}
+
+TEST(MapReduce, WordcountStyleJobCompletes) {
+  AppWorld w(4);
+  std::vector<net::Ipv4Addr> workers;
+  for (int i = 0; i < 4; ++i) {
+    workers.push_back(
+        w.launch(i, "mr" + std::to_string(i),
+                 std::make_unique<MapReduceWorkerApp>()));
+  }
+  MapReduceDriver driver(w.network, w.client_ip);
+  MapReduceJobSpec spec;
+  spec.job_id = "wordcount-1";
+  spec.input_bytes = 32ull << 20;
+  spec.map_tasks = 8;
+  spec.workers = workers;
+  spec.reducers = {workers[0], workers[1]};
+  bool done = false;
+  MapReduceJobResult result;
+  driver.run(spec, [&](const MapReduceJobResult& r) {
+    done = true;
+    result = r;
+  });
+  w.sim.run();
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result.success) << result.error;
+  EXPECT_GT(result.duration.to_seconds(), 0.0);
+  // Shuffle actually crossed the fabric.
+  EXPECT_GT(w.fabric.total_bytes_carried(), spec.input_bytes * 0.3);
+}
+
+TEST(MapReduce, MoreWorkersFinishFaster) {
+  auto run_with = [](int worker_count) {
+    AppWorld w(4);
+    std::vector<net::Ipv4Addr> workers;
+    for (int i = 0; i < worker_count; ++i) {
+      workers.push_back(w.launch(i, "mr", std::make_unique<MapReduceWorkerApp>()));
+    }
+    MapReduceDriver driver(w.network, w.client_ip);
+    MapReduceJobSpec spec;
+    spec.job_id = "job";
+    spec.input_bytes = 16ull << 20;
+    spec.map_tasks = 8;
+    // CPU-bound job (compute >> shuffle), so workers are the bottleneck.
+    spec.map_cycles_per_byte = 100;
+    spec.shuffle_fraction = 0.05;
+    spec.workers = workers;
+    spec.reducers = {workers[0]};
+    double seconds = -1;
+    driver.run(spec, [&](const MapReduceJobResult& r) {
+      seconds = r.success ? r.duration.to_seconds() : -1;
+    });
+    w.sim.run();
+    return seconds;
+  };
+  double one = run_with(1);
+  double four = run_with(4);
+  ASSERT_GT(one, 0);
+  ASSERT_GT(four, 0);
+  EXPECT_LT(four, one * 0.6) << "parallel speedup missing";
+}
+
+TEST(MapReduce, RejectsBadSpecs) {
+  AppWorld w(1);
+  MapReduceDriver driver(w.network, w.client_ip);
+  bool failed = false;
+  driver.run(MapReduceJobSpec{}, [&](const MapReduceJobResult& r) {
+    failed = !r.success;
+  });
+  EXPECT_TRUE(failed);
+}
+
+TEST(BackgroundTraffic, OffersHeavyTailedFlows) {
+  AppWorld w(4);
+  BackgroundTraffic::Params params;
+  params.flows_per_sec = 50;
+  params.mean_flow_bytes = 1e5;
+  BackgroundTraffic traffic(w.fabric, w.topo, params, util::Rng(21));
+  traffic.start();
+  w.sim.run_until(w.sim.now() + sim::Duration::seconds(10));
+  traffic.stop();
+  EXPECT_GT(traffic.flows_started(), 300u);
+  // Mean flow size should be near the configured mean.
+  double mean = traffic.bytes_offered() /
+                static_cast<double>(traffic.flows_started());
+  EXPECT_NEAR(mean, 1e5, 5e4);
+  w.sim.run();
+}
+
+TEST(AppFactory, BuildsKnownKindsRejectsUnknown) {
+  EXPECT_TRUE(make_app("httpd", util::Json()).ok());
+  EXPECT_TRUE(make_app("kvstore", util::Json()).ok());
+  EXPECT_TRUE(make_app("mr-worker", util::Json()).ok());
+  EXPECT_FALSE(make_app("fortran-ai", util::Json()).ok());
+  // Params flow through.
+  util::Json params = util::Json::object().set("port", 8081);
+  auto app = make_app("httpd", params);
+  ASSERT_TRUE(app.ok());
+  EXPECT_EQ(dynamic_cast<HttpdApp*>(app.value().get())->params().port, 8081);
+}
+
+}  // namespace
+}  // namespace picloud::apps

@@ -1,0 +1,119 @@
+// Cross-layer management tests: the SDN network view feeding placement
+// (paper §IV "synergistically manage resources across different layers").
+#include <gtest/gtest.h>
+
+#include "apps/loadgen.h"
+#include "cloud/cloud.h"
+#include "cloud/placement.h"
+#include "util/strings.h"
+
+namespace picloud::cloud {
+namespace {
+
+TEST(CongestionAwarePolicy, PrefersQuietRackThenColdNode) {
+  CongestionAwarePolicy policy;
+  auto node = [](const char* name, int rack, double rack_util, double cpu) {
+    NodeView v;
+    v.hostname = name;
+    v.rack = rack;
+    v.alive = true;
+    v.mem_capacity = 240ull << 20;
+    v.mem_used = 48ull << 20;
+    v.cpu_utilization = cpu;
+    v.rack_uplink_utilization = rack_util;
+    return v;
+  };
+  std::vector<NodeView> nodes{
+      node("pi-a", 0, 0.9, 0.1),  // hot rack
+      node("pi-b", 1, 0.2, 0.8),  // quiet rack, busy node
+      node("pi-c", 1, 0.2, 0.3),  // quiet rack, cold node <- winner
+  };
+  PlacementRequest request;
+  request.mem_bytes = 30ull << 20;
+  auto picked = policy.pick(nodes, request);
+  ASSERT_TRUE(picked.ok());
+  EXPECT_EQ(picked.value(), "pi-c");
+}
+
+TEST(CrossLayer, NetworkViewReflectsFabricLoad) {
+  sim::Simulation sim(67);
+  PiCloud cloud(sim);
+  cloud.power_on();
+  ASSERT_TRUE(cloud.await_ready());
+  cloud.run_for(sim::Duration::seconds(5));
+
+  // Saturate rack 0's uplinks with bulk inter-rack flows.
+  std::vector<net::FlowId> flows;
+  for (int i = 0; i < 8; ++i) {
+    net::FlowSpec spec;
+    spec.src = cloud.topology().hosts[i];       // rack 0
+    spec.dst = cloud.topology().hosts[28 + i];  // rack 2
+    spec.bytes = 1e12;
+    flows.push_back(cloud.fabric().start_flow(std::move(spec)));
+  }
+
+  // The REST network view shows rack 0 hot.
+  bool done = false;
+  double rack0 = -1, rack1 = -1;
+  cloud.panel().client().get(
+      cloud.master_ip(), PiMaster::kPort, "/network",
+      [&](util::Result<proto::HttpResponse> result) {
+        done = true;
+        ASSERT_TRUE(result.ok());
+        for (const util::Json& j : result.value().body.get("racks").as_array()) {
+          int rack = static_cast<int>(j.get_number("rack"));
+          if (rack == 0) rack0 = j.get_number("uplink_utilization");
+          if (rack == 1) rack1 = j.get_number("uplink_utilization");
+        }
+      });
+  cloud.run_until(sim::Duration::seconds(10), [&]() { return done; });
+  EXPECT_GT(rack0, 0.3);
+  EXPECT_LT(rack1, rack0);
+  for (auto f : flows) cloud.fabric().cancel_flow(f);
+}
+
+TEST(CrossLayer, CongestionAwarePlacementAvoidsTheHotRack) {
+  auto rack_of_spawn = [](const std::string& policy) {
+    sim::Simulation sim(69);
+    PiCloudConfig config;
+    config.placement_policy = policy;
+    PiCloud cloud(sim, config);
+    cloud.power_on();
+    cloud.await_ready();
+    cloud.run_for(sim::Duration::seconds(5));
+    // Flood rack 0's uplinks.
+    for (int i = 0; i < 8; ++i) {
+      net::FlowSpec spec;
+      spec.src = cloud.topology().hosts[i];
+      spec.dst = cloud.topology().hosts[28 + i];
+      spec.bytes = 1e12;
+      cloud.fabric().start_flow(std::move(spec));
+    }
+    cloud.run_for(sim::Duration::seconds(2));
+    auto record = cloud.spawn_and_wait({.name = "web", .app_kind = "httpd"});
+    if (!record.ok()) return -1;
+    return cloud.daemon_by_hostname(record.value().hostname)->rack();
+  };
+  // The network-blind baseline lands in rack 0 (hostname order); the
+  // cross-layer policy dodges the congested rack.
+  EXPECT_EQ(rack_of_spawn("first-fit"), 0);
+  int aware_rack = rack_of_spawn("congestion-aware");
+  EXPECT_GT(aware_rack, 0);
+}
+
+TEST(CrossLayer, PolicyIsReachableOverRest) {
+  sim::Simulation sim(71);
+  PiCloudConfig config;
+  config.racks = 1;
+  config.hosts_per_rack = 2;
+  PiCloud cloud(sim, config);
+  cloud.power_on();
+  ASSERT_TRUE(cloud.await_ready());
+  cloud.run_for(sim::Duration::seconds(3));
+  ASSERT_TRUE(cloud.master().set_policy("congestion-aware").ok());
+  auto record = cloud.spawn_and_wait({.name = "x"});
+  EXPECT_TRUE(record.ok());
+}
+
+}  // namespace
+}  // namespace picloud::cloud

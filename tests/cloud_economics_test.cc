@@ -1,0 +1,174 @@
+// Economics tests: catalogue, billing, overcommit admission, SLO delivery
+// under contention, energy-cost accounting. Also covers the batch app.
+#include <gtest/gtest.h>
+
+#include "apps/batch.h"
+#include "cloud/cloud.h"
+#include "cloud/economics.h"
+#include "util/strings.h"
+
+namespace picloud::cloud {
+namespace {
+
+class EconomicsCloud : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sim_ = std::make_unique<sim::Simulation>(29);
+    PiCloudConfig config;
+    config.racks = 1;
+    config.hosts_per_rack = 4;
+    config.placement_limits.max_containers_per_node = 6;
+    cloud_ = std::make_unique<PiCloud>(*sim_, config);
+    cloud_->power_on();
+    ASSERT_TRUE(cloud_->await_ready());
+    cloud_->run_for(sim::Duration::seconds(5));
+  }
+
+  std::unique_ptr<CloudEconomics> make_econ(double overcommit) {
+    CloudEconomics::Config config;
+    config.overcommit = overcommit;
+    auto econ = std::make_unique<CloudEconomics>(*sim_, cloud_->master(),
+                                                 config);
+    econ->set_energy_source([this]() { return cloud_->energy_kwh(); });
+    return econ;
+  }
+
+  // Launch synchronously for test convenience.
+  util::Result<TenantRecord> launch(CloudEconomics& econ,
+                                    const std::string& name,
+                                    const std::string& offering,
+                                    const std::string& app = "batch") {
+    util::Result<TenantRecord> out =
+        util::Error::make("timeout", "launch timed out");
+    bool done = false;
+    econ.launch(name, offering, app, [&](util::Result<TenantRecord> result) {
+      done = true;
+      out = std::move(result);
+    });
+    cloud_->run_until(sim::Duration::seconds(120), [&]() { return done; });
+    return out;
+  }
+
+  std::unique_ptr<sim::Simulation> sim_;
+  std::unique_ptr<PiCloud> cloud_;
+};
+
+TEST_F(EconomicsCloud, CatalogueLookup) {
+  auto econ = make_econ(1.0);
+  EXPECT_TRUE(econ->offering("pi.micro").ok());
+  EXPECT_TRUE(econ->offering("pi.large").ok());
+  EXPECT_FALSE(econ->offering("pi.mega").ok());
+}
+
+TEST_F(EconomicsCloud, BillingAccruesHourly) {
+  auto econ = make_econ(1.0);
+  auto tenant = launch(*econ, "t1", "pi.small");
+  ASSERT_TRUE(tenant.ok()) << tenant.error().message;
+  cloud_->run_for(sim::Duration::minutes(30));
+  // Half an hour of $0.018/h.
+  EXPECT_NEAR(econ->revenue_usd(sim_->now()), 0.009, 0.0005);
+  // Terminated tenants stop accruing.
+  bool done = false;
+  econ->terminate("t1", [&](util::Status status) {
+    done = true;
+    EXPECT_TRUE(status.ok());
+  });
+  cloud_->run_until(sim::Duration::seconds(60), [&]() { return done; });
+  double frozen = econ->revenue_usd(sim_->now());
+  cloud_->run_for(sim::Duration::minutes(30));
+  EXPECT_DOUBLE_EQ(econ->revenue_usd(sim_->now()), frozen);
+  EXPECT_EQ(econ->active_tenants(), 0u);
+}
+
+TEST_F(EconomicsCloud, NoOvercommitSellsAtMostOneCorePerNode) {
+  auto econ = make_econ(1.0);
+  // 4 nodes x 1.0 core at pi.small (0.5): 8 tenants fit, the 9th is refused.
+  int ok = 0;
+  int refused = 0;
+  for (int i = 0; i < 9; ++i) {
+    auto tenant = launch(*econ, util::format("t%d", i), "pi.small");
+    if (tenant.ok()) {
+      ++ok;
+    } else {
+      ++refused;
+      EXPECT_EQ(tenant.error().code, "no_capacity");
+    }
+  }
+  EXPECT_EQ(ok, 8);
+  EXPECT_EQ(refused, 1);
+  EXPECT_NEAR(econ->cpu_sold("pi-r0-00"), 1.0, 1e-9);
+}
+
+TEST_F(EconomicsCloud, OvercommitSellsMoreAndDilutesSlo) {
+  auto econ = make_econ(2.0);
+  // Pack one node with 4 half-core tenants (2.0 sold on 1.0 physical).
+  for (int i = 0; i < 4; ++i) {
+    auto tenant = launch(*econ, util::format("t%d", i), "pi.small");
+    ASSERT_TRUE(tenant.ok()) << tenant.error().message;
+    ASSERT_EQ(tenant.value().hostname, "pi-r0-00");
+  }
+  EXPECT_NEAR(econ->cpu_sold("pi-r0-00"), 2.0, 1e-9);
+  // Batch tenants are always hungry: each bought 0.5 but four share 1.0.
+  cloud_->run_for(sim::Duration::minutes(10));
+  auto slo = econ->slo_samples(sim_->now());
+  ASSERT_EQ(slo.size(), 4u);
+  for (const auto& sample : slo) {
+    EXPECT_NEAR(sample.satisfaction(), 0.5, 0.05)
+        << sample.instance << " expected ~50% of entitlement";
+  }
+}
+
+TEST_F(EconomicsCloud, FullEntitlementWithoutOvercommit) {
+  auto econ = make_econ(1.0);
+  auto tenant = launch(*econ, "solo", "pi.small");
+  ASSERT_TRUE(tenant.ok());
+  cloud_->run_for(sim::Duration::minutes(10));
+  auto slo = econ->slo_samples(sim_->now());
+  ASSERT_EQ(slo.size(), 1u);
+  EXPECT_GT(slo[0].satisfaction(), 0.97);
+}
+
+TEST_F(EconomicsCloud, EnergyCostTracksTheBoard) {
+  auto econ = make_econ(1.0);
+  cloud_->run_for(sim::Duration::minutes(60));
+  double kwh = cloud_->energy_kwh();
+  ASSERT_GT(kwh, 0);
+  EXPECT_NEAR(econ->energy_cost_usd(), kwh * 0.15, 1e-9);
+  // Revenue with one tenant beats the whole fleet's energy bill — the
+  // PiCloud margin argument in miniature.
+  auto tenant = launch(*econ, "t1", "pi.large");
+  ASSERT_TRUE(tenant.ok());
+  cloud_->run_for(sim::Duration::minutes(60));
+  EXPECT_GT(econ->revenue_usd(sim_->now()), 0.0);
+}
+
+TEST(BatchApp, DutyCycleScalesConsumption) {
+  sim::Simulation sim(3);
+  net::Fabric fabric(sim);
+  net::Network network(sim, fabric);
+  net::Topology topo = net::build_single_rack(fabric, 2);
+  hw::Device device(0, "pi", hw::pi_model_b());
+  os::NodeOs node(sim, device, network, topo.hosts[0]);
+  node.boot();
+
+  auto full = node.create_container({.name = "full"});
+  ASSERT_TRUE(full.ok());
+  apps::BatchParams half_params;
+  half_params.duty = 0.5;
+  auto half = node.create_container({.name = "half"});
+  ASSERT_TRUE(half.ok());
+  full.value()->set_app(std::make_unique<apps::BatchApp>());
+  half.value()->set_app(std::make_unique<apps::BatchApp>(half_params));
+  ASSERT_TRUE(full.value()->start(net::Ipv4Addr(10, 0, 0, 10)).ok());
+  sim.run_until(sim.now() + sim::Duration::seconds(60));
+  double full_cycles = full.value()->cpu_cycles_used();
+  ASSERT_TRUE(full.value()->stop().ok());
+
+  ASSERT_TRUE(half.value()->start(net::Ipv4Addr(10, 0, 0, 11)).ok());
+  sim.run_until(sim.now() + sim::Duration::seconds(60));
+  double half_cycles = half.value()->cpu_cycles_used();
+  EXPECT_NEAR(half_cycles / full_cycles, 0.5, 0.1);
+}
+
+}  // namespace
+}  // namespace picloud::cloud

@@ -1,0 +1,206 @@
+// End-to-end integration: the full 56-node Glasgow build, driven entirely
+// through the public API — boot, DHCP storm, registration, spawning over
+// REST, monitoring, limits, deletion, and the control panel.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cloud/cloud.h"
+#include "apps/httpd.h"
+#include "apps/loadgen.h"
+
+namespace picloud {
+namespace {
+
+using cloud::PiCloud;
+using cloud::PiCloudConfig;
+
+class PiCloudIntegration : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sim_ = std::make_unique<sim::Simulation>(42);
+    cloud_ = std::make_unique<PiCloud>(*sim_);
+    cloud_->power_on();
+    ASSERT_TRUE(cloud_->await_ready(sim::Duration::seconds(120)))
+        << "not all 56 nodes registered";
+  }
+
+  std::unique_ptr<sim::Simulation> sim_;
+  std::unique_ptr<PiCloud> cloud_;
+};
+
+TEST_F(PiCloudIntegration, AllNodesGetDistinctAddressesAndNames) {
+  EXPECT_EQ(cloud_->node_count(), 56u);
+  std::set<std::uint32_t> ips;
+  for (size_t i = 0; i < cloud_->node_count(); ++i) {
+    net::Ipv4Addr ip = cloud_->daemon(i).ip();
+    EXPECT_FALSE(ip.is_any());
+    ips.insert(ip.value());
+    // DNS knows every hostname.
+    auto resolved =
+        cloud_->master().dns().lookup(cloud_->node(i).hostname());
+    ASSERT_TRUE(resolved.has_value());
+    EXPECT_EQ(*resolved, ip);
+  }
+  EXPECT_EQ(ips.size(), 56u) << "duplicate DHCP leases";
+}
+
+TEST_F(PiCloudIntegration, MonitorSeesWholeFleetAlive) {
+  // Give heartbeats a few periods.
+  cloud_->run_for(sim::Duration::seconds(5));
+  auto summary = cloud_->master().monitor().summary();
+  EXPECT_EQ(summary.nodes_total, 56);
+  EXPECT_EQ(summary.nodes_alive, 56);
+  EXPECT_GT(summary.power_watts, 0);
+}
+
+TEST_F(PiCloudIntegration, SpawnRunsRealHttpdReachableOverFabric) {
+  auto record = cloud_->spawn_and_wait({.name = "web-1", .app_kind = "httpd"});
+  ASSERT_TRUE(record.ok()) << record.error().message;
+  EXPECT_FALSE(record.value().hostname.empty());
+
+  // Hit it with real requests from the admin workstation.
+  apps::HttpLoadGen::Params params;
+  params.requests_per_sec = 50;
+  apps::HttpLoadGen gen(cloud_->network(), cloud_->admin_ip(),
+                        {record.value().ip}, params,
+                        util::Rng(7));
+  gen.start();
+  cloud_->run_for(sim::Duration::seconds(10));
+  gen.stop();
+  EXPECT_GT(gen.completed(), 400u);
+  EXPECT_EQ(gen.timed_out(), 0u);
+  EXPECT_GT(gen.latencies().median(), 0.0);
+}
+
+TEST_F(PiCloudIntegration, SpawnRespectsThreeContainerEnvelope) {
+  // 56 nodes x 3 containers: the 169th must be refused.
+  int ok = 0;
+  int refused = 0;
+  for (int i = 0; i < 56 * 3 + 1; ++i) {
+    auto record = cloud_->spawn_and_wait(
+        {.name = util::format("idle-%03d", i)});
+    if (record.ok()) {
+      ++ok;
+    } else {
+      ++refused;
+      EXPECT_EQ(record.error().code, "no_capacity");
+    }
+  }
+  EXPECT_EQ(ok, 168);
+  EXPECT_EQ(refused, 1);
+}
+
+TEST_F(PiCloudIntegration, DeleteFreesCapacityAndName) {
+  auto record = cloud_->spawn_and_wait({.name = "ephemeral"});
+  ASSERT_TRUE(record.ok());
+  util::Status deleted = cloud_->delete_and_wait("ephemeral");
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_FALSE(cloud_->master().instance("ephemeral").ok());
+  // Name and address can be reused.
+  auto again = cloud_->spawn_and_wait({.name = "ephemeral"});
+  EXPECT_TRUE(again.ok());
+}
+
+TEST_F(PiCloudIntegration, PanelRendersDashboardWithFleet) {
+  auto record = cloud_->spawn_and_wait({.name = "web-1", .app_kind = "httpd"});
+  ASSERT_TRUE(record.ok());
+  cloud_->run_for(sim::Duration::seconds(5));
+  auto dashboard = cloud_->dashboard();
+  ASSERT_TRUE(dashboard.ok()) << dashboard.error().message;
+  EXPECT_NE(dashboard.value().find("PiCloud Control Panel"), std::string::npos);
+  EXPECT_NE(dashboard.value().find("pi-r0-00"), std::string::npos);
+  EXPECT_NE(dashboard.value().find("web-1"), std::string::npos);
+}
+
+TEST_F(PiCloudIntegration, SoftLimitsApplyOverRest) {
+  auto record = cloud_->spawn_and_wait({.name = "web-1", .app_kind = "httpd"});
+  ASSERT_TRUE(record.ok());
+  bool done = false;
+  util::Json limits = util::Json::object();
+  limits.set("cpu_limit", 0.25);
+  cloud_->panel().set_vm_limits("web-1", std::move(limits),
+                                [&](util::Result<util::Json> result) {
+                                  done = true;
+                                  ASSERT_TRUE(result.ok());
+                                  EXPECT_EQ(result.value().get_number(
+                                                "cpu_limit"),
+                                            0.25);
+                                });
+  EXPECT_TRUE(cloud_->run_until(sim::Duration::seconds(10),
+                                [&]() { return done; }));
+  // The container on the node really is capped.
+  cloud::NodeDaemon* daemon =
+      cloud_->daemon_by_hostname(record.value().hostname);
+  ASSERT_NE(daemon, nullptr);
+  os::Container* container = daemon->node().find_container("web-1");
+  ASSERT_NE(container, nullptr);
+  EXPECT_EQ(container->config().cpu_limit, 0.25);
+}
+
+TEST_F(PiCloudIntegration, MigrationMovesInstanceAndPreservesService) {
+  auto record = cloud_->spawn_and_wait({.name = "web-1", .app_kind = "httpd"});
+  ASSERT_TRUE(record.ok());
+  std::string source = record.value().hostname;
+
+  apps::HttpLoadGen::Params params;
+  params.requests_per_sec = 20;
+  apps::HttpLoadGen gen(cloud_->network(), cloud_->admin_ip(),
+                        {record.value().ip}, params, util::Rng(7));
+  gen.start();
+  cloud_->run_for(sim::Duration::seconds(3));
+
+  auto report = cloud_->migrate_and_wait("web-1", "", /*live=*/true);
+  ASSERT_TRUE(report.success) << report.error;
+  EXPECT_NE(report.to, source);
+  EXPECT_GT(report.bytes_transferred, 0);
+  EXPECT_LT(report.downtime.to_seconds(), report.total_duration.to_seconds());
+
+  // Same IP keeps serving on the new host.
+  std::uint64_t before = gen.completed();
+  cloud_->run_for(sim::Duration::seconds(5));
+  gen.stop();
+  EXPECT_GT(gen.completed(), before + 50);
+
+  auto updated = cloud_->master().instance("web-1");
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(updated.value().hostname, report.to);
+}
+
+TEST(PiCloudBootOrder, FleetConvergesWhenMasterStartsLate) {
+  // Power the Pis before the pimaster exists: DHCP DISCOVERs go unanswered
+  // and registration cannot happen. When the master finally starts, the
+  // whole fleet must converge without manual help (clients re-discover,
+  // daemons retry registration).
+  sim::Simulation sim(55);
+  cloud::PiCloudConfig config;
+  config.racks = 2;
+  config.hosts_per_rack = 4;
+  PiCloud cloud(sim, config);
+  // Bypass power_on() (which starts the master): boot daemons only.
+  for (size_t i = 0; i < cloud.node_count(); ++i) cloud.daemon(i).start();
+  cloud.run_for(sim::Duration::seconds(30));
+  int registered = 0;
+  for (size_t i = 0; i < cloud.node_count(); ++i) {
+    if (cloud.daemon(i).registered()) ++registered;
+  }
+  EXPECT_EQ(registered, 0) << "nothing to register with yet";
+
+  // The head node arrives late.
+  cloud.master().start();
+  EXPECT_TRUE(cloud.await_ready(sim::Duration::seconds(120)));
+  EXPECT_EQ(cloud.master().monitor().summary().nodes_total, 8);
+}
+
+TEST_F(PiCloudIntegration, NodeCrashIsDetectedByMonitor) {
+  cloud_->run_for(sim::Duration::seconds(5));
+  std::string victim = cloud_->node(0).hostname();
+  cloud_->daemon(0).crash();
+  cloud_->run_for(sim::Duration::seconds(15));
+  EXPECT_FALSE(cloud_->master().monitor().alive(victim));
+  auto summary = cloud_->master().monitor().summary();
+  EXPECT_EQ(summary.nodes_alive, 55);
+}
+
+}  // namespace
+}  // namespace picloud

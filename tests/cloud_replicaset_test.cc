@@ -1,0 +1,127 @@
+// ReplicaSet reconciliation unit tests.
+#include <gtest/gtest.h>
+
+#include "cloud/cloud.h"
+#include "cloud/replicaset.h"
+#include "util/strings.h"
+
+namespace picloud::cloud {
+namespace {
+
+class ReplicaSetCloud : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sim_ = std::make_unique<sim::Simulation>(61);
+    PiCloudConfig config;
+    config.racks = 2;
+    config.hosts_per_rack = 3;
+    config.placement_policy = "round-robin";
+    cloud_ = std::make_unique<PiCloud>(*sim_, config);
+    cloud_->power_on();
+    ASSERT_TRUE(cloud_->await_ready());
+    cloud_->run_for(sim::Duration::seconds(5));
+  }
+
+  std::unique_ptr<ReplicaSet> make_set(int replicas) {
+    ReplicaSet::Config config;
+    config.name_prefix = "web";
+    config.replicas = replicas;
+    config.spec.app_kind = "httpd";
+    config.reconcile_period = sim::Duration::seconds(5);
+    return std::make_unique<ReplicaSet>(*sim_, cloud_->master(), config);
+  }
+
+  std::unique_ptr<sim::Simulation> sim_;
+  std::unique_ptr<PiCloud> cloud_;
+};
+
+TEST_F(ReplicaSetCloud, SpawnsToDeclaredCount) {
+  auto tier = make_set(4);
+  tier->start();
+  ASSERT_TRUE(cloud_->run_until(sim::Duration::minutes(5), [&]() {
+    return tier->healthy_replicas() == 4;
+  }));
+  EXPECT_EQ(tier->stats().spawned, 4u);
+  // Names are slot-stable.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(cloud_->master().instance(util::format("web-%d", i)).ok());
+  }
+}
+
+TEST_F(ReplicaSetCloud, ReplacesReplicaAfterNodeCrash) {
+  auto tier = make_set(3);
+  int change_events = 0;
+  tier->set_on_change([&]() { ++change_events; });
+  tier->start();
+  ASSERT_TRUE(cloud_->run_until(sim::Duration::minutes(5), [&]() {
+    return tier->healthy_replicas() == 3;
+  }));
+  int changes_after_converged = change_events;
+
+  auto victim = cloud_->master().instance("web-1");
+  ASSERT_TRUE(victim.ok());
+  NodeDaemon* daemon = cloud_->daemon_by_hostname(victim.value().hostname);
+  daemon->crash();
+  // The reconciler notices (liveness window ~10 s), clears, respawns.
+  ASSERT_TRUE(cloud_->run_until(sim::Duration::minutes(5), [&]() {
+    return tier->healthy_replicas() == 3;
+  }));
+  EXPECT_GE(tier->stats().replaced, 1u);
+  auto replacement = cloud_->master().instance("web-1");
+  ASSERT_TRUE(replacement.ok());
+  EXPECT_NE(replacement.value().hostname, victim.value().hostname);
+  EXPECT_GT(change_events, changes_after_converged);
+}
+
+TEST_F(ReplicaSetCloud, DetectsContainerLostToPowerCycle) {
+  auto tier = make_set(2);
+  tier->start();
+  ASSERT_TRUE(cloud_->run_until(sim::Duration::minutes(5), [&]() {
+    return tier->healthy_replicas() == 2;
+  }));
+  // Power-cycle a hosting node quickly: it re-registers as alive, but the
+  // replica's container died with it — registry drift the health probe
+  // must catch.
+  tier->stop();  // pause healing so the drift itself is observable
+  auto victim = cloud_->master().instance("web-0");
+  ASSERT_TRUE(victim.ok());
+  NodeDaemon* daemon = cloud_->daemon_by_hostname(victim.value().hostname);
+  daemon->crash();
+  daemon->start();
+  cloud_->run_for(sim::Duration::seconds(15));
+  // The node is back and registered, but the container died with it: the
+  // record looks fine, the health probe must say otherwise.
+  ASSERT_TRUE(cloud_->master().instance("web-0").ok());
+  EXPECT_FALSE(cloud_->master().instance_healthy("web-0"));
+  tier->start();
+  ASSERT_TRUE(cloud_->run_until(sim::Duration::minutes(5), [&]() {
+    return tier->healthy_replicas() == 2;
+  }));
+  EXPECT_GE(tier->stats().replaced, 1u);
+}
+
+TEST_F(ReplicaSetCloud, SpawnFailuresAreCountedWhenClusterFull) {
+  // 6 nodes x 3 containers = 18 slots; ask for 20.
+  auto tier = make_set(20);
+  tier->start();
+  cloud_->run_for(sim::Duration::minutes(3));
+  EXPECT_EQ(tier->healthy_replicas(), 18u);
+  EXPECT_GT(tier->stats().spawn_failures, 0u);
+}
+
+TEST_F(ReplicaSetCloud, StopFreezesTheSet) {
+  auto tier = make_set(2);
+  tier->start();
+  ASSERT_TRUE(cloud_->run_until(sim::Duration::minutes(5), [&]() {
+    return tier->healthy_replicas() == 2;
+  }));
+  tier->stop();
+  auto victim = cloud_->master().instance("web-0");
+  ASSERT_TRUE(victim.ok());
+  cloud_->daemon_by_hostname(victim.value().hostname)->crash();
+  cloud_->run_for(sim::Duration::minutes(2));
+  EXPECT_EQ(tier->healthy_replicas(), 1u);  // nothing heals it
+}
+
+}  // namespace
+}  // namespace picloud::cloud

@@ -1,0 +1,107 @@
+// Cost model tests — Table I exactness plus the energy extensions.
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.h"
+#include "hw/rack.h"
+
+namespace picloud::cost {
+namespace {
+
+TEST(Table1, ReproducesThePaperExactly) {
+  auto rows = table1(56);
+  ASSERT_EQ(rows.size(), 2u);
+
+  const CostRow& testbed = rows[0];
+  EXPECT_EQ(testbed.label, "Testbed");
+  EXPECT_DOUBLE_EQ(testbed.capex_usd, 112000.0);     // $112,000 (@$2,000)
+  EXPECT_DOUBLE_EQ(testbed.unit_cost_usd, 2000.0);
+  EXPECT_DOUBLE_EQ(testbed.it_power_watts, 10080.0); // 10,080W (@180W)
+  EXPECT_DOUBLE_EQ(testbed.unit_watts, 180.0);
+  EXPECT_TRUE(testbed.needs_cooling);
+
+  const CostRow& picloud = rows[1];
+  EXPECT_EQ(picloud.label, "PiCloud");
+  EXPECT_DOUBLE_EQ(picloud.capex_usd, 1960.0);       // $1,960 (@$35)
+  EXPECT_DOUBLE_EQ(picloud.unit_cost_usd, 35.0);
+  EXPECT_DOUBLE_EQ(picloud.it_power_watts, 196.0);   // 196W (@3.5W)
+  EXPECT_DOUBLE_EQ(picloud.unit_watts, 3.5);
+  EXPECT_FALSE(picloud.needs_cooling);
+  EXPECT_DOUBLE_EQ(picloud.cooling_watts, 0.0);
+}
+
+TEST(Table1, CapexRatioIsOrdersOfMagnitude) {
+  auto rows = table1(56);
+  // "several orders of magnitude smaller": 112000 / 1960 ≈ 57x capex,
+  // 10080 / 196 ≈ 51x power.
+  EXPECT_NEAR(rows[0].capex_usd / rows[1].capex_usd, 57.14, 0.01);
+  EXPECT_NEAR(rows[0].it_power_watts / rows[1].it_power_watts, 51.43, 0.01);
+}
+
+TEST(CoolingOverhead, ThirtyThreePercentOfTotal) {
+  auto rows = table1(56);
+  const CostRow& testbed = rows[0];
+  // cooling / total = 33% (paper §IV).
+  EXPECT_NEAR(testbed.cooling_watts / testbed.total_power_watts,
+              kCoolingFractionOfTotal, 1e-9);
+  EXPECT_GT(testbed.total_power_watts, testbed.it_power_watts);
+}
+
+TEST(Energy, KwhAndCost) {
+  EXPECT_DOUBLE_EQ(energy_kwh(1000, 24), 24.0);
+  EXPECT_DOUBLE_EQ(energy_cost_usd(1000, 24, 0.15), 3.6);
+}
+
+TEST(Energy, PiCloudIsNeverOvertaken) {
+  auto rows = table1(56);
+  // The x86 testbed costs more up front AND burns more power: the PiCloud
+  // is ahead forever.
+  EXPECT_LT(breakeven_hours(rows[0], rows[1]), 0);
+}
+
+TEST(RenderTable, ContainsPaperNumbers) {
+  std::string text = render_table(table1(56));
+  EXPECT_NE(text.find("112000"), std::string::npos);
+  EXPECT_NE(text.find("1960"), std::string::npos);
+  EXPECT_NE(text.find("10080"), std::string::npos);
+  EXPECT_NE(text.find("196"), std::string::npos);
+  EXPECT_NE(text.find("Yes"), std::string::npos);
+  EXPECT_NE(text.find("No"), std::string::npos);
+}
+
+TEST(Racks, FourLegoRacksHoldTheBuild) {
+  hw::MachineRoom room;
+  std::vector<std::unique_ptr<hw::Device>> devices;
+  for (int r = 0; r < 4; ++r) {
+    room.racks.push_back(std::make_unique<hw::Rack>(r));
+    for (int i = 0; i < 14; ++i) {
+      devices.push_back(std::make_unique<hw::Device>(
+          static_cast<hw::DeviceId>(r * 14 + i), "pi", hw::pi_model_b()));
+      ASSERT_TRUE(room.racks[r]->install(devices.back().get()));
+    }
+    EXPECT_EQ(room.racks[r]->free_slots(), 0);
+    EXPECT_FALSE(room.racks[r]->install(devices.back().get()));  // full
+  }
+  // Table I's 196 W nameplate...
+  EXPECT_DOUBLE_EQ(room.total_nameplate_watts(), 196.0);
+  // ...runs off one UK socket board (paper §III), with huge margin.
+  EXPECT_TRUE(room.fits_single_socket_board());
+  // And the footprint is a desk corner, not a machine room.
+  EXPECT_LT(room.total_footprint_cm2(), 4 * 30 * 15);
+}
+
+TEST(Racks, X86TestbedDoesNotFitASocketBoard) {
+  hw::MachineRoom room;
+  std::vector<std::unique_ptr<hw::Device>> devices;
+  hw::RackGeometry geometry;
+  geometry.slots = 56;
+  room.racks.push_back(std::make_unique<hw::Rack>(0, geometry));
+  for (int i = 0; i < 56; ++i) {
+    devices.push_back(std::make_unique<hw::Device>(
+        static_cast<hw::DeviceId>(i), "x86", hw::x86_server()));
+    ASSERT_TRUE(room.racks[0]->install(devices.back().get()));
+  }
+  EXPECT_FALSE(room.fits_single_socket_board());
+}
+
+}  // namespace
+}  // namespace picloud::cost

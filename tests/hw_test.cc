@@ -1,0 +1,115 @@
+// Hardware model tests: specs, power meters, energy integration, racks.
+#include <gtest/gtest.h>
+
+#include "hw/device.h"
+#include "hw/power.h"
+#include "hw/rack.h"
+#include "hw/spec.h"
+#include "sim/time.h"
+
+namespace picloud::hw {
+namespace {
+
+sim::SimTime at(double seconds) {
+  return sim::SimTime::zero() + sim::Duration::seconds(seconds);
+}
+
+TEST(Specs, PaperCalibrationPoints) {
+  DeviceSpec b = pi_model_b();
+  EXPECT_EQ(b.ram_bytes, 256ull << 20);
+  EXPECT_EQ(b.nic_bits_per_sec, 100e6);
+  EXPECT_EQ(b.unit_cost_usd, 35.0);   // Table I
+  EXPECT_EQ(b.peak_watts, 3.5);       // Table I
+  EXPECT_FALSE(b.needs_cooling);
+  EXPECT_EQ(b.cycles_per_sec(), 700e6);
+
+  DeviceSpec rev2 = pi_model_b_rev2();
+  EXPECT_EQ(rev2.ram_bytes, 512ull << 20);            // 2012 RAM doubling
+  EXPECT_EQ(rev2.unit_cost_usd, b.unit_cost_usd);     // same price (SIV)
+
+  DeviceSpec a = pi_model_a();
+  EXPECT_EQ(a.nic_bits_per_sec, 0);  // no Ethernet
+  EXPECT_EQ(a.unit_cost_usd, 25.0);  // "as little as $25"
+
+  DeviceSpec x86 = x86_server();
+  EXPECT_EQ(x86.unit_cost_usd, 2000.0);  // Table I
+  EXPECT_EQ(x86.peak_watts, 180.0);      // Table I
+  EXPECT_TRUE(x86.needs_cooling);
+}
+
+TEST(PowerMeter, LinearIdleToPeak) {
+  PowerMeter meter("pi", 2.0, 3.5);
+  meter.set_powered(at(0), true);
+  EXPECT_DOUBLE_EQ(meter.current_watts(), 2.0);
+  meter.set_utilization(at(0), 0.5);
+  EXPECT_DOUBLE_EQ(meter.current_watts(), 2.75);
+  meter.set_utilization(at(0), 1.0);
+  EXPECT_DOUBLE_EQ(meter.current_watts(), 3.5);
+  meter.set_utilization(at(0), 7.0);  // clamped
+  EXPECT_DOUBLE_EQ(meter.current_watts(), 3.5);
+}
+
+TEST(PowerMeter, EnergyIntegratesOverTime) {
+  PowerMeter meter("pi", 2.0, 3.5);
+  meter.set_powered(at(0), true);       // 2 W
+  meter.set_utilization(at(100), 1.0);  // 3.5 W from t=100
+  // 0..100 s at 2 W = 200 J; 100..200 s at 3.5 W = 350 J.
+  EXPECT_DOUBLE_EQ(meter.joules(at(200)), 550.0);
+  EXPECT_NEAR(meter.kwh(at(200)), 550.0 / 3.6e6, 1e-12);
+  EXPECT_DOUBLE_EQ(meter.average_watts(at(200)), 2.75);
+}
+
+TEST(PowerMeter, PoweredOffDrawsNothing) {
+  PowerMeter meter("pi", 2.0, 3.5);
+  meter.set_powered(at(0), true);
+  meter.set_powered(at(10), false);
+  EXPECT_DOUBLE_EQ(meter.current_watts(), 0.0);
+  EXPECT_DOUBLE_EQ(meter.joules(at(20)), 20.0);  // only the first 10 s
+  meter.set_powered(at(20), true);
+  EXPECT_DOUBLE_EQ(meter.current_watts(), 2.0);
+}
+
+TEST(PowerBoard, AggregatesMeters) {
+  PowerMeter a("a", 2.0, 3.5);
+  PowerMeter b("b", 2.0, 3.5);
+  a.set_powered(at(0), true);
+  b.set_powered(at(0), true);
+  b.set_utilization(at(0), 1.0);
+  PowerDistributionBoard board;
+  board.attach(&a);
+  board.attach(&b);
+  EXPECT_DOUBLE_EQ(board.current_watts(), 5.5);
+  EXPECT_DOUBLE_EQ(board.joules(at(10)), 55.0);
+  auto readings = board.readings(at(10));
+  ASSERT_EQ(readings.size(), 2u);
+  EXPECT_EQ(readings[0].label, "a");
+  EXPECT_DOUBLE_EQ(readings[1].watts, 3.5);
+}
+
+TEST(Device, MacAddressesAreUniqueAndPiPrefixed) {
+  Device d0(0, "pi-0", pi_model_b());
+  Device d1(1, "pi-1", pi_model_b());
+  EXPECT_NE(d0.mac_address(), d1.mac_address());
+  EXPECT_EQ(d0.mac_address().substr(0, 8), "b8:27:eb");  // Pi Foundation OUI
+  Device x(2, "x86-0", x86_server());
+  EXPECT_NE(x.mac_address().substr(0, 8), "b8:27:eb");
+}
+
+TEST(Rack, SlotsAndAccounting) {
+  Rack rack(0);
+  EXPECT_EQ(rack.name(), "rack-0");
+  EXPECT_EQ(rack.tor_switch_name(), "rack-0-tor");
+  std::vector<std::unique_ptr<Device>> devices;
+  for (int i = 0; i < 14; ++i) {
+    devices.push_back(std::make_unique<Device>(i, "pi", pi_model_b()));
+    EXPECT_TRUE(rack.install(devices.back().get()));
+  }
+  EXPECT_EQ(rack.free_slots(), 0);
+  Device extra(99, "extra", pi_model_b());
+  EXPECT_FALSE(rack.install(&extra));
+  EXPECT_DOUBLE_EQ(rack.nameplate_watts(), 49.0);   // 14 x 3.5
+  EXPECT_DOUBLE_EQ(rack.device_cost_usd(), 490.0);  // 14 x $35
+}
+
+}  // namespace
+}  // namespace picloud::hw

@@ -1,0 +1,165 @@
+// Coverage for surfaces the focused suites skip: the fat-tree cloud
+// configuration end-to-end, the panel's pure renderer, gossip fanout
+// scaling, and assorted edges.
+#include <gtest/gtest.h>
+
+#include "apps/loadgen.h"
+#include "cloud/cloud.h"
+#include "cloud/control_panel.h"
+#include "util/strings.h"
+
+namespace picloud {
+namespace {
+
+TEST(FatTreeCloud, BootsServesAndMigrates) {
+  // The re-cabled PiCloud (paper §II-A) as a full management domain:
+  // 16 hosts on a k=4 fat-tree, DHCP across the core, SDN ECMP routing.
+  sim::Simulation sim(88);
+  cloud::PiCloudConfig config;
+  config.topology = cloud::PiCloudConfig::Topo::kFatTree;
+  config.fat_tree_k = 4;
+  cloud::PiCloud cloud(sim, config);
+  cloud.power_on();
+  ASSERT_TRUE(cloud.await_ready(sim::Duration::seconds(120)));
+  EXPECT_EQ(cloud.node_count(), 16u);
+  EXPECT_EQ(cloud.topology().kind, "fat-tree");
+  cloud.run_for(sim::Duration::seconds(5));
+
+  auto web = cloud.spawn_and_wait({.name = "web", .app_kind = "httpd"});
+  ASSERT_TRUE(web.ok()) << web.error().message;
+
+  apps::HttpLoadGen::Params load;
+  load.requests_per_sec = 30;
+  apps::HttpLoadGen gen(cloud.network(), cloud.admin_ip(), {web.value().ip},
+                        load, util::Rng(2));
+  gen.start();
+  cloud.run_for(sim::Duration::seconds(10));
+  EXPECT_GT(gen.completed(), 200u);
+
+  // Migration across pods rides the core layer.
+  auto report = cloud.migrate_and_wait("web", "", /*live=*/true);
+  EXPECT_TRUE(report.success) << report.error;
+  cloud.run_for(sim::Duration::seconds(5));
+  gen.stop();
+  EXPECT_EQ(gen.timed_out(), 0u);
+}
+
+TEST(ControlPanelRender, PureRendererFormatsAllSections) {
+  util::Json summary = util::Json::object();
+  summary.set("nodes_alive", 2);
+  summary.set("nodes_total", 2);
+  summary.set("containers_running", 1);
+  summary.set("avg_cpu", 0.25);
+  summary.set("watts", 5.5);
+  summary.set("mem_used", 100.0 * (1 << 20));
+  summary.set("mem_capacity", 480.0 * (1 << 20));
+
+  util::Json node = util::Json::object();
+  node.set("hostname", "pi-r0-00");
+  node.set("rack", 0);
+  node.set("ip", "10.0.1.1");
+  node.set("cpu", 0.5);
+  node.set("mem_used", 88.0 * (1 << 20));
+  node.set("containers", 1);
+  node.set("watts", 2.75);
+  node.set("alive", true);
+  util::Json nodes = util::Json::array().push_back(node);
+
+  util::Json inst = util::Json::object();
+  inst.set("name", "web-1");
+  inst.set("node", "pi-r0-00");
+  inst.set("ip", "10.0.1.57");
+  inst.set("app", "httpd");
+  inst.set("state", "running");
+  util::Json instances = util::Json::array().push_back(inst);
+
+  std::string text = cloud::ControlPanel::render(summary, nodes, instances);
+  EXPECT_NE(text.find("PiCloud Control Panel"), std::string::npos);
+  EXPECT_NE(text.find("nodes  2/2"), std::string::npos);
+  EXPECT_NE(text.find("pi-r0-00"), std::string::npos);
+  EXPECT_NE(text.find("web-1"), std::string::npos);
+  EXPECT_NE(text.find("httpd"), std::string::npos);
+  EXPECT_NE(text.find("50.0"), std::string::npos);  // cpu%
+}
+
+class GossipFanout : public ::testing::TestWithParam<int> {};
+
+TEST_P(GossipFanout, ConvergesFromRingSeeds) {
+  // Epidemic membership converges for any fanout >= 1. Higher fanout is
+  // faster; push-only fanout-1 from ring seeds needs the most rounds, so
+  // the window is sized for it.
+  int fanout = GetParam();
+  sim::Simulation sim(100 + fanout);
+  net::Fabric fabric(sim);
+  net::Network network(sim, fabric);
+  net::Topology topo = net::build_single_rack(fabric, 16);
+  cloud::GossipConfig config;
+  config.fanout = fanout;
+  config.period = sim::Duration::seconds(1);
+  std::vector<std::unique_ptr<cloud::GossipAgent>> agents;
+  for (int i = 0; i < 16; ++i) {
+    net::Ipv4Addr ip(10, 0, 0, static_cast<std::uint8_t>(i + 1));
+    network.bind_ip(ip, topo.hosts[i]);
+    agents.push_back(std::make_unique<cloud::GossipAgent>(
+        network, config, util::Rng(500 + i)));
+  }
+  for (int i = 0; i < 16; ++i) {
+    net::Ipv4Addr next_ip(10, 0, 0, static_cast<std::uint8_t>((i + 1) % 16 + 1));
+    agents[i]->add_seed("pi-" + std::to_string((i + 1) % 16), next_ip);
+    agents[i]->start("pi-" + std::to_string(i),
+                     net::Ipv4Addr(10, 0, 0, static_cast<std::uint8_t>(i + 1)));
+  }
+  sim.run_until(sim.now() + sim::Duration::seconds(fanout >= 2 ? 10 : 40));
+  for (auto& agent : agents) {
+    EXPECT_EQ(agent->known_members(), 16u) << "fanout " << fanout;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, GossipFanout, ::testing::Values(1, 2, 4));
+
+TEST(Edges, DurationStringsAndJsonIndexing) {
+  EXPECT_EQ(sim::Duration::nanos(-1500).to_string(), "-1.500us");
+  EXPECT_EQ(sim::Duration::nanos(7).to_string(), "7ns");
+  util::Json arr = util::Json::array().push_back(1).push_back(2);
+  EXPECT_TRUE(arr[5].is_null());  // out of range -> null, no UB
+  EXPECT_EQ(arr.size(), 2u);
+  util::Json null_json;
+  EXPECT_TRUE(null_json.get("anything").is_null());
+  EXPECT_EQ(null_json.size(), 0u);
+}
+
+TEST(Edges, TopologyHostsInRack) {
+  sim::Simulation sim;
+  net::Fabric fabric(sim);
+  net::Topology topo =
+      net::build_multi_root_tree(fabric, net::MultiRootTreeConfig{});
+  auto rack2 = topo.hosts_in_rack(2);
+  ASSERT_EQ(rack2.size(), 14u);
+  for (int host : rack2) {
+    EXPECT_EQ(topo.host_rack[static_cast<size_t>(host)], 2);
+  }
+  EXPECT_TRUE(topo.hosts_in_rack(9).empty());
+}
+
+TEST(Edges, SpawnSpecBareMetalReachesTheNode) {
+  sim::Simulation sim(3);
+  cloud::PiCloudConfig config;
+  config.racks = 1;
+  config.hosts_per_rack = 2;
+  cloud::PiCloud cloud(sim, config);
+  cloud.power_on();
+  ASSERT_TRUE(cloud.await_ready());
+  cloud.run_for(sim::Duration::seconds(3));
+  auto record = cloud.spawn_and_wait(
+      {.name = "bare", .app_kind = "httpd", .bare_metal = true});
+  ASSERT_TRUE(record.ok());
+  cloud::NodeDaemon* daemon = cloud.daemon_by_hostname(record.value().hostname);
+  os::Container* c = daemon->node().find_container("bare");
+  ASSERT_NE(c, nullptr);
+  EXPECT_TRUE(c->config().bare_metal);
+  // 2 MiB stub + 10 MiB httpd working set, not 30 + 10.
+  EXPECT_EQ(c->memory_usage(), 12ull << 20);
+}
+
+}  // namespace
+}  // namespace picloud

@@ -1,0 +1,284 @@
+// Fabric tests: flow completion timing, max-min fairness (including the
+// property-based sweep over random topologies), link failure behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/fabric.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+
+namespace picloud::net {
+namespace {
+
+struct TwoHosts {
+  sim::Simulation sim;
+  Fabric fabric{sim};
+  NetNodeId a, b, sw;
+
+  explicit TwoHosts(double bps = 100e6) {
+    a = fabric.add_node(NodeKind::kHost, "a");
+    b = fabric.add_node(NodeKind::kHost, "b");
+    sw = fabric.add_node(NodeKind::kSwitch, "sw");
+    fabric.add_link(a, sw, bps, sim::Duration::micros(50));
+    fabric.add_link(sw, b, bps, sim::Duration::micros(50));
+  }
+};
+
+TEST(Fabric, SingleFlowFinishesAtLineRate) {
+  TwoHosts t(100e6);
+  bool done = false;
+  sim::SimTime finish;
+  FlowSpec spec;
+  spec.src = t.a;
+  spec.dst = t.b;
+  spec.bytes = 12.5e6;  // 12.5 MB at 100 Mb/s = 1 s serialization
+  spec.on_complete = [&](FlowId, bool success) {
+    done = true;
+    EXPECT_TRUE(success);
+    finish = t.sim.now();
+  };
+  t.fabric.start_flow(std::move(spec));
+  t.sim.run();
+  ASSERT_TRUE(done);
+  EXPECT_NEAR(finish.to_seconds(), 1.0, 1e-6);
+}
+
+TEST(Fabric, TwoFlowsShareTheBottleneckEqually) {
+  TwoHosts t(100e6);
+  int completed = 0;
+  sim::SimTime last;
+  for (int i = 0; i < 2; ++i) {
+    FlowSpec spec;
+    spec.src = t.a;
+    spec.dst = t.b;
+    spec.bytes = 12.5e6;
+    spec.on_complete = [&](FlowId, bool) {
+      ++completed;
+      last = t.sim.now();
+    };
+    t.fabric.start_flow(std::move(spec));
+  }
+  t.sim.run();
+  EXPECT_EQ(completed, 2);
+  // Each flow gets 50 Mb/s: both finish at ~2 s.
+  EXPECT_NEAR(last.to_seconds(), 2.0, 1e-6);
+}
+
+TEST(Fabric, LateFlowSpeedsUpWhenEarlyFlowLeaves) {
+  TwoHosts t(100e6);
+  sim::SimTime small_done, big_done;
+  FlowSpec small;
+  small.src = t.a;
+  small.dst = t.b;
+  small.bytes = 6.25e6;  // alone: 0.5s; sharing: 1s
+  small.on_complete = [&](FlowId, bool) { small_done = t.sim.now(); };
+  FlowSpec big;
+  big.src = t.a;
+  big.dst = t.b;
+  big.bytes = 12.5e6;
+  big.on_complete = [&](FlowId, bool) { big_done = t.sim.now(); };
+  t.fabric.start_flow(std::move(small));
+  t.fabric.start_flow(std::move(big));
+  t.sim.run();
+  // Shared until small drains at t=1.0 (6.25MB at 50Mb/s), then big runs at
+  // full rate: remaining 6.25MB in 0.5s -> 1.5s total.
+  EXPECT_NEAR(small_done.to_seconds(), 1.0, 1e-6);
+  EXPECT_NEAR(big_done.to_seconds(), 1.5, 1e-6);
+}
+
+TEST(Fabric, LoopbackCompletesWithoutTouchingLinks) {
+  TwoHosts t;
+  bool done = false;
+  FlowSpec spec;
+  spec.src = t.a;
+  spec.dst = t.a;
+  spec.bytes = 1e9;
+  spec.on_complete = [&](FlowId, bool success) {
+    done = true;
+    EXPECT_TRUE(success);
+  };
+  t.fabric.start_flow(std::move(spec));
+  t.sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(t.fabric.total_bytes_carried(), 0.0);
+}
+
+TEST(Fabric, UnreachableDestinationFailsFlow) {
+  sim::Simulation sim;
+  Fabric fabric(sim);
+  NetNodeId a = fabric.add_node(NodeKind::kHost, "a");
+  NetNodeId b = fabric.add_node(NodeKind::kHost, "b");  // no links at all
+  bool failed = false;
+  FlowSpec spec;
+  spec.src = a;
+  spec.dst = b;
+  spec.bytes = 100;
+  spec.on_complete = [&](FlowId, bool success) { failed = !success; };
+  fabric.start_flow(std::move(spec));
+  sim.run();
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(fabric.flows_failed(), 1u);
+}
+
+TEST(Fabric, CancelFailsTheFlow) {
+  TwoHosts t;
+  bool success = true;
+  FlowSpec spec;
+  spec.src = t.a;
+  spec.dst = t.b;
+  spec.bytes = 1e12;
+  spec.on_complete = [&](FlowId, bool s) { success = s; };
+  FlowId id = t.fabric.start_flow(std::move(spec));
+  t.sim.after(sim::Duration::seconds(1),
+              [&]() { t.fabric.cancel_flow(id); });
+  t.sim.run();
+  EXPECT_FALSE(success);
+}
+
+TEST(Fabric, LinkCutReroutesOverAlternatePath) {
+  // a - s1 - b with a parallel a - s2 - b path one hop longer via s1->s2.
+  sim::Simulation sim;
+  Fabric fabric(sim);
+  NetNodeId a = fabric.add_node(NodeKind::kHost, "a");
+  NetNodeId b = fabric.add_node(NodeKind::kHost, "b");
+  NetNodeId s1 = fabric.add_node(NodeKind::kSwitch, "s1");
+  NetNodeId s2 = fabric.add_node(NodeKind::kSwitch, "s2");
+  auto [a_s1, s1_a] = fabric.add_link(a, s1, 100e6, sim::Duration::micros(10));
+  fabric.add_link(s1, b, 100e6, sim::Duration::micros(10));
+  fabric.add_link(a, s2, 100e6, sim::Duration::micros(10));
+  fabric.add_link(s2, b, 100e6, sim::Duration::micros(10));
+  (void)s1_a;
+
+  bool done = false;
+  bool ok = false;
+  FlowSpec spec;
+  spec.src = a;
+  spec.dst = b;
+  spec.bytes = 12.5e6;
+  spec.on_complete = [&](FlowId, bool success) {
+    done = true;
+    ok = success;
+  };
+  fabric.start_flow(std::move(spec));
+  sim.after(sim::Duration::millis(100),
+            [&]() { fabric.set_link_pair_up(a_s1, false); });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(ok) << "flow should survive via the alternate path";
+}
+
+TEST(Fabric, LinkCutWithNoAlternativeFailsFlow) {
+  TwoHosts t;
+  bool ok = true;
+  bool done = false;
+  FlowSpec spec;
+  spec.src = t.a;
+  spec.dst = t.b;
+  spec.bytes = 1e12;
+  spec.on_complete = [&](FlowId, bool success) {
+    done = true;
+    ok = success;
+  };
+  t.fabric.start_flow(std::move(spec));
+  LinkId host_link = t.fabric.node(t.a).out_links[0];
+  t.sim.after(sim::Duration::seconds(1),
+              [&]() { t.fabric.set_link_pair_up(host_link, false); });
+  t.sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(ok);
+}
+
+// --- Property-based max-min fairness ----------------------------------------
+//
+// On random topologies with random flows, the allocation must satisfy the
+// max-min conditions: (1) no link over capacity; (2) every flow is
+// bottlenecked — it crosses at least one saturated link where it has the
+// maximal rate among that link's flows.
+class FairnessProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FairnessProperty, MaxMinConditionsHold) {
+  util::Rng rng(GetParam());
+  sim::Simulation sim;
+  Fabric fabric(sim);
+
+  int hosts = static_cast<int>(rng.uniform_int(3, 8));
+  int switches = static_cast<int>(rng.uniform_int(1, 4));
+  std::vector<NetNodeId> host_ids, switch_ids;
+  for (int i = 0; i < hosts; ++i) {
+    host_ids.push_back(fabric.add_node(NodeKind::kHost, "h" + std::to_string(i)));
+  }
+  for (int i = 0; i < switches; ++i) {
+    switch_ids.push_back(
+        fabric.add_node(NodeKind::kSwitch, "s" + std::to_string(i)));
+  }
+  // Ring the switches, attach each host to a random switch; random extra
+  // switch-switch links.
+  for (int i = 0; i < switches; ++i) {
+    if (switches > 1) {
+      fabric.add_link(switch_ids[i], switch_ids[(i + 1) % switches],
+                      rng.uniform(50e6, 1e9), sim::Duration::micros(20));
+    }
+  }
+  for (auto h : host_ids) {
+    fabric.add_link(h, switch_ids[static_cast<size_t>(rng.uniform_int(
+                           0, switches - 1))],
+                    rng.uniform(10e6, 200e6), sim::Duration::micros(20));
+  }
+
+  int flows = static_cast<int>(rng.uniform_int(2, 12));
+  std::vector<FlowId> ids;
+  for (int i = 0; i < flows; ++i) {
+    auto s = static_cast<size_t>(rng.uniform_int(0, hosts - 1));
+    auto d = static_cast<size_t>(rng.uniform_int(0, hosts - 1));
+    if (s == d) continue;
+    FlowSpec spec;
+    spec.src = host_ids[s];
+    spec.dst = host_ids[d];
+    spec.bytes = 1e15;
+    ids.push_back(fabric.start_flow(std::move(spec)));
+  }
+
+  // Condition 1: no link oversubscribed (within numeric tolerance).
+  for (size_t l = 0; l < fabric.link_count(); ++l) {
+    const DirectedLink& link = fabric.link(static_cast<LinkId>(l));
+    EXPECT_LE(link.allocated_bps, link.capacity_bps * (1 + 1e-9))
+        << "link " << l << " over capacity";
+  }
+
+  // Condition 2: every active flow has a bottleneck link.
+  for (FlowId id : ids) {
+    auto path = fabric.flow_path(id);
+    if (path.empty()) continue;  // unreachable pairing
+    double rate = fabric.flow_rate_bps(id);
+    ASSERT_GT(rate, 0.0);
+    bool bottlenecked = false;
+    for (LinkId lid : path) {
+      const DirectedLink& link = fabric.link(lid);
+      bool saturated = link.allocated_bps >= link.capacity_bps * (1 - 1e-9);
+      if (!saturated) continue;
+      // Is this flow's rate maximal on the saturated link?
+      bool maximal = true;
+      for (FlowId other : ids) {
+        if (other == id) continue;
+        auto other_path = fabric.flow_path(other);
+        if (std::find(other_path.begin(), other_path.end(), lid) ==
+            other_path.end()) {
+          continue;
+        }
+        if (fabric.flow_rate_bps(other) > rate * (1 + 1e-9)) maximal = false;
+      }
+      if (maximal) {
+        bottlenecked = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(bottlenecked) << "flow " << id << " lacks a bottleneck";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTopologies, FairnessProperty,
+                         ::testing::Range(1, 25));
+
+}  // namespace
+}  // namespace picloud::net

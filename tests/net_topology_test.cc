@@ -1,0 +1,129 @@
+// Topology builders + analysis (the Fig. 2 substrate).
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "sim/simulation.h"
+
+namespace picloud::net {
+namespace {
+
+TEST(MultiRootTree, GlasgowBuildShape) {
+  sim::Simulation sim;
+  Fabric fabric(sim);
+  Topology topo = build_multi_root_tree(fabric, MultiRootTreeConfig{});
+  EXPECT_EQ(topo.kind, "multi-root-tree");
+  EXPECT_EQ(topo.hosts.size(), 56u);
+  EXPECT_EQ(topo.tor_switches.size(), 4u);
+  EXPECT_EQ(topo.agg_switches.size(), 2u);
+  EXPECT_NE(topo.gateway, kInvalidNode);
+  EXPECT_NE(topo.internet, kInvalidNode);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(topo.hosts_in_rack(r).size(), 14u);
+  }
+}
+
+TEST(MultiRootTree, IntraRackIsTwoHopsInterRackIsFour) {
+  sim::Simulation sim;
+  Fabric fabric(sim);
+  Topology topo = build_multi_root_tree(fabric, MultiRootTreeConfig{});
+  // Same rack: host -> ToR -> host.
+  auto intra = fabric.shortest_path(topo.hosts[0], topo.hosts[1]);
+  EXPECT_EQ(intra.size(), 2u);
+  // Different rack: host -> ToR -> agg -> ToR -> host.
+  auto inter = fabric.shortest_path(topo.hosts[0], topo.hosts[14]);
+  EXPECT_EQ(inter.size(), 4u);
+}
+
+TEST(MultiRootTree, EveryHostReachesTheInternet) {
+  sim::Simulation sim;
+  Fabric fabric(sim);
+  Topology topo = build_multi_root_tree(fabric, MultiRootTreeConfig{});
+  for (NetNodeId host : topo.hosts) {
+    EXPECT_FALSE(fabric.shortest_path(host, topo.internet).empty());
+  }
+}
+
+TEST(MultiRootTree, MultiRootGivesEqualCostChoices) {
+  sim::Simulation sim;
+  Fabric fabric(sim);
+  MultiRootTreeConfig config;
+  config.aggregation_switches = 2;
+  Topology topo = build_multi_root_tree(fabric, config);
+  // Inter-rack pairs have one equal-cost path per aggregation root.
+  auto paths = fabric.equal_cost_paths(topo.hosts[0], topo.hosts[14]);
+  EXPECT_EQ(paths.size(), 2u);
+}
+
+TEST(FatTree, K4Shape) {
+  sim::Simulation sim;
+  Fabric fabric(sim);
+  FatTreeConfig config;
+  config.k = 4;
+  Topology topo = build_fat_tree(fabric, config);
+  EXPECT_EQ(topo.hosts.size(), 16u);          // k^3/4
+  EXPECT_EQ(topo.core_switches.size(), 4u);   // (k/2)^2
+  EXPECT_EQ(topo.agg_switches.size(), 8u);    // k * k/2
+  EXPECT_EQ(topo.tor_switches.size(), 8u);    // k * k/2 edges
+}
+
+TEST(FatTree, AnalysisShowsFullBisection) {
+  sim::Simulation sim;
+  Fabric fabric(sim);
+  FatTreeConfig config;
+  config.k = 4;
+  config.host_link_bps = 100e6;
+  config.fabric_link_bps = 100e6;
+  Topology topo = build_fat_tree(fabric, config);
+  TopologyAnalysis analysis = analyze_topology(fabric, topo);
+  EXPECT_TRUE(analysis.fully_connected);
+  // Full bisection: all 8 cross pairs run at line rate.
+  EXPECT_NEAR(analysis.bisection_bps, 8 * 100e6, 1e3);
+  EXPECT_NEAR(analysis.oversubscription, 1.0, 1e-9);
+}
+
+TEST(FatTree, EcmpPathDiversityMatchesTheory) {
+  sim::Simulation sim;
+  Fabric fabric(sim);
+  FatTreeConfig config;
+  config.k = 4;
+  Topology topo = build_fat_tree(fabric, config);
+  // Hosts in different pods have (k/2)^2 = 4 equal-cost paths.
+  auto paths = fabric.equal_cost_paths(topo.hosts[0], topo.hosts[15]);
+  EXPECT_EQ(paths.size(), 4u);
+}
+
+TEST(MultiRootTree, AnalysisReportsOversubscription) {
+  sim::Simulation sim;
+  Fabric fabric(sim);
+  Topology topo = build_multi_root_tree(fabric, MultiRootTreeConfig{});
+  TopologyAnalysis analysis = analyze_topology(fabric, topo);
+  EXPECT_TRUE(analysis.fully_connected);
+  // 14 x 100 Mb hosts behind 2 x 1 Gb uplinks = 0.7:1 at the ToR.
+  EXPECT_NEAR(analysis.oversubscription, 1400e6 / 2000e6, 1e-9);
+  EXPECT_GT(analysis.bisection_bps, 0);
+  EXPECT_EQ(analysis.switch_count, 6u);  // 4 ToR + 2 agg
+}
+
+TEST(SingleRack, SmallTestShape) {
+  sim::Simulation sim;
+  Fabric fabric(sim);
+  Topology topo = build_single_rack(fabric, 4);
+  EXPECT_EQ(topo.hosts.size(), 4u);
+  EXPECT_EQ(topo.rack_count(), 1);
+  auto path = fabric.shortest_path(topo.hosts[0], topo.internet);
+  EXPECT_EQ(path.size(), 3u);  // host -> tor -> gateway -> internet
+}
+
+TEST(Analysis, DisconnectedTopologyDetected) {
+  sim::Simulation sim;
+  Fabric fabric(sim);
+  Topology topo = build_single_rack(fabric, 3);
+  // Cut a host's only link.
+  LinkId link = fabric.node(topo.hosts[0]).out_links[0];
+  fabric.set_link_pair_up(link, false);
+  TopologyAnalysis analysis = analyze_topology(fabric, topo);
+  EXPECT_FALSE(analysis.fully_connected);
+}
+
+}  // namespace
+}  // namespace picloud::net

@@ -1,0 +1,198 @@
+// CPU scheduler tests: proportional shares, caps, freeze, work conservation
+// — including the property sweep over random task mixes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "os/scheduler.h"
+#include "util/rng.h"
+
+namespace picloud::os {
+namespace {
+
+constexpr double kPiHz = 700e6;
+
+TEST(CpuScheduler, SingleTaskRunsAtFullSpeed) {
+  sim::Simulation sim;
+  CpuScheduler cpu(sim, kPiHz);
+  CgroupId g = cpu.create_group();
+  bool done = false;
+  sim::SimTime finish;
+  cpu.run(g, 700e6, [&](bool completed) {
+    done = completed;
+    finish = sim.now();
+  });
+  EXPECT_DOUBLE_EQ(cpu.utilization(), 1.0);
+  sim.run();
+  ASSERT_TRUE(done);
+  EXPECT_NEAR(finish.to_seconds(), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(cpu.utilization(), 0.0);
+}
+
+TEST(CpuScheduler, EqualSharesSplitEvenly) {
+  sim::Simulation sim;
+  CpuScheduler cpu(sim, kPiHz);
+  CgroupId a = cpu.create_group(1024);
+  CgroupId b = cpu.create_group(1024);
+  sim::SimTime fa, fb;
+  cpu.run(a, 350e6, [&](bool) { fa = sim.now(); });
+  cpu.run(b, 350e6, [&](bool) { fb = sim.now(); });
+  sim.run();
+  // Each gets half the core: 350e6 cycles at 350 MHz = 1 s.
+  EXPECT_NEAR(fa.to_seconds(), 1.0, 1e-9);
+  EXPECT_NEAR(fb.to_seconds(), 1.0, 1e-9);
+}
+
+TEST(CpuScheduler, SharesAreProportional) {
+  sim::Simulation sim;
+  CpuScheduler cpu(sim, kPiHz);
+  CgroupId heavy = cpu.create_group(3072);  // 3x weight
+  CgroupId light = cpu.create_group(1024);
+  cpu.run(heavy, 1e9, [](bool) {});
+  cpu.run(light, 1e9, [](bool) {});
+  EXPECT_NEAR(cpu.group_rate(heavy) / cpu.group_rate(light), 3.0, 1e-9);
+  sim.run();
+}
+
+TEST(CpuScheduler, LimitCapsAGroupAndRedistributes) {
+  sim::Simulation sim;
+  CpuScheduler cpu(sim, kPiHz);
+  CgroupId capped = cpu.create_group(1024, /*limit=*/0.25);
+  CgroupId free_group = cpu.create_group(1024);
+  cpu.run(capped, 1e9, [](bool) {});
+  cpu.run(free_group, 1e9, [](bool) {});
+  EXPECT_NEAR(cpu.group_rate(capped), 0.25 * kPiHz, 1);
+  // Work conservation: the other group absorbs the rest.
+  EXPECT_NEAR(cpu.group_rate(free_group), 0.75 * kPiHz, 1);
+  sim.run();
+}
+
+TEST(CpuScheduler, LimitAloneThrottlesBelowFullUtilization) {
+  sim::Simulation sim;
+  CpuScheduler cpu(sim, kPiHz);
+  CgroupId capped = cpu.create_group(1024, 0.5);
+  sim::SimTime finish;
+  cpu.run(capped, 350e6, [&](bool) { finish = sim.now(); });
+  EXPECT_NEAR(cpu.utilization(), 0.5, 1e-9);
+  sim.run();
+  EXPECT_NEAR(finish.to_seconds(), 1.0, 1e-9);  // 350e6 at 350 MHz
+}
+
+TEST(CpuScheduler, TasksWithinGroupShareItsRate) {
+  sim::Simulation sim;
+  CpuScheduler cpu(sim, kPiHz);
+  CgroupId g = cpu.create_group();
+  int done = 0;
+  sim::SimTime last;
+  for (int i = 0; i < 2; ++i) {
+    cpu.run(g, 350e6, [&](bool) {
+      ++done;
+      last = sim.now();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(done, 2);
+  EXPECT_NEAR(last.to_seconds(), 1.0, 1e-9);  // both at 350 MHz
+}
+
+TEST(CpuScheduler, FreezeStopsProgressThawResumes) {
+  sim::Simulation sim;
+  CpuScheduler cpu(sim, kPiHz);
+  CgroupId g = cpu.create_group();
+  sim::SimTime finish;
+  cpu.run(g, 700e6, [&](bool) { finish = sim.now(); });  // 1s of work
+  sim.after(sim::Duration::seconds(0.5), [&]() { cpu.freeze_group(g, true); });
+  sim.after(sim::Duration::seconds(2.5), [&]() { cpu.freeze_group(g, false); });
+  sim.run();
+  // 0.5s done, frozen 2s, remaining 0.5s: finishes at 3.0s.
+  EXPECT_NEAR(finish.to_seconds(), 3.0, 1e-9);
+}
+
+TEST(CpuScheduler, CancelReportsIncomplete) {
+  sim::Simulation sim;
+  CpuScheduler cpu(sim, kPiHz);
+  CgroupId g = cpu.create_group();
+  bool completed = true;
+  CpuTaskId task = cpu.run(g, 1e12, [&](bool c) { completed = c; });
+  cpu.cancel(task);
+  sim.run();
+  EXPECT_FALSE(completed);
+}
+
+TEST(CpuScheduler, DestroyGroupFailsItsTasks) {
+  sim::Simulation sim;
+  CpuScheduler cpu(sim, kPiHz);
+  CgroupId g = cpu.create_group();
+  int failed = 0;
+  for (int i = 0; i < 3; ++i) {
+    cpu.run(g, 1e12, [&](bool c) {
+      if (!c) ++failed;
+    });
+  }
+  cpu.destroy_group(g);
+  sim.run();
+  EXPECT_EQ(failed, 3);
+  EXPECT_FALSE(cpu.group_exists(g));
+}
+
+TEST(CpuScheduler, CyclesAccountingMatchesWork) {
+  sim::Simulation sim;
+  CpuScheduler cpu(sim, kPiHz);
+  CgroupId g = cpu.create_group();
+  cpu.run(g, 123e6, [](bool) {});
+  sim.run();
+  EXPECT_NEAR(cpu.group_cycles_used(g), 123e6, 1);
+}
+
+TEST(CpuScheduler, AverageUtilizationIntegratesBusyTime) {
+  sim::Simulation sim;
+  CpuScheduler cpu(sim, kPiHz);
+  CgroupId g = cpu.create_group();
+  cpu.run(g, 700e6, [](bool) {});  // busy exactly 1 s
+  sim.run_until(sim::SimTime::zero() + sim::Duration::seconds(4));
+  EXPECT_NEAR(cpu.average_utilization(sim.now()), 0.25, 1e-6);
+}
+
+// Property: across random mixes of groups/limits/tasks, allocation is
+// work-conserving (min(capacity, sum of caps) used), never exceeds capacity,
+// and respects per-group caps.
+class SchedulerProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedulerProperty, AllocationInvariants) {
+  util::Rng rng(GetParam() * 7919);
+  sim::Simulation sim;
+  CpuScheduler cpu(sim, kPiHz);
+
+  int group_count = static_cast<int>(rng.uniform_int(1, 6));
+  std::vector<CgroupId> groups;
+  std::vector<double> caps;
+  for (int i = 0; i < group_count; ++i) {
+    double shares = rng.uniform(128, 4096);
+    double limit = rng.chance(0.5) ? rng.uniform(0.1, 1.0) : 0.0;
+    groups.push_back(cpu.create_group(shares, limit));
+    caps.push_back(limit > 0 ? limit * kPiHz : kPiHz);
+    int tasks = static_cast<int>(rng.uniform_int(1, 4));
+    for (int t = 0; t < tasks; ++t) {
+      cpu.run(groups.back(), rng.uniform(1e6, 1e9), [](bool) {});
+    }
+  }
+
+  double allocated = 0;
+  double cap_sum = 0;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    double rate = cpu.group_rate(groups[i]);
+    EXPECT_LE(rate, caps[i] * (1 + 1e-9)) << "group over its cap";
+    allocated += rate;
+    cap_sum += caps[i];
+  }
+  EXPECT_LE(allocated, kPiHz * (1 + 1e-9));
+  // Work conservation up to the binding constraint.
+  EXPECT_NEAR(allocated, std::min(kPiHz, cap_sum), kPiHz * 1e-9);
+  sim.run();  // drain
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMixes, SchedulerProperty,
+                         ::testing::Range(1, 30));
+
+}  // namespace
+}  // namespace picloud::os

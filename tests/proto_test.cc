@@ -1,0 +1,399 @@
+// Protocol layer tests: HTTP envelope + router, REST over the fabric,
+// DHCP DORA handshake, DNS resolution with caching.
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "proto/dhcp.h"
+#include "proto/dns.h"
+#include "proto/http.h"
+#include "proto/rest.h"
+#include "sim/simulation.h"
+
+namespace picloud::proto {
+namespace {
+
+using util::Json;
+
+// ---------------------------------------------------------------------------
+// HTTP envelope + Router
+
+TEST(Http, RequestSerializeParseRoundTrip) {
+  HttpRequest req;
+  req.method = Method::kPost;
+  req.path = "/containers/web-1/freeze";
+  req.body = Json::object().set("x", 1);
+  req.id = 77;
+  auto parsed = HttpRequest::parse(req.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().method, Method::kPost);
+  EXPECT_EQ(parsed.value().path, req.path);
+  EXPECT_EQ(parsed.value().body.get_number("x"), 1.0);
+  EXPECT_EQ(parsed.value().id, 77u);
+}
+
+TEST(Http, ResponseSerializeParseRoundTrip) {
+  HttpResponse resp = HttpResponse::make(201, Json("created"));
+  resp.id = 9;
+  auto parsed = HttpResponse::parse(resp.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().status, 201);
+  EXPECT_TRUE(parsed.value().ok());
+  EXPECT_EQ(parsed.value().id, 9u);
+}
+
+TEST(Http, ParseRejectsGarbage) {
+  EXPECT_FALSE(HttpRequest::parse("not json").ok());
+  EXPECT_FALSE(HttpRequest::parse(R"({"m":"FETCH","p":"/x"})").ok());
+  EXPECT_FALSE(HttpRequest::parse(R"({"m":"GET","p":"no-slash"})").ok());
+  EXPECT_FALSE(HttpResponse::parse(R"({"s":9999})").ok());
+}
+
+TEST(Router, LiteralAndParamRoutes) {
+  Router router;
+  router.handle(Method::kGet, "/nodes",
+                [](const HttpRequest&, const PathParams&) {
+                  return HttpResponse::make(200, Json("list"));
+                });
+  router.handle(Method::kGet, "/nodes/:hostname",
+                [](const HttpRequest&, const PathParams& params) {
+                  return HttpResponse::make(200, Json(params.at("hostname")));
+                });
+
+  HttpRequest list;
+  list.method = Method::kGet;
+  list.path = "/nodes";
+  EXPECT_EQ(router.dispatch(list).body.as_string(), "list");
+
+  HttpRequest one;
+  one.method = Method::kGet;
+  one.path = "/nodes/pi-r2-07";
+  EXPECT_EQ(router.dispatch(one).body.as_string(), "pi-r2-07");
+}
+
+TEST(Router, NotFoundAndMethodNotAllowed) {
+  Router router;
+  router.handle(Method::kGet, "/x",
+                [](const HttpRequest&, const PathParams&) {
+                  return HttpResponse::make(200);
+                });
+  HttpRequest missing;
+  missing.path = "/y";
+  EXPECT_EQ(router.dispatch(missing).status, 404);
+  HttpRequest wrong_method;
+  wrong_method.method = Method::kDelete;
+  wrong_method.path = "/x";
+  EXPECT_EQ(router.dispatch(wrong_method).status, 405);
+}
+
+TEST(Router, LaterRegistrationWins) {
+  Router router;
+  router.handle(Method::kGet, "/x", [](const HttpRequest&, const PathParams&) {
+    return HttpResponse::make(200, Json("old"));
+  });
+  router.handle(Method::kGet, "/x", [](const HttpRequest&, const PathParams&) {
+    return HttpResponse::make(200, Json("new"));
+  });
+  HttpRequest req;
+  req.path = "/x";
+  EXPECT_EQ(router.dispatch(req).body.as_string(), "new");
+}
+
+TEST(Router, ResponseIdEchoesRequestId) {
+  Router router;
+  HttpRequest req;
+  req.path = "/missing";
+  req.id = 1234;
+  EXPECT_EQ(router.dispatch(req).id, 1234u);
+}
+
+// ---------------------------------------------------------------------------
+// REST over the simulated network
+
+struct RestWorld {
+  sim::Simulation sim;
+  net::Fabric fabric{sim};
+  net::Network network{sim, fabric};
+  net::Topology topo;
+  net::Ipv4Addr server_ip{10, 0, 0, 1};
+  net::Ipv4Addr client_ip{10, 0, 0, 2};
+  Router router;
+
+  RestWorld() {
+    topo = net::build_single_rack(fabric, 2);
+    network.bind_ip(server_ip, topo.hosts[0]);
+    network.bind_ip(client_ip, topo.hosts[1]);
+  }
+};
+
+TEST(Rest, EndToEndCall) {
+  RestWorld w;
+  w.router.handle(Method::kGet, "/ping",
+                  [](const HttpRequest&, const PathParams&) {
+                    return HttpResponse::make(200, Json("pong"));
+                  });
+  RestServer server(w.network, w.server_ip, 8080, &w.router);
+  server.start();
+  RestClient client(w.network, w.client_ip);
+
+  bool got = false;
+  client.get(w.server_ip, 8080, "/ping",
+             [&](util::Result<HttpResponse> result) {
+               got = true;
+               ASSERT_TRUE(result.ok());
+               EXPECT_EQ(result.value().body.as_string(), "pong");
+             });
+  w.sim.run();
+  EXPECT_TRUE(got);
+  EXPECT_EQ(server.requests_served(), 1u);
+}
+
+TEST(Rest, AsyncHandlerRespondsLater) {
+  RestWorld w;
+  w.router.handle_async(
+      Method::kPost, "/slow",
+      [&w](const HttpRequest&, const PathParams&, Responder respond) {
+        w.sim.after(sim::Duration::seconds(2),
+                    [respond = std::move(respond)]() {
+                      respond(HttpResponse::make(200, Json("finally")));
+                    });
+      });
+  RestServer server(w.network, w.server_ip, 8080, &w.router);
+  server.start();
+  RestClient client(w.network, w.client_ip);
+  bool got = false;
+  client.post(w.server_ip, 8080, "/slow", Json(),
+              [&](util::Result<HttpResponse> result) {
+                got = true;
+                ASSERT_TRUE(result.ok());
+                EXPECT_EQ(result.value().body.as_string(), "finally");
+              });
+  w.sim.run();
+  EXPECT_TRUE(got);
+}
+
+TEST(Rest, TimeoutWhenServerSilent) {
+  RestWorld w;
+  RestClient client(w.network, w.client_ip);
+  bool got_error = false;
+  client.call(w.server_ip, 8080, Method::kGet, "/void", Json(),
+              [&](util::Result<HttpResponse> result) {
+                got_error = !result.ok();
+                if (got_error) {
+                  EXPECT_EQ(result.error().code, "timeout");
+                }
+              },
+              sim::Duration::seconds(1));
+  w.sim.run();
+  EXPECT_TRUE(got_error);
+  EXPECT_EQ(client.timeouts(), 1u);
+}
+
+TEST(Rest, ConcurrentCallsDemultiplexById) {
+  RestWorld w;
+  w.router.handle(Method::kGet, "/echo/:v",
+                  [](const HttpRequest&, const PathParams& params) {
+                    return HttpResponse::make(200, Json(params.at("v")));
+                  });
+  RestServer server(w.network, w.server_ip, 8080, &w.router);
+  server.start();
+  RestClient client(w.network, w.client_ip);
+  int matched = 0;
+  for (int i = 0; i < 10; ++i) {
+    client.get(w.server_ip, 8080, "/echo/" + std::to_string(i),
+               [&matched, i](util::Result<HttpResponse> result) {
+                 ASSERT_TRUE(result.ok());
+                 if (result.value().body.as_string() == std::to_string(i)) {
+                   ++matched;
+                 }
+               });
+  }
+  w.sim.run();
+  EXPECT_EQ(matched, 10);
+}
+
+// ---------------------------------------------------------------------------
+// DHCP
+
+struct DhcpWorld {
+  sim::Simulation sim;
+  net::Fabric fabric{sim};
+  net::Network network{sim, fabric};
+  net::Topology topo;
+  net::Ipv4Addr server_ip{10, 0, 0, 2};
+  std::unique_ptr<DhcpServer> server;
+
+  DhcpWorld() {
+    topo = net::build_single_rack(fabric, 4);
+    network.bind_ip(server_ip, topo.gateway);
+    DhcpServerConfig config;
+    config.subnet = net::Subnet(net::Ipv4Addr(10, 0, 0, 0), 16);
+    config.range_start = net::Ipv4Addr(10, 0, 1, 1);
+    config.range_end = net::Ipv4Addr(10, 0, 1, 100);
+    server = std::make_unique<DhcpServer>(network, topo.gateway, server_ip,
+                                          config);
+    server->start();
+  }
+};
+
+TEST(Dhcp, DoraHandshakeBindsClient) {
+  DhcpWorld w;
+  DhcpClient client(w.network, w.topo.hosts[0], "b8:27:eb:00:00:01",
+                    "pi-r0-00");
+  net::Ipv4Addr bound;
+  client.start([&](net::Ipv4Addr ip, sim::Duration) { bound = ip; });
+  w.sim.run_until(sim::SimTime::zero() + sim::Duration::seconds(5));
+  EXPECT_EQ(client.state(), DhcpClient::State::kBound);
+  EXPECT_EQ(bound, net::Ipv4Addr(10, 0, 1, 1));
+  EXPECT_EQ(w.server->active_leases(), 1u);
+  auto lease = w.server->lease_for_mac("b8:27:eb:00:00:01");
+  ASSERT_TRUE(lease.has_value());
+  EXPECT_EQ(lease->hostname, "pi-r0-00");
+}
+
+TEST(Dhcp, DistinctClientsGetDistinctAddresses) {
+  DhcpWorld w;
+  std::vector<std::unique_ptr<DhcpClient>> clients;
+  std::set<std::uint32_t> ips;
+  for (int i = 0; i < 4; ++i) {
+    clients.push_back(std::make_unique<DhcpClient>(
+        w.network, w.topo.hosts[i],
+        util::format("b8:27:eb:00:00:%02x", i), "host"));
+    clients.back()->start(
+        [&ips](net::Ipv4Addr ip, sim::Duration) { ips.insert(ip.value()); });
+  }
+  w.sim.run_until(sim::SimTime::zero() + sim::Duration::seconds(10));
+  EXPECT_EQ(ips.size(), 4u);
+}
+
+TEST(Dhcp, ReservationPinsAddress) {
+  DhcpWorld w;
+  w.server->add_reservation("b8:27:eb:00:00:07", net::Ipv4Addr(10, 0, 1, 77));
+  DhcpClient client(w.network, w.topo.hosts[0], "b8:27:eb:00:00:07", "pinned");
+  net::Ipv4Addr bound;
+  client.start([&](net::Ipv4Addr ip, sim::Duration) { bound = ip; });
+  w.sim.run_until(sim::SimTime::zero() + sim::Duration::seconds(5));
+  EXPECT_EQ(bound, net::Ipv4Addr(10, 0, 1, 77));
+}
+
+TEST(Dhcp, SameMacRenewsSameAddress) {
+  DhcpWorld w;
+  auto first = w.server->allocate_static("02:00:00:00:00:01", "c1");
+  ASSERT_TRUE(first.ok());
+  auto again = w.server->allocate_static("02:00:00:00:00:01", "c1");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(first.value(), again.value());
+}
+
+TEST(Dhcp, PoolExhaustionNaks) {
+  DhcpWorld w;
+  // Allocate the entire 100-address range statically.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        w.server->allocate_static(util::format("02:00:00:00:01:%02x", i), "c")
+            .ok());
+  }
+  auto full = w.server->allocate_static("02:00:00:00:02:01", "straw");
+  ASSERT_FALSE(full.ok());
+  EXPECT_EQ(full.error().code, "no_capacity");
+  // Releasing one address makes room again.
+  w.server->release(net::Ipv4Addr(10, 0, 1, 50));
+  EXPECT_TRUE(w.server->allocate_static("02:00:00:00:02:01", "straw").ok());
+}
+
+TEST(Dhcp, LeaseCallbackFires) {
+  DhcpWorld w;
+  std::string seen_hostname;
+  w.server->set_lease_callback(
+      [&](const DhcpLease& lease) { seen_hostname = lease.hostname; });
+  DhcpClient client(w.network, w.topo.hosts[0], "b8:27:eb:00:00:01",
+                    "pi-r0-00");
+  client.start([](net::Ipv4Addr, sim::Duration) {});
+  w.sim.run_until(sim::SimTime::zero() + sim::Duration::seconds(5));
+  EXPECT_EQ(seen_hostname, "pi-r0-00");
+}
+
+// ---------------------------------------------------------------------------
+// DNS
+
+struct DnsWorld {
+  sim::Simulation sim;
+  net::Fabric fabric{sim};
+  net::Network network{sim, fabric};
+  net::Topology topo;
+  net::Ipv4Addr server_ip{10, 0, 0, 2};
+  net::Ipv4Addr client_ip{10, 0, 0, 3};
+  std::unique_ptr<DnsServer> server;
+
+  DnsWorld() {
+    topo = net::build_single_rack(fabric, 2);
+    network.bind_ip(server_ip, topo.gateway);
+    network.bind_ip(client_ip, topo.hosts[0]);
+    server = std::make_unique<DnsServer>(network, server_ip);
+    server->start();
+  }
+};
+
+TEST(Dns, ResolveOverTheWire) {
+  DnsWorld w;
+  w.server->add_record("pi-r0-00", net::Ipv4Addr(10, 0, 1, 1));
+  DnsResolver resolver(w.network, w.client_ip, w.server_ip);
+  net::Ipv4Addr got;
+  resolver.resolve("pi-r0-00", [&](util::Result<net::Ipv4Addr> result) {
+    ASSERT_TRUE(result.ok());
+    got = result.value();
+  });
+  w.sim.run();
+  EXPECT_EQ(got, net::Ipv4Addr(10, 0, 1, 1));
+  EXPECT_EQ(w.server->queries_served(), 1u);
+}
+
+TEST(Dns, NxDomain) {
+  DnsWorld w;
+  DnsResolver resolver(w.network, w.client_ip, w.server_ip);
+  bool nx = false;
+  resolver.resolve("ghost", [&](util::Result<net::Ipv4Addr> result) {
+    nx = !result.ok() && result.error().code == "not_found";
+  });
+  w.sim.run();
+  EXPECT_TRUE(nx);
+}
+
+TEST(Dns, CacheServesRepeatsWithoutQueries) {
+  DnsWorld w;
+  w.server->add_record("web", net::Ipv4Addr(10, 0, 1, 5));
+  DnsResolver resolver(w.network, w.client_ip, w.server_ip);
+  int resolved = 0;
+  for (int i = 0; i < 3; ++i) {
+    resolver.resolve("web", [&](util::Result<net::Ipv4Addr> result) {
+      if (result.ok()) ++resolved;
+      // Chain the next resolve after this one completes.
+    });
+    w.sim.run();
+  }
+  EXPECT_EQ(resolved, 3);
+  EXPECT_EQ(resolver.queries_sent(), 1u);
+  EXPECT_EQ(resolver.cache_hits(), 2u);
+}
+
+TEST(Dns, CacheExpiresAfterTtl) {
+  DnsWorld w;
+  w.server->add_record("web", net::Ipv4Addr(10, 0, 1, 5));
+  DnsResolver resolver(w.network, w.client_ip, w.server_ip);
+  resolver.resolve("web", [](util::Result<net::Ipv4Addr>) {});
+  w.sim.run();
+  w.sim.run_until(w.sim.now() + sim::Duration::seconds(120));  // > 60s TTL
+  resolver.resolve("web", [](util::Result<net::Ipv4Addr>) {});
+  w.sim.run();
+  EXPECT_EQ(resolver.queries_sent(), 2u);
+}
+
+TEST(Dns, ReverseLookup) {
+  DnsWorld w;
+  w.server->add_record("web", net::Ipv4Addr(10, 0, 1, 5));
+  EXPECT_EQ(w.server->reverse(net::Ipv4Addr(10, 0, 1, 5)),
+            std::optional<std::string>("web"));
+  EXPECT_FALSE(w.server->reverse(net::Ipv4Addr(10, 0, 1, 6)).has_value());
+}
+
+}  // namespace
+}  // namespace picloud::proto

@@ -1,0 +1,178 @@
+// Unit tests for the discrete-event kernel: ordering, cancellation,
+// periodic tasks, determinism.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/simulation.h"
+#include "sim/time.h"
+
+namespace picloud::sim {
+namespace {
+
+TEST(Duration, ArithmeticAndConversions) {
+  EXPECT_EQ(Duration::millis(1).ns(), 1000000);
+  EXPECT_EQ(Duration::seconds(1.5).to_millis(), 1500.0);
+  EXPECT_EQ((Duration::seconds(2) + Duration::seconds(3)).to_seconds(), 5.0);
+  EXPECT_EQ(Duration::seconds(10) / Duration::seconds(4), 2.5);
+  EXPECT_LT(Duration::micros(1), Duration::millis(1));
+  EXPECT_EQ(Duration::seconds(3).to_string(), "3.000s");
+  EXPECT_EQ(Duration::micros(1500).to_string(), "1.500ms");
+}
+
+TEST(SimTime, OrderingAndOffsets) {
+  SimTime t = SimTime::zero() + Duration::seconds(1);
+  EXPECT_GT(t, SimTime::zero());
+  EXPECT_EQ((t - SimTime::zero()).to_seconds(), 1.0);
+}
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(SimTime::from_ns(300), [&]() { order.push_back(3); });
+  q.schedule(SimTime::from_ns(100), [&]() { order.push_back(1); });
+  q.schedule(SimTime::from_ns(200), [&]() { order.push_back(2); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsAreFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(SimTime::from_ns(50), [&order, i]() { order.push_back(i); });
+  }
+  while (!q.empty()) q.run_next();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  EventId id = q.schedule(SimTime::from_ns(10), [&]() { fired = true; });
+  q.schedule(SimTime::from_ns(20), []() {});
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.run_next();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelAfterFireIsNoOp) {
+  EventQueue q;
+  EventId id = q.schedule(SimTime::from_ns(10), []() {});
+  q.run_next();
+  q.cancel(id);  // must not crash or corrupt counters
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CallbackMaySchedule) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&]() {
+    if (++count < 5) {
+      q.schedule(SimTime::from_ns(count * 10), chain);
+    }
+  };
+  q.schedule(SimTime::from_ns(0), chain);
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Simulation, AfterAdvancesClock) {
+  Simulation sim;
+  SimTime seen;
+  sim.after(Duration::millis(250), [&]() { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen.to_seconds(), 0.25);
+  EXPECT_EQ(sim.now().to_seconds(), 0.25);
+}
+
+TEST(Simulation, RunUntilStopsAtHorizonAndAdvancesTime) {
+  Simulation sim;
+  int fired = 0;
+  sim.after(Duration::seconds(1), [&]() { ++fired; });
+  sim.after(Duration::seconds(10), [&]() { ++fired; });
+  sim.run_until(SimTime::zero() + Duration::seconds(5));
+  EXPECT_EQ(fired, 1);
+  // Clock advanced to the horizon even though no event was there.
+  EXPECT_EQ(sim.now().to_seconds(), 5.0);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, StopHaltsTheLoop) {
+  Simulation sim;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.after(Duration::seconds(i), [&sim, &fired]() {
+      if (++fired == 3) sim.stop();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulation, EventsExecutedCounter) {
+  Simulation sim;
+  for (int i = 0; i < 7; ++i) sim.after(Duration::millis(i), []() {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+TEST(PeriodicTask, FiresAtPeriodUntilStopped) {
+  Simulation sim;
+  int ticks = 0;
+  PeriodicTask task(sim, Duration::seconds(1), [&]() { ++ticks; });
+  sim.run_until(SimTime::zero() + Duration::seconds(5));
+  EXPECT_EQ(ticks, 5);
+  task.stop();
+  sim.run_until(SimTime::zero() + Duration::seconds(10));
+  EXPECT_EQ(ticks, 5);
+}
+
+TEST(PeriodicTask, DestructionCancels) {
+  Simulation sim;
+  int ticks = 0;
+  {
+    PeriodicTask task(sim, Duration::seconds(1), [&]() { ++ticks; });
+    sim.run_until(SimTime::zero() + Duration::seconds(2));
+  }
+  sim.run_until(SimTime::zero() + Duration::seconds(10));
+  EXPECT_EQ(ticks, 2);
+}
+
+TEST(PeriodicTask, CallbackMayStopItself) {
+  Simulation sim;
+  int ticks = 0;
+  PeriodicTask task;
+  task = PeriodicTask(sim, Duration::seconds(1), [&]() {
+    if (++ticks == 3) task.stop();
+  });
+  sim.run_until(SimTime::zero() + Duration::seconds(10));
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(Simulation, DeterministicEventCountAcrossRuns) {
+  auto run = [](std::uint64_t seed) {
+    Simulation sim(seed);
+    util::Rng rng = sim.rng().fork();
+    // A little self-scheduling storm.
+    std::function<void(int)> spawn = [&](int depth) {
+      if (depth >= 6) return;
+      int fanout = static_cast<int>(rng.uniform_int(1, 3));
+      for (int i = 0; i < fanout; ++i) {
+        sim.after(Duration::millis(rng.uniform_int(1, 50)),
+                  [&spawn, depth]() { spawn(depth + 1); });
+      }
+    };
+    spawn(0);
+    sim.run();
+    return sim.events_executed();
+  };
+  EXPECT_EQ(run(99), run(99));
+  EXPECT_NE(run(99), run(100));  // overwhelmingly likely
+}
+
+}  // namespace
+}  // namespace picloud::sim
