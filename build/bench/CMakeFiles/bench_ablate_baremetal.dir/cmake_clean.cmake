@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_baremetal.dir/bench_ablate_baremetal.cc.o"
+  "CMakeFiles/bench_ablate_baremetal.dir/bench_ablate_baremetal.cc.o.d"
+  "bench_ablate_baremetal"
+  "bench_ablate_baremetal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_baremetal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_density.dir/bench_ablate_density.cc.o"
+  "CMakeFiles/bench_ablate_density.dir/bench_ablate_density.cc.o.d"
+  "bench_ablate_density"
+  "bench_ablate_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_economics.dir/bench_ablate_economics.cc.o"
+  "CMakeFiles/bench_ablate_economics.dir/bench_ablate_economics.cc.o.d"
+  "bench_ablate_economics"
+  "bench_ablate_economics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_economics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_gossip.dir/bench_ablate_gossip.cc.o"
+  "CMakeFiles/bench_ablate_gossip.dir/bench_ablate_gossip.cc.o.d"
+  "bench_ablate_gossip"
+  "bench_ablate_gossip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

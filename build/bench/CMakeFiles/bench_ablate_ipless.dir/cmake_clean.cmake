@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_ipless.dir/bench_ablate_ipless.cc.o"
+  "CMakeFiles/bench_ablate_ipless.dir/bench_ablate_ipless.cc.o.d"
+  "bench_ablate_ipless"
+  "bench_ablate_ipless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_ipless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

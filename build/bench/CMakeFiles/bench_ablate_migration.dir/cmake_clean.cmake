@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_migration.dir/bench_ablate_migration.cc.o"
+  "CMakeFiles/bench_ablate_migration.dir/bench_ablate_migration.cc.o.d"
+  "bench_ablate_migration"
+  "bench_ablate_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_placement.dir/bench_ablate_placement.cc.o"
+  "CMakeFiles/bench_ablate_placement.dir/bench_ablate_placement.cc.o.d"
+  "bench_ablate_placement"
+  "bench_ablate_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_power.dir/bench_ablate_power.cc.o"
+  "CMakeFiles/bench_ablate_power.dir/bench_ablate_power.cc.o.d"
+  "bench_ablate_power"
+  "bench_ablate_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

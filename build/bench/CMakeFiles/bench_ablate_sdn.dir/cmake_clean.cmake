@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_sdn.dir/bench_ablate_sdn.cc.o"
+  "CMakeFiles/bench_ablate_sdn.dir/bench_ablate_sdn.cc.o.d"
+  "bench_ablate_sdn"
+  "bench_ablate_sdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_sdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

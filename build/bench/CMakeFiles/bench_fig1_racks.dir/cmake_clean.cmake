@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_racks.dir/bench_fig1_racks.cc.o"
+  "CMakeFiles/bench_fig1_racks.dir/bench_fig1_racks.cc.o.d"
+  "bench_fig1_racks"
+  "bench_fig1_racks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_racks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

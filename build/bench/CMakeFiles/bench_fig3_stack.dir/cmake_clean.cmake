@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_stack.dir/bench_fig3_stack.cc.o"
+  "CMakeFiles/bench_fig3_stack.dir/bench_fig3_stack.cc.o.d"
+  "bench_fig3_stack"
+  "bench_fig3_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

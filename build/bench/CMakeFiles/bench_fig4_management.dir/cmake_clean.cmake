@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_management.dir/bench_fig4_management.cc.o"
+  "CMakeFiles/bench_fig4_management.dir/bench_fig4_management.cc.o.d"
+  "bench_fig4_management"
+  "bench_fig4_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

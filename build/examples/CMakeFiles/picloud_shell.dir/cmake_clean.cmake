@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/picloud_shell.dir/picloud_shell.cpp.o"
+  "CMakeFiles/picloud_shell.dir/picloud_shell.cpp.o.d"
+  "picloud_shell"
+  "picloud_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/picloud_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

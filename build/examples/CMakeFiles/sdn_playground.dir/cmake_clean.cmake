@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdn_playground.dir/sdn_playground.cpp.o"
+  "CMakeFiles/sdn_playground.dir/sdn_playground.cpp.o.d"
+  "sdn_playground"
+  "sdn_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdn_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

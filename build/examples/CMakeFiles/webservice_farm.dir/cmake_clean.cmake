@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webservice_farm.dir/webservice_farm.cpp.o"
+  "CMakeFiles/webservice_farm.dir/webservice_farm.cpp.o.d"
+  "webservice_farm"
+  "webservice_farm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webservice_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/batch.cc" "src/apps/CMakeFiles/picloud_apps.dir/batch.cc.o" "gcc" "src/apps/CMakeFiles/picloud_apps.dir/batch.cc.o.d"
+  "/root/repo/src/apps/dfs.cc" "src/apps/CMakeFiles/picloud_apps.dir/dfs.cc.o" "gcc" "src/apps/CMakeFiles/picloud_apps.dir/dfs.cc.o.d"
+  "/root/repo/src/apps/factory.cc" "src/apps/CMakeFiles/picloud_apps.dir/factory.cc.o" "gcc" "src/apps/CMakeFiles/picloud_apps.dir/factory.cc.o.d"
+  "/root/repo/src/apps/httpd.cc" "src/apps/CMakeFiles/picloud_apps.dir/httpd.cc.o" "gcc" "src/apps/CMakeFiles/picloud_apps.dir/httpd.cc.o.d"
+  "/root/repo/src/apps/kvstore.cc" "src/apps/CMakeFiles/picloud_apps.dir/kvstore.cc.o" "gcc" "src/apps/CMakeFiles/picloud_apps.dir/kvstore.cc.o.d"
+  "/root/repo/src/apps/loadgen.cc" "src/apps/CMakeFiles/picloud_apps.dir/loadgen.cc.o" "gcc" "src/apps/CMakeFiles/picloud_apps.dir/loadgen.cc.o.d"
+  "/root/repo/src/apps/mapreduce.cc" "src/apps/CMakeFiles/picloud_apps.dir/mapreduce.cc.o" "gcc" "src/apps/CMakeFiles/picloud_apps.dir/mapreduce.cc.o.d"
+  "/root/repo/src/apps/trace.cc" "src/apps/CMakeFiles/picloud_apps.dir/trace.cc.o" "gcc" "src/apps/CMakeFiles/picloud_apps.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/picloud_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/picloud_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/picloud_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/picloud_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/picloud_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/picloud_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/picloud_apps.dir/batch.cc.o"
+  "CMakeFiles/picloud_apps.dir/batch.cc.o.d"
+  "CMakeFiles/picloud_apps.dir/dfs.cc.o"
+  "CMakeFiles/picloud_apps.dir/dfs.cc.o.d"
+  "CMakeFiles/picloud_apps.dir/factory.cc.o"
+  "CMakeFiles/picloud_apps.dir/factory.cc.o.d"
+  "CMakeFiles/picloud_apps.dir/httpd.cc.o"
+  "CMakeFiles/picloud_apps.dir/httpd.cc.o.d"
+  "CMakeFiles/picloud_apps.dir/kvstore.cc.o"
+  "CMakeFiles/picloud_apps.dir/kvstore.cc.o.d"
+  "CMakeFiles/picloud_apps.dir/loadgen.cc.o"
+  "CMakeFiles/picloud_apps.dir/loadgen.cc.o.d"
+  "CMakeFiles/picloud_apps.dir/mapreduce.cc.o"
+  "CMakeFiles/picloud_apps.dir/mapreduce.cc.o.d"
+  "CMakeFiles/picloud_apps.dir/trace.cc.o"
+  "CMakeFiles/picloud_apps.dir/trace.cc.o.d"
+  "libpicloud_apps.a"
+  "libpicloud_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/picloud_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/autopilot.cc" "src/cloud/CMakeFiles/picloud_cloud.dir/autopilot.cc.o" "gcc" "src/cloud/CMakeFiles/picloud_cloud.dir/autopilot.cc.o.d"
+  "/root/repo/src/cloud/chaos.cc" "src/cloud/CMakeFiles/picloud_cloud.dir/chaos.cc.o" "gcc" "src/cloud/CMakeFiles/picloud_cloud.dir/chaos.cc.o.d"
+  "/root/repo/src/cloud/cloud.cc" "src/cloud/CMakeFiles/picloud_cloud.dir/cloud.cc.o" "gcc" "src/cloud/CMakeFiles/picloud_cloud.dir/cloud.cc.o.d"
+  "/root/repo/src/cloud/control_panel.cc" "src/cloud/CMakeFiles/picloud_cloud.dir/control_panel.cc.o" "gcc" "src/cloud/CMakeFiles/picloud_cloud.dir/control_panel.cc.o.d"
+  "/root/repo/src/cloud/economics.cc" "src/cloud/CMakeFiles/picloud_cloud.dir/economics.cc.o" "gcc" "src/cloud/CMakeFiles/picloud_cloud.dir/economics.cc.o.d"
+  "/root/repo/src/cloud/gossip.cc" "src/cloud/CMakeFiles/picloud_cloud.dir/gossip.cc.o" "gcc" "src/cloud/CMakeFiles/picloud_cloud.dir/gossip.cc.o.d"
+  "/root/repo/src/cloud/migration.cc" "src/cloud/CMakeFiles/picloud_cloud.dir/migration.cc.o" "gcc" "src/cloud/CMakeFiles/picloud_cloud.dir/migration.cc.o.d"
+  "/root/repo/src/cloud/monitor.cc" "src/cloud/CMakeFiles/picloud_cloud.dir/monitor.cc.o" "gcc" "src/cloud/CMakeFiles/picloud_cloud.dir/monitor.cc.o.d"
+  "/root/repo/src/cloud/node_daemon.cc" "src/cloud/CMakeFiles/picloud_cloud.dir/node_daemon.cc.o" "gcc" "src/cloud/CMakeFiles/picloud_cloud.dir/node_daemon.cc.o.d"
+  "/root/repo/src/cloud/pimaster.cc" "src/cloud/CMakeFiles/picloud_cloud.dir/pimaster.cc.o" "gcc" "src/cloud/CMakeFiles/picloud_cloud.dir/pimaster.cc.o.d"
+  "/root/repo/src/cloud/placement.cc" "src/cloud/CMakeFiles/picloud_cloud.dir/placement.cc.o" "gcc" "src/cloud/CMakeFiles/picloud_cloud.dir/placement.cc.o.d"
+  "/root/repo/src/cloud/replicaset.cc" "src/cloud/CMakeFiles/picloud_cloud.dir/replicaset.cc.o" "gcc" "src/cloud/CMakeFiles/picloud_cloud.dir/replicaset.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/picloud_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/picloud_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/picloud_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/picloud_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/picloud_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/picloud_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/picloud_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/picloud_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

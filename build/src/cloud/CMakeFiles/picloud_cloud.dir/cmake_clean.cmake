@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/picloud_cloud.dir/autopilot.cc.o"
+  "CMakeFiles/picloud_cloud.dir/autopilot.cc.o.d"
+  "CMakeFiles/picloud_cloud.dir/chaos.cc.o"
+  "CMakeFiles/picloud_cloud.dir/chaos.cc.o.d"
+  "CMakeFiles/picloud_cloud.dir/cloud.cc.o"
+  "CMakeFiles/picloud_cloud.dir/cloud.cc.o.d"
+  "CMakeFiles/picloud_cloud.dir/control_panel.cc.o"
+  "CMakeFiles/picloud_cloud.dir/control_panel.cc.o.d"
+  "CMakeFiles/picloud_cloud.dir/economics.cc.o"
+  "CMakeFiles/picloud_cloud.dir/economics.cc.o.d"
+  "CMakeFiles/picloud_cloud.dir/gossip.cc.o"
+  "CMakeFiles/picloud_cloud.dir/gossip.cc.o.d"
+  "CMakeFiles/picloud_cloud.dir/migration.cc.o"
+  "CMakeFiles/picloud_cloud.dir/migration.cc.o.d"
+  "CMakeFiles/picloud_cloud.dir/monitor.cc.o"
+  "CMakeFiles/picloud_cloud.dir/monitor.cc.o.d"
+  "CMakeFiles/picloud_cloud.dir/node_daemon.cc.o"
+  "CMakeFiles/picloud_cloud.dir/node_daemon.cc.o.d"
+  "CMakeFiles/picloud_cloud.dir/pimaster.cc.o"
+  "CMakeFiles/picloud_cloud.dir/pimaster.cc.o.d"
+  "CMakeFiles/picloud_cloud.dir/placement.cc.o"
+  "CMakeFiles/picloud_cloud.dir/placement.cc.o.d"
+  "CMakeFiles/picloud_cloud.dir/replicaset.cc.o"
+  "CMakeFiles/picloud_cloud.dir/replicaset.cc.o.d"
+  "libpicloud_cloud.a"
+  "libpicloud_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/picloud_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

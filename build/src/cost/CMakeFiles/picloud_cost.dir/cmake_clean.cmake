@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/picloud_cost.dir/cost_model.cc.o"
+  "CMakeFiles/picloud_cost.dir/cost_model.cc.o.d"
+  "libpicloud_cost.a"
+  "libpicloud_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/picloud_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for picloud_cost.
+# This may be replaced when dependencies are built.

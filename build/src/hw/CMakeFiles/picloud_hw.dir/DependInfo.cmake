@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/device.cc" "src/hw/CMakeFiles/picloud_hw.dir/device.cc.o" "gcc" "src/hw/CMakeFiles/picloud_hw.dir/device.cc.o.d"
+  "/root/repo/src/hw/power.cc" "src/hw/CMakeFiles/picloud_hw.dir/power.cc.o" "gcc" "src/hw/CMakeFiles/picloud_hw.dir/power.cc.o.d"
+  "/root/repo/src/hw/rack.cc" "src/hw/CMakeFiles/picloud_hw.dir/rack.cc.o" "gcc" "src/hw/CMakeFiles/picloud_hw.dir/rack.cc.o.d"
+  "/root/repo/src/hw/spec.cc" "src/hw/CMakeFiles/picloud_hw.dir/spec.cc.o" "gcc" "src/hw/CMakeFiles/picloud_hw.dir/spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/picloud_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/picloud_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/picloud_hw.dir/device.cc.o"
+  "CMakeFiles/picloud_hw.dir/device.cc.o.d"
+  "CMakeFiles/picloud_hw.dir/power.cc.o"
+  "CMakeFiles/picloud_hw.dir/power.cc.o.d"
+  "CMakeFiles/picloud_hw.dir/rack.cc.o"
+  "CMakeFiles/picloud_hw.dir/rack.cc.o.d"
+  "CMakeFiles/picloud_hw.dir/spec.cc.o"
+  "CMakeFiles/picloud_hw.dir/spec.cc.o.d"
+  "libpicloud_hw.a"
+  "libpicloud_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/picloud_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

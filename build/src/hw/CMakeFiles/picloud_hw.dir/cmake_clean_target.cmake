@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpicloud_hw.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/picloud_net.dir/addr.cc.o"
+  "CMakeFiles/picloud_net.dir/addr.cc.o.d"
+  "CMakeFiles/picloud_net.dir/fabric.cc.o"
+  "CMakeFiles/picloud_net.dir/fabric.cc.o.d"
+  "CMakeFiles/picloud_net.dir/network.cc.o"
+  "CMakeFiles/picloud_net.dir/network.cc.o.d"
+  "CMakeFiles/picloud_net.dir/sdn.cc.o"
+  "CMakeFiles/picloud_net.dir/sdn.cc.o.d"
+  "CMakeFiles/picloud_net.dir/topology.cc.o"
+  "CMakeFiles/picloud_net.dir/topology.cc.o.d"
+  "libpicloud_net.a"
+  "libpicloud_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/picloud_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

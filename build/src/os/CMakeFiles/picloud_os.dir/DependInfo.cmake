@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/container.cc" "src/os/CMakeFiles/picloud_os.dir/container.cc.o" "gcc" "src/os/CMakeFiles/picloud_os.dir/container.cc.o.d"
+  "/root/repo/src/os/memory.cc" "src/os/CMakeFiles/picloud_os.dir/memory.cc.o" "gcc" "src/os/CMakeFiles/picloud_os.dir/memory.cc.o.d"
+  "/root/repo/src/os/node_os.cc" "src/os/CMakeFiles/picloud_os.dir/node_os.cc.o" "gcc" "src/os/CMakeFiles/picloud_os.dir/node_os.cc.o.d"
+  "/root/repo/src/os/scheduler.cc" "src/os/CMakeFiles/picloud_os.dir/scheduler.cc.o" "gcc" "src/os/CMakeFiles/picloud_os.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/picloud_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/picloud_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/picloud_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/picloud_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/picloud_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/picloud_os.dir/container.cc.o"
+  "CMakeFiles/picloud_os.dir/container.cc.o.d"
+  "CMakeFiles/picloud_os.dir/memory.cc.o"
+  "CMakeFiles/picloud_os.dir/memory.cc.o.d"
+  "CMakeFiles/picloud_os.dir/node_os.cc.o"
+  "CMakeFiles/picloud_os.dir/node_os.cc.o.d"
+  "CMakeFiles/picloud_os.dir/scheduler.cc.o"
+  "CMakeFiles/picloud_os.dir/scheduler.cc.o.d"
+  "libpicloud_os.a"
+  "libpicloud_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/picloud_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/dhcp.cc" "src/proto/CMakeFiles/picloud_proto.dir/dhcp.cc.o" "gcc" "src/proto/CMakeFiles/picloud_proto.dir/dhcp.cc.o.d"
+  "/root/repo/src/proto/dns.cc" "src/proto/CMakeFiles/picloud_proto.dir/dns.cc.o" "gcc" "src/proto/CMakeFiles/picloud_proto.dir/dns.cc.o.d"
+  "/root/repo/src/proto/http.cc" "src/proto/CMakeFiles/picloud_proto.dir/http.cc.o" "gcc" "src/proto/CMakeFiles/picloud_proto.dir/http.cc.o.d"
+  "/root/repo/src/proto/rest.cc" "src/proto/CMakeFiles/picloud_proto.dir/rest.cc.o" "gcc" "src/proto/CMakeFiles/picloud_proto.dir/rest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/picloud_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/picloud_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/picloud_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/picloud_proto.dir/dhcp.cc.o"
+  "CMakeFiles/picloud_proto.dir/dhcp.cc.o.d"
+  "CMakeFiles/picloud_proto.dir/dns.cc.o"
+  "CMakeFiles/picloud_proto.dir/dns.cc.o.d"
+  "CMakeFiles/picloud_proto.dir/http.cc.o"
+  "CMakeFiles/picloud_proto.dir/http.cc.o.d"
+  "CMakeFiles/picloud_proto.dir/rest.cc.o"
+  "CMakeFiles/picloud_proto.dir/rest.cc.o.d"
+  "libpicloud_proto.a"
+  "libpicloud_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/picloud_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/picloud_sim.dir/event_queue.cc.o"
+  "CMakeFiles/picloud_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/picloud_sim.dir/simulation.cc.o"
+  "CMakeFiles/picloud_sim.dir/simulation.cc.o.d"
+  "CMakeFiles/picloud_sim.dir/time.cc.o"
+  "CMakeFiles/picloud_sim.dir/time.cc.o.d"
+  "libpicloud_sim.a"
+  "libpicloud_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/picloud_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/image.cc" "src/storage/CMakeFiles/picloud_storage.dir/image.cc.o" "gcc" "src/storage/CMakeFiles/picloud_storage.dir/image.cc.o.d"
+  "/root/repo/src/storage/sdcard.cc" "src/storage/CMakeFiles/picloud_storage.dir/sdcard.cc.o" "gcc" "src/storage/CMakeFiles/picloud_storage.dir/sdcard.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/picloud_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/picloud_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

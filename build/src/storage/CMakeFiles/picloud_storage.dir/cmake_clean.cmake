@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/picloud_storage.dir/image.cc.o"
+  "CMakeFiles/picloud_storage.dir/image.cc.o.d"
+  "CMakeFiles/picloud_storage.dir/sdcard.cc.o"
+  "CMakeFiles/picloud_storage.dir/sdcard.cc.o.d"
+  "libpicloud_storage.a"
+  "libpicloud_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/picloud_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/picloud_util.dir/json.cc.o"
+  "CMakeFiles/picloud_util.dir/json.cc.o.d"
+  "CMakeFiles/picloud_util.dir/logging.cc.o"
+  "CMakeFiles/picloud_util.dir/logging.cc.o.d"
+  "CMakeFiles/picloud_util.dir/rng.cc.o"
+  "CMakeFiles/picloud_util.dir/rng.cc.o.d"
+  "CMakeFiles/picloud_util.dir/stats.cc.o"
+  "CMakeFiles/picloud_util.dir/stats.cc.o.d"
+  "CMakeFiles/picloud_util.dir/strings.cc.o"
+  "CMakeFiles/picloud_util.dir/strings.cc.o.d"
+  "libpicloud_util.a"
+  "libpicloud_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/picloud_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

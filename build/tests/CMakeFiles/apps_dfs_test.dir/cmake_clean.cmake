@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_dfs_test.dir/apps_dfs_test.cc.o"
+  "CMakeFiles/apps_dfs_test.dir/apps_dfs_test.cc.o.d"
+  "apps_dfs_test"
+  "apps_dfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_dfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_autopilot_test.dir/cloud_autopilot_test.cc.o"
+  "CMakeFiles/cloud_autopilot_test.dir/cloud_autopilot_test.cc.o.d"
+  "cloud_autopilot_test"
+  "cloud_autopilot_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_autopilot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

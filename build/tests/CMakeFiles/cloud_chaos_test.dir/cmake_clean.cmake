@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_chaos_test.dir/cloud_chaos_test.cc.o"
+  "CMakeFiles/cloud_chaos_test.dir/cloud_chaos_test.cc.o.d"
+  "cloud_chaos_test"
+  "cloud_chaos_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_chaos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

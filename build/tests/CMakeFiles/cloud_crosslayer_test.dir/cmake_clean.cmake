@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_crosslayer_test.dir/cloud_crosslayer_test.cc.o"
+  "CMakeFiles/cloud_crosslayer_test.dir/cloud_crosslayer_test.cc.o.d"
+  "cloud_crosslayer_test"
+  "cloud_crosslayer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_crosslayer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_economics_test.dir/cloud_economics_test.cc.o"
+  "CMakeFiles/cloud_economics_test.dir/cloud_economics_test.cc.o.d"
+  "cloud_economics_test"
+  "cloud_economics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_economics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_integration_test.dir/cloud_integration_test.cc.o"
+  "CMakeFiles/cloud_integration_test.dir/cloud_integration_test.cc.o.d"
+  "cloud_integration_test"
+  "cloud_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

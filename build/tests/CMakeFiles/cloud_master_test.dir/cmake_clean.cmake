@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_master_test.dir/cloud_master_test.cc.o"
+  "CMakeFiles/cloud_master_test.dir/cloud_master_test.cc.o.d"
+  "cloud_master_test"
+  "cloud_master_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_master_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

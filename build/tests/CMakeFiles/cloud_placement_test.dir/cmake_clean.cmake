@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_placement_test.dir/cloud_placement_test.cc.o"
+  "CMakeFiles/cloud_placement_test.dir/cloud_placement_test.cc.o.d"
+  "cloud_placement_test"
+  "cloud_placement_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_placement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

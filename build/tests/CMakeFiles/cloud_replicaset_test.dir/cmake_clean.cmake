@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_replicaset_test.dir/cloud_replicaset_test.cc.o"
+  "CMakeFiles/cloud_replicaset_test.dir/cloud_replicaset_test.cc.o.d"
+  "cloud_replicaset_test"
+  "cloud_replicaset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_replicaset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

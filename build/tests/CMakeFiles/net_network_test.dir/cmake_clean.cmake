@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_network_test.dir/net_network_test.cc.o"
+  "CMakeFiles/net_network_test.dir/net_network_test.cc.o.d"
+  "net_network_test"
+  "net_network_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

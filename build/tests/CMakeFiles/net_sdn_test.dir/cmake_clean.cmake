@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_sdn_test.dir/net_sdn_test.cc.o"
+  "CMakeFiles/net_sdn_test.dir/net_sdn_test.cc.o.d"
+  "net_sdn_test"
+  "net_sdn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_sdn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

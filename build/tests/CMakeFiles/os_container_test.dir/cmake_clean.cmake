@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_container_test.dir/os_container_test.cc.o"
+  "CMakeFiles/os_container_test.dir/os_container_test.cc.o.d"
+  "os_container_test"
+  "os_container_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_container_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

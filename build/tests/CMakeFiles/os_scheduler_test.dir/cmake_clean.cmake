@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_scheduler_test.dir/os_scheduler_test.cc.o"
+  "CMakeFiles/os_scheduler_test.dir/os_scheduler_test.cc.o.d"
+  "os_scheduler_test"
+  "os_scheduler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/property_test.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/property_test.dir/property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cloud/CMakeFiles/picloud_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/picloud_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/picloud_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/picloud_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/picloud_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/picloud_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/picloud_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/picloud_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/picloud_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/picloud_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
