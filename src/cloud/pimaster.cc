@@ -1,9 +1,9 @@
 #include "cloud/pimaster.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "os/container.h"
+#include "util/check.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -35,7 +35,8 @@ PiMaster::PiMaster(net::Network& network, net::NetNodeId fabric_node,
       config_(std::move(config)),
       monitor_(sim_, config_.node_liveness_window) {
   auto policy = make_policy(config_.placement_policy);
-  assert(policy.ok());
+  PICLOUD_CHECK(policy.ok()) << "unknown placement policy \""
+                             << config_.placement_policy << "\"";
   policy_ = std::move(policy).value();
   policy_->set_limits(config_.placement_limits);
   policy_name_ = config_.placement_policy;

@@ -1,10 +1,10 @@
 #include "net/fabric.h"
 
 #include <algorithm>
-#include <cassert>
 #include <deque>
 #include <limits>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace picloud::net {
@@ -26,8 +26,9 @@ NetNodeId Fabric::add_node(NodeKind kind, std::string name) {
 std::pair<LinkId, LinkId> Fabric::add_link(NetNodeId a, NetNodeId b,
                                            double capacity_bps,
                                            sim::Duration delay) {
-  assert(a < nodes_.size() && b < nodes_.size() && a != b);
-  assert(capacity_bps > 0);
+  PICLOUD_CHECK(a < nodes_.size() && b < nodes_.size() && a != b)
+      << "add_link endpoints: a=" << a << " b=" << b;
+  PICLOUD_CHECK_GT(capacity_bps, 0) << "add_link capacity";
   LinkId ab = static_cast<LinkId>(links_.size());
   LinkId ba = ab + 1;
   links_.push_back(DirectedLink{ab, a, b, capacity_bps, delay, true, 0, 0, 0});
@@ -137,8 +138,9 @@ std::vector<LinkId> Fabric::route_flow(NetNodeId src, NetNodeId dst,
 }
 
 FlowId Fabric::start_flow(FlowSpec spec) {
-  assert(spec.src < nodes_.size() && spec.dst < nodes_.size());
-  assert(spec.bytes >= 0);
+  PICLOUD_CHECK(spec.src < nodes_.size() && spec.dst < nodes_.size())
+      << "start_flow endpoints: src=" << spec.src << " dst=" << spec.dst;
+  PICLOUD_CHECK_GE(spec.bytes, 0) << "start_flow size";
   FlowId id = next_flow_id_++;
   ++flows_started_;
 

@@ -1,8 +1,8 @@
 #include "net/network.h"
 
-#include <cassert>
 #include <vector>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace picloud::net {
@@ -11,7 +11,8 @@ Network::Network(sim::Simulation& sim, Fabric& fabric)
     : sim_(sim), fabric_(fabric) {}
 
 void Network::bind_ip(Ipv4Addr ip, NetNodeId node) {
-  assert(!ip.is_any() && !ip.is_broadcast());
+  PICLOUD_CHECK(!ip.is_any() && !ip.is_broadcast())
+      << "bind_ip to reserved address " << ip.to_string();
   ip_to_node_[ip] = node;
 }
 

@@ -3,9 +3,9 @@
 #include "net/sdn.h"
 
 #include <algorithm>
-#include <cassert>
 #include <deque>
 
+#include "util/check.h"
 #include "util/strings.h"
 
 namespace picloud::net {
@@ -19,7 +19,9 @@ std::vector<int> Topology::hosts_in_rack(int rack) const {
 }
 
 Topology build_multi_root_tree(Fabric& fabric, const MultiRootTreeConfig& cfg) {
-  assert(cfg.racks > 0 && cfg.hosts_per_rack > 0 && cfg.aggregation_switches > 0);
+  PICLOUD_CHECK(cfg.racks > 0 && cfg.hosts_per_rack > 0 &&
+                cfg.aggregation_switches > 0)
+      << "multi-root tree dimensions must be positive";
   Topology topo;
   topo.kind = "multi-root-tree";
 
@@ -57,7 +59,8 @@ Topology build_multi_root_tree(Fabric& fabric, const MultiRootTreeConfig& cfg) {
 }
 
 Topology build_fat_tree(Fabric& fabric, const FatTreeConfig& cfg) {
-  assert(cfg.k >= 2 && cfg.k % 2 == 0);
+  PICLOUD_CHECK(cfg.k >= 2 && cfg.k % 2 == 0)
+      << "fat-tree k must be even and >= 2, got " << cfg.k;
   const int k = cfg.k;
   const int half = k / 2;
   Topology topo;
@@ -115,7 +118,7 @@ Topology build_fat_tree(Fabric& fabric, const FatTreeConfig& cfg) {
 
 Topology build_single_rack(Fabric& fabric, int hosts, double host_link_bps,
                            sim::Duration link_delay) {
-  assert(hosts > 0);
+  PICLOUD_CHECK_GT(hosts, 0) << "single-rack host count";
   Topology topo;
   topo.kind = "single-rack";
   NetNodeId tor = fabric.add_node(NodeKind::kSwitch, "rack-0-tor");

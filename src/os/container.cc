@@ -1,8 +1,7 @@
 #include "os/container.h"
 
-#include <cassert>
-
 #include "os/node_os.h"
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace picloud::os {
@@ -140,7 +139,7 @@ bool Container::send(net::Ipv4Addr dst, std::uint16_t dst_port,
 }
 
 void Container::listen(std::uint16_t port, net::Network::Handler handler) {
-  assert(!ip_.is_any());
+  PICLOUD_CHECK(!ip_.is_any()) << "listen() before the container has an IP";
   node_.network().listen(ip_, port, std::move(handler));
   listened_ports_.push_back(port);
 }

@@ -1,7 +1,6 @@
 #include "os/memory.h"
 
-#include <cassert>
-
+#include "util/check.h"
 #include "util/strings.h"
 
 namespace picloud::os {
@@ -18,7 +17,7 @@ MemGroupId MemoryManager::create_group(std::uint64_t limit_bytes) {
 void MemoryManager::destroy_group(MemGroupId group) {
   auto it = groups_.find(group);
   if (it == groups_.end()) return;
-  assert(it->second.usage <= used_);
+  PICLOUD_CHECK_LE(it->second.usage, used_) << "memory accounting underflow";
   used_ -= it->second.usage;
   groups_.erase(it);
 }
@@ -57,7 +56,7 @@ void MemoryManager::uncharge(MemGroupId group, std::uint64_t bytes) {
   auto it = groups_.find(group);
   if (it == groups_.end()) return;
   Group& g = it->second;
-  assert(bytes <= g.usage);
+  PICLOUD_CHECK_LE(bytes, g.usage) << "uncharge more than group usage";
   g.usage -= bytes;
   used_ -= bytes;
 }

@@ -1,7 +1,6 @@
 #include "os/node_os.h"
 
-#include <cassert>
-
+#include "util/check.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -27,8 +26,7 @@ void NodeOs::boot() {
   device_.set_powered(sim_.now(), true);
   system_mem_group_ = memory_->create_group();
   util::Status s = memory_->charge(system_mem_group_, kSystemRamBytes);
-  assert(s.ok());
-  (void)s;
+  PICLOUD_CHECK(s.ok()) << "system RAM reservation: " << s.error().message;
   system_cpu_group_ = cpu_->create_group(/*shares=*/128);
   cpu_->set_utilization_listener([this](double util) {
     device_.power().set_utilization(sim_.now(), util);

@@ -1,8 +1,9 @@
 #include "os/scheduler.h"
 
 #include <algorithm>
-#include <cassert>
 #include <vector>
+
+#include "util/check.h"
 
 namespace picloud::os {
 
@@ -12,11 +13,11 @@ constexpr double kDrainEpsilonCycles = 1e-6;
 
 CpuScheduler::CpuScheduler(sim::Simulation& sim, double cycles_per_sec)
     : sim_(sim), capacity_(cycles_per_sec) {
-  assert(capacity_ > 0);
+  PICLOUD_CHECK_GT(capacity_, 0) << "CpuScheduler capacity";
 }
 
 CgroupId CpuScheduler::create_group(double shares, double limit_fraction) {
-  assert(shares > 0);
+  PICLOUD_CHECK_GT(shares, 0) << "cgroup shares";
   CgroupId id = next_group_++;
   Group g;
   g.shares = shares;
@@ -61,8 +62,8 @@ void CpuScheduler::destroy_group(CgroupId group) {
 
 CpuTaskId CpuScheduler::run(CgroupId group, double cycles,
                             TaskCallback on_done) {
-  assert(groups_.count(group) > 0);
-  assert(cycles >= 0);
+  PICLOUD_CHECK_GT(groups_.count(group), 0u) << "run() on unknown cgroup " << group;
+  PICLOUD_CHECK_GE(cycles, 0) << "run() with negative cycles";
   CpuTaskId id = next_task_++;
   Task task;
   task.id = id;

@@ -1,7 +1,6 @@
 #include "proto/dhcp.h"
 
-#include <cassert>
-
+#include "util/check.h"
 #include "util/json.h"
 #include "util/logging.h"
 
@@ -16,9 +15,11 @@ DhcpServer::DhcpServer(net::Network& network, net::NetNodeId server_node,
       node_(server_node),
       ip_(server_ip),
       config_(config) {
-  assert(config_.subnet.contains(config_.range_start));
-  assert(config_.subnet.contains(config_.range_end));
-  assert(config_.range_start <= config_.range_end);
+  PICLOUD_CHECK(config_.subnet.contains(config_.range_start))
+      << "DHCP range start outside subnet";
+  PICLOUD_CHECK(config_.subnet.contains(config_.range_end))
+      << "DHCP range end outside subnet";
+  PICLOUD_CHECK(config_.range_start <= config_.range_end) << "DHCP range order";
 }
 
 DhcpServer::~DhcpServer() { stop(); }
@@ -37,7 +38,8 @@ void DhcpServer::stop() {
 }
 
 void DhcpServer::add_reservation(const std::string& mac, net::Ipv4Addr ip) {
-  assert(config_.subnet.contains(ip));
+  PICLOUD_CHECK(config_.subnet.contains(ip))
+      << "reservation " << ip.to_string() << " outside subnet";
   reservations_[mac] = ip;
 }
 

@@ -1,7 +1,8 @@
 #include "sim/event_queue.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "util/check.h"
 
 namespace picloud::sim {
 
@@ -17,7 +18,7 @@ EventId EventQueue::schedule(SimTime t, EventFn fn) {
 void EventQueue::cancel(EventId id) {
   if (id == 0 || id >= cancelled_.size() || cancelled_[id]) return;
   cancelled_[id] = true;
-  assert(live_count_ > 0);
+  PICLOUD_DCHECK_GT(live_count_, 0u) << "cancel() live-count underflow";
   --live_count_;
   ++dead_in_heap_;
   // Rebuild once the majority of the heap is corpses (amortised O(1)).
@@ -39,7 +40,7 @@ void EventQueue::drop_cancelled() const {
 
 SimTime EventQueue::next_time() const {
   drop_cancelled();
-  assert(!heap_.empty());
+  PICLOUD_CHECK(!heap_.empty()) << "next_time() on empty EventQueue";
   return heap_.front().time;
 }
 
@@ -48,12 +49,12 @@ SimTime EventQueue::run_next() {
   // drop_cancelled popped an unknown number of corpses; the counter only
   // tracks those still buried mid-heap, so clamp rather than decrement.
   dead_in_heap_ = std::min(dead_in_heap_, heap_.size());
-  assert(!heap_.empty());
+  PICLOUD_CHECK(!heap_.empty()) << "run_next() on empty EventQueue";
   std::pop_heap(heap_.begin(), heap_.end());
   Entry entry = std::move(heap_.back());
   heap_.pop_back();
   cancelled_[entry.id] = true;  // mark fired so late cancel() is a no-op
-  assert(live_count_ > 0);
+  PICLOUD_DCHECK_GT(live_count_, 0u) << "run_next() live-count underflow";
   --live_count_;
   entry.fn();
   return entry.time;

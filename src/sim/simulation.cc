@@ -1,19 +1,21 @@
 #include "sim/simulation.h"
 
-#include <cassert>
 #include <cstdio>
+
+#include "util/check.h"
 
 namespace picloud::sim {
 
 Simulation::Simulation(std::uint64_t seed) : now_(SimTime::zero()), rng_(seed) {}
 
 EventId Simulation::after(Duration delay, EventFn fn) {
-  assert(delay >= Duration::zero());
+  PICLOUD_CHECK_GE(delay.ns(), 0) << "after() with negative delay";
   return queue_.schedule(now_ + delay, std::move(fn));
 }
 
 EventId Simulation::at(SimTime t, EventFn fn) {
-  assert(t >= now_);
+  PICLOUD_CHECK(t >= now_) << "at() in the past: t=" << t.ns()
+                           << "ns now=" << now_.ns() << "ns";
   return queue_.schedule(t, std::move(fn));
 }
 
@@ -51,7 +53,7 @@ void Simulation::install_clock_log_sink() {
 
 PeriodicTask::PeriodicTask(Simulation& sim, Duration period,
                            std::function<void()> fn) {
-  assert(period > Duration::zero());
+  PICLOUD_CHECK_GT(period.ns(), 0) << "PeriodicTask period";
   state_ = std::make_shared<State>();
   state_->sim = &sim;
   state_->period = period;

@@ -1,6 +1,6 @@
 #include "storage/sdcard.h"
 
-#include <cassert>
+#include "util/check.h"
 
 namespace picloud::storage {
 
@@ -10,7 +10,7 @@ SdCard::SdCard(sim::Simulation& sim, std::uint64_t capacity_bytes,
       capacity_(capacity_bytes),
       read_bps_(read_bytes_per_sec),
       write_bps_(write_bytes_per_sec) {
-  assert(read_bps_ > 0 && write_bps_ > 0);
+  PICLOUD_CHECK(read_bps_ > 0 && write_bps_ > 0) << "SD card throughput spec";
 }
 
 bool SdCard::reserve(std::uint64_t bytes) {
@@ -20,7 +20,7 @@ bool SdCard::reserve(std::uint64_t bytes) {
 }
 
 void SdCard::release(std::uint64_t bytes) {
-  assert(bytes <= used_);
+  PICLOUD_CHECK_LE(bytes, used_) << "SdCard::release more than reserved";
   used_ -= bytes;
 }
 

@@ -1,0 +1,20 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace picloud::util::internal {
+
+CheckFailure::CheckFailure(const char* file, int line, const char* condition)
+    : file_(file), line_(line), condition_(condition) {}
+
+CheckFailure::~CheckFailure() {
+  std::string context = stream_.str();
+  std::fprintf(stderr, "%s:%d: CHECK failed: %s%s%s\n", file_, line_,
+               condition_, context.empty() ? "" : " — ", context.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace picloud::util::internal

@@ -1,0 +1,89 @@
+// PICLOUD_CHECK — always-on invariant checking with streamed context.
+//
+// The simulator's value rests on bit-reproducible runs; a violated invariant
+// that silently returns garbage (the fate of `assert` under NDEBUG) corrupts
+// an experiment without any signal. These macros stay live in every build
+// type: a failed check prints `file:line: CHECK failed: <expr> <context>` to
+// stderr and aborts, so release-mode benchmark runs fail loudly instead of
+// producing plausible-but-wrong numbers.
+//
+//   PICLOUD_CHECK(lo <= hi) << "uniform_int(" << lo << ", " << hi << ")";
+//   PICLOUD_CHECK_GT(mean, 0) << "exponential mean";
+//
+// Policy (see DESIGN.md "Determinism rules & correctness tooling"):
+//   * PICLOUD_CHECK / PICLOUD_CHECK_<OP> — preconditions on public APIs and
+//     cross-module invariants. Always on, even under NDEBUG.
+//   * PICLOUD_DCHECK / PICLOUD_DCHECK_<OP> — internal consistency checks on
+//     hot paths (per-event bookkeeping). Compiled out under NDEBUG; the
+//     condition is not evaluated, so operands must be side-effect free.
+//
+// Raw `assert(` is banned in src/ and enforced by tools/lint/picloud_lint.
+#pragma once
+
+#include <sstream>
+#include <utility>
+
+namespace picloud::util::internal {
+
+// Collects streamed context; its destructor reports and aborts. Constructed
+// only on the (cold) failure path, so the fast path costs one predicted
+// branch and no code besides the condition itself.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition);
+  [[noreturn]] ~CheckFailure();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* condition_;
+  std::ostringstream stream_;
+};
+
+// Lets the macro expand to a void expression: `voidify & stream` binds looser
+// than `<<`, so trailing context streams into CheckFailure first.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace picloud::util::internal
+
+#define PICLOUD_CHECK_IMPL(cond_, text_)                            \
+  (__builtin_expect(static_cast<bool>(cond_), 1))                   \
+      ? (void)0                                                     \
+      : ::picloud::util::internal::Voidify() &                      \
+            ::picloud::util::internal::CheckFailure(__FILE__,       \
+                                                    __LINE__, text_) \
+                .stream()
+
+// Always-on checks.
+#define PICLOUD_CHECK(cond_) PICLOUD_CHECK_IMPL((cond_), #cond_)
+#define PICLOUD_CHECK_OP(op_, a_, b_) \
+  PICLOUD_CHECK_IMPL(((a_)op_(b_)), #a_ " " #op_ " " #b_)
+#define PICLOUD_CHECK_EQ(a_, b_) PICLOUD_CHECK_OP(==, a_, b_)
+#define PICLOUD_CHECK_NE(a_, b_) PICLOUD_CHECK_OP(!=, a_, b_)
+#define PICLOUD_CHECK_LT(a_, b_) PICLOUD_CHECK_OP(<, a_, b_)
+#define PICLOUD_CHECK_LE(a_, b_) PICLOUD_CHECK_OP(<=, a_, b_)
+#define PICLOUD_CHECK_GT(a_, b_) PICLOUD_CHECK_OP(>, a_, b_)
+#define PICLOUD_CHECK_GE(a_, b_) PICLOUD_CHECK_OP(>=, a_, b_)
+
+// Debug-only checks for hot paths. Under NDEBUG the short-circuited `true ||`
+// skips evaluating the condition (operands must be side-effect free) while
+// keeping it — and any streamed context — compiling in both modes, so a
+// release build cannot rot a DCHECK expression.
+#ifdef NDEBUG
+#define PICLOUD_DCHECK(cond_) PICLOUD_CHECK_IMPL(true || (cond_), #cond_)
+#define PICLOUD_DCHECK_OP(op_, a_, b_) \
+  PICLOUD_CHECK_IMPL(true || ((a_)op_(b_)), #a_ " " #op_ " " #b_)
+#else
+#define PICLOUD_DCHECK(cond_) PICLOUD_CHECK(cond_)
+#define PICLOUD_DCHECK_OP(op_, a_, b_) PICLOUD_CHECK_OP(op_, a_, b_)
+#endif
+#define PICLOUD_DCHECK_EQ(a_, b_) PICLOUD_DCHECK_OP(==, a_, b_)
+#define PICLOUD_DCHECK_NE(a_, b_) PICLOUD_DCHECK_OP(!=, a_, b_)
+#define PICLOUD_DCHECK_LT(a_, b_) PICLOUD_DCHECK_OP(<, a_, b_)
+#define PICLOUD_DCHECK_LE(a_, b_) PICLOUD_DCHECK_OP(<=, a_, b_)
+#define PICLOUD_DCHECK_GT(a_, b_) PICLOUD_DCHECK_OP(>, a_, b_)
+#define PICLOUD_DCHECK_GE(a_, b_) PICLOUD_DCHECK_OP(>=, a_, b_)

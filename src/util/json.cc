@@ -1,9 +1,9 @@
 #include "util/json.h"
 
-#include <cassert>
 #include <cmath>
 #include <cstdio>
 
+#include "util/check.h"
 #include "util/strings.h"
 
 namespace picloud::util {
@@ -39,7 +39,7 @@ Json& Json::operator=(Json&&) noexcept = default;
 Json::~Json() = default;
 
 const std::string& Json::as_string() const {
-  assert(is_string() || is_null());
+  PICLOUD_CHECK(is_string() || is_null()) << "as_string on non-string Json";
   return is_string() ? str_ : kEmptyString;
 }
 
@@ -53,7 +53,7 @@ const JsonObject& Json::as_object() const {
 
 JsonArray& Json::mutable_array() {
   if (!is_array()) {
-    assert(is_null());
+    PICLOUD_CHECK(is_null()) << "mutable_array on non-array Json";
     type_ = Type::kArray;
     arr_ = std::make_unique<JsonArray>();
   }
@@ -62,7 +62,7 @@ JsonArray& Json::mutable_array() {
 
 JsonObject& Json::mutable_object() {
   if (!is_object()) {
-    assert(is_null());
+    PICLOUD_CHECK(is_null()) << "mutable_object on non-object Json";
     type_ = Type::kObject;
     obj_ = std::make_unique<JsonObject>();
   }

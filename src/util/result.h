@@ -7,11 +7,12 @@
 // for programming errors and uses Result<T> for anticipated failure.
 #pragma once
 
-#include <cassert>
 #include <optional>
 #include <string>
 #include <utility>
 #include <variant>
+
+#include "util/check.h"
 
 namespace picloud::util {
 
@@ -37,20 +38,20 @@ class [[nodiscard]] Result {
   explicit operator bool() const { return ok(); }
 
   const T& value() const& {
-    assert(ok());
+    PICLOUD_CHECK(ok()) << "Result::value on error Result";
     return std::get<T>(data_);
   }
   T& value() & {
-    assert(ok());
+    PICLOUD_CHECK(ok()) << "Result::value on error Result";
     return std::get<T>(data_);
   }
   T&& value() && {
-    assert(ok());
+    PICLOUD_CHECK(ok()) << "Result::value on error Result";
     return std::get<T>(std::move(data_));
   }
 
   const Error& error() const {
-    assert(!ok());
+    PICLOUD_CHECK(!ok()) << "Result::error on ok Result";
     return std::get<Error>(data_);
   }
 
@@ -75,7 +76,7 @@ class [[nodiscard]] Status {
   explicit operator bool() const { return ok(); }
 
   const Error& error() const {
-    assert(!ok());
+    PICLOUD_CHECK(!ok()) << "Status::error on ok Status";
     return *error_;
   }
 

@@ -1,7 +1,8 @@
 #include "util/rng.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "util/check.h"
 
 namespace picloud::util {
 
@@ -48,7 +49,7 @@ double Rng::next_double() {
 }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
-  assert(lo <= hi);
+  PICLOUD_CHECK_LE(lo, hi) << "uniform_int bounds";
   std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
   if (range == 0) return static_cast<std::int64_t>(next_u64());  // full range
   // Rejection sampling to avoid modulo bias.
@@ -65,7 +66,7 @@ double Rng::uniform(double lo, double hi) {
 }
 
 double Rng::exponential(double mean) {
-  assert(mean > 0);
+  PICLOUD_CHECK_GT(mean, 0) << "exponential mean";
   double u;
   do {
     u = next_double();
@@ -74,7 +75,8 @@ double Rng::exponential(double mean) {
 }
 
 double Rng::pareto(double alpha, double xm) {
-  assert(alpha > 0 && xm > 0);
+  PICLOUD_CHECK(alpha > 0 && xm > 0)
+      << "pareto shape/minimum: alpha=" << alpha << " xm=" << xm;
   double u;
   do {
     u = next_double();
@@ -97,13 +99,13 @@ bool Rng::chance(double p) {
 }
 
 std::size_t Rng::weighted_index(const std::vector<double>& weights) {
-  assert(!weights.empty());
+  PICLOUD_CHECK(!weights.empty()) << "weighted_index over empty vector";
   double total = 0;
   for (double w : weights) {
-    assert(w >= 0);
+    PICLOUD_CHECK_GE(w, 0) << "weighted_index weight";
     total += w;
   }
-  assert(total > 0);
+  PICLOUD_CHECK_GT(total, 0) << "weighted_index weights all zero";
   double x = uniform(0, total);
   double acc = 0;
   for (size_t i = 0; i < weights.size(); ++i) {

@@ -1,9 +1,9 @@
 #include "util/stats.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
+#include "util/check.h"
 #include "util/strings.h"
 
 namespace picloud::util {
@@ -88,7 +88,7 @@ void TimeWeighted::set(double t_seconds, double value) {
     value_ = value;
     return;
   }
-  assert(t_seconds >= last_t_);
+  PICLOUD_CHECK_GE(t_seconds, last_t_) << "TimeWeighted::set time went backwards";
   integral_ += value_ * (t_seconds - last_t_);
   last_t_ = t_seconds;
   value_ = value;
@@ -96,7 +96,7 @@ void TimeWeighted::set(double t_seconds, double value) {
 
 double TimeWeighted::integral(double t_seconds) const {
   if (!started_) return 0.0;
-  assert(t_seconds >= last_t_);
+  PICLOUD_CHECK_GE(t_seconds, last_t_) << "TimeWeighted::integral time went backwards";
   return integral_ + value_ * (t_seconds - last_t_);
 }
 

@@ -79,6 +79,71 @@ TEST(EventQueue, CallbackMaySchedule) {
   EXPECT_EQ(count, 5);
 }
 
+TEST(EventQueue, CancelAfterFireKeepsCountersIntact) {
+  // The "timer raced with completion" pattern: cancelling an already-fired id
+  // must not decrement live_count_ or mark anything else dead.
+  EventQueue q;
+  EventId fired_id = q.schedule(SimTime::from_ns(10), []() {});
+  bool survivor_fired = false;
+  q.schedule(SimTime::from_ns(20), [&]() { survivor_fired = true; });
+  q.run_next();
+  EXPECT_EQ(q.size(), 1u);
+  q.cancel(fired_id);
+  q.cancel(fired_id);  // double-cancel of a fired id is also a no-op
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_FALSE(q.empty());
+  q.run_next();
+  EXPECT_TRUE(survivor_fired);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SameInstantFifoSurvivesCompaction) {
+  // Schedule survivors interleaved with thousands of doomed events at the
+  // same instant, then cancel the doomed ones to force the internal heap
+  // compaction. Survivors must still fire in scheduling (FIFO) order.
+  EventQueue q;
+  SimTime t = SimTime::from_ns(100);
+  std::vector<int> fired;
+  std::vector<EventId> doomed;
+  for (int i = 0; i < 500; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      doomed.push_back(q.schedule(t, []() {}));
+    }
+    q.schedule(t, [&fired, i]() { fired.push_back(i); });
+  }
+  for (EventId id : doomed) q.cancel(id);  // 2500 corpses > live + 1024
+  EXPECT_EQ(q.size(), 500u);
+  while (!q.empty()) q.run_next();
+  ASSERT_EQ(fired.size(), 500u);
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(fired[i], i) << "FIFO order broken";
+}
+
+TEST(EventQueue, SizeAndEmptyConsistentUnderCancelRearmChurn) {
+  // The fair-share reschedule pattern: every rate change cancels the pending
+  // completion event and re-arms it. size()/empty() must track the live
+  // count exactly through thousands of cancel/re-arm cycles (including the
+  // lazy-deletion and compaction machinery underneath).
+  EventQueue q;
+  int completions = 0;
+  EventId pending = 0;
+  std::int64_t t = 1000;
+  for (int cycle = 0; cycle < 3000; ++cycle) {
+    if (pending != 0) q.cancel(pending);
+    pending = q.schedule(SimTime::from_ns(t + cycle),
+                         [&completions]() { ++completions; });
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_FALSE(q.empty());
+  }
+  EXPECT_EQ(q.size(), 1u);
+  q.run_next();
+  EXPECT_EQ(completions, 1);
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_TRUE(q.empty());
+  // Cancelling the fired id afterwards changes nothing.
+  q.cancel(pending);
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(Simulation, AfterAdvancesClock) {
   Simulation sim;
   SimTime seen;

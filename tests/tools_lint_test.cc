@@ -1,0 +1,200 @@
+// Unit tests for picloud_lint (tools/lint): every rule must fire on a seeded
+// violation, stay quiet on idiomatic code, and honour the suppression syntax.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "lint.h"
+
+namespace picloud::lint {
+namespace {
+
+bool has_rule(const std::vector<Diagnostic>& diags, const std::string& rule) {
+  return std::any_of(diags.begin(), diags.end(),
+                     [&](const Diagnostic& d) { return d.rule == rule; });
+}
+
+// ---------------------------------------------------------------------------
+// nondeterminism
+
+TEST(LintNondeterminism, FlagsLibcRandomAndWallClock) {
+  auto diags = lint_content("src/sim/x.cc",
+                            "int a = rand();\n"
+                            "srand(42);\n"
+                            "long t = time(nullptr);\n"
+                            "auto n = std::chrono::steady_clock::now();\n"
+                            "std::this_thread::yield();\n");
+  EXPECT_EQ(diags.size(), 5u);
+  EXPECT_TRUE(has_rule(diags, "nondeterminism"));
+  EXPECT_EQ(diags[0].line, 1);
+  EXPECT_NE(diags[0].message.find("rand"), std::string::npos);
+}
+
+TEST(LintNondeterminism, AppliesOutsideSrcToo) {
+  auto diags = lint_content("bench/bench_x.cc",
+                            "auto t0 = std::chrono::system_clock::now();\n");
+  EXPECT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "nondeterminism");
+}
+
+TEST(LintNondeterminism, IgnoresMembersCommentsAndStrings) {
+  auto diags = lint_content(
+      "src/sim/x.cc",
+      "// rand() and time() discussed in a comment\n"
+      "/* srand(7) in a block comment\n   spanning lines */\n"
+      "const char* s = \"call rand() or std::random_device here\";\n"
+      "double next_time(Entry e) { return e.time; }\n"
+      "int runtime(int uptime) { return uptime; }\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintNondeterminism, MemberCallNamedTimeStillFlagged) {
+  // `.time(` is wall-clock-shaped enough to deserve a finding (and an explicit
+  // suppression when intentional).
+  auto diags = lint_content("src/sim/x.cc", "double d = time(nullptr);\n");
+  EXPECT_EQ(diags.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// raw-assert
+
+TEST(LintRawAssert, FlagsAssertInSrcOnly) {
+  const std::string body = "void f(int x) { assert(x > 0); }\n";
+  EXPECT_TRUE(has_rule(lint_content("src/os/x.cc", body), "raw-assert"));
+  EXPECT_FALSE(has_rule(lint_content("tests/x_test.cc", body), "raw-assert"));
+  EXPECT_FALSE(has_rule(lint_content("bench/x.cc", body), "raw-assert"));
+}
+
+TEST(LintRawAssert, IgnoresStaticAssertAndCheckMacros) {
+  auto diags = lint_content(
+      "src/os/x.cc",
+      "static_assert(sizeof(int) == 4);\n"
+      "void f(int x) { PICLOUD_CHECK(x > 0) << \"context\"; }\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+// ---------------------------------------------------------------------------
+// pragma-once
+
+TEST(LintPragmaOnce, FlagsHeaderWithoutGuard) {
+  auto diags = lint_content("src/util/x.h", "int f();\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "pragma-once");
+  EXPECT_EQ(diags[0].line, 1);
+}
+
+TEST(LintPragmaOnce, AcceptsGuardedHeaderAndIgnoresSources) {
+  EXPECT_TRUE(lint_content("src/util/x.h", "#pragma once\nint f();\n").empty());
+  EXPECT_TRUE(lint_content("src/util/x.cc", "int f() { return 1; }\n").empty());
+}
+
+// ---------------------------------------------------------------------------
+// include-hygiene
+
+TEST(LintIncludeHygiene, FlagsUpwardInclude) {
+  auto diags =
+      lint_content("src/util/x.cc", "#include \"sim/time.h\"\nint f();\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "include-hygiene");
+  EXPECT_NE(diags[0].message.find("src/util"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("src/sim"), std::string::npos);
+}
+
+TEST(LintIncludeHygiene, AcceptsDownwardSiblingAndSystemIncludes) {
+  auto diags = lint_content("src/cloud/x.cc",
+                            "#include <vector>\n"
+                            "#include \"cloud/cloud.h\"\n"
+                            "#include \"apps/httpd.h\"\n"
+                            "#include \"util/rng.h\"\n");
+  EXPECT_TRUE(diags.empty());
+  // Peers (net does not depend on hw) still flag.
+  EXPECT_TRUE(has_rule(lint_content("src/net/x.cc", "#include \"hw/rack.h\"\n"),
+                       "include-hygiene"));
+}
+
+TEST(LintIncludeHygiene, OnlyAppliesUnderSrc) {
+  EXPECT_TRUE(
+      lint_content("tests/x_test.cc", "#include \"cloud/cloud.h\"\n").empty());
+}
+
+// ---------------------------------------------------------------------------
+// suppressions
+
+TEST(LintSuppression, TrailingCommentSilencesThatLine) {
+  auto diags = lint_content(
+      "src/sim/x.cc",
+      "int a = rand();  // picloud-lint: allow(nondeterminism)\n"
+      "int b = rand();\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 2);
+}
+
+TEST(LintSuppression, PrecedingCommentLineSilencesNextCodeLine) {
+  auto diags = lint_content(
+      "src/os/x.cc",
+      "// picloud-lint: allow(raw-assert)\n"
+      "void f(int x) { assert(x > 0); }\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintSuppression, OnlyNamedRulesAreSilenced) {
+  auto diags = lint_content(
+      "src/util/x.cc",
+      "// picloud-lint: allow(raw-assert)\n"
+      "int a = rand();\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "nondeterminism");
+}
+
+TEST(LintSuppression, ListSilencesMultipleRules) {
+  auto diags = lint_content(
+      "src/util/x.cc",
+      "// picloud-lint: allow(raw-assert, nondeterminism)\n"
+      "int a = rand(); assert(a);\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+// ---------------------------------------------------------------------------
+// end-to-end over real files: a seeded violation must fail the run
+
+TEST(LintRun, SeededViolationFailsAndDiagnosticNamesFileLineRule) {
+  std::string dir = ::testing::TempDir() + "/lint_seed/src/util";
+  std::filesystem::create_directories(dir);
+  std::string path = dir + "/bad.h";
+  {
+    std::ofstream out(path);
+    out << "#pragma once\n"
+        << "inline int jitter() { return rand(); }\n";
+  }
+  std::ostringstream report;
+  int findings = run({::testing::TempDir() + "/lint_seed"}, report);
+  EXPECT_GT(findings, 0);
+  EXPECT_NE(report.str().find(path + ":2: nondeterminism"), std::string::npos)
+      << report.str();
+}
+
+TEST(LintRun, MissingRootIsAFinding) {
+  // A typo'd directory in the ctest/CI invocation must fail, not pass.
+  std::ostringstream report;
+  EXPECT_GT(run({"/no/such/picloud/dir"}, report), 0);
+  EXPECT_NE(report.str().find("io: no such file"), std::string::npos);
+}
+
+TEST(LintRun, CleanTreeReportsZero) {
+  std::string dir = ::testing::TempDir() + "/lint_clean/src/util";
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream out(dir + "/good.h");
+    out << "#pragma once\n"
+        << "inline int three() { return 3; }\n";
+  }
+  std::ostringstream report;
+  EXPECT_EQ(run({::testing::TempDir() + "/lint_clean"}, report), 0);
+  EXPECT_TRUE(report.str().empty());
+}
+
+}  // namespace
+}  // namespace picloud::lint

@@ -3,6 +3,7 @@
 
 #include <cmath>
 
+#include "util/check.h"
 #include "util/json.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -11,6 +12,28 @@
 
 namespace picloud::util {
 namespace {
+
+// ---------------------------------------------------------------------------
+// check (PICLOUD_CHECK framework)
+
+TEST(Check, PassingChecksAreSilent) {
+  PICLOUD_CHECK(1 + 1 == 2);
+  PICLOUD_CHECK_EQ(4, 4) << "context never evaluated on success";
+  PICLOUD_CHECK_GE(5, 5);
+  PICLOUD_DCHECK_LT(1, 2);
+}
+
+TEST(CheckDeathTest, FailureReportsExpressionAndContext) {
+  EXPECT_DEATH(PICLOUD_CHECK(2 + 2 == 5) << "arithmetic ctx " << 42,
+               "CHECK failed: 2 \\+ 2 == 5.*arithmetic ctx 42");
+  EXPECT_DEATH(PICLOUD_CHECK_GT(1, 3), "CHECK failed: 1 > 3");
+}
+
+TEST(CheckDeathTest, ChecksSurviveInEveryBuildType) {
+  // Unlike assert(), PICLOUD_CHECK stays live under NDEBUG — this death test
+  // passing in a Release build is the point of the framework.
+  EXPECT_DEATH(Rng(1).uniform_int(9, 3), "CHECK failed");
+}
 
 // ---------------------------------------------------------------------------
 // strings
@@ -249,6 +272,57 @@ TEST(Rng, WeightedIndexProportions) {
   for (int i = 0; i < 8000; ++i) ++counts[rng.weighted_index(weights)];
   EXPECT_EQ(counts[1], 0);
   EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.35);
+}
+
+TEST(Rng, ForkOrderIsDeterministicAcrossRuns) {
+  // Two identically seeded parents forked the same way must yield identical
+  // child streams — fork order is part of the reproducibility contract.
+  Rng a(123);
+  Rng b(123);
+  Rng child_a1 = a.fork();
+  Rng child_a2 = a.fork();
+  Rng child_b1 = b.fork();
+  Rng child_b2 = b.fork();
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(child_a1.next_u64(), child_b1.next_u64());
+    EXPECT_EQ(child_a2.next_u64(), child_b2.next_u64());
+    EXPECT_EQ(a.next_u64(), b.next_u64()) << "fork() perturbed the parent";
+  }
+}
+
+TEST(Rng, ForkedChildIsIndependentOfParent) {
+  Rng parent(31);
+  Rng child = parent.fork();
+  // No positional collisions between the streams (64-bit values — any
+  // collision in 1000 draws means the states are related).
+  int collisions = 0;
+  RunningStats parent_stats;
+  RunningStats child_stats;
+  Rng parent_copy = parent;  // drained in lockstep for comparison
+  for (int i = 0; i < 1000; ++i) {
+    if (parent_copy.next_u64() == child.next_u64()) ++collisions;
+  }
+  EXPECT_EQ(collisions, 0);
+  // Both streams remain individually well-distributed: means of U(0,1)
+  // draws converge to 0.5 (a correlated/degenerate child would not).
+  Rng child2 = parent.fork();
+  for (int i = 0; i < 20000; ++i) {
+    parent_stats.add(parent.next_double());
+    child_stats.add(child2.next_double());
+  }
+  EXPECT_NEAR(parent_stats.mean(), 0.5, 0.01);
+  EXPECT_NEAR(child_stats.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, SiblingForksDoNotCollide) {
+  Rng parent(77);
+  Rng c1 = parent.fork();
+  Rng c2 = parent.fork();
+  int collisions = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (c1.next_u64() == c2.next_u64()) ++collisions;
+  }
+  EXPECT_EQ(collisions, 0);
 }
 
 TEST(Rng, ShufflePermutes) {

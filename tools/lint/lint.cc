@@ -1,0 +1,402 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace picloud::lint {
+
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// --- Source preprocessing ----------------------------------------------------
+//
+// Rules must not fire on tokens inside comments or string/char literals (a
+// doc comment may legitimately mention rand()), and suppression annotations
+// live inside comments. So the scan happens in two passes over a single
+// state machine walk: comment text feeds the suppression map, and everything
+// that is not code is blanked (newlines preserved) before token matching.
+
+struct Preprocessed {
+  std::string code;                        // content with comments/literals blanked
+  std::map<int, std::set<std::string>> allows;  // line -> suppressed rules
+  std::map<int, bool> line_has_code;       // line -> any code token survived
+};
+
+// Parses "picloud-lint: allow(a, b)" out of one comment's text, attributing
+// the allowance to `line`.
+void parse_allow(const std::string& comment, int line, Preprocessed* out) {
+  const std::string kKey = "picloud-lint:";
+  std::size_t at = comment.find(kKey);
+  if (at == std::string::npos) return;
+  std::size_t open = comment.find("allow(", at);
+  if (open == std::string::npos) return;
+  std::size_t close = comment.find(')', open);
+  if (close == std::string::npos) return;
+  std::string list = comment.substr(open + 6, close - open - 6);
+  std::string rule;
+  std::stringstream ss(list);
+  while (std::getline(ss, rule, ',')) {
+    std::size_t b = rule.find_first_not_of(" \t");
+    std::size_t e = rule.find_last_not_of(" \t");
+    if (b == std::string::npos) continue;
+    out->allows[line].insert(rule.substr(b, e - b + 1));
+  }
+}
+
+Preprocessed preprocess(const std::string& content) {
+  Preprocessed out;
+  out.code.assign(content.size(), ' ');
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  int line = 1;
+  std::string comment_text;   // accumulates current comment
+  int comment_line = 1;       // line the current comment started on
+  std::string raw_delim;      // raw string delimiter, e.g. )foo"
+
+  auto flush_comment = [&]() {
+    parse_allow(comment_text, comment_line, &out);
+    comment_text.clear();
+  };
+
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    char c = content[i];
+    char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    if (c == '\n') {
+      out.code[i] = '\n';
+      if (state == State::kLineComment) {
+        flush_comment();
+        state = State::kCode;
+      }
+      ++line;
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          comment_line = line;
+          ++i;  // swallow second '/'
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          comment_line = line;
+          ++i;
+        } else if (c == '"') {
+          // R"delim( ... )delim"
+          if (i >= 1 && content[i - 1] == 'R' &&
+              (i < 2 || !is_ident_char(content[i - 2]))) {
+            std::size_t open = content.find('(', i);
+            if (open != std::string::npos) {
+              raw_delim = ")" + content.substr(i + 1, open - i - 1) + "\"";
+              state = State::kRawString;
+              i = open;  // positions after '(' on next iteration
+              break;
+            }
+          }
+          state = State::kString;
+        } else if (c == '\'') {
+          // Heuristic: a quote directly after an identifier character is a
+          // C++14 digit separator (1'000'000), not a char literal.
+          if (!(i >= 1 && is_ident_char(content[i - 1]))) state = State::kChar;
+        } else {
+          out.code[i] = c;
+          if (!std::isspace(static_cast<unsigned char>(c))) {
+            out.line_has_code[line] = true;
+          }
+        }
+        break;
+      case State::kLineComment:
+        comment_text.push_back(c);
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          ++i;
+          flush_comment();
+          state = State::kCode;
+        } else {
+          comment_text.push_back(c);
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;
+          if (i < content.size() && content[i] == '\n') ++line;
+        } else if (c == '"') {
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString:
+        if (c == ')' && content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  if (state == State::kLineComment || state == State::kBlockComment) {
+    flush_comment();
+  }
+  return out;
+}
+
+// A diagnostic on line L is suppressed by an allow() on L itself or by one on
+// a directly preceding comment-only line.
+bool suppressed(const Preprocessed& pre, int line, const std::string& rule) {
+  auto covers = [&](int l) {
+    auto it = pre.allows.find(l);
+    return it != pre.allows.end() && it->second.count(rule) > 0;
+  };
+  if (covers(line)) return true;
+  for (int l = line - 1; l >= 1; --l) {
+    auto has_code = pre.line_has_code.find(l);
+    if (has_code != pre.line_has_code.end() && has_code->second) break;
+    if (covers(l)) return true;
+  }
+  return false;
+}
+
+// --- Path classification -----------------------------------------------------
+
+// Returns the path component after `dir` ("src"), or "" when the path is not
+// under it; e.g. module_of("a/src/net/fabric.cc") == "net".
+std::string module_of(const std::string& path) {
+  std::filesystem::path p(path);
+  auto it = p.begin();
+  for (; it != p.end(); ++it) {
+    if (*it == "src") {
+      auto next = std::next(it);
+      if (next != p.end() && std::next(next) != p.end()) {
+        return next->string();
+      }
+      return "";
+    }
+  }
+  return "";
+}
+
+bool under_src(const std::string& path) {
+  std::filesystem::path p(path);
+  return std::any_of(p.begin(), p.end(),
+                     [](const auto& part) { return part == "src"; });
+}
+
+bool is_header(const std::string& path) {
+  return std::filesystem::path(path).extension() == ".h";
+}
+
+// --- Rules -------------------------------------------------------------------
+
+struct BannedApi {
+  const char* token;
+  bool requires_call;  // must be followed by '(' (filters members like .time)
+  const char* hint;
+};
+
+constexpr BannedApi kBannedApis[] = {
+    {"rand", true, "use util::Rng"},
+    {"srand", false, "seed util::Rng from the experiment config"},
+    {"random_device", false, "use util::Rng"},
+    {"time", true, "use sim::Simulation::now()"},
+    {"gettimeofday", false, "use sim::Simulation::now()"},
+    {"clock_gettime", false, "use sim::Simulation::now()"},
+    {"system_clock", false, "use sim::Simulation::now()"},
+    {"steady_clock", false, "use sim::Simulation::now()"},
+    {"high_resolution_clock", false, "use sim::Simulation::now()"},
+    {"this_thread", false, "the simulator is single-threaded by design"},
+};
+
+// Finds whole-identifier occurrences of `token` in `line_code`.
+bool contains_token(const std::string& line_code, const std::string& token,
+                    bool requires_call) {
+  std::size_t at = 0;
+  while ((at = line_code.find(token, at)) != std::string::npos) {
+    bool start_ok = at == 0 || !is_ident_char(line_code[at - 1]);
+    std::size_t end = at + token.size();
+    bool end_ok = end >= line_code.size() || !is_ident_char(line_code[end]);
+    if (start_ok && end_ok) {
+      if (!requires_call) return true;
+      std::size_t paren = line_code.find_first_not_of(" \t", end);
+      if (paren != std::string::npos && line_code[paren] == '(') return true;
+    }
+    at = end;
+  }
+  return false;
+}
+
+// Layering DAG: each module may include itself plus its entries here.
+const std::map<std::string, std::set<std::string>>& layering() {
+  static const std::map<std::string, std::set<std::string>> kDag = {
+      {"util", {}},
+      {"sim", {"util"}},
+      {"hw", {"sim", "util"}},
+      {"net", {"sim", "util"}},
+      {"storage", {"sim", "util"}},
+      {"proto", {"net", "sim", "util"}},
+      {"cost", {"hw", "sim", "util"}},
+      {"os", {"hw", "net", "sim", "storage", "util"}},
+      {"apps", {"hw", "net", "os", "proto", "sim", "storage", "util"}},
+      {"cloud",
+       {"apps", "cost", "hw", "net", "os", "proto", "sim", "storage", "util"}},
+  };
+  return kDag;
+}
+
+void split_lines(const std::string& text, std::vector<std::string>* out) {
+  std::string line;
+  std::stringstream ss(text);
+  while (std::getline(ss, line)) out->push_back(line);
+}
+
+}  // namespace
+
+std::vector<Diagnostic> lint_content(const std::string& path,
+                                     const std::string& content) {
+  std::vector<Diagnostic> diags;
+  Preprocessed pre = preprocess(content);
+
+  std::vector<std::string> raw_lines;
+  std::vector<std::string> code_lines;
+  split_lines(content, &raw_lines);
+  split_lines(pre.code, &code_lines);
+
+  auto report = [&](int line, const std::string& rule, std::string message) {
+    if (suppressed(pre, line, rule)) return;
+    diags.push_back(Diagnostic{path, line, rule, std::move(message)});
+  };
+
+  // pragma-once: headers must contain the guard (checked on raw text; it may
+  // not legally appear inside a comment or literal anyway).
+  if (is_header(path) && content.find("#pragma once") == std::string::npos) {
+    report(1, "pragma-once", "header is missing '#pragma once'");
+  }
+
+  const bool in_src = under_src(path);
+  const std::string module = module_of(path);
+  const auto& dag = layering();
+  auto allowed = dag.find(module);
+
+  for (std::size_t i = 0; i < code_lines.size(); ++i) {
+    const std::string& code = code_lines[i];
+    int line = static_cast<int>(i) + 1;
+
+    // nondeterminism: banned wall-clock / libc-RNG / threading APIs.
+    for (const BannedApi& api : kBannedApis) {
+      if (contains_token(code, api.token, api.requires_call)) {
+        report(line, "nondeterminism",
+               std::string("'") + api.token +
+                   "' breaks bit-reproducible runs; " + api.hint);
+      }
+    }
+
+    // raw-assert: src/ must use the CHECK framework.
+    if (in_src && contains_token(code, "assert", /*requires_call=*/true)) {
+      report(line, "raw-assert",
+             "'assert(' vanishes under NDEBUG; use PICLOUD_CHECK / "
+             "PICLOUD_DCHECK from util/check.h");
+    }
+
+    // include-hygiene: no upward includes across the layering DAG. Parsed
+    // from the raw line because the blanking pass erases the quoted path.
+    if (allowed != dag.end() && i < raw_lines.size()) {
+      const std::string& raw = raw_lines[i];
+      std::size_t inc = raw.find("#include \"");
+      if (inc != std::string::npos &&
+          raw.find_first_not_of(" \t") == inc) {
+        std::size_t open = inc + 10;
+        std::size_t slash = raw.find('/', open);
+        std::size_t close = raw.find('"', open);
+        if (slash != std::string::npos && close != std::string::npos &&
+            slash < close) {
+          std::string target = raw.substr(open, slash - open);
+          if (dag.count(target) > 0 && target != module &&
+              allowed->second.count(target) == 0) {
+            report(line, "include-hygiene",
+                   "src/" + module + " must not include upward into src/" +
+                       target + " (layering: util < sim < ... < cloud)");
+          }
+        }
+      }
+    }
+  }
+  return diags;
+}
+
+std::vector<Diagnostic> lint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {Diagnostic{path, 0, "io", "cannot read file"}};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return lint_content(path, buf.str());
+}
+
+std::vector<std::string> collect_files(const std::vector<std::string>& roots) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  auto wanted = [](const fs::path& p) {
+    auto ext = p.extension();
+    return ext == ".h" || ext == ".cc" || ext == ".cpp";
+  };
+  for (const std::string& root : roots) {
+    fs::path rp(root);
+    std::error_code ec;
+    if (fs::is_regular_file(rp, ec)) {
+      files.push_back(rp.string());
+      continue;
+    }
+    if (!fs::is_directory(rp, ec)) continue;
+    fs::recursive_directory_iterator it(rp, ec), end;
+    for (; it != end; it.increment(ec)) {
+      if (ec) break;
+      const fs::path& p = it->path();
+      std::string name = p.filename().string();
+      if (it->is_directory() &&
+          (name == "build" || (!name.empty() && name[0] == '.'))) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (it->is_regular_file() && wanted(p)) files.push_back(p.string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+int run(const std::vector<std::string>& roots, std::ostream& out) {
+  int count = 0;
+  // A misspelled root must not read as "clean" (the CI invocation would
+  // silently lint nothing).
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (!std::filesystem::exists(root, ec)) {
+      out << root << ":0: io: no such file or directory\n";
+      ++count;
+    }
+  }
+  for (const std::string& file : collect_files(roots)) {
+    for (const Diagnostic& d : lint_file(file)) {
+      out << d.file << ":" << d.line << ": " << d.rule << ": " << d.message
+          << "\n";
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace picloud::lint

@@ -1,0 +1,59 @@
+// picloud_lint — repo-specific static analysis for the determinism rules.
+//
+// The simulator's contract is bit-reproducible whole-cloud runs (DESIGN.md
+// §6.1). That contract is easy to break with one stray call to a wall clock
+// or the libc RNG, so this linter walks the tree and enforces:
+//
+//   nondeterminism    banned APIs (rand/srand, std::random_device, time(),
+//                     gettimeofday, clock_gettime, std::chrono::system_clock/
+//                     steady_clock/high_resolution_clock, std::this_thread)
+//                     anywhere in src/, examples/, bench/, tests/. Randomness
+//                     comes from util::Rng streams; time from sim::Simulation.
+//   raw-assert        `assert(` in src/ — invariants must use PICLOUD_CHECK /
+//                     PICLOUD_DCHECK (src/util/check.h) so they survive NDEBUG.
+//   pragma-once       every header must contain `#pragma once`.
+//   include-hygiene   src/<module>/ may only include from itself and the
+//                     modules below it in the layering DAG (util at the
+//                     bottom, cloud at the top); e.g. src/util must not
+//                     reach upward into src/sim or src/cloud.
+//
+// A finding on a line is suppressed with a trailing or immediately preceding
+// comment:  // picloud-lint: allow(<rule>[, <rule>...])
+//
+// The core is a library (this header) so the rules are unit-testable on
+// in-memory content; the picloud_lint binary wraps directory walking.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace picloud::lint {
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+// Lints one file's `content`. `path` scopes the path-dependent rules:
+// raw-assert fires only under src/, include-hygiene only under src/<module>/,
+// pragma-once only for .h files.
+std::vector<Diagnostic> lint_content(const std::string& path,
+                                     const std::string& content);
+
+// Reads `path` and lints it. A file that cannot be read yields a single
+// "io" diagnostic.
+std::vector<Diagnostic> lint_file(const std::string& path);
+
+// Recursively collects the .h/.cc/.cpp files under each root (a root may
+// also name a single file), in sorted order for deterministic output.
+// Directories named "build" or starting with '.' are skipped.
+std::vector<std::string> collect_files(const std::vector<std::string>& roots);
+
+// Lints every file under `roots`, printing "file:line: rule: message" per
+// finding to `out`. Returns the number of diagnostics (0 == clean).
+int run(const std::vector<std::string>& roots, std::ostream& out);
+
+}  // namespace picloud::lint

@@ -1,0 +1,25 @@
+// picloud_lint — enforces the repo's determinism & hygiene rules (see
+// tools/lint/lint.h for the rule list and suppression syntax).
+//
+// Usage: picloud_lint <dir-or-file>...
+// Exits 0 when clean, 1 when any diagnostic fired, 2 on usage error.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: picloud_lint <dir-or-file>...\n"
+              << "lints .h/.cc/.cpp files for determinism & hygiene rules\n";
+    return 2;
+  }
+  std::vector<std::string> roots(argv + 1, argv + argc);
+  int findings = picloud::lint::run(roots, std::cout);
+  if (findings > 0) {
+    std::cerr << "picloud_lint: " << findings << " finding(s)\n";
+    return 1;
+  }
+  return 0;
+}
