@@ -17,6 +17,11 @@ void ChaosMonkey::add_link(net::LinkId link) { links_.push_back(link); }
 void ChaosMonkey::start() {
   if (running_) return;
   running_ = true;
+  if (config_.loss_mtbf > sim::Duration::zero()) {
+    // Tie the fabric's loss stream to this monkey's seed so same-seed runs
+    // drop the same flows. Consumes one draw only when loss mode is on.
+    fabric_.seed_loss_rng(rng_.next_u64());
+  }
   tick_task_ = sim::PeriodicTask(sim_, config_.tick, [this]() { tick(); });
 }
 
@@ -24,6 +29,10 @@ void ChaosMonkey::stop() {
   if (!running_) return;
   running_ = false;
   tick_task_.stop();
+  // Leave links up/down as-is (operators repair them), but clear transient
+  // degradation: a stopped monkey should not keep dropping flows.
+  for (size_t i : lossy_links_) fabric_.set_link_pair_loss(links_[i], 0);
+  lossy_links_.clear();
 }
 
 void ChaosMonkey::tick() {
@@ -61,6 +70,26 @@ void ChaosMonkey::tick() {
       down_links_.insert(i);
       ++stats_.link_cuts;
       fabric_.set_link_pair_up(links_[i], false);
+    }
+  }
+
+  if (config_.loss_mtbf > sim::Duration::zero()) {
+    double loss_onset_p = dt / config_.loss_mtbf.to_seconds();
+    double loss_clear_p = dt / config_.loss_mttr.to_seconds();
+    for (size_t i = 0; i < links_.size(); ++i) {
+      if (lossy_links_.count(i) > 0) {
+        if (rng_.chance(loss_clear_p)) {
+          lossy_links_.erase(i);
+          ++stats_.loss_clears;
+          fabric_.set_link_pair_loss(links_[i], 0);
+        }
+      } else if (rng_.chance(loss_onset_p)) {
+        lossy_links_.insert(i);
+        ++stats_.loss_onsets;
+        LOG_WARN("chaos", "link %zu degraded (loss %.0f%%)", i,
+                 config_.loss_rate * 100);
+        fabric_.set_link_pair_loss(links_[i], config_.loss_rate);
+      }
     }
   }
 }

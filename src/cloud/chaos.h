@@ -33,6 +33,12 @@ class ChaosMonkey {
     // Link flaps on the ToR uplinks.
     sim::Duration link_mtbf = sim::Duration::minutes(120);
     sim::Duration link_mttr = sim::Duration::seconds(30);
+    // Lossy-link mode: links enter degraded periods (MTBF/MTTR like flaps)
+    // during which each crossing flow is dropped with `loss_rate`. Zero
+    // loss_mtbf disables the mode entirely (no rng draws, no fabric calls).
+    sim::Duration loss_mtbf = sim::Duration::zero();
+    sim::Duration loss_mttr = sim::Duration::seconds(30);
+    double loss_rate = 0.05;
     // Evaluation tick.
     sim::Duration tick = sim::Duration::seconds(10);
   };
@@ -42,6 +48,8 @@ class ChaosMonkey {
     std::uint64_t node_repairs = 0;
     std::uint64_t link_cuts = 0;
     std::uint64_t link_repairs = 0;
+    std::uint64_t loss_onsets = 0;
+    std::uint64_t loss_clears = 0;
   };
 
   ChaosMonkey(sim::Simulation& sim, net::Fabric& fabric, Config config,
@@ -62,6 +70,7 @@ class ChaosMonkey {
   const Stats& stats() const { return stats_; }
   size_t nodes_down() const { return down_nodes_.size(); }
   size_t links_down() const { return down_links_.size(); }
+  size_t links_lossy() const { return lossy_links_.size(); }
 
  private:
   void tick();
@@ -74,6 +83,7 @@ class ChaosMonkey {
   std::vector<net::LinkId> links_;
   std::set<size_t> down_nodes_;       // indices into nodes_
   std::set<size_t> down_links_;       // indices into links_
+  std::set<size_t> lossy_links_;      // indices into links_
   Stats stats_;
   bool running_ = false;
   sim::PeriodicTask tick_task_;

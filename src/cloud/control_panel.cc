@@ -17,20 +17,30 @@ ControlPanel::ControlPanel(net::Network& network, net::Ipv4Addr self,
       client_(network, self, /*ephemeral_port=*/50080) {}
 
 void ControlPanel::get_json(const std::string& path, JsonCallback cb) {
-  client_.get(master_, master_port_, path,
-              [cb = std::move(cb)](util::Result<HttpResponse> result) {
-                if (!result.ok()) {
-                  cb(result.error());
-                  return;
-                }
-                if (!result.value().ok()) {
-                  cb(util::Error::make(
-                      result.value().body.get_string("error", "error"),
-                      result.value().body.get_string("message", "")));
-                  return;
-                }
-                cb(result.value().body);
-              });
+  // Reads are idempotent: a browser retries a stalled page fetch.
+  client_.call(master_, master_port_, Method::kGet, path, Json(),
+               [cb = std::move(cb)](util::Result<HttpResponse> result) {
+                 if (!result.ok()) {
+                   cb(result.error());
+                   return;
+                 }
+                 if (!result.value().ok()) {
+                   cb(util::Error::make(
+                       result.value().body.get_string("error", "error"),
+                       result.value().body.get_string("message", "")));
+                   return;
+                 }
+                 cb(result.value().body);
+               },
+               proto::RetryPolicy::standard(2));
+}
+
+util::Json ControlPanel::stamp_idem(Json body, const std::string& op) {
+  if (body.get_string("idem").empty()) {
+    body.set("idem", util::format("panel/%s/%llu", op.c_str(),
+                                  static_cast<unsigned long long>(++idem_seq_)));
+  }
+  return body;
 }
 
 void ControlPanel::render_dashboard(
@@ -127,9 +137,10 @@ void ControlPanel::monitor_cpu(std::vector<std::string> hostnames,
 }
 
 void ControlPanel::spawn_vm(Json spec, JsonCallback cb) {
-  // Spawns can pull image layers over 100 Mb links; give them headroom.
+  // Spawns can pull image layers over 100 Mb links; give each attempt
+  // headroom. The idem key makes the retry safe (no double-spawn).
   client_.call(master_, master_port_, Method::kPost, "/instances",
-               std::move(spec),
+               stamp_idem(std::move(spec), "spawn"),
                [cb = std::move(cb)](util::Result<HttpResponse> result) {
                  if (!result.ok()) {
                    cb(result.error());
@@ -143,7 +154,7 @@ void ControlPanel::spawn_vm(Json spec, JsonCallback cb) {
                  }
                  cb(result.value().body);
                },
-               sim::Duration::seconds(300));
+               proto::RetryPolicy::standard(2, sim::Duration::seconds(300)));
 }
 
 void ControlPanel::set_vm_limits(const std::string& instance, Json limits,
@@ -162,7 +173,8 @@ void ControlPanel::set_vm_limits(const std::string& instance, Json limits,
                    return;
                  }
                  cb(result.value().body);
-               });
+               },
+               proto::RetryPolicy::standard(3));
 }
 
 void ControlPanel::migrate_vm(const std::string& instance,
@@ -172,7 +184,8 @@ void ControlPanel::migrate_vm(const std::string& instance,
   if (!to.empty()) body.set("to", to);
   body.set("live", live);
   client_.call(master_, master_port_, Method::kPost,
-               "/instances/" + instance + "/migrate", std::move(body),
+               "/instances/" + instance + "/migrate",
+               stamp_idem(std::move(body), "migrate/" + instance),
                [cb = std::move(cb)](util::Result<HttpResponse> result) {
                  if (!result.ok()) {
                    cb(result.error());
@@ -180,19 +193,21 @@ void ControlPanel::migrate_vm(const std::string& instance,
                  }
                  cb(result.value().body);
                },
-               sim::Duration::seconds(120));
+               proto::RetryPolicy::standard(2, sim::Duration::seconds(120)));
 }
 
 void ControlPanel::delete_vm(const std::string& instance, JsonCallback cb) {
   client_.call(master_, master_port_, Method::kDelete,
-               "/instances/" + instance, Json(),
+               "/instances/" + instance,
+               stamp_idem(Json::object(), "delete/" + instance),
                [cb = std::move(cb)](util::Result<HttpResponse> result) {
                  if (!result.ok()) {
                    cb(result.error());
                    return;
                  }
                  cb(result.value().body);
-               });
+               },
+               proto::RetryPolicy::standard(3));
 }
 
 }  // namespace picloud::cloud

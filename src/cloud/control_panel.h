@@ -62,10 +62,14 @@ class ControlPanel {
 
  private:
   void get_json(const std::string& path, JsonCallback cb);
+  // Stamps a fresh idempotency key onto a mutating request body so wire
+  // retries of the same click stay at-most-once on the pimaster.
+  util::Json stamp_idem(util::Json body, const std::string& op);
 
   net::Ipv4Addr master_;
   std::uint16_t master_port_;
   proto::RestClient client_;
+  std::uint64_t idem_seq_ = 0;
 };
 
 }  // namespace picloud::cloud

@@ -22,6 +22,8 @@ util::Json MigrationReport::to_json() const {
   j.set("to", to);
   j.set("live", live);
   j.set("success", success);
+  if (instance_lost) j.set("instance_lost", true);
+  if (!phase.empty()) j.set("phase", phase);
   j.set("address_update", address_update);
   if (!error.empty()) j.set("error", error);
   j.set("bytes", bytes_transferred);
@@ -31,23 +33,41 @@ util::Json MigrationReport::to_json() const {
   return j;
 }
 
+// No NodeDaemon* or os::Container* lives here: either endpoint can be
+// crashed by chaos between any two events, which destroys its containers
+// outright. Every resume point re-resolves through the coordinator instead.
 struct MigrationCoordinator::Session {
   MigrationParams params;
   DoneCallback done;
   MigrationReport report;
   sim::SimTime started;
   sim::SimTime frozen_at;
-  NodeDaemon* src = nullptr;
-  NodeDaemon* dst = nullptr;
-  os::Container* container = nullptr;
   double pending_bytes = 0;  // memory image / dirty set to copy next
   double dirty_rate = 0;     // bytes/sec the app dirties while running
+  bool admitted = false;     // counted in migrating_ / in_flight_
+  bool frozen = false;       // source container frozen (needs thaw on abort)
 };
 
 MigrationCoordinator::MigrationCoordinator(sim::Simulation& sim,
                                            net::Fabric& fabric,
                                            NodeAccessor accessor)
     : sim_(sim), fabric_(fabric), accessor_(std::move(accessor)) {}
+
+NodeDaemon* MigrationCoordinator::live_node(const std::string& hostname) {
+  NodeDaemon* daemon = accessor_(hostname);
+  if (daemon == nullptr || !daemon->node().running()) return nullptr;
+  return daemon;
+}
+
+os::Container* MigrationCoordinator::source_container(const Session& session) {
+  NodeDaemon* src = live_node(session.params.from);
+  if (src == nullptr) return nullptr;
+  os::Container* c = src->node().find_container(session.params.instance);
+  if (c == nullptr || c->state() == os::ContainerState::kDestroyed) {
+    return nullptr;
+  }
+  return c;
+}
 
 void MigrationCoordinator::migrate(MigrationParams params, DoneCallback done) {
   auto session = std::make_shared<Session>();
@@ -58,6 +78,7 @@ void MigrationCoordinator::migrate(MigrationParams params, DoneCallback done) {
   session->report.from = session->params.from;
   session->report.to = session->params.to;
   session->report.live = session->params.live;
+  session->report.phase = "prepare";
   session->report.address_update =
       address_update_name(session->params.address_update);
 
@@ -65,35 +86,41 @@ void MigrationCoordinator::migrate(MigrationParams params, DoneCallback done) {
     fail(session, "instance is already migrating");
     return;
   }
-  session->src = accessor_(session->params.from);
-  session->dst = accessor_(session->params.to);
-  if (session->src == nullptr || session->dst == nullptr) {
+  NodeDaemon* src = live_node(session->params.from);
+  NodeDaemon* dst = live_node(session->params.to);
+  if (accessor_(session->params.from) == nullptr ||
+      accessor_(session->params.to) == nullptr) {
     fail(session, "unknown source or destination node");
     return;
   }
-  if (session->src == session->dst) {
+  if (src == nullptr) {
+    fail(session, "source node is down");
+    return;
+  }
+  if (dst == nullptr) {
+    fail(session, "destination node is down");
+    return;
+  }
+  if (src == dst) {
     fail(session, "source and destination are the same node");
     return;
   }
-  session->container =
-      session->src->node().find_container(session->params.instance);
-  if (session->container == nullptr ||
-      session->container->state() == os::ContainerState::kDestroyed) {
+  os::Container* container =
+      src->node().find_container(session->params.instance);
+  if (container == nullptr ||
+      container->state() == os::ContainerState::kDestroyed) {
     fail(session, "no such container on source node");
-    return;
-  }
-  if (!session->dst->node().running()) {
-    fail(session, "destination node is down");
     return;
   }
 
   migrating_.insert(session->params.instance);
   ++in_flight_;
+  session->admitted = true;
+  ++stats_.started;
 
-  session->pending_bytes =
-      static_cast<double>(session->container->memory_usage());
-  session->dirty_rate = session->container->app() != nullptr
-                            ? session->container->app()->dirty_bytes_per_sec()
+  session->pending_bytes = static_cast<double>(container->memory_usage());
+  session->dirty_rate = container->app() != nullptr
+                            ? container->app()->dirty_bytes_per_sec()
                             : 0.0;
 
   LOG_INFO("migrate", "%s: %s -> %s (%s, %.1f MB)",
@@ -103,12 +130,18 @@ void MigrationCoordinator::migrate(MigrationParams params, DoneCallback done) {
            session->pending_bytes / (1 << 20));
 
   // Prepare phase: destination caches the rootfs layers.
-  session->dst->prefetch_layers(
+  dst->prefetch_layers(
       session->params.layers.as_array(),
       [this, session](util::Status status) {
+        if (source_container(*session) == nullptr) {
+          abort_source_dead(session);
+          return;
+        }
+        if (live_node(session->params.to) == nullptr) {
+          abort_dest_dead(session);
+          return;
+        }
         if (!status.ok()) {
-          migrating_.erase(session->params.instance);
-          --in_flight_;
           fail(session, "destination prefetch failed: " +
                             status.error().message);
           return;
@@ -117,7 +150,8 @@ void MigrationCoordinator::migrate(MigrationParams params, DoneCallback done) {
           precopy_round(session);
         } else {
           // Stop-and-copy: freeze first, move everything in one blackout.
-          (void)session->container->freeze();
+          (void)source_container(*session)->freeze();
+          session->frozen = true;
           session->frozen_at = sim_.now();
           final_copy(session);
         }
@@ -125,10 +159,24 @@ void MigrationCoordinator::migrate(MigrationParams params, DoneCallback done) {
 }
 
 void MigrationCoordinator::precopy_round(std::shared_ptr<Session> session) {
+  session->report.phase = "pre-copy";
+  NodeDaemon* src = live_node(session->params.from);
+  NodeDaemon* dst = live_node(session->params.to);
+  os::Container* container = source_container(*session);
+  if (src == nullptr || container == nullptr) {
+    abort_source_dead(session);
+    return;
+  }
+  if (dst == nullptr) {
+    abort_dest_dead(session);
+    return;
+  }
+
   // Freeze point reached? Copy the remainder under blackout.
   if (session->report.precopy_rounds >= session->params.max_precopy_rounds ||
       session->pending_bytes <= session->params.stop_threshold_bytes) {
-    (void)session->container->freeze();
+    (void)container->freeze();
+    session->frozen = true;
     session->frozen_at = sim_.now();
     final_copy(session);
     return;
@@ -138,15 +186,21 @@ void MigrationCoordinator::precopy_round(std::shared_ptr<Session> session) {
   sim::SimTime round_start = sim_.now();
 
   net::FlowSpec flow;
-  flow.src = session->src->node().fabric_node();
-  flow.dst = session->dst->node().fabric_node();
+  flow.src = src->node().fabric_node();
+  flow.dst = dst->node().fabric_node();
   flow.bytes = bytes;
   flow.on_complete = [this, session, bytes, round_start](net::FlowId,
                                                          bool success) {
+    os::Container* container = source_container(*session);
+    if (container == nullptr) {
+      abort_source_dead(session);
+      return;
+    }
+    if (live_node(session->params.to) == nullptr) {
+      abort_dest_dead(session);
+      return;
+    }
     if (!success) {
-      migrating_.erase(session->params.instance);
-      --in_flight_;
-      (void)session->container->thaw();  // no-op unless frozen
       fail(session, "pre-copy transfer failed (network)");
       return;
     }
@@ -155,23 +209,44 @@ void MigrationCoordinator::precopy_round(std::shared_ptr<Session> session) {
     double elapsed = (sim_.now() - round_start).to_seconds();
     session->pending_bytes =
         std::min(session->dirty_rate * elapsed,
-                 static_cast<double>(session->container->memory_usage()));
+                 static_cast<double>(container->memory_usage()));
     precopy_round(session);
   };
   fabric_.start_flow(std::move(flow));
 }
 
 void MigrationCoordinator::final_copy(std::shared_ptr<Session> session) {
+  session->report.phase = "final-copy";
+  NodeDaemon* src = live_node(session->params.from);
+  NodeDaemon* dst = live_node(session->params.to);
+  if (src == nullptr || source_container(*session) == nullptr) {
+    abort_source_dead(session);
+    return;
+  }
+  if (dst == nullptr) {
+    abort_dest_dead(session);
+    return;
+  }
   double bytes = std::max(session->pending_bytes, 1.0);
   net::FlowSpec flow;
-  flow.src = session->src->node().fabric_node();
-  flow.dst = session->dst->node().fabric_node();
+  flow.src = src->node().fabric_node();
+  flow.dst = dst->node().fabric_node();
   flow.bytes = bytes;
   flow.on_complete = [this, session, bytes](net::FlowId, bool success) {
+    if (source_container(*session) == nullptr) {
+      abort_source_dead(session);
+      return;
+    }
+    if (live_node(session->params.to) == nullptr) {
+      abort_dest_dead(session);
+      return;
+    }
     if (!success) {
-      migrating_.erase(session->params.instance);
-      --in_flight_;
-      (void)session->container->thaw();
+      os::Container* container = source_container(*session);
+      if (session->frozen && container != nullptr) {
+        (void)container->thaw();
+        session->frozen = false;
+      }
       fail(session, "final memory copy failed (network)");
       return;
     }
@@ -182,10 +257,19 @@ void MigrationCoordinator::final_copy(std::shared_ptr<Session> session) {
 }
 
 void MigrationCoordinator::commit(std::shared_ptr<Session> session) {
-  migrating_.erase(session->params.instance);
-  --in_flight_;
+  session->report.phase = "commit";
+  NodeDaemon* src = live_node(session->params.from);
+  NodeDaemon* dst = live_node(session->params.to);
+  os::Container* source = source_container(*session);
+  if (src == nullptr || source == nullptr) {
+    abort_source_dead(session);
+    return;
+  }
+  if (dst == nullptr) {
+    abort_dest_dead(session);
+    return;
+  }
 
-  os::Container* source = session->container;
   os::ContainerConfig config = source->config();
   net::Ipv4Addr ip = source->ip();
   // Quiesce the app while the frozen source still exists (it frees its
@@ -196,10 +280,12 @@ void MigrationCoordinator::commit(std::shared_ptr<Session> session) {
   // Secure a home on the destination BEFORE tearing the source down, so a
   // refused create (capacity raced away) rolls back instead of losing the
   // instance.
-  auto created = session->dst->node().create_container(config);
+  auto created = dst->node().create_container(config);
   if (!created.ok()) {
     (void)source->thaw();
+    session->frozen = false;
     source->set_app(std::move(app));  // restarts the app on the source
+    ++stats_.rolled_back;
     fail(session, "destination create failed (rolled back): " +
                       created.error().message);
     return;
@@ -210,42 +296,85 @@ void MigrationCoordinator::commit(std::shared_ptr<Session> session) {
   // learns its new location: a full L2 convergence under the traditional
   // scheme, or one controller round-trip under SDN redirection (the
   // paper's "IP-less routing" direction).
-  (void)session->src->node().destroy_container(config.name);
+  (void)src->node().destroy_container(config.name);
   sim::Duration darkness =
       session->params.address_update == AddressUpdateMode::kArpConvergence
           ? kArpConvergenceDelay
           : kSdnUpdateDelay;
-  os::Container* target = created.value();
   // The app object rides through the closure to the deferred restart. The
-  // source container object no longer exists past this point; only its
-  // captured name/config do.
+  // source container no longer exists past this point; only its captured
+  // name/config do — and the destination container is re-resolved after the
+  // darkness window, because the destination can crash during it.
   auto shared_app =
       std::make_shared<std::unique_ptr<os::ContainerApp>>(std::move(app));
   std::string name = config.name;
-  sim_.after(darkness, [this, session, target, ip, name, shared_app]() {
+  sim_.after(darkness, [this, session, ip, name, shared_app]() {
+    NodeDaemon* dst = live_node(session->params.to);
+    os::Container* target =
+        dst != nullptr ? dst->node().find_container(name) : nullptr;
+    if (target == nullptr || target->state() == os::ContainerState::kDestroyed) {
+      // Past the point of no return with no surviving copy: the instance is
+      // genuinely gone. Report it lost so the record is marked for respawn.
+      session->report.instance_lost = true;
+      ++stats_.lost;
+      ++stats_.aborted_dest_dead;
+      fail(session, "destination died during commit blackout");
+      return;
+    }
     target->set_app(std::move(*shared_app));
     util::Status started = target->start(ip);
     if (!started.ok()) {
-      (void)session->dst->node().destroy_container(name);
+      (void)dst->node().destroy_container(name);
+      session->report.instance_lost = true;
+      ++stats_.lost;
       fail(session, "destination start failed: " + started.error().message);
       return;
     }
     session->report.success = true;
+    session->report.phase = "done";
     session->report.downtime = sim_.now() - session->frozen_at;
+    ++stats_.succeeded;
     finish(session);
   });
+}
+
+void MigrationCoordinator::abort_source_dead(std::shared_ptr<Session> session) {
+  ++stats_.aborted_source_dead;
+  // The container died with its node; the instance record reverts to
+  // "running" on the (dead) source, where the monitor-driven dead-node
+  // reconciliation picks it up.
+  fail(session, "source node died mid-migration (" + session->report.phase +
+                    ")");
+}
+
+void MigrationCoordinator::abort_dest_dead(std::shared_ptr<Session> session) {
+  ++stats_.aborted_dest_dead;
+  // Revert: the instance keeps running on the source with its flows intact.
+  os::Container* container = source_container(*session);
+  if (session->frozen && container != nullptr) {
+    (void)container->thaw();
+    session->frozen = false;
+  }
+  fail(session, "destination node died mid-migration (" +
+                    session->report.phase + ")");
 }
 
 void MigrationCoordinator::fail(std::shared_ptr<Session> session,
                                 const std::string& error) {
   session->report.success = false;
   session->report.error = error;
+  ++stats_.failed;
   LOG_WARN("migrate", "%s: FAILED: %s", session->params.instance.c_str(),
            error.c_str());
   finish(session);
 }
 
 void MigrationCoordinator::finish(std::shared_ptr<Session> session) {
+  if (session->admitted) {
+    migrating_.erase(session->params.instance);
+    --in_flight_;
+    session->admitted = false;
+  }
   session->report.total_duration = sim_.now() - session->started;
   history_.push_back(session->report);
   if (session->done) session->done(session->report);

@@ -70,6 +70,15 @@ struct MigrationReport {
   std::string to;
   bool live = false;
   bool success = false;
+  // On failure: true when the container survives on neither node (the
+  // destination died past the point of no return). The instance record must
+  // be marked lost so the reconciler / owning ReplicaSet respawns it. When
+  // false, a failed migration leaves the container running on the source —
+  // or the source itself is dead, which the dead-node reconciliation path
+  // already covers.
+  bool instance_lost = false;
+  std::string phase;           // phase reached: prepare|pre-copy|final-copy|
+                               // commit|done
   std::string address_update;  // "arp" | "sdn"
   std::string error;
   double bytes_transferred = 0;
@@ -91,16 +100,41 @@ class MigrationCoordinator {
   // Runs a migration; the callback fires exactly once. Concurrent
   // migrations of distinct instances are fine; re-migrating an instance
   // already in flight fails.
+  //
+  // Crash safety: ChaosMonkey may kill either endpoint at any moment, so no
+  // daemon or container pointer is held across an async boundary — every
+  // resume point re-resolves by hostname/name and aborts cleanly if the
+  // node died. Source death aborts (record reverts to the source-dead
+  // reconciliation path); destination death before commit aborts with the
+  // instance still running (thawed) on the source; destination death after
+  // the point of no return loses the instance and reports instance_lost.
   void migrate(MigrationParams params, DoneCallback done);
+
+  struct Stats {
+    std::uint64_t started = 0;
+    std::uint64_t succeeded = 0;
+    std::uint64_t failed = 0;  // all failures, including the below
+    std::uint64_t aborted_source_dead = 0;
+    std::uint64_t aborted_dest_dead = 0;
+    std::uint64_t rolled_back = 0;  // reverted to source with app restarted
+    std::uint64_t lost = 0;         // destination died past commit
+  };
 
   const std::vector<MigrationReport>& history() const { return history_; }
   size_t in_flight() const { return in_flight_; }
+  const Stats& stats() const { return stats_; }
 
  private:
   struct Session;
+  // The daemon for `hostname` iff its node is powered on, else nullptr.
+  NodeDaemon* live_node(const std::string& hostname);
+  // The migrating container on the live source, else nullptr.
+  os::Container* source_container(const Session& session);
   void precopy_round(std::shared_ptr<Session> session);
   void final_copy(std::shared_ptr<Session> session);
   void commit(std::shared_ptr<Session> session);
+  void abort_source_dead(std::shared_ptr<Session> session);
+  void abort_dest_dead(std::shared_ptr<Session> session);
   void fail(std::shared_ptr<Session> session, const std::string& error);
   void finish(std::shared_ptr<Session> session);
 
@@ -110,6 +144,7 @@ class MigrationCoordinator {
   std::vector<MigrationReport> history_;
   std::set<std::string> migrating_;  // instances currently moving
   size_t in_flight_ = 0;
+  Stats stats_;
 };
 
 }  // namespace picloud::cloud

@@ -71,18 +71,21 @@ void NodeDaemon::register_with_master() {
   body.set("ip", node_.host_ip().to_string());
   body.set("rack", config_.rack);
   body.set("cpu_hz", node_.cpu().capacity());
-  client_->post(
-      config_.pimaster_ip, config_.pimaster_port, "/register", std::move(body),
+  // Keep retrying with backoff until the master answers: a node that boots
+  // while the master (or the path to it) is down registers as soon as it
+  // recovers. The policy's jitter decorrelates a rack booting in lockstep.
+  proto::RetryPolicy policy = proto::RetryPolicy::unbounded();
+  client_->call(
+      config_.pimaster_ip, config_.pimaster_port, proto::Method::kPost,
+      "/register", std::move(body),
       [this](util::Result<HttpResponse> result) {
         if (!started_) return;
-        if (!result.ok() || !result.value().ok()) {
-          // Master unreachable or refused: retry after a beat.
-          node_.simulation().after(sim::Duration::seconds(2),
-                                   [this]() {
-                                     if (started_ && !registered_) {
-                                       register_with_master();
-                                     }
-                                   });
+        if (!result.ok()) return;  // cancelled: the daemon is going down
+        if (!result.value().ok()) {
+          // Master answered but refused: retry after a beat.
+          node_.simulation().after(sim::Duration::seconds(2), [this]() {
+            if (started_ && !registered_) register_with_master();
+          });
           return;
         }
         registered_ = true;
@@ -91,7 +94,8 @@ void NodeDaemon::register_with_master() {
         heartbeat_task_ = sim::PeriodicTask(
             node_.simulation(), config_.heartbeat_period,
             [this]() { send_heartbeat(); });
-      });
+      },
+      policy);
 }
 
 Json NodeDaemon::stats_json() const {
@@ -110,11 +114,14 @@ Json NodeDaemon::stats_json() const {
 void NodeDaemon::send_heartbeat() {
   if (!started_ || client_ == nullptr) return;
   ++heartbeats_sent_;
-  client_->post(config_.pimaster_ip, config_.pimaster_port,
-                "/nodes/" + node_.hostname() + "/stats", stats_json(),
-                [](util::Result<HttpResponse>) {
-                  // Losing a heartbeat is fine; the monitor tolerates gaps.
-                });
+  // Single attempt bounded by the heartbeat period: a lost heartbeat is
+  // information (the monitor tolerates gaps), and retrying a stale one past
+  // the next beat would only add load exactly when the network is sick.
+  proto::RetryPolicy policy =
+      proto::RetryPolicy::single(config_.heartbeat_period);
+  client_->call(config_.pimaster_ip, config_.pimaster_port,
+                proto::Method::kPost, "/nodes/" + node_.hostname() + "/stats",
+                stats_json(), [](util::Result<HttpResponse>) {}, policy);
 }
 
 void NodeDaemon::fetch_layers(util::JsonArray layers, size_t index,
@@ -175,6 +182,13 @@ void NodeDaemon::spawn_container(const Json& spec, SpawnCallback cb) {
   }
   util::JsonArray layers = spec.get("layers").as_array();
   fetch_layers(std::move(layers), 0, [this, spec, cb](util::Status fetched) {
+    // The layer pull crosses the fabric; the node may have crashed (or been
+    // cleanly stopped) while it was in flight. Never materialise a container
+    // on a dead node.
+    if (!started_ || !node_.running()) {
+      cb(util::Error::make("unavailable", "node went down during spawn"));
+      return;
+    }
     if (!fetched.ok()) {
       cb(fetched.error());
       return;
@@ -252,15 +266,21 @@ void NodeDaemon::install_routes() {
       Method::kPost, "/containers",
       [this](const HttpRequest& req, const PathParams&,
              proto::Responder respond) {
-        spawn_container(req.body, [respond = std::move(respond)](
+        // Admit the request's idempotency key first: a retried spawn whose
+        // original attempt already executed (or is still executing) must
+        // not create a second container.
+        proto::Responder once =
+            idem_.admit(req.body.get_string("idem"), std::move(respond));
+        if (!once) return;  // duplicate: replayed or coalesced
+        spawn_container(req.body, [once = std::move(once)](
                                       util::Result<std::string> result) {
           if (!result.ok()) {
-            respond(HttpResponse::from_error(result.error()));
+            once(HttpResponse::from_error(result.error()));
             return;
           }
           Json body = Json::object();
           body.set("name", result.value());
-          respond(HttpResponse::make(201, std::move(body)));
+          once(HttpResponse::make(201, std::move(body)));
         });
       });
 
@@ -281,15 +301,23 @@ void NodeDaemon::install_routes() {
                  lifecycle("freeze"));
   router_.handle(Method::kPost, "/containers/:name/thaw", lifecycle("thaw"));
 
-  router_.handle(Method::kDelete, "/containers/:name",
-                 [this](const HttpRequest&, const PathParams& params) {
-                   util::Status status =
-                       node_.destroy_container(params.at("name"));
-                   if (!status.ok()) {
-                     return HttpResponse::from_error(status.error());
-                   }
-                   return HttpResponse::make(204);
-                 });
+  router_.handle_async(
+      Method::kDelete, "/containers/:name",
+      [this](const HttpRequest& req, const PathParams& params,
+             proto::Responder respond) {
+        // Destroy is naturally idempotent (a second attempt sees 404), but
+        // recording the outcome lets a retried delete observe its own 204
+        // instead of a confusing not-found.
+        proto::Responder once =
+            idem_.admit(req.body.get_string("idem"), std::move(respond));
+        if (!once) return;
+        util::Status status = node_.destroy_container(params.at("name"));
+        if (!status.ok()) {
+          once(HttpResponse::from_error(status.error()));
+          return;
+        }
+        once(HttpResponse::make(204));
+      });
 
   router_.handle(
       Method::kPut, "/containers/:name/limits",
@@ -307,6 +335,35 @@ void NodeDaemon::install_routes() {
               static_cast<std::uint64_t>(req.body.get_number("memory_limit")));
         }
         return HttpResponse::make(200, c->describe());
+      });
+
+  router_.handle(
+      Method::kGet, "/health",
+      [this](const HttpRequest&, const PathParams&) {
+        Json j = Json::object();
+        j.set("hostname", node_.hostname());
+        j.set("registered", registered_);
+        j.set("containers", static_cast<double>(node_.containers().size()));
+        j.set("heartbeats_sent",
+              static_cast<unsigned long long>(heartbeats_sent_));
+        if (client_ != nullptr) {
+          const proto::RetryStats& rs = client_->retry_stats();
+          Json retry = Json::object();
+          retry.set("inflight", static_cast<double>(client_->inflight_retries()));
+          retry.set("attempts", static_cast<unsigned long long>(rs.attempts));
+          retry.set("retries", static_cast<unsigned long long>(rs.retries));
+          retry.set("exhausted", static_cast<unsigned long long>(rs.exhausted));
+          j.set("retry", std::move(retry));
+        }
+        Json dedup = Json::object();
+        dedup.set("admitted",
+                  static_cast<unsigned long long>(idem_.stats().admitted));
+        dedup.set("replayed",
+                  static_cast<unsigned long long>(idem_.stats().replayed));
+        dedup.set("coalesced",
+                  static_cast<unsigned long long>(idem_.stats().coalesced));
+        j.set("dedup", std::move(dedup));
+        return HttpResponse::make(200, std::move(j));
       });
 
   router_.handle_async(

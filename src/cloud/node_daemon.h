@@ -22,6 +22,11 @@
 //   DELETE /containers/:name
 //   PUT    /containers/:name/limits        soft per-VM resource limits
 //   POST   /images/prefetch                pull image layers ahead of time
+//   GET    /health                         liveness + retry/dedup stats
+//
+// Mutating requests (spawn, delete) may carry an "idem" key in the body;
+// the daemon keeps a bounded dedup cache so a retried request that already
+// executed replays the recorded outcome instead of double-spawning.
 #pragma once
 
 #include <cstdint>
@@ -90,6 +95,11 @@ class NodeDaemon {
   }
 
   std::uint64_t heartbeats_sent() const { return heartbeats_sent_; }
+  // Dedup cache for idempotent mutations (spawn/delete).
+  const proto::IdempotencyCache& idempotency() const { return idem_; }
+  // REST client retry accounting (registration, heartbeats). The client
+  // only exists while the daemon is up and bound.
+  const proto::RestClient* rest_client() const { return client_.get(); }
 
  private:
   void on_dhcp_bound(net::Ipv4Addr ip, sim::Duration lease);
@@ -111,6 +121,7 @@ class NodeDaemon {
   std::unique_ptr<proto::RestServer> server_;
   std::unique_ptr<proto::RestClient> client_;
   sim::PeriodicTask heartbeat_task_;
+  proto::IdempotencyCache idem_{128};
   bool started_ = false;
   bool registered_ = false;
   std::uint64_t heartbeats_sent_ = 0;

@@ -77,6 +77,9 @@ void PiMaster::start() {
         return node_accessor_ ? node_accessor_(hostname) : nullptr;
       });
 
+  reconciler_ = std::make_unique<Reconciler>(*this, config_.reconcile);
+  reconciler_->start();
+
   // The stock Raspbian+LXC rootfs every instance spawns from.
   if (!images_.latest(config_.default_image).ok()) {
     (void)images_.add_base(config_.default_image, 1800ull << 20,
@@ -90,7 +93,11 @@ void PiMaster::stop() {
   if (!started_) return;
   started_ = false;
   server_.reset();
+  // Destroying the client fails its pending calls with "cancelled"; the
+  // reconciler's callbacks must still be alive to absorb those, so it is
+  // torn down strictly after the client.
   client_.reset();
+  reconciler_.reset();
   dns_.reset();
   dhcp_.reset();
   migrations_.reset();
@@ -99,6 +106,37 @@ void PiMaster::stop() {
 
 void PiMaster::set_node_accessor(MigrationCoordinator::NodeAccessor accessor) {
   node_accessor_ = std::move(accessor);
+}
+
+bool PiMaster::operation_in_flight(const std::string& name) const {
+  auto it = ops_.find(name);
+  return it != ops_.end() && it->second.in_flight;
+}
+
+void PiMaster::record_op_start(const std::string& name, const std::string& op) {
+  OperationRecord& record = ops_[name];
+  record.op = op;
+  record.in_flight = true;
+  record.success = false;
+  record.at = sim_.now();
+}
+
+void PiMaster::record_op_end(const std::string& name, bool success) {
+  auto it = ops_.find(name);
+  if (it == ops_.end()) return;
+  // Keep ops_ bounded: records only persist alongside an instance record
+  // (failed spawns and completed deletes leave nothing behind).
+  if (instances_.count(name) == 0) {
+    ops_.erase(it);
+    return;
+  }
+  it->second.in_flight = false;
+  it->second.success = success;
+  it->second.at = sim_.now();
+}
+
+proto::RetryPolicy PiMaster::proxy_policy(sim::Duration attempt_timeout) const {
+  return proto::RetryPolicy::standard(config_.proxy_attempts, attempt_timeout);
 }
 
 util::Result<std::string> PiMaster::resolve_image(
@@ -133,6 +171,8 @@ std::vector<NodeView> PiMaster::placement_views() const {
   // reservations — otherwise back-to-back spawns overpack a node.
   std::map<std::string, Reservation> placed;
   for (const auto& [name, record] : instances_) {
+    // Lost instances hold no capacity anywhere — their container is gone.
+    if (record.state == "lost") continue;
     placed[record.hostname].mem += record.mem_reserved;
     placed[record.hostname].containers += 1;
   }
@@ -235,9 +275,14 @@ void PiMaster::spawn_instance(SpawnSpec spec, SpawnCallback cb) {
   // placements from double-booking a node).
   reservations_[hostname].mem += mem_needed;
   reservations_[hostname].containers += 1;
+  record_op_start(spec.name, "spawn");
 
   Json body = Json::object();
   body.set("name", spec.name);
+  // Idempotency key: wire-level retries of this request must not
+  // double-spawn on the daemon.
+  body.set("idem", util::format("spawn/%s/%llu", spec.name.c_str(),
+                                static_cast<unsigned long long>(++op_seq_)));
   body.set("image", image.value());
   body.set("layers", layers.value());
   body.set("ip", container_ip.value().to_string());
@@ -264,6 +309,7 @@ void PiMaster::spawn_instance(SpawnSpec spec, SpawnCallback cb) {
         auto fail = [&](util::Error error) {
           dhcp_->release(vip);
           ++spawns_failed_;
+          record_op_end(spec.name, false);
           cb(std::move(error));
         };
         if (!result.ok()) {
@@ -288,11 +334,12 @@ void PiMaster::spawn_instance(SpawnSpec spec, SpawnCallback cb) {
         instances_[spec.name] = record;
         dns_->add_record(spec.name, vip);
         ++spawns_ok_;
+        record_op_end(spec.name, true);
         LOG_INFO("pimaster", "spawned %s on %s at %s", spec.name.c_str(),
                  hostname.c_str(), vip.to_string().c_str());
         cb(std::move(record));
       },
-      config_.spawn_timeout);
+      proxy_policy(config_.spawn_timeout));
 }
 
 void PiMaster::delete_instance(const std::string& name, SimpleCallback cb) {
@@ -303,20 +350,27 @@ void PiMaster::delete_instance(const std::string& name, SimpleCallback cb) {
   }
   InstanceRecord record = it->second;
   auto node_ip = node_ips_.find(record.hostname);
-  if (node_ip == node_ips_.end() || !monitor_.alive(record.hostname)) {
-    // The hosting node is gone or dark: there is nothing to ask. Repair the
-    // registry directly (the container died with its node).
+  if (record.state == "lost" || node_ip == node_ips_.end() ||
+      !monitor_.alive(record.hostname)) {
+    // The container is gone or its node is dark: there is nothing to ask.
+    // Repair the registry directly (the container died with its node).
     dhcp_->release(record.ip);
     dns_->remove_record(name);
     instances_.erase(name);
+    ops_.erase(name);
     cb(util::Status::success());
     return;
   }
+  record_op_start(name, "delete");
+  Json body = Json::object();
+  body.set("idem", util::format("del/%s/%llu", name.c_str(),
+                                static_cast<unsigned long long>(++op_seq_)));
   client_->call(
       node_ip->second, NodeDaemon::kPort, Method::kDelete,
-      "/containers/" + name, Json(),
+      "/containers/" + name, std::move(body),
       [this, name, record, cb](util::Result<HttpResponse> result) {
         if (!result.ok()) {
+          record_op_end(name, false);
           cb(util::Error::make("unavailable", result.error().message));
           return;
         }
@@ -324,8 +378,10 @@ void PiMaster::delete_instance(const std::string& name, SimpleCallback cb) {
         dhcp_->release(record.ip);
         dns_->remove_record(name);
         instances_.erase(name);
+        record_op_end(name, true);
         cb(util::Status::success());
-      });
+      },
+      proxy_policy(sim::Duration::seconds(5)));
 }
 
 void PiMaster::migrate_instance(const std::string& name, const std::string& to,
@@ -342,6 +398,15 @@ void PiMaster::migrate_instance(const std::string& name, const std::string& to,
     return;
   }
   InstanceRecord& record = it->second;
+  if (record.state == "lost") {
+    MigrationReport report;
+    report.instance = name;
+    report.from = record.hostname;
+    report.success = false;
+    report.error = "instance is lost (no container to migrate)";
+    cb(report);
+    return;
+  }
 
   std::string destination = to;
   if (!destination.empty()) {
@@ -403,13 +468,25 @@ void PiMaster::migrate_instance(const std::string& name, const std::string& to,
   if (layers.ok()) params.layers = layers.value();
 
   record.state = "migrating";
+  record_op_start(name, "migrate");
   migrations_->migrate(std::move(params), [this, name, destination,
                                            cb](const MigrationReport& report) {
     auto it = instances_.find(name);
     if (it != instances_.end()) {
-      it->second.state = "running";
-      if (report.success) it->second.hostname = destination;
+      if (report.success) {
+        it->second.state = "running";
+        it->second.hostname = destination;
+      } else if (report.instance_lost) {
+        // The container survived on neither end (e.g. destination died in
+        // the commit blackout). The record stays so a ReplicaSet can
+        // respawn, but it holds no capacity and cannot be migrated again.
+        it->second.state = "lost";
+      } else {
+        // Aborted/rolled back: still running on the source.
+        it->second.state = "running";
+      }
     }
+    record_op_end(name, report.success);
     cb(report);
   });
 }
@@ -542,6 +619,12 @@ void PiMaster::install_routes() {
       Method::kPost, "/instances",
       [this](const HttpRequest& req, const PathParams&,
              proto::Responder respond) {
+        // A retried spawn (client resent after a lost response) replays the
+        // recorded outcome instead of reporting a spurious name collision.
+        proto::Responder once =
+            idem_.admit(req.body.get_string("idem"), std::move(respond));
+        if (!once) return;
+        respond = std::move(once);
         SpawnSpec spec;
         spec.name = req.body.get_string("name");
         spec.image = req.body.get_string("image");
@@ -570,8 +653,12 @@ void PiMaster::install_routes() {
 
   router_.handle_async(
       Method::kDelete, "/instances/:name",
-      [this](const HttpRequest&, const PathParams& params,
+      [this](const HttpRequest& req, const PathParams& params,
              proto::Responder respond) {
+        proto::Responder once =
+            idem_.admit(req.body.get_string("idem"), std::move(respond));
+        if (!once) return;
+        respond = std::move(once);
         delete_instance(params.at("name"),
                         [respond = std::move(respond)](util::Status status) {
                           if (!status.ok()) {
@@ -607,13 +694,18 @@ void PiMaster::install_routes() {
                           return;
                         }
                         respond(result.value());
-                      });
+                      },
+                      proxy_policy(sim::Duration::seconds(5)));
       });
 
   router_.handle_async(
       Method::kPost, "/instances/:name/migrate",
       [this](const HttpRequest& req, const PathParams& params,
              proto::Responder respond) {
+        proto::Responder once =
+            idem_.admit(req.body.get_string("idem"), std::move(respond));
+        if (!once) return;
+        respond = std::move(once);
         AddressUpdateMode mode =
             req.body.get_string("address_update", "sdn") == "arp"
                 ? AddressUpdateMode::kArpConvergence
@@ -690,6 +782,48 @@ void PiMaster::install_routes() {
                    Json body = Json::object();
                    body.set("racks", std::move(racks));
                    return HttpResponse::make(200, std::move(body));
+                 });
+
+  router_.handle(Method::kGet, "/health",
+                 [this](const HttpRequest&, const PathParams&) {
+                   ClusterSummary s = monitor_.summary();
+                   Json j = Json::object();
+                   j.set("role", "pimaster");
+                   j.set("nodes_alive", s.nodes_alive);
+                   j.set("nodes_total", s.nodes_total);
+                   j.set("instances", static_cast<double>(instances_.size()));
+                   j.set("liveness_window_s",
+                         config_.node_liveness_window.to_seconds());
+                   if (client_) {
+                     const proto::RetryStats& rs = client_->retry_stats();
+                     Json retry = Json::object();
+                     retry.set("inflight",
+                               static_cast<double>(client_->inflight_retries()));
+                     retry.set("attempts", static_cast<double>(rs.attempts));
+                     retry.set("retries", static_cast<double>(rs.retries));
+                     retry.set("exhausted", static_cast<double>(rs.exhausted));
+                     j.set("retry", std::move(retry));
+                   }
+                   Json dedup = Json::object();
+                   dedup.set("admitted",
+                             static_cast<double>(idem_.stats().admitted));
+                   dedup.set("replayed",
+                             static_cast<double>(idem_.stats().replayed));
+                   dedup.set("coalesced",
+                             static_cast<double>(idem_.stats().coalesced));
+                   j.set("dedup", std::move(dedup));
+                   if (reconciler_) {
+                     const Reconciler::Stats& cs = reconciler_->stats();
+                     Json rec = Json::object();
+                     rec.set("sweeps", static_cast<double>(cs.sweeps));
+                     rec.set("marked_lost",
+                             static_cast<double>(cs.marked_lost_dead_node +
+                                                 cs.marked_lost_drift));
+                     rec.set("orphans_destroyed",
+                             static_cast<double>(cs.orphans_destroyed));
+                     j.set("reconciler", std::move(rec));
+                   }
+                   return HttpResponse::make(200, std::move(j));
                  });
 
   router_.handle(Method::kGet, "/policy",

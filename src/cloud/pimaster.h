@@ -37,6 +37,7 @@
 #include "cloud/monitor.h"
 #include "cloud/node_daemon.h"
 #include "cloud/placement.h"
+#include "cloud/reconciler.h"
 #include "net/network.h"
 #include "proto/dhcp.h"
 #include "proto/dns.h"
@@ -53,12 +54,26 @@ struct InstanceRecord {
   net::Ipv4Addr ip;
   std::string image;
   std::string app_kind;
-  std::string state = "running";  // running | migrating | deleted
+  // running | migrating | lost. "lost" means the reconciler determined the
+  // container no longer exists anywhere (its node died, or a live node
+  // stopped reporting it); the record is kept so an owning ReplicaSet can
+  // observe the loss and respawn.
+  std::string state = "running";
   // Memory budgeted at admission (cgroup limit, or the idle footprint).
   std::uint64_t mem_reserved = 0;
   sim::SimTime created_at;
 
   util::Json to_json() const;
+};
+
+// The master's record of the last control operation per instance — the
+// server-side half of idempotent retries, and the reconciler's guard
+// against garbage-collecting a container whose spawn is still in flight.
+struct OperationRecord {
+  std::string op;  // spawn | delete | migrate
+  bool in_flight = false;
+  bool success = false;
+  sim::SimTime at;
 };
 
 class PiMaster {
@@ -75,6 +90,11 @@ class PiMaster {
     sim::Duration node_liveness_window = sim::Duration::seconds(10);
     // Timeout for proxied spawn calls (covers image pull over 100 Mb).
     sim::Duration spawn_timeout = sim::Duration::seconds(60);
+    // Wire attempts per proxied daemon call (spawn/delete/limits); retries
+    // back off with deterministic jitter.
+    int proxy_attempts = 3;
+    // Anti-entropy loop (see cloud/reconciler.h).
+    Reconciler::Config reconcile;
     std::string default_image = "raspbian-lxc";
   };
 
@@ -113,6 +133,9 @@ class PiMaster {
   storage::ImageStore& images() { return images_; }
   ClusterMonitor& monitor() { return monitor_; }
   MigrationCoordinator& migrations() { return *migrations_; }
+  Reconciler& reconciler() { return *reconciler_; }
+  const proto::IdempotencyCache& idempotency() const { return idem_; }
+  const proto::RestClient* rest_client() const { return client_.get(); }
   net::Ipv4Addr ip() const { return config_.ip; }
   net::NetNodeId fabric_node() const { return node_; }
 
@@ -143,6 +166,8 @@ class PiMaster {
   // True when the record exists, its node answers liveness, and the
   // container is really running there (detects post-crash registry drift).
   bool instance_healthy(const std::string& name) const;
+  // True while a spawn/delete/migrate for `name` has not completed.
+  bool operation_in_flight(const std::string& name) const;
   std::vector<InstanceRecord> instances() const;
   util::Status set_policy(const std::string& name);
   const std::string& policy_name() const { return policy_name_; }
@@ -151,12 +176,19 @@ class PiMaster {
   std::uint64_t spawns_failed() const { return spawns_failed_; }
 
  private:
+  friend class Reconciler;  // anti-entropy needs the raw registry
+
   void install_routes();
   // Builds the {id, bytes} layer array a daemon needs for `image_id`.
   util::Result<util::Json> layer_list(const std::string& image_id) const;
   util::Result<std::string> resolve_image(const std::string& requested) const;
   // Placement views including in-flight reservations.
   std::vector<NodeView> placement_views() const;
+  // Operation bookkeeping (idempotency + reconciler guard).
+  void record_op_start(const std::string& name, const std::string& op);
+  void record_op_end(const std::string& name, bool success);
+  // The retry profile for proxied daemon calls.
+  proto::RetryPolicy proxy_policy(sim::Duration attempt_timeout) const;
 
   net::Network& network_;
   sim::Simulation& sim_;
@@ -169,6 +201,7 @@ class PiMaster {
   std::unique_ptr<proto::DhcpServer> dhcp_;
   std::unique_ptr<proto::DnsServer> dns_;
   std::unique_ptr<MigrationCoordinator> migrations_;
+  std::unique_ptr<Reconciler> reconciler_;
   storage::ImageStore images_;
   ClusterMonitor monitor_;
   MigrationCoordinator::NodeAccessor node_accessor_;
@@ -185,6 +218,10 @@ class PiMaster {
   };
   std::map<std::string, Reservation> reservations_;
   std::map<std::string, net::Ipv4Addr> node_ips_;  // hostname -> mgmt ip
+  // name -> last operation; erased with the instance record (bounded).
+  std::map<std::string, OperationRecord> ops_;
+  proto::IdempotencyCache idem_{256};
+  std::uint64_t op_seq_ = 0;  // idempotency keys for proxied daemon calls
   std::uint32_t next_container_mac_ = 1;
   std::uint64_t spawns_ok_ = 0;
   std::uint64_t spawns_failed_ = 0;

@@ -31,8 +31,10 @@ std::pair<LinkId, LinkId> Fabric::add_link(NetNodeId a, NetNodeId b,
   PICLOUD_CHECK_GT(capacity_bps, 0) << "add_link capacity";
   LinkId ab = static_cast<LinkId>(links_.size());
   LinkId ba = ab + 1;
-  links_.push_back(DirectedLink{ab, a, b, capacity_bps, delay, true, 0, 0, 0});
-  links_.push_back(DirectedLink{ba, b, a, capacity_bps, delay, true, 0, 0, 0});
+  links_.push_back(
+      DirectedLink{ab, a, b, capacity_bps, delay, true, 0, 0, 0, 0});
+  links_.push_back(
+      DirectedLink{ba, b, a, capacity_bps, delay, true, 0, 0, 0, 0});
   nodes_[a].out_links.push_back(ab);
   nodes_[b].out_links.push_back(ba);
   return {ab, ba};
@@ -163,6 +165,23 @@ FlowId Fabric::start_flow(FlowSpec spec) {
     ++flows_failed_;
     if (routing_ != nullptr) routing_->on_flow_end(id);
     return id;
+  }
+
+  // Lossy-link chaos: each lossy hop gets an independent chance to drop the
+  // flow at admission. The rng is consumed only when a lossy link is on the
+  // path, so loss-free simulations keep bit-identical streams.
+  for (LinkId lid : path) {
+    double p = links_[lid].loss_p;
+    if (p > 0 && loss_rng_.chance(p)) {
+      FlowCallback cb = spec.on_complete;
+      sim_.after(links_[lid].delay, [cb, id]() {
+        if (cb) cb(id, false);
+      });
+      ++flows_failed_;
+      ++flows_lost_;
+      if (routing_ != nullptr) routing_->on_flow_end(id);
+      return id;
+    }
   }
 
   Flow flow;
@@ -302,6 +321,19 @@ void Fabric::finish_flow(FlowId id, bool success) {
   if (routing_ != nullptr) routing_->on_flow_end(id);
   reallocate();
   if (cb) cb(id, success);
+}
+
+void Fabric::set_link_pair_loss(LinkId id, double loss_p) {
+  PICLOUD_CHECK(loss_p >= 0 && loss_p <= 1) << "loss probability " << loss_p;
+  LinkId a = id;
+  LinkId b = reverse(id);
+  links_[a].loss_p = loss_p;
+  links_[b].loss_p = loss_p;
+  if (loss_p > 0) {
+    LOG_INFO("fabric", "link %s <-> %s lossy p=%.3f",
+             nodes_[links_[a].from].name.c_str(),
+             nodes_[links_[a].to].name.c_str(), loss_p);
+  }
 }
 
 void Fabric::set_link_pair_up(LinkId id, bool up) {

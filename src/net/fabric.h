@@ -16,6 +16,7 @@
 
 #include "sim/simulation.h"
 #include "sim/time.h"
+#include "util/rng.h"
 #include "util/stats.h"
 
 namespace picloud::net {
@@ -43,6 +44,9 @@ struct DirectedLink {
   double capacity_bps = 0;
   sim::Duration delay;  // propagation + store-and-forward latency
   bool up = true;
+  // Probability that a flow crossing this link is dropped at admission
+  // (lossy-link chaos mode). 0 = clean link.
+  double loss_p = 0;
 
   // Live allocation state (maintained by the fair-share allocator).
   double allocated_bps = 0;
@@ -121,6 +125,15 @@ class Fabric {
   // Takes both directions of the full-duplex pair up/down and reroutes or
   // fails the flows crossing it.
   void set_link_pair_up(LinkId id, bool up);
+  // Marks both directions of the pair lossy: each new flow whose path
+  // crosses the link is dropped with probability `loss_p` (the drop fires
+  // the completion callback with success=false, like an unreachable path).
+  // Draws come from a dedicated deterministic rng stream that is consumed
+  // only when a lossy link is actually on the path, so simulations that
+  // never enable loss keep bit-identical rng state.
+  void set_link_pair_loss(LinkId id, double loss_p);
+  // Reseeds the loss stream (chaos injectors tie it to their own seed).
+  void seed_loss_rng(std::uint64_t seed) { loss_rng_ = util::Rng(seed); }
 
   // --- Flows -----------------------------------------------------------------
   // Starts a byte flow. Completion fires when the last byte has been
@@ -143,6 +156,8 @@ class Fabric {
   std::uint64_t flows_started() const { return flows_started_; }
   std::uint64_t flows_completed() const { return flows_completed_; }
   std::uint64_t flows_failed() const { return flows_failed_; }
+  // Subset of flows_failed(): dropped by a lossy link at admission.
+  std::uint64_t flows_lost() const { return flows_lost_; }
 
   static constexpr sim::Duration kLoopbackDelay = sim::Duration::micros(20);
 
@@ -175,6 +190,11 @@ class Fabric {
   std::uint64_t flows_started_ = 0;
   std::uint64_t flows_completed_ = 0;
   std::uint64_t flows_failed_ = 0;
+  std::uint64_t flows_lost_ = 0;
+  // Dedicated loss stream: fixed default seed (overridable via
+  // seed_loss_rng) rather than a fork of the root rng, so constructing a
+  // fabric never perturbs the simulation's root stream.
+  util::Rng loss_rng_{0x9e3779b97f4a7c15ull};
 };
 
 }  // namespace picloud::net

@@ -1,5 +1,7 @@
 #include "proto/dhcp.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 #include "util/json.h"
 #include "util/logging.h"
@@ -191,7 +193,8 @@ DhcpClient::DhcpClient(net::Network& network, net::NetNodeId node,
       sim_(network.simulation()),
       node_(node),
       mac_(std::move(mac)),
-      hostname_(std::move(hostname)) {}
+      hostname_(std::move(hostname)),
+      rng_(network.simulation().rng().fork()) {}
 
 DhcpClient::~DhcpClient() { stop(); }
 
@@ -201,6 +204,7 @@ void DhcpClient::start(BoundCallback on_bound) {
   network_.listen_node(node_, kDhcpClientPort,
                        [this](const net::Message& msg) { on_message(msg); });
   state_ = State::kInit;
+  retry_attempt_ = 0;
   send_discover();
 }
 
@@ -231,9 +235,20 @@ void DhcpClient::send_discover() {
   arm_retry();
 }
 
+sim::Duration DhcpClient::next_retry_delay() {
+  sim::Duration backoff = kRetryBase;
+  for (int i = 0; i < retry_attempt_; ++i) {
+    backoff = backoff * kRetryMultiplier;
+    if (backoff >= kRetryCap) break;
+  }
+  backoff = std::min(backoff, kRetryCap);
+  ++retry_attempt_;
+  return backoff * (1.0 - kRetryJitter * rng_.next_double());
+}
+
 void DhcpClient::arm_retry() {
   if (retry_event_ != 0) sim_.cancel(retry_event_);
-  retry_event_ = sim_.after(kRetryInterval, [this]() {
+  retry_event_ = sim_.after(next_retry_delay(), [this]() {
     retry_event_ = 0;
     if (state_ == State::kSelecting || state_ == State::kRequesting) {
       send_discover();
@@ -275,6 +290,7 @@ void DhcpClient::on_message(const net::Message& msg) {
     if (!ip) return;
     ip_ = *ip;
     state_ = State::kBound;
+    retry_attempt_ = 0;  // bound: the backoff ladder starts over
     if (retry_event_ != 0) {
       sim_.cancel(retry_event_);
       retry_event_ = 0;
@@ -306,10 +322,11 @@ void DhcpClient::on_message(const net::Message& msg) {
   }
 
   if (type == "nak") {
-    // Back to square one after a short delay.
+    // Back to square one after a backed-off delay: a NAK storm (e.g. pool
+    // exhaustion) shouldn't keep the whole rack hammering the server.
     state_ = State::kInit;
     if (retry_event_ != 0) sim_.cancel(retry_event_);
-    retry_event_ = sim_.after(kRetryInterval, [this]() {
+    retry_event_ = sim_.after(next_retry_delay(), [this]() {
       retry_event_ = 0;
       if (state_ == State::kInit) send_discover();
     });

@@ -19,6 +19,7 @@
 #include "sim/simulation.h"
 #include "util/json.h"
 #include "util/result.h"
+#include "util/rng.h"
 
 namespace picloud::proto {
 
@@ -108,19 +109,30 @@ class DhcpClient {
   State state() const { return state_; }
   net::Ipv4Addr ip() const { return ip_; }
   std::uint64_t discovers_sent() const { return discovers_sent_; }
+  // Consecutive unanswered tries since the last bind (drives the backoff).
+  int retry_attempt() const { return retry_attempt_; }
 
-  static constexpr sim::Duration kRetryInterval = sim::Duration::seconds(2);
+  // Retries back off exponentially from kRetryBase up to kRetryCap, with
+  // deterministic jitter drawn from a forked util::Rng so a rack of clients
+  // power-cycling together doesn't re-flood the server in lockstep. The
+  // actual delay for attempt n is backoff(n) * U[1 - kRetryJitter, 1].
+  static constexpr sim::Duration kRetryBase = sim::Duration::seconds(2);
+  static constexpr sim::Duration kRetryCap = sim::Duration::seconds(30);
+  static constexpr double kRetryMultiplier = 2.0;
+  static constexpr double kRetryJitter = 0.5;
 
  private:
   void send_discover();
   void on_message(const net::Message& msg);
   void arm_retry();
+  sim::Duration next_retry_delay();
 
   net::Network& network_;
   sim::Simulation& sim_;
   net::NetNodeId node_;
   std::string mac_;
   std::string hostname_;
+  util::Rng rng_;  // jitter stream, forked from the simulation root
   State state_ = State::kStopped;
   net::Ipv4Addr ip_;
   net::Ipv4Addr offered_ip_;
@@ -129,6 +141,7 @@ class DhcpClient {
   sim::EventId retry_event_ = 0;
   sim::EventId renew_event_ = 0;
   std::uint64_t discovers_sent_ = 0;
+  int retry_attempt_ = 0;
 };
 
 }  // namespace picloud::proto

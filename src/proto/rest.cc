@@ -1,8 +1,56 @@
 #include "proto/rest.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace picloud::proto {
+
+Responder IdempotencyCache::admit(const std::string& key, Responder respond) {
+  if (key.empty()) return respond;  // unkeyed request: plain semantics
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    if (it->second.done) {
+      ++stats_.replayed;
+      if (respond) respond(it->second.response);
+    } else {
+      ++stats_.coalesced;
+      it->second.waiters.push_back(std::move(respond));
+    }
+    return nullptr;
+  }
+  ++stats_.admitted;
+  Entry entry;
+  entry.waiters.push_back(std::move(respond));
+  entries_.emplace(key, std::move(entry));
+  return [this, key](HttpResponse response) {
+    complete(key, std::move(response));
+  };
+}
+
+void IdempotencyCache::complete(const std::string& key,
+                                HttpResponse response) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;  // evicted mid-flight: nothing to record
+  Entry& entry = it->second;
+  if (entry.done) return;  // a wrapped responder fired twice; first wins
+  entry.done = true;
+  entry.response = response;
+  std::vector<Responder> waiters = std::move(entry.waiters);
+  entry.waiters.clear();
+  completed_order_.push_back(key);
+  while (completed_order_.size() > 0 && entries_.size() > capacity_) {
+    auto victim = entries_.find(completed_order_.front());
+    completed_order_.pop_front();
+    if (victim != entries_.end() && victim->second.done) {
+      entries_.erase(victim);
+      ++stats_.evicted;
+    }
+  }
+  for (auto& waiter : waiters) {
+    if (waiter) waiter(response);
+  }
+}
 
 RestServer::RestServer(net::Network& network, net::Ipv4Addr ip,
                        std::uint16_t port, Router* router)
@@ -27,14 +75,21 @@ void RestServer::on_message(const net::Message& msg) {
   ++requests_served_;
   net::Ipv4Addr reply_to = msg.src;
   std::uint16_t reply_port = msg.src_port;
-  auto send_reply = [this, reply_to, reply_port](HttpResponse response) {
+  // Capture the network (which outlives every server) rather than `this`:
+  // async handlers may outlive a server its node crashed out from under.
+  // If the source IP has been unbound by then, send() just drops the reply.
+  net::Network& network = network_;
+  net::Ipv4Addr self = ip_;
+  std::uint16_t self_port = port_;
+  auto send_reply = [&network, self, self_port, reply_to,
+                     reply_port](HttpResponse response) {
     net::Message reply;
-    reply.src = ip_;
+    reply.src = self;
     reply.dst = reply_to;
-    reply.src_port = port_;
+    reply.src_port = self_port;
     reply.dst_port = reply_port;
     reply.payload = response.serialize();
-    network_.send(std::move(reply));
+    network.send(std::move(reply));
   };
   auto request = HttpRequest::parse(msg.payload);
   if (!request.ok()) {
@@ -49,7 +104,8 @@ RestClient::RestClient(net::Network& network, net::Ipv4Addr self,
     : network_(network),
       sim_(network.simulation()),
       self_(self),
-      port_(ephemeral_port) {
+      port_(ephemeral_port),
+      rng_(network.simulation().rng().fork()) {
   network_.listen(self_, port_,
                   [this](const net::Message& msg) { on_message(msg); });
 }
@@ -57,12 +113,24 @@ RestClient::RestClient(net::Network& network, net::Ipv4Addr self,
 RestClient::~RestClient() {
   network_.unlisten(self_, port_);
   // Fail anything still in flight so callers are never left hanging.
-  // Collect first: finish() mutates pending_.
+  // Collect first: finish() mutates pending_. A pending attempt that belongs
+  // to a retrying call propagates the "cancelled" error without retrying.
   std::vector<std::uint64_t> ids;
   ids.reserve(pending_.size());
   for (const auto& [id, p] : pending_) ids.push_back(id);
   for (std::uint64_t id : ids) {
     finish(id, util::Error::make("cancelled", "client destroyed"));
+  }
+  // Retrying calls parked in a backoff have no pending attempt; cancel their
+  // timers and fail them too.
+  std::vector<std::uint64_t> retry_ids;
+  retry_ids.reserve(retry_calls_.size());
+  for (const auto& [id, rc] : retry_calls_) retry_ids.push_back(id);
+  for (std::uint64_t id : retry_ids) {
+    auto it = retry_calls_.find(id);
+    if (it == retry_calls_.end()) continue;
+    if (it->second.backoff_event != 0) sim_.cancel(it->second.backoff_event);
+    retry_done(id, util::Error::make("cancelled", "client destroyed"));
   }
 }
 
@@ -93,6 +161,105 @@ void RestClient::call(net::Ipv4Addr server, std::uint16_t port, Method method,
   msg.payload = request.serialize();
   network_.send(std::move(msg));
   // Drops are handled by the timeout: a datagram network, reliability here.
+}
+
+void RestClient::call(net::Ipv4Addr server, std::uint16_t port, Method method,
+                      const std::string& path, util::Json body,
+                      ResponseCallback cb, const RetryPolicy& policy) {
+  std::uint64_t retry_id = next_retry_id_++;
+  RetryCall rc;
+  rc.policy = policy;
+  rc.server = server;
+  rc.port = port;
+  rc.method = method;
+  rc.path = path;
+  rc.body = std::move(body);
+  rc.cb = std::move(cb);
+  rc.has_deadline = policy.overall_deadline > sim::Duration::zero();
+  rc.deadline = rc.has_deadline ? sim_.now() + policy.overall_deadline
+                                : sim::SimTime::max();
+  retry_calls_.emplace(retry_id, std::move(rc));
+  ++retry_stats_.calls;
+  retry_attempt(retry_id);
+}
+
+void RestClient::retry_attempt(std::uint64_t retry_id) {
+  auto it = retry_calls_.find(retry_id);
+  if (it == retry_calls_.end()) return;
+  RetryCall& rc = it->second;
+  rc.backoff_event = 0;
+
+  sim::Duration timeout = rc.policy.attempt_timeout;
+  if (rc.has_deadline) {
+    sim::Duration left = rc.deadline - sim_.now();
+    if (left <= sim::Duration::zero()) {
+      ++retry_stats_.deadline_exceeded;
+      retry_done(retry_id,
+                 util::Error::make("deadline", "REST call deadline exceeded"));
+      return;
+    }
+    timeout = std::min(timeout, left);
+  }
+
+  ++rc.attempts_made;
+  ++retry_stats_.attempts;
+  if (rc.attempts_made > 1) ++retry_stats_.retries;
+
+  // Each attempt is a fresh single-shot call with its own correlation id, so
+  // a late response to a timed-out attempt can never satisfy a newer one.
+  call(
+      rc.server, rc.port, rc.method, rc.path, rc.body,
+      [this, retry_id](util::Result<HttpResponse> result) {
+        auto rit = retry_calls_.find(retry_id);
+        if (rit == retry_calls_.end()) return;
+        RetryCall& rc = rit->second;
+        if (result.ok()) {
+          if (rc.attempts_made > 1) ++retry_stats_.succeeded_after_retry;
+          retry_done(retry_id, std::move(result));
+          return;
+        }
+        if (result.error().code == "cancelled") {
+          retry_done(retry_id, std::move(result));
+          return;
+        }
+        if (rc.policy.max_attempts > 0 &&
+            rc.attempts_made >= rc.policy.max_attempts) {
+          ++retry_stats_.exhausted;
+          retry_done(retry_id, std::move(result));
+          return;
+        }
+        // Capped exponential backoff with deterministic jitter: the delay is
+        // drawn from [backoff * (1 - jitter), backoff] off this client's
+        // forked rng stream.
+        sim::Duration backoff = rc.policy.initial_backoff;
+        for (int i = 1; i < rc.attempts_made; ++i) {
+          backoff = backoff * rc.policy.backoff_multiplier;
+          if (backoff >= rc.policy.max_backoff) break;
+        }
+        backoff = std::min(backoff, rc.policy.max_backoff);
+        if (rc.policy.jitter > 0) {
+          backoff = backoff * (1.0 - rc.policy.jitter * rng_.next_double());
+        }
+        if (rc.has_deadline && sim_.now() + backoff >= rc.deadline) {
+          ++retry_stats_.deadline_exceeded;
+          retry_done(
+              retry_id,
+              util::Error::make("deadline", "REST call deadline exceeded"));
+          return;
+        }
+        rc.backoff_event =
+            sim_.after(backoff, [this, retry_id]() { retry_attempt(retry_id); });
+      },
+      timeout);
+}
+
+void RestClient::retry_done(std::uint64_t retry_id,
+                            util::Result<HttpResponse> result) {
+  auto it = retry_calls_.find(retry_id);
+  if (it == retry_calls_.end()) return;
+  ResponseCallback cb = std::move(it->second.cb);
+  retry_calls_.erase(it);
+  if (cb) cb(std::move(result));
 }
 
 void RestClient::on_message(const net::Message& msg) {

@@ -1,23 +1,149 @@
 // RESTful transport: HTTP requests/responses carried as messages over the
-// simulated network, with correlation ids and client-side timeouts.
+// simulated network, with correlation ids, client-side timeouts, and
+// retrying calls under an explicit RetryPolicy.
 //
 // Paper §II-C: "There is an API daemon on each Pi providing a RESTful
 // management interface for facilitating virtual host management and
 // interacting with a head node (the pimaster)." RestServer is that daemon's
 // transport; RestClient is what pimaster and the web panel use to reach it.
+//
+// The datagram network drops requests and responses alike (link cuts, lossy
+// links, crashed peers), so control-plane callers describe their reliability
+// needs with a RetryPolicy: capped exponential backoff between attempts,
+// deterministic jitter drawn from a util::Rng forked off the simulation's
+// root stream, a per-attempt timeout, and an optional overall deadline.
+// Retried mutations stay at-most-once via IdempotencyCache on the server
+// side: a key that already executed replays the recorded response instead of
+// re-running the handler.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
+#include <string>
+#include <vector>
 
 #include "net/addr.h"
 #include "net/network.h"
 #include "proto/http.h"
 #include "sim/simulation.h"
 #include "util/result.h"
+#include "util/rng.h"
 
 namespace picloud::proto {
+
+// How a RestClient call behaves under loss: per-attempt timeout, capped
+// exponential backoff between attempts, and an optional overall deadline.
+// Retries fire only on transport errors (timeout); an HTTP response of any
+// status is a definitive answer from the server and is never retried here.
+struct RetryPolicy {
+  // Total attempts including the first; 0 means unbounded (the call keeps
+  // retrying until the overall deadline, or forever if none is set).
+  int max_attempts = 1;
+  // Timeout for each individual attempt.
+  sim::Duration attempt_timeout = sim::Duration::seconds(5);
+  // Backoff before attempt n+1 is min(max_backoff,
+  // initial_backoff * backoff_multiplier^(n-1)), then jittered.
+  sim::Duration initial_backoff = sim::Duration::millis(200);
+  double backoff_multiplier = 2.0;
+  sim::Duration max_backoff = sim::Duration::seconds(10);
+  // Fraction of the backoff randomized away: the actual delay is drawn
+  // uniformly from [backoff * (1 - jitter), backoff]. 0 disables jitter.
+  double jitter = 0.5;
+  // Wall (simulated) deadline across all attempts and backoffs; zero means
+  // no overall deadline.
+  sim::Duration overall_deadline = sim::Duration::zero();
+
+  // A single attempt with an explicit timeout — for fire-and-forget calls
+  // whose caller has its own retry loop (e.g. periodic heartbeats).
+  static RetryPolicy single(sim::Duration timeout) {
+    RetryPolicy p;
+    p.max_attempts = 1;
+    p.attempt_timeout = timeout;
+    return p;
+  }
+
+  // The default control-plane profile: a few attempts with backoff.
+  static RetryPolicy standard(
+      int attempts = 3,
+      sim::Duration attempt_timeout = sim::Duration::seconds(5)) {
+    RetryPolicy p;
+    p.max_attempts = attempts;
+    p.attempt_timeout = attempt_timeout;
+    return p;
+  }
+
+  // Keep retrying until the peer answers (registration loops). Bounded only
+  // by an overall deadline if the caller sets one.
+  static RetryPolicy unbounded(
+      sim::Duration attempt_timeout = sim::Duration::seconds(3),
+      sim::Duration max_backoff = sim::Duration::seconds(15)) {
+    RetryPolicy p;
+    p.max_attempts = 0;
+    p.attempt_timeout = attempt_timeout;
+    p.initial_backoff = sim::Duration::millis(500);
+    p.max_backoff = max_backoff;
+    return p;
+  }
+};
+
+// Retry budget accounting across all policy-driven calls of one client.
+struct RetryStats {
+  std::uint64_t calls = 0;              // logical calls issued with a policy
+  std::uint64_t attempts = 0;           // wire attempts (>= calls)
+  std::uint64_t retries = 0;            // attempts beyond each call's first
+  std::uint64_t succeeded_after_retry = 0;
+  std::uint64_t exhausted = 0;          // failed after max_attempts
+  std::uint64_t deadline_exceeded = 0;  // failed on the overall deadline
+};
+
+// Server-side dedup of retried mutations. A handler admits each request's
+// idempotency key before doing work:
+//
+//   auto once = cache.admit(key, std::move(respond));
+//   if (!once) return;        // duplicate: replayed or coalesced
+//   ... do the work, eventually calling once(response);
+//
+// A fresh key returns a wrapped responder that records the outcome and
+// answers every coalesced duplicate; a completed key replays the recorded
+// response immediately; an in-progress key queues the responder for the
+// in-flight execution's outcome. Completed entries are evicted FIFO beyond
+// `capacity` (in-progress entries are never evicted). Empty keys bypass the
+// cache entirely (legacy callers without keys keep plain semantics).
+class IdempotencyCache {
+ public:
+  explicit IdempotencyCache(std::size_t capacity = 256)
+      : capacity_(capacity) {}
+
+  struct Stats {
+    std::uint64_t admitted = 0;   // fresh keys that ran the handler
+    std::uint64_t replayed = 0;   // duplicates answered from the record
+    std::uint64_t coalesced = 0;  // duplicates attached to an in-flight run
+    std::uint64_t evicted = 0;
+  };
+
+  // Returns a responder to call with the outcome, or nullptr if this request
+  // is a duplicate (its responder has been replayed or queued).
+  Responder admit(const std::string& key, Responder respond);
+
+  std::size_t size() const { return entries_.size(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    bool done = false;
+    HttpResponse response;
+    std::vector<Responder> waiters;
+  };
+
+  void complete(const std::string& key, HttpResponse response);
+
+  std::size_t capacity_;
+  std::map<std::string, Entry> entries_;
+  std::deque<std::string> completed_order_;
+  Stats stats_;
+};
 
 // Serves a Router on (ip, port). The router is borrowed; callers keep it
 // alive and may keep registering routes while serving.
@@ -66,11 +192,19 @@ class RestClient {
 
   using ResponseCallback = std::function<void(util::Result<HttpResponse>)>;
 
-  // Issues a request; the callback fires exactly once with the response or
-  // a "timeout" error.
+  // Issues a single attempt; the callback fires exactly once with the
+  // response or a "timeout" error.
   void call(net::Ipv4Addr server, std::uint16_t port, Method method,
             const std::string& path, util::Json body, ResponseCallback cb,
             sim::Duration timeout = kDefaultTimeout);
+
+  // Issues a retrying call under `policy`. Each attempt gets a fresh
+  // correlation id and the per-attempt timeout; transport errors back off
+  // (with deterministic jitter) and retry until the attempt budget or the
+  // overall deadline runs out. The callback fires exactly once.
+  void call(net::Ipv4Addr server, std::uint16_t port, Method method,
+            const std::string& path, util::Json body, ResponseCallback cb,
+            const RetryPolicy& policy);
 
   // Shorthands.
   void get(net::Ipv4Addr server, std::uint16_t port, const std::string& path,
@@ -83,8 +217,11 @@ class RestClient {
   }
 
   size_t inflight() const { return pending_.size(); }
+  // Logical policy-driven calls still running (including between attempts).
+  size_t inflight_retries() const { return retry_calls_.size(); }
   std::uint64_t calls_made() const { return calls_made_; }
   std::uint64_t timeouts() const { return timeouts_; }
+  const RetryStats& retry_stats() const { return retry_stats_; }
 
  private:
   struct Pending {
@@ -92,17 +229,38 @@ class RestClient {
     sim::EventId timeout_event = 0;
   };
 
+  // One logical retrying call (possibly spanning several wire attempts).
+  struct RetryCall {
+    RetryPolicy policy;
+    net::Ipv4Addr server;
+    std::uint16_t port = 0;
+    Method method = Method::kGet;
+    std::string path;
+    util::Json body;
+    ResponseCallback cb;
+    int attempts_made = 0;
+    sim::SimTime deadline;     // overall; SimTime::max() when none
+    bool has_deadline = false;
+    sim::EventId backoff_event = 0;  // nonzero while waiting to retry
+  };
+
   void on_message(const net::Message& msg);
   void finish(std::uint64_t id, util::Result<HttpResponse> result);
+  void retry_attempt(std::uint64_t retry_id);
+  void retry_done(std::uint64_t retry_id, util::Result<HttpResponse> result);
 
   net::Network& network_;
   sim::Simulation& sim_;
   net::Ipv4Addr self_;
   std::uint16_t port_;
+  util::Rng rng_;  // jitter stream, forked from the simulation root
   std::uint64_t next_id_ = 1;
   std::map<std::uint64_t, Pending> pending_;
+  std::uint64_t next_retry_id_ = 1;
+  std::map<std::uint64_t, RetryCall> retry_calls_;
   std::uint64_t calls_made_ = 0;
   std::uint64_t timeouts_ = 0;
+  RetryStats retry_stats_;
 };
 
 }  // namespace picloud::proto

@@ -2,6 +2,7 @@
 // DHCP DORA handshake, DNS resolution with caching.
 #include <gtest/gtest.h>
 
+#include "cloud/cloud.h"
 #include "net/topology.h"
 #include "proto/dhcp.h"
 #include "proto/dns.h"
@@ -393,6 +394,289 @@ TEST(Dns, ReverseLookup) {
   EXPECT_EQ(w.server->reverse(net::Ipv4Addr(10, 0, 1, 5)),
             std::optional<std::string>("web"));
   EXPECT_FALSE(w.server->reverse(net::Ipv4Addr(10, 0, 1, 6)).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Retrying calls under a RetryPolicy
+
+TEST(RestRetry, RecoversWhenServerComesUpLate) {
+  RestWorld w;
+  w.router.handle(Method::kGet, "/ping",
+                  [](const HttpRequest&, const PathParams&) {
+                    return HttpResponse::make(200, Json("pong"));
+                  });
+  RestServer server(w.network, w.server_ip, 8080, &w.router);
+  RestClient client(w.network, w.client_ip);
+
+  bool got = false;
+  client.call(w.server_ip, 8080, Method::kGet, "/ping", Json(),
+              [&](util::Result<HttpResponse> result) {
+                got = true;
+                ASSERT_TRUE(result.ok());
+                EXPECT_EQ(result.value().body.as_string(), "pong");
+              },
+              RetryPolicy::unbounded(sim::Duration::seconds(1)));
+  // The server only starts listening 5 s in; early attempts all time out.
+  w.sim.after(sim::Duration::seconds(5), [&]() { server.start(); });
+  w.sim.run();
+  EXPECT_TRUE(got);
+  EXPECT_GE(client.retry_stats().attempts, 2u);
+  EXPECT_GE(client.retry_stats().retries, 1u);
+  EXPECT_EQ(client.retry_stats().succeeded_after_retry, 1u);
+  EXPECT_EQ(client.retry_stats().exhausted, 0u);
+  EXPECT_EQ(client.inflight_retries(), 0u);
+}
+
+TEST(RestRetry, ExhaustsTheAttemptBudget) {
+  RestWorld w;  // nobody ever listens
+  RestClient client(w.network, w.client_ip);
+  bool got_error = false;
+  client.call(w.server_ip, 8080, Method::kGet, "/void", Json(),
+              [&](util::Result<HttpResponse> result) {
+                got_error = !result.ok();
+                if (got_error) {
+                  EXPECT_EQ(result.error().code, "timeout");
+                }
+              },
+              RetryPolicy::standard(3, sim::Duration::millis(500)));
+  w.sim.run();
+  EXPECT_TRUE(got_error);
+  EXPECT_EQ(client.retry_stats().calls, 1u);
+  EXPECT_EQ(client.retry_stats().attempts, 3u);
+  EXPECT_EQ(client.retry_stats().retries, 2u);
+  EXPECT_EQ(client.retry_stats().exhausted, 1u);
+  EXPECT_EQ(client.inflight_retries(), 0u);
+}
+
+TEST(RestRetry, StopsAtTheOverallDeadline) {
+  RestWorld w;
+  RestClient client(w.network, w.client_ip);
+  RetryPolicy policy = RetryPolicy::unbounded(sim::Duration::millis(500));
+  policy.overall_deadline = sim::Duration::seconds(3);
+  bool got_error = false;
+  sim::SimTime failed_at;
+  client.call(w.server_ip, 8080, Method::kGet, "/void", Json(),
+              [&](util::Result<HttpResponse> result) {
+                got_error = !result.ok();
+                failed_at = w.sim.now();
+                if (got_error) {
+                  EXPECT_EQ(result.error().code, "deadline");
+                }
+              },
+              policy);
+  w.sim.run();
+  EXPECT_TRUE(got_error);
+  EXPECT_EQ(client.retry_stats().deadline_exceeded, 1u);
+  // The call gives up no later than deadline + one attempt timeout.
+  EXPECT_LE((failed_at - sim::SimTime::zero()).to_seconds(), 3.6);
+}
+
+TEST(RestRetry, HttpErrorsAreDefinitiveNotRetried) {
+  RestWorld w;
+  w.router.handle(Method::kPost, "/boom",
+                  [](const HttpRequest&, const PathParams&) {
+                    return HttpResponse::make(409, Json("conflict"));
+                  });
+  RestServer server(w.network, w.server_ip, 8080, &w.router);
+  server.start();
+  RestClient client(w.network, w.client_ip);
+  int responses = 0;
+  client.call(w.server_ip, 8080, Method::kPost, "/boom", Json(),
+              [&](util::Result<HttpResponse> result) {
+                ++responses;
+                ASSERT_TRUE(result.ok());
+                EXPECT_EQ(result.value().status, 409);
+              },
+              RetryPolicy::standard(5, sim::Duration::seconds(2)));
+  w.sim.run();
+  EXPECT_EQ(responses, 1);
+  EXPECT_EQ(client.retry_stats().attempts, 1u);
+  EXPECT_EQ(client.retry_stats().retries, 0u);
+  EXPECT_EQ(server.requests_served(), 1u);
+}
+
+TEST(RestRetry, SameSeedGivesIdenticalBackoffSchedule) {
+  auto schedule = [](std::uint64_t seed) {
+    sim::Simulation sim(seed);
+    net::Fabric fabric(sim);
+    net::Network network(sim, fabric);
+    net::Topology topo = net::build_single_rack(fabric, 2);
+    net::Ipv4Addr server_ip(10, 0, 0, 1), client_ip(10, 0, 0, 2);
+    network.bind_ip(server_ip, topo.hosts[0]);
+    network.bind_ip(client_ip, topo.hosts[1]);
+    RestClient client(network, client_ip);
+    sim::SimTime done;
+    client.call(server_ip, 8080, Method::kGet, "/x", Json(),
+                [&](util::Result<HttpResponse>) { done = sim.now(); },
+                RetryPolicy::standard(4, sim::Duration::millis(250)));
+    sim.run();
+    return (done - sim::SimTime::zero()).to_seconds();
+  };
+  double a = schedule(1234), b = schedule(1234), c = schedule(99);
+  EXPECT_EQ(a, b);       // bit-identical replay
+  EXPECT_NE(a, c);       // jitter genuinely depends on the seed
+}
+
+// ---------------------------------------------------------------------------
+// IdempotencyCache
+
+TEST(Idempotency, FreshKeyRunsAndDuplicateReplays) {
+  IdempotencyCache cache(8);
+  std::vector<int> answers;
+  Responder once =
+      cache.admit("op-1", [&](HttpResponse r) { answers.push_back(r.status); });
+  ASSERT_TRUE(once != nullptr);
+  once(HttpResponse::make(201, Json("made")));
+  // The retry of the same key must not run the handler again.
+  Responder dup =
+      cache.admit("op-1", [&](HttpResponse r) { answers.push_back(r.status); });
+  EXPECT_TRUE(dup == nullptr);
+  ASSERT_EQ(answers.size(), 2u);
+  EXPECT_EQ(answers[0], 201);
+  EXPECT_EQ(answers[1], 201);
+  EXPECT_EQ(cache.stats().admitted, 1u);
+  EXPECT_EQ(cache.stats().replayed, 1u);
+}
+
+TEST(Idempotency, InFlightDuplicatesCoalesce) {
+  IdempotencyCache cache(8);
+  std::vector<int> answers;
+  Responder once =
+      cache.admit("op-2", [&](HttpResponse r) { answers.push_back(r.status); });
+  ASSERT_TRUE(once != nullptr);
+  // Two duplicates arrive while the first execution is still running.
+  EXPECT_TRUE(cache.admit("op-2", [&](HttpResponse r) {
+                answers.push_back(r.status);
+              }) == nullptr);
+  EXPECT_TRUE(cache.admit("op-2", [&](HttpResponse r) {
+                answers.push_back(r.status);
+              }) == nullptr);
+  EXPECT_TRUE(answers.empty());  // nothing answered yet
+  once(HttpResponse::make(200));
+  EXPECT_EQ(answers.size(), 3u);  // original + both waiters
+  EXPECT_EQ(cache.stats().coalesced, 2u);
+}
+
+TEST(Idempotency, EmptyKeyBypassesTheCache) {
+  IdempotencyCache cache(8);
+  int runs = 0;
+  for (int i = 0; i < 3; ++i) {
+    Responder r = cache.admit("", [&](HttpResponse) {});
+    if (r != nullptr) {
+      ++runs;
+      r(HttpResponse::make(200));
+    }
+  }
+  EXPECT_EQ(runs, 3);  // legacy callers keep run-every-time semantics
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(Idempotency, CompletedEntriesEvictFifo) {
+  IdempotencyCache cache(2);
+  for (int i = 0; i < 4; ++i) {
+    Responder r = cache.admit("k" + std::to_string(i), [](HttpResponse) {});
+    ASSERT_TRUE(r != nullptr);
+    r(HttpResponse::make(200));
+  }
+  EXPECT_LE(cache.size(), 2u);
+  EXPECT_GE(cache.stats().evicted, 2u);
+  // The oldest key fell out, so it runs again (at-most-once is bounded by
+  // cache capacity, as documented).
+  EXPECT_TRUE(cache.admit("k0", [](HttpResponse) {}) != nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// DHCP retry backoff
+
+TEST(Dhcp, RetryBackoffGrowsWhenServerSilent) {
+  sim::Simulation sim(7);
+  net::Fabric fabric(sim);
+  net::Network network(sim, fabric);
+  net::Topology topo = net::build_single_rack(fabric, 2);
+  // No DHCP server anywhere: the client keeps retrying with backoff.
+  DhcpClient client(network, topo.hosts[0], "b8:27:eb:00:00:01", "pi-01");
+  client.start([](net::Ipv4Addr, sim::Duration) {});
+  sim.run_until(sim.now() + sim::Duration::seconds(150));
+  EXPECT_NE(client.state(), DhcpClient::State::kBound);
+  // With the fixed 2 s retry the count after 150 s would be ~75; capped
+  // exponential backoff keeps it in single-to-low-double digits.
+  EXPECT_GE(client.retry_attempt(), 5);
+  EXPECT_LE(client.retry_attempt(), 20);
+  client.stop();
+}
+
+TEST(Dhcp, BackoffScheduleIsSeedDeterministic) {
+  auto discovers_after = [](std::uint64_t seed) {
+    sim::Simulation sim(seed);
+    net::Fabric fabric(sim);
+    net::Network network(sim, fabric);
+    net::Topology topo = net::build_single_rack(fabric, 2);
+    DhcpClient client(network, topo.hosts[0], "b8:27:eb:00:00:01", "pi-01");
+    client.start([](net::Ipv4Addr, sim::Duration) {});
+    sim.run_until(sim.now() + sim::Duration::seconds(300));
+    std::uint64_t n = client.discovers_sent();
+    client.stop();
+    return n;
+  };
+  EXPECT_EQ(discovers_after(21), discovers_after(21));
+}
+
+TEST(Dhcp, BindsAfterLateServerStartDespiteBackoff) {
+  DhcpWorld w;
+  // Server exists but a fresh client starting "before" it would retry; here
+  // the server is up, so this guards the reset of the backoff counter.
+  DhcpClient client(w.network, w.topo.hosts[0], "b8:27:eb:00:00:09", "pi-09");
+  client.start([](net::Ipv4Addr, sim::Duration) {});
+  w.sim.run_until(w.sim.now() + sim::Duration::seconds(30));
+  EXPECT_EQ(client.state(), DhcpClient::State::kBound);
+  EXPECT_EQ(client.retry_attempt(), 0);  // reset on bind
+  client.stop();
+}
+
+// ---------------------------------------------------------------------------
+// GET /health endpoints (pimaster + node daemon)
+
+TEST(Health, MasterAndDaemonAnswerWithControlPlaneStats) {
+  sim::Simulation sim(11);
+  cloud::PiCloudConfig config;
+  config.racks = 1;
+  config.hosts_per_rack = 2;
+  cloud::PiCloud cloud(sim, config);
+  cloud.power_on();
+  ASSERT_TRUE(cloud.await_ready());
+  cloud.run_for(sim::Duration::seconds(10));  // a few heartbeats
+
+  auto probe = [&](net::Ipv4Addr ip, std::uint16_t port) {
+    HttpResponse out;
+    bool done = false;
+    cloud.panel().client().call(ip, port, Method::kGet, "/health", Json(),
+                                [&](util::Result<HttpResponse> result) {
+                                  done = true;
+                                  if (result.ok()) out = result.value();
+                                },
+                                RetryPolicy::standard(3));
+    cloud.run_until(sim::Duration::seconds(30), [&]() { return done; });
+    EXPECT_TRUE(done);
+    return out;
+  };
+
+  HttpResponse master = probe(cloud.master_ip(), cloud::PiMaster::kPort);
+  EXPECT_EQ(master.status, 200);
+  EXPECT_EQ(master.body.get_string("role"), "pimaster");
+  EXPECT_EQ(master.body.get_number("nodes_alive"), 2);
+  EXPECT_EQ(master.body.get_number("nodes_total"), 2);
+  EXPECT_GT(master.body.get_number("liveness_window_s"), 0);
+  EXPECT_TRUE(master.body.has("dedup"));
+  EXPECT_TRUE(master.body.has("reconciler"));
+
+  HttpResponse daemon = probe(cloud.daemon(0).ip(), cloud::NodeDaemon::kPort);
+  EXPECT_EQ(daemon.status, 200);
+  EXPECT_EQ(daemon.body.get_string("hostname"), cloud.node(0).hostname());
+  EXPECT_TRUE(daemon.body.get_bool("registered"));
+  EXPECT_GT(daemon.body.get_number("heartbeats_sent"), 0);
+  // The daemon's heartbeat client reports its retry counters.
+  EXPECT_TRUE(daemon.body.has("retry"));
+  EXPECT_GE(daemon.body.get("retry").get_number("attempts"), 1);
 }
 
 }  // namespace

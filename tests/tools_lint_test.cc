@@ -121,6 +121,61 @@ TEST(LintIncludeHygiene, OnlyAppliesUnderSrc) {
 }
 
 // ---------------------------------------------------------------------------
+// rest-retry
+
+TEST(LintRestRetry, FlagsBareRestClientCallInCloudSources) {
+  auto diags = lint_content(
+      "src/cloud/x.cc",
+      "void f() { client_.call(ip, port, Method::kGet, \"/nodes\", Json(),\n"
+      "                        cb); }\n");
+  ASSERT_TRUE(has_rule(diags, "rest-retry"));
+  EXPECT_EQ(diags[0].line, 1);
+  EXPECT_NE(diags[0].message.find("RetryPolicy"), std::string::npos);
+}
+
+TEST(LintRestRetry, AcceptsCallsStatingPolicyOrTimeout) {
+  EXPECT_TRUE(lint_content("src/cloud/x.cc",
+                           "void f() { client_.call(ip, p, m, \"/x\", b, cb,\n"
+                           "  proto::RetryPolicy::standard(3)); }\n")
+                  .empty());
+  EXPECT_TRUE(lint_content("src/cloud/x.cc",
+                           "void f() { client_->call(ip, p, m, \"/x\", b, cb,\n"
+                           "  sim::Duration::seconds(5)); }\n")
+                  .empty());
+  EXPECT_TRUE(lint_content("src/cloud/x.cc",
+                           "void f() { rest_client.post(ip, p, \"/x\", b, cb,\n"
+                           "  spawn_timeout); }\n")
+                  .empty());
+}
+
+TEST(LintRestRetry, IgnoresNonClientReceiversAndAccessors) {
+  // unique_ptr<RestClient>::get() takes no args — not a wire call.
+  EXPECT_TRUE(
+      lint_content("src/cloud/x.cc", "auto* c = client_.get();\n").empty());
+  // Receivers that are not clients (maps, routers) are out of scope.
+  EXPECT_TRUE(lint_content("src/cloud/x.cc",
+                           "auto v = table.get(key);\n"
+                           "router_.call(req, params);\n")
+                  .empty());
+}
+
+TEST(LintRestRetry, OnlyAppliesToCloudSources) {
+  const std::string body =
+      "void f() { client_.call(ip, p, m, \"/x\", b, cb); }\n";
+  EXPECT_FALSE(has_rule(lint_content("src/proto/x.cc", body), "rest-retry"));
+  EXPECT_FALSE(has_rule(lint_content("src/cloud/x.h", body), "rest-retry"));
+  EXPECT_FALSE(has_rule(lint_content("tests/x_test.cc", body), "rest-retry"));
+}
+
+TEST(LintRestRetry, SuppressionCommentSilences) {
+  auto diags = lint_content(
+      "src/cloud/x.cc",
+      "// picloud-lint: allow(rest-retry)\n"
+      "void f() { client_.call(ip, p, m, \"/x\", b, cb); }\n");
+  EXPECT_FALSE(has_rule(diags, "rest-retry"));
+}
+
+// ---------------------------------------------------------------------------
 // suppressions
 
 TEST(LintSuppression, TrailingCommentSilencesThatLine) {

@@ -261,6 +261,110 @@ void split_lines(const std::string& text, std::vector<std::string>* out) {
   while (std::getline(ss, line)) out->push_back(line);
 }
 
+// --- rest-retry --------------------------------------------------------------
+//
+// Finds `<something-client>.call(...)` / `->get(...)` / `->post(...)` sites
+// in blanked code whose argument span names neither a policy nor a timeout.
+// The span is paren-balanced across lines (call sites wrap heavily), and an
+// empty span is skipped so `client_.get()` (std::unique_ptr::get) stays
+// silent.
+
+struct RestCallSite {
+  int line = 0;
+  std::string args;  // blanked text between the outer parens
+};
+
+std::vector<RestCallSite> find_bare_rest_calls(const std::string& code) {
+  std::vector<RestCallSite> sites;
+  static const char* kMethods[] = {"call", "get", "post"};
+  for (const char* method : kMethods) {
+    const std::string token = method;
+    std::size_t at = 0;
+    while ((at = code.find(token, at)) != std::string::npos) {
+      std::size_t end = at + token.size();
+      bool start_ok = at == 0 || !is_ident_char(code[at - 1]);
+      if (!start_ok || end >= code.size()) {
+        at = end;
+        continue;
+      }
+      // Must be a member call on an identifier containing "client".
+      std::size_t open = code.find_first_not_of(" \t\n", end);
+      if (open == std::string::npos || code[open] != '(') {
+        at = end;
+        continue;
+      }
+      std::size_t before = at;
+      while (before > 0 &&
+             std::isspace(static_cast<unsigned char>(code[before - 1]))) {
+        --before;
+      }
+      bool member = false;
+      if (before >= 1 && code[before - 1] == '.') {
+        before -= 1;
+        member = true;
+      } else if (before >= 2 && code[before - 2] == '-' &&
+                 code[before - 1] == '>') {
+        before -= 2;
+        member = true;
+      }
+      if (!member) {
+        at = end;
+        continue;
+      }
+      std::size_t ident_end = before;
+      while (ident_end > 0 &&
+             std::isspace(static_cast<unsigned char>(code[ident_end - 1]))) {
+        --ident_end;
+      }
+      std::size_t ident_begin = ident_end;
+      while (ident_begin > 0 && is_ident_char(code[ident_begin - 1])) {
+        --ident_begin;
+      }
+      std::string receiver = code.substr(ident_begin, ident_end - ident_begin);
+      std::transform(receiver.begin(), receiver.end(), receiver.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      if (receiver.find("client") == std::string::npos) {
+        at = end;
+        continue;
+      }
+      // Balance to the matching close paren (literals are already blanked).
+      int depth = 0;
+      std::size_t close = open;
+      for (; close < code.size(); ++close) {
+        if (code[close] == '(') ++depth;
+        if (code[close] == ')' && --depth == 0) break;
+      }
+      if (close >= code.size()) {
+        at = end;
+        continue;
+      }
+      std::string args = code.substr(open + 1, close - open - 1);
+      if (args.find_first_not_of(" \t\n") == std::string::npos) {
+        at = end;  // zero-arg: not a REST call (e.g. unique_ptr::get())
+        continue;
+      }
+      bool explicit_reliability =
+          args.find("policy") != std::string::npos ||
+          args.find("Policy") != std::string::npos ||
+          args.find("timeout") != std::string::npos ||
+          args.find("Timeout") != std::string::npos ||
+          args.find("Duration") != std::string::npos;
+      if (!explicit_reliability) {
+        int line = 1 + static_cast<int>(std::count(
+                           code.begin(), code.begin() + static_cast<long>(at),
+                           '\n'));
+        sites.push_back(RestCallSite{line, std::move(args)});
+      }
+      at = close;
+    }
+  }
+  std::sort(sites.begin(), sites.end(),
+            [](const RestCallSite& a, const RestCallSite& b) {
+              return a.line < b.line;
+            });
+  return sites;
+}
+
 }  // namespace
 
 std::vector<Diagnostic> lint_content(const std::string& path,
@@ -330,6 +434,16 @@ std::vector<Diagnostic> lint_content(const std::string& path,
           }
         }
       }
+    }
+  }
+
+  // rest-retry: control-plane REST calls in src/cloud must carry an explicit
+  // RetryPolicy or timeout (the datagram network drops requests silently).
+  if (module == "cloud" && !is_header(path)) {
+    for (const RestCallSite& site : find_bare_rest_calls(pre.code)) {
+      report(site.line, "rest-retry",
+             "RestClient call without an explicit RetryPolicy or timeout; "
+             "state the call's reliability (see proto/rest.h)");
     }
   }
   return diags;

@@ -16,6 +16,12 @@
 //                     modules below it in the layering DAG (util at the
 //                     bottom, cloud at the top); e.g. src/util must not
 //                     reach upward into src/sim or src/cloud.
+//   rest-retry        RestClient call sites in src/cloud/*.cc (receiver
+//                     identifier containing "client", method call/get/post)
+//                     must state their reliability explicitly — a RetryPolicy
+//                     or timeout/Duration argument. The datagram network
+//                     drops requests; a bare call hangs on the default
+//                     single-attempt timeout with no backoff.
 //
 // A finding on a line is suppressed with a trailing or immediately preceding
 // comment:  // picloud-lint: allow(<rule>[, <rule>...])
