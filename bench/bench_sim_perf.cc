@@ -4,6 +4,11 @@
 // fidelity for speed; this shows the model's own overhead envelope.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
 #include "cloud/cloud.h"
 #include "net/topology.h"
 #include "sim/simulation.h"
@@ -88,6 +93,42 @@ void BM_CloudMinute(benchmark::State& state) {
 }
 BENCHMARK(BM_CloudMinute)->Unit(benchmark::kMillisecond);
 
+// Canonical fixed-seed scenario whose full MetricsRegistry snapshot is
+// written as JSON after the benchmarks — the machine-readable artifact CI
+// uploads per build, so telemetry regressions (a counter that stops moving,
+// a series that disappears) show up as a diff between builds.
+void write_metrics_snapshot() {
+  const char* env = std::getenv("PICLOUD_METRICS_OUT");
+  std::string path = env != nullptr ? env : "bench_sim_perf_metrics.json";
+  if (path.empty()) return;  // PICLOUD_METRICS_OUT="" opts out
+
+  sim::Simulation sim(1);
+  cloud::PiCloud cloud(sim);
+  cloud.power_on();
+  cloud.await_ready();
+  for (int i = 0; i < 8; ++i) {
+    (void)cloud.spawn_and_wait(
+        {.name = "web-" + std::to_string(i), .app_kind = "httpd"});
+  }
+  cloud.run_for(sim::Duration::minutes(1));
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "bench_sim_perf: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << sim.metrics().snapshot().pretty() << "\n";
+  std::fprintf(stderr, "bench_sim_perf: metrics snapshot -> %s\n",
+               path.c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_metrics_snapshot();
+  return 0;
+}

@@ -31,6 +31,8 @@
 //   load <name> <rps>         aim request traffic at an instance
 //   run <seconds>             advance simulated time
 //   power                     socket-board reading
+//   metrics [prefix]          GET /metrics from the pimaster (e.g.
+//                             `metrics cloud.master`, `metrics node.pi-r0-00`)
 //   quit
 #include <cstdio>
 #include <iostream>
@@ -106,7 +108,8 @@ bool Shell::handle(const std::string& line) {
 
   if (cmd == "help") {
     std::printf("commands: nodes panel spawn rm ls migrate limit policy "
-                "images patch crash heal cut fix load run power quit\n");
+                "images patch crash heal cut fix load run power metrics "
+                "quit\n");
   } else if (cmd == "nodes") {
     print_nodes();
   } else if (cmd == "ls") {
@@ -255,6 +258,26 @@ bool Shell::handle(const std::string& line) {
   } else if (cmd == "power") {
     std::printf("socket board: %.1f W, %.4f kWh since power-on\n",
                 cloud.current_power_watts(), cloud.energy_kwh());
+  } else if (cmd == "metrics") {
+    // A real GET /metrics round-trip to the pimaster (costs fabric time,
+    // like any panel page). Optional prefix narrows the dump client-side.
+    std::string prefix;
+    in >> prefix;
+    auto snap = cloud.metrics_snapshot();
+    if (!snap.ok()) {
+      std::printf("metrics fetch failed: %s\n", snap.error().message.c_str());
+    } else if (prefix.empty()) {
+      std::printf("%s\n", snap.value().pretty().c_str());
+    } else {
+      for (const char* section : {"counters", "gauges"}) {
+        for (const auto& [name, value] :
+             snap.value().get(section).as_object()) {
+          if (name.rfind(prefix, 0) == 0) {
+            std::printf("%-48s %s\n", name.c_str(), value.dump().c_str());
+          }
+        }
+      }
+    }
   } else {
     std::printf("unknown command '%s' (try: help)\n", cmd.c_str());
   }

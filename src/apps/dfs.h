@@ -73,6 +73,9 @@ class DfsNamenode {
     sim::Duration request_timeout = sim::Duration::seconds(30);
   };
 
+  // Per-DFS-instance bookkeeping, returned by value to callers; cluster
+  // telemetry flows through the app's node gauges.
+  // picloud-lint: allow(metrics-registry)
   struct Stats {
     std::uint64_t blocks_written = 0;
     std::uint64_t blocks_read = 0;

@@ -104,7 +104,7 @@ void HttpLoadGen::on_message(const net::Message& msg) {
   auto it = pending_.find(id);
   if (it == pending_.end()) return;  // late reply after timeout
   sim_.cancel(it->second.timeout_event);
-  latencies_.add((sim_.now() - it->second.sent_at).to_millis());
+  latencies_.observe((sim_.now() - it->second.sent_at).to_millis());
   pending_.erase(it);
   ++completed_;
 }

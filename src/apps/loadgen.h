@@ -22,9 +22,9 @@
 #include "net/topology.h"
 #include "sim/simulation.h"
 #include "util/json.h"
+#include "util/metrics.h"
 #include "util/result.h"
 #include "util/rng.h"
-#include "util/stats.h"
 
 namespace picloud::apps {
 
@@ -53,7 +53,10 @@ class HttpLoadGen {
   void set_rate(double requests_per_sec);
   double rate() const { return params_.requests_per_sec; }
 
-  const util::Histogram& latencies() const { return latencies_; }
+  // Fixed-memory log-bucket latency distribution (ms). Quantiles carry the
+  // LogHistogram's ≤8% relative-error bound; benches that need exact
+  // quantiles keep their own util::Histogram.
+  const util::LogHistogram& latencies() const { return latencies_; }
   std::uint64_t sent() const { return sent_; }
   std::uint64_t completed() const { return completed_; }
   std::uint64_t timed_out() const { return timed_out_; }
@@ -79,7 +82,7 @@ class HttpLoadGen {
     sim::EventId timeout_event = 0;
   };
   std::map<std::uint64_t, Pending> pending_;
-  util::Histogram latencies_;
+  util::LogHistogram latencies_;
   std::uint64_t sent_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t timed_out_ = 0;

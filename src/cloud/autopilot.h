@@ -39,6 +39,7 @@ class Autopilot {
     double target_mem_headroom = 0.9;
   };
 
+  // picloud-lint: allow(metrics-registry)
   struct Stats {
     std::uint64_t evaluations = 0;
     std::uint64_t drains_started = 0;

@@ -6,7 +6,15 @@ namespace picloud::cloud {
 
 ChaosMonkey::ChaosMonkey(sim::Simulation& sim, net::Fabric& fabric,
                          Config config, util::Rng rng)
-    : sim_(sim), fabric_(fabric), config_(config), rng_(rng) {}
+    : sim_(sim), fabric_(fabric), config_(config), rng_(rng) {
+  util::MetricsRegistry& m = sim_.metrics();
+  node_crashes_ = &m.counter("cloud.chaos.node_crashes");
+  node_repairs_ = &m.counter("cloud.chaos.node_repairs");
+  link_cuts_ = &m.counter("cloud.chaos.link_cuts");
+  link_repairs_ = &m.counter("cloud.chaos.link_repairs");
+  loss_onsets_ = &m.counter("cloud.chaos.loss_onsets");
+  loss_clears_ = &m.counter("cloud.chaos.loss_clears");
+}
 
 ChaosMonkey::~ChaosMonkey() { stop(); }
 
@@ -47,13 +55,17 @@ void ChaosMonkey::tick() {
     if (down_nodes_.count(i) > 0) {
       if (rng_.chance(node_repair_p)) {
         down_nodes_.erase(i);
-        ++stats_.node_repairs;
+        node_repairs_->inc();
+        PICLOUD_TRACE(sim_.trace(), "cloud.chaos", "node_repair",
+                      {"node", nodes_[i]->hostname()});
         LOG_INFO("chaos", "repairing node %zu (power cycle)", i);
         nodes_[i]->start();  // re-runs DHCP + registration
       }
     } else if (rng_.chance(node_fail_p)) {
       down_nodes_.insert(i);
-      ++stats_.node_crashes;
+      node_crashes_->inc();
+      PICLOUD_TRACE(sim_.trace(), "cloud.chaos", "node_crash",
+                    {"node", nodes_[i]->hostname()});
       LOG_WARN("chaos", "crashing node %zu", i);
       nodes_[i]->crash();
     }
@@ -63,12 +75,12 @@ void ChaosMonkey::tick() {
     if (down_links_.count(i) > 0) {
       if (rng_.chance(link_repair_p)) {
         down_links_.erase(i);
-        ++stats_.link_repairs;
+        link_repairs_->inc();
         fabric_.set_link_pair_up(links_[i], true);
       }
     } else if (rng_.chance(link_fail_p)) {
       down_links_.insert(i);
-      ++stats_.link_cuts;
+      link_cuts_->inc();
       fabric_.set_link_pair_up(links_[i], false);
     }
   }
@@ -80,12 +92,12 @@ void ChaosMonkey::tick() {
       if (lossy_links_.count(i) > 0) {
         if (rng_.chance(loss_clear_p)) {
           lossy_links_.erase(i);
-          ++stats_.loss_clears;
+          loss_clears_->inc();
           fabric_.set_link_pair_loss(links_[i], 0);
         }
       } else if (rng_.chance(loss_onset_p)) {
         lossy_links_.insert(i);
-        ++stats_.loss_onsets;
+        loss_onsets_->inc();
         LOG_WARN("chaos", "link %zu degraded (loss %.0f%%)", i,
                  config_.loss_rate * 100);
         fabric_.set_link_pair_loss(links_[i], config_.loss_rate);

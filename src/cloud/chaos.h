@@ -43,6 +43,7 @@ class ChaosMonkey {
     sim::Duration tick = sim::Duration::seconds(10);
   };
 
+  // Value snapshot of the `cloud.chaos.*` registry counters.
   struct Stats {
     std::uint64_t node_crashes = 0;
     std::uint64_t node_repairs = 0;
@@ -67,7 +68,16 @@ class ChaosMonkey {
   void start();
   void stop();
 
-  const Stats& stats() const { return stats_; }
+  Stats stats() const {
+    Stats s;
+    s.node_crashes = node_crashes_->value();
+    s.node_repairs = node_repairs_->value();
+    s.link_cuts = link_cuts_->value();
+    s.link_repairs = link_repairs_->value();
+    s.loss_onsets = loss_onsets_->value();
+    s.loss_clears = loss_clears_->value();
+    return s;
+  }
   size_t nodes_down() const { return down_nodes_.size(); }
   size_t links_down() const { return down_links_.size(); }
   size_t links_lossy() const { return lossy_links_.size(); }
@@ -84,7 +94,13 @@ class ChaosMonkey {
   std::set<size_t> down_nodes_;       // indices into nodes_
   std::set<size_t> down_links_;       // indices into links_
   std::set<size_t> lossy_links_;      // indices into links_
-  Stats stats_;
+  // Registry counter handles under `cloud.chaos.*` (never null).
+  util::Counter* node_crashes_ = nullptr;
+  util::Counter* node_repairs_ = nullptr;
+  util::Counter* link_cuts_ = nullptr;
+  util::Counter* link_repairs_ = nullptr;
+  util::Counter* loss_onsets_ = nullptr;
+  util::Counter* loss_clears_ = nullptr;
   bool running_ = false;
   sim::PeriodicTask tick_task_;
 };

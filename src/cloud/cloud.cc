@@ -318,4 +318,16 @@ util::Result<std::string> PiCloud::dashboard(sim::Duration max) {
   return out;
 }
 
+util::Result<util::Json> PiCloud::metrics_snapshot(sim::Duration max) {
+  bool done = false;
+  util::Result<util::Json> out =
+      util::Error::make("timeout", "metrics fetch timed out");
+  panel_->get_metrics([&](util::Result<util::Json> result) {
+    done = true;
+    out = std::move(result);
+  });
+  run_until(max, [&]() { return done; });
+  return out;
+}
+
 }  // namespace picloud::cloud

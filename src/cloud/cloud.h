@@ -137,6 +137,9 @@ class PiCloud {
   // Renders the control panel dashboard over REST.
   util::Result<std::string> dashboard(
       sim::Duration max = sim::Duration::seconds(30));
+  // GET /metrics from the pimaster over REST: the full registry snapshot.
+  util::Result<util::Json> metrics_snapshot(
+      sim::Duration max = sim::Duration::seconds(30));
 
  private:
   void build();

@@ -89,15 +89,18 @@ std::string ControlPanel::render(const Json& summary, const Json& nodes,
   out += "+--------------------------------------------------------------------+\n";
   out += "| node          rack ip              cpu%  mem         ct  W   state |\n";
   for (const Json& node : nodes.as_array()) {
+    // Node rows are the canonical metrics snapshot ({counters, gauges})
+    // plus top-level identity keys the master stamps on.
+    const Json& g = node.get("gauges");
     out += util::format(
         "| %s %2d   %s %5.1f %s %2d %5.1f %s |\n",
         util::pad(node.get_string("hostname"), 13).c_str(),
         static_cast<int>(node.get_number("rack")),
         util::pad(node.get_string("ip"), 15).c_str(),
-        node.get_number("cpu") * 100.0,
-        util::pad(util::human_bytes(node.get_number("mem_used")), 11).c_str(),
-        static_cast<int>(node.get_number("containers")),
-        node.get_number("watts"),
+        g.get_number("cpu_utilization") * 100.0,
+        util::pad(util::human_bytes(g.get_number("mem_used")), 11).c_str(),
+        static_cast<int>(g.get_number("containers_total")),
+        g.get_number("power_watts"),
         node.get_bool("alive") ? "up  " : "DOWN");
   }
   out += "+--------------------------------------------------------------------+\n";
@@ -130,7 +133,7 @@ void ControlPanel::monitor_cpu(std::vector<std::string> hostnames,
               hostnames.end()) {
         continue;
       }
-      loads[hostname] = node.get_number("cpu");
+      loads[hostname] = node.get("gauges").get_number("cpu_utilization");
     }
     cb(std::move(loads));
   });

@@ -53,6 +53,10 @@ class ControlPanel {
 
   void delete_vm(const std::string& instance, JsonCallback cb);
 
+  // GET /metrics — the master's full MetricsRegistry snapshot (the
+  // canonical {counters, gauges, histograms} shape, DESIGN.md §9).
+  void get_metrics(JsonCallback cb) { get_json("/metrics", std::move(cb)); }
+
   proto::RestClient& client() { return client_; }
 
   // Pure rendering helper (unit-testable): builds the dashboard text from

@@ -51,7 +51,17 @@ struct MigrationCoordinator::Session {
 MigrationCoordinator::MigrationCoordinator(sim::Simulation& sim,
                                            net::Fabric& fabric,
                                            NodeAccessor accessor)
-    : sim_(sim), fabric_(fabric), accessor_(std::move(accessor)) {}
+    : sim_(sim), fabric_(fabric), accessor_(std::move(accessor)) {
+  util::MetricsRegistry& m = sim_.metrics();
+  started_ = &m.counter("cloud.migration.started");
+  succeeded_ = &m.counter("cloud.migration.succeeded");
+  failed_ = &m.counter("cloud.migration.failed");
+  aborted_source_dead_ = &m.counter("cloud.migration.aborted_source_dead");
+  aborted_dest_dead_ = &m.counter("cloud.migration.aborted_dest_dead");
+  rolled_back_ = &m.counter("cloud.migration.rolled_back");
+  lost_ = &m.counter("cloud.migration.lost");
+  downtime_seconds_ = &m.histogram("cloud.migration.downtime_seconds");
+}
 
 NodeDaemon* MigrationCoordinator::live_node(const std::string& hostname) {
   NodeDaemon* daemon = accessor_(hostname);
@@ -116,7 +126,11 @@ void MigrationCoordinator::migrate(MigrationParams params, DoneCallback done) {
   migrating_.insert(session->params.instance);
   ++in_flight_;
   session->admitted = true;
-  ++stats_.started;
+  started_->inc();
+  PICLOUD_TRACE(sim_.trace(), "cloud.migration", "started",
+                {"instance", session->params.instance},
+                {"from", session->params.from}, {"to", session->params.to},
+                {"mode", session->params.live ? "live" : "stop-copy"});
 
   session->pending_bytes = static_cast<double>(container->memory_usage());
   session->dirty_rate = container->app() != nullptr
@@ -285,7 +299,7 @@ void MigrationCoordinator::commit(std::shared_ptr<Session> session) {
     (void)source->thaw();
     session->frozen = false;
     source->set_app(std::move(app));  // restarts the app on the source
-    ++stats_.rolled_back;
+    rolled_back_->inc();
     fail(session, "destination create failed (rolled back): " +
                       created.error().message);
     return;
@@ -316,8 +330,8 @@ void MigrationCoordinator::commit(std::shared_ptr<Session> session) {
       // Past the point of no return with no surviving copy: the instance is
       // genuinely gone. Report it lost so the record is marked for respawn.
       session->report.instance_lost = true;
-      ++stats_.lost;
-      ++stats_.aborted_dest_dead;
+      lost_->inc();
+      aborted_dest_dead_->inc();
       fail(session, "destination died during commit blackout");
       return;
     }
@@ -326,20 +340,24 @@ void MigrationCoordinator::commit(std::shared_ptr<Session> session) {
     if (!started.ok()) {
       (void)dst->node().destroy_container(name);
       session->report.instance_lost = true;
-      ++stats_.lost;
+      lost_->inc();
       fail(session, "destination start failed: " + started.error().message);
       return;
     }
     session->report.success = true;
     session->report.phase = "done";
     session->report.downtime = sim_.now() - session->frozen_at;
-    ++stats_.succeeded;
+    succeeded_->inc();
+    downtime_seconds_->observe(session->report.downtime.to_seconds());
+    PICLOUD_TRACE(sim_.trace(), "cloud.migration", "succeeded",
+                  {"instance", session->params.instance},
+                  {"to", session->params.to});
     finish(session);
   });
 }
 
 void MigrationCoordinator::abort_source_dead(std::shared_ptr<Session> session) {
-  ++stats_.aborted_source_dead;
+  aborted_source_dead_->inc();
   // The container died with its node; the instance record reverts to
   // "running" on the (dead) source, where the monitor-driven dead-node
   // reconciliation picks it up.
@@ -348,7 +366,7 @@ void MigrationCoordinator::abort_source_dead(std::shared_ptr<Session> session) {
 }
 
 void MigrationCoordinator::abort_dest_dead(std::shared_ptr<Session> session) {
-  ++stats_.aborted_dest_dead;
+  aborted_dest_dead_->inc();
   // Revert: the instance keeps running on the source with its flows intact.
   os::Container* container = source_container(*session);
   if (session->frozen && container != nullptr) {
@@ -363,7 +381,10 @@ void MigrationCoordinator::fail(std::shared_ptr<Session> session,
                                 const std::string& error) {
   session->report.success = false;
   session->report.error = error;
-  ++stats_.failed;
+  failed_->inc();
+  PICLOUD_TRACE(sim_.trace(), "cloud.migration", "failed",
+                {"instance", session->params.instance},
+                {"phase", session->report.phase}, {"error", error});
   LOG_WARN("migrate", "%s: FAILED: %s", session->params.instance.c_str(),
            error.c_str());
   finish(session);

@@ -110,6 +110,7 @@ class MigrationCoordinator {
   // the point of no return loses the instance and reports instance_lost.
   void migrate(MigrationParams params, DoneCallback done);
 
+  // Value snapshot of the `cloud.migration.*` registry counters.
   struct Stats {
     std::uint64_t started = 0;
     std::uint64_t succeeded = 0;
@@ -122,7 +123,17 @@ class MigrationCoordinator {
 
   const std::vector<MigrationReport>& history() const { return history_; }
   size_t in_flight() const { return in_flight_; }
-  const Stats& stats() const { return stats_; }
+  Stats stats() const {
+    Stats s;
+    s.started = started_->value();
+    s.succeeded = succeeded_->value();
+    s.failed = failed_->value();
+    s.aborted_source_dead = aborted_source_dead_->value();
+    s.aborted_dest_dead = aborted_dest_dead_->value();
+    s.rolled_back = rolled_back_->value();
+    s.lost = lost_->value();
+    return s;
+  }
 
  private:
   struct Session;
@@ -144,7 +155,15 @@ class MigrationCoordinator {
   std::vector<MigrationReport> history_;
   std::set<std::string> migrating_;  // instances currently moving
   size_t in_flight_ = 0;
-  Stats stats_;
+  // Registry handles under `cloud.migration.*` (never null).
+  util::Counter* started_ = nullptr;
+  util::Counter* succeeded_ = nullptr;
+  util::Counter* failed_ = nullptr;
+  util::Counter* aborted_source_dead_ = nullptr;
+  util::Counter* aborted_dest_dead_ = nullptr;
+  util::Counter* rolled_back_ = nullptr;
+  util::Counter* lost_ = nullptr;
+  util::LogHistogram* downtime_seconds_ = nullptr;
 };
 
 }  // namespace picloud::cloud

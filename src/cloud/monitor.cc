@@ -3,33 +3,41 @@
 namespace picloud::cloud {
 
 util::Json NodeSample::to_json() const {
+  util::Json gauges = util::Json::object();
+  gauges.set("cpu_utilization", cpu_utilization);
+  gauges.set("mem_used", static_cast<unsigned long long>(mem_used));
+  gauges.set("mem_capacity", static_cast<unsigned long long>(mem_capacity));
+  gauges.set("sd_used", static_cast<unsigned long long>(sd_used));
+  gauges.set("containers_total", containers_total);
+  gauges.set("containers_running", containers_running);
+  gauges.set("power_watts", power_watts);
   util::Json j = util::Json::object();
-  j.set("cpu", cpu_utilization);
-  j.set("mem_used", static_cast<unsigned long long>(mem_used));
-  j.set("mem_capacity", static_cast<unsigned long long>(mem_capacity));
-  j.set("sd_used", static_cast<unsigned long long>(sd_used));
-  j.set("containers", containers_total);
-  j.set("running", containers_running);
-  j.set("watts", power_watts);
+  j.set("counters", util::Json::object());
+  j.set("gauges", std::move(gauges));
   return j;
 }
 
 NodeSample NodeSample::from_json(const util::Json& j, sim::SimTime at) {
   NodeSample s;
   s.at = at;
-  s.cpu_utilization = j.get_number("cpu");
-  s.mem_used = static_cast<std::uint64_t>(j.get_number("mem_used"));
-  s.mem_capacity = static_cast<std::uint64_t>(j.get_number("mem_capacity"));
-  s.sd_used = static_cast<std::uint64_t>(j.get_number("sd_used"));
-  s.containers_total = static_cast<int>(j.get_number("containers"));
-  s.containers_running = static_cast<int>(j.get_number("running"));
-  s.power_watts = j.get_number("watts");
+  const util::Json& g = j.get("gauges");
+  s.cpu_utilization = g.get_number("cpu_utilization");
+  s.mem_used = static_cast<std::uint64_t>(g.get_number("mem_used"));
+  s.mem_capacity = static_cast<std::uint64_t>(g.get_number("mem_capacity"));
+  s.sd_used = static_cast<std::uint64_t>(g.get_number("sd_used"));
+  s.containers_total = static_cast<int>(g.get_number("containers_total"));
+  s.containers_running = static_cast<int>(g.get_number("containers_running"));
+  s.power_watts = g.get_number("power_watts");
   return s;
 }
 
 ClusterMonitor::ClusterMonitor(sim::Simulation& sim,
-                               sim::Duration liveness_window)
-    : sim_(sim), liveness_window_(liveness_window) {}
+                               sim::Duration liveness_window,
+                               size_t history_depth)
+    : sim_(sim),
+      liveness_window_(liveness_window),
+      history_depth_(history_depth),
+      samples_(&sim.metrics().counter("cloud.monitor.samples_ingested")) {}
 
 void ClusterMonitor::register_node(const std::string& hostname,
                                    const std::string& mac, net::Ipv4Addr ip,
@@ -53,12 +61,15 @@ void ClusterMonitor::record_sample(const std::string& hostname,
   auto it = records_.find(hostname);
   if (it == records_.end()) return;  // unregistered: ignore
   NodeRecord& rec = it->second;
-  if (rec.history.empty()) rec.baseline_mem = sample.mem_used;
+  if (!rec.baseline_set) {
+    rec.baseline_mem = sample.mem_used;
+    rec.baseline_set = true;
+  }
   rec.last_seen = sample.at;
   rec.latest = sample;
   rec.history.push_back(sample);
-  while (rec.history.size() > kHistoryDepth) rec.history.pop_front();
-  ++samples_;
+  while (rec.history.size() > history_depth_) rec.history.pop_front();
+  samples_->inc();
 }
 
 bool ClusterMonitor::alive(const std::string& hostname) const {

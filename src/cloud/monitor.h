@@ -22,6 +22,13 @@
 namespace picloud::cloud {
 
 // One heartbeat sample as reported by a node daemon.
+//
+// The wire shape is the canonical registry snapshot (DESIGN.md §9): a
+// daemon heartbeats its `node.<hostname>.` scope, `{"counters": {...},
+// "gauges": {...}, ...}`, and from_json() reads the gauge keys it knows
+// (cpu_utilization, mem_used, mem_capacity, sd_used, containers_total,
+// containers_running, power_watts). Extra metrics in the snapshot pass
+// through untouched — the monitor keeps only the sample fields.
 struct NodeSample {
   sim::SimTime at;
   double cpu_utilization = 0;
@@ -47,8 +54,9 @@ struct NodeRecord {
   // Memory in use before any container was placed (first heartbeat):
   // the OS's own footprint, used for authoritative placement accounting.
   std::uint64_t baseline_mem = 0;
+  bool baseline_set = false;
   NodeSample latest;
-  std::deque<NodeSample> history;  // bounded ring
+  std::deque<NodeSample> history;  // bounded to the monitor's history_depth
 };
 
 struct ClusterSummary {
@@ -65,8 +73,11 @@ class ClusterMonitor {
  public:
   static constexpr size_t kHistoryDepth = 60;
 
+  // `history_depth` bounds each node's sample ring; the default keeps one
+  // minute of 1 Hz heartbeats (the Fig. 4 sparkline window).
   ClusterMonitor(sim::Simulation& sim,
-                 sim::Duration liveness_window = sim::Duration::seconds(10));
+                 sim::Duration liveness_window = sim::Duration::seconds(10),
+                 size_t history_depth = kHistoryDepth);
 
   // Registration (first contact after DHCP).
   void register_node(const std::string& hostname, const std::string& mac,
@@ -85,13 +96,15 @@ class ClusterMonitor {
   ClusterSummary summary() const;
 
   size_t node_count() const { return records_.size(); }
-  std::uint64_t samples_ingested() const { return samples_; }
+  size_t history_depth() const { return history_depth_; }
+  std::uint64_t samples_ingested() const { return samples_->value(); }
 
  private:
   sim::Simulation& sim_;
   sim::Duration liveness_window_;
+  size_t history_depth_;
   std::map<std::string, NodeRecord> records_;
-  std::uint64_t samples_ = 0;
+  util::Counter* samples_ = nullptr;  // cloud.monitor.samples_ingested
 };
 
 }  // namespace picloud::cloud

@@ -14,7 +14,17 @@ using proto::PathParams;
 using util::Json;
 
 NodeDaemon::NodeDaemon(os::NodeOs& node, Config config)
-    : node_(node), config_(config) {
+    : node_(node), config_(config), scope_("node." + node.hostname()) {
+  util::MetricsRegistry& m = node_.simulation().metrics();
+  heartbeats_sent_ = &m.counter(scope_ + ".heartbeats_sent");
+  cpu_gauge_ = &m.gauge(scope_ + ".cpu_utilization");
+  mem_used_gauge_ = &m.gauge(scope_ + ".mem_used");
+  mem_capacity_gauge_ = &m.gauge(scope_ + ".mem_capacity");
+  sd_used_gauge_ = &m.gauge(scope_ + ".sd_used");
+  containers_total_gauge_ = &m.gauge(scope_ + ".containers_total");
+  containers_running_gauge_ = &m.gauge(scope_ + ".containers_running");
+  power_gauge_ = &m.gauge(scope_ + ".power_watts");
+  idem_.bind_metrics(m, scope_ + ".dedup");
   install_routes();
 }
 
@@ -60,7 +70,8 @@ void NodeDaemon::on_dhcp_bound(net::Ipv4Addr ip, sim::Duration /*lease*/) {
   server_ = std::make_unique<proto::RestServer>(node_.network(), ip, kPort,
                                                 &router_);
   server_->start();
-  client_ = std::make_unique<proto::RestClient>(node_.network(), ip);
+  client_ = std::make_unique<proto::RestClient>(node_.network(), ip, 49152,
+                                                scope_ + ".rest");
   register_with_master();
 }
 
@@ -100,20 +111,19 @@ void NodeDaemon::register_with_master() {
 
 Json NodeDaemon::stats_json() const {
   os::NodeOs::NodeStats s = node_.stats();
-  Json j = Json::object();
-  j.set("cpu", s.cpu_utilization);
-  j.set("mem_used", static_cast<unsigned long long>(s.mem_used));
-  j.set("mem_capacity", static_cast<unsigned long long>(s.mem_capacity));
-  j.set("sd_used", static_cast<unsigned long long>(s.sd_used));
-  j.set("containers", s.containers_total);
-  j.set("running", s.containers_running);
-  j.set("watts", s.power_watts);
-  return j;
+  cpu_gauge_->set(s.cpu_utilization);
+  mem_used_gauge_->set(static_cast<double>(s.mem_used));
+  mem_capacity_gauge_->set(static_cast<double>(s.mem_capacity));
+  sd_used_gauge_->set(static_cast<double>(s.sd_used));
+  containers_total_gauge_->set(s.containers_total);
+  containers_running_gauge_->set(s.containers_running);
+  power_gauge_->set(s.power_watts);
+  return node_.simulation().metrics().snapshot(scope_);
 }
 
 void NodeDaemon::send_heartbeat() {
   if (!started_ || client_ == nullptr) return;
-  ++heartbeats_sent_;
+  heartbeats_sent_->inc();
   // Single attempt bounded by the heartbeat period: a lost heartbeat is
   // information (the monitor tolerates gaps), and retrying a stale one past
   // the next beat would only add load exactly when the network is sick.
@@ -345,7 +355,7 @@ void NodeDaemon::install_routes() {
         j.set("registered", registered_);
         j.set("containers", static_cast<double>(node_.containers().size()));
         j.set("heartbeats_sent",
-              static_cast<unsigned long long>(heartbeats_sent_));
+              static_cast<unsigned long long>(heartbeats_sent_->value()));
         if (client_ != nullptr) {
           const proto::RetryStats& rs = client_->retry_stats();
           Json retry = Json::object();
@@ -365,6 +375,13 @@ void NodeDaemon::install_routes() {
         j.set("dedup", std::move(dedup));
         return HttpResponse::make(200, std::move(j));
       });
+
+  router_.handle(Method::kGet, "/metrics",
+                 [this](const HttpRequest&, const PathParams&) {
+                   // Refresh gauges first so a poll between heartbeats still
+                   // sees current utilisation.
+                   return HttpResponse::make(200, stats_json());
+                 });
 
   router_.handle_async(
       Method::kPost, "/images/prefetch",

@@ -23,6 +23,13 @@
 //   PUT    /containers/:name/limits        soft per-VM resource limits
 //   POST   /images/prefetch                pull image layers ahead of time
 //   GET    /health                         liveness + retry/dedup stats
+//   GET    /metrics                        this node's registry scope
+//
+// Telemetry (DESIGN.md §9): the daemon owns the `node.<hostname>.` scope of
+// the simulation's MetricsRegistry — gauges refreshed from NodeOs at each
+// heartbeat, counters for its own activity, and its RestClient accounting
+// under `node.<hostname>.rest.*`. GET /metrics and the heartbeat body are
+// both the canonical prefix-stripped snapshot of that scope.
 //
 // Mutating requests (spawn, delete) may carry an "idem" key in the body;
 // the daemon keeps a bounded dedup cache so a retried request that already
@@ -77,6 +84,7 @@ class NodeDaemon {
   void crash();
 
   os::NodeOs& node() { return node_; }
+  const std::string& hostname() const { return node_.hostname(); }
   bool registered() const { return registered_; }
   net::Ipv4Addr ip() const { return node_.host_ip(); }
   int rack() const { return config_.rack; }
@@ -94,7 +102,9 @@ class NodeDaemon {
     fetch_layers(std::move(layers), 0, std::move(done));
   }
 
-  std::uint64_t heartbeats_sent() const { return heartbeats_sent_; }
+  std::uint64_t heartbeats_sent() const { return heartbeats_sent_->value(); }
+  // This daemon's registry scope, "node.<hostname>".
+  const std::string& metrics_scope() const { return scope_; }
   // Dedup cache for idempotent mutations (spawn/delete).
   const proto::IdempotencyCache& idempotency() const { return idem_; }
   // REST client retry accounting (registration, heartbeats). The client
@@ -106,6 +116,8 @@ class NodeDaemon {
   void register_with_master();
   void send_heartbeat();
   void install_routes();
+  // Refreshes this node's gauges from NodeOs, then returns the canonical
+  // prefix-stripped snapshot of the `node.<hostname>.` scope.
   util::Json stats_json() const;
   // Fetches `layers` (array of {id, bytes}) not yet cached, one at a time:
   // network flow from the pimaster, then SD write. `done` gets an error if
@@ -115,6 +127,7 @@ class NodeDaemon {
 
   os::NodeOs& node_;
   Config config_;
+  std::string scope_;  // "node.<hostname>"
   AppFactory app_factory_;
   proto::Router router_;
   std::unique_ptr<proto::DhcpClient> dhcp_;
@@ -124,7 +137,15 @@ class NodeDaemon {
   proto::IdempotencyCache idem_{128};
   bool started_ = false;
   bool registered_ = false;
-  std::uint64_t heartbeats_sent_ = 0;
+  // Registry handles under `node.<hostname>.` (never null).
+  util::Counter* heartbeats_sent_ = nullptr;
+  util::Gauge* cpu_gauge_ = nullptr;
+  util::Gauge* mem_used_gauge_ = nullptr;
+  util::Gauge* mem_capacity_gauge_ = nullptr;
+  util::Gauge* sd_used_gauge_ = nullptr;
+  util::Gauge* containers_total_gauge_ = nullptr;
+  util::Gauge* containers_running_gauge_ = nullptr;
+  util::Gauge* power_gauge_ = nullptr;
 };
 
 }  // namespace picloud::cloud

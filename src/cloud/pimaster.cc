@@ -34,6 +34,10 @@ PiMaster::PiMaster(net::Network& network, net::NetNodeId fabric_node,
       node_(fabric_node),
       config_(std::move(config)),
       monitor_(sim_, config_.node_liveness_window) {
+  util::MetricsRegistry& m = sim_.metrics();
+  spawns_ok_ = &m.counter("cloud.master.spawns_ok");
+  spawns_failed_ = &m.counter("cloud.master.spawns_failed");
+  idem_.bind_metrics(m, "cloud.master.dedup");
   auto policy = make_policy(config_.placement_policy);
   PICLOUD_CHECK(policy.ok()) << "unknown placement policy \""
                              << config_.placement_policy << "\"";
@@ -204,24 +208,24 @@ std::vector<NodeView> PiMaster::placement_views() const {
 
 void PiMaster::spawn_instance(SpawnSpec spec, SpawnCallback cb) {
   if (spec.name.empty()) {
-    ++spawns_failed_;
+    spawns_failed_->inc();
     cb(util::Error::make("invalid", "instance name required"));
     return;
   }
   if (instances_.count(spec.name) > 0) {
-    ++spawns_failed_;
+    spawns_failed_->inc();
     cb(util::Error::make("exists", "instance name in use: " + spec.name));
     return;
   }
   auto image = resolve_image(spec.image);
   if (!image.ok()) {
-    ++spawns_failed_;
+    spawns_failed_->inc();
     cb(image.error());
     return;
   }
   auto layers = layer_list(image.value());
   if (!layers.ok()) {
-    ++spawns_failed_;
+    spawns_failed_->inc();
     cb(layers.error());
     return;
   }
@@ -240,19 +244,19 @@ void PiMaster::spawn_instance(SpawnSpec spec, SpawnCallback cb) {
     request.affinity_group = spec.affinity_group;
     auto picked = policy_->pick(placement_views(), request);
     if (!picked.ok()) {
-      ++spawns_failed_;
+      spawns_failed_->inc();
       cb(picked.error());
       return;
     }
     hostname = picked.value();
   } else if (!monitor_.alive(hostname)) {
-    ++spawns_failed_;
+    spawns_failed_->inc();
     cb(util::Error::make("unavailable", "pinned node is not alive"));
     return;
   }
   auto node_ip = node_ips_.find(hostname);
   if (node_ip == node_ips_.end()) {
-    ++spawns_failed_;
+    spawns_failed_->inc();
     cb(util::Error::make("unavailable", "no management address for node"));
     return;
   }
@@ -266,7 +270,7 @@ void PiMaster::spawn_instance(SpawnSpec spec, SpawnCallback cb) {
   ++next_container_mac_;
   auto container_ip = dhcp_->allocate_static(mac, spec.name);
   if (!container_ip.ok()) {
-    ++spawns_failed_;
+    spawns_failed_->inc();
     cb(container_ip.error());
     return;
   }
@@ -308,7 +312,7 @@ void PiMaster::spawn_instance(SpawnSpec spec, SpawnCallback cb) {
 
         auto fail = [&](util::Error error) {
           dhcp_->release(vip);
-          ++spawns_failed_;
+          spawns_failed_->inc();
           record_op_end(spec.name, false);
           cb(std::move(error));
         };
@@ -333,7 +337,7 @@ void PiMaster::spawn_instance(SpawnSpec spec, SpawnCallback cb) {
         record.created_at = sim_.now();
         instances_[spec.name] = record;
         dns_->add_record(spec.name, vip);
-        ++spawns_ok_;
+        spawns_ok_->inc();
         record_op_end(spec.name, true);
         LOG_INFO("pimaster", "spawned %s on %s at %s", spec.name.c_str(),
                  hostname.c_str(), vip.to_string().c_str());
@@ -824,6 +828,20 @@ void PiMaster::install_routes() {
                      j.set("reconciler", std::move(rec));
                    }
                    return HttpResponse::make(200, std::move(j));
+                 });
+
+  // The full telemetry spine: every counter/gauge/histogram registered by
+  // any component of the simulation, in canonical snapshot form. This is
+  // the one endpoint the web panel and external scrapers need.
+  router_.handle(Method::kGet, "/metrics",
+                 [this](const HttpRequest&, const PathParams&) {
+                   return HttpResponse::make(200, sim_.metrics().snapshot());
+                 });
+
+  // Recent structured trace events (sim-time, bounded ring buffer).
+  router_.handle(Method::kGet, "/trace",
+                 [this](const HttpRequest&, const PathParams&) {
+                   return HttpResponse::make(200, sim_.trace().to_json());
                  });
 
   router_.handle(Method::kGet, "/policy",

@@ -25,6 +25,14 @@
 //   GET    /network                      per-rack uplink utilisation (SDN view)
 //   GET    /policy                       active placement policy
 //   PUT    /policy                       {"name": "best-fit"}
+//   GET    /health                       liveness + headline counters
+//   GET    /metrics                      full MetricsRegistry snapshot
+//   GET    /trace                        recent sim-time trace events
+//
+// Telemetry (DESIGN.md §9): the master owns the `cloud.master.` scope; its
+// GET /metrics serves the *whole* registry (every component of the
+// simulation registers into the one spine), which is what the web panel and
+// external scrapers consume.
 #pragma once
 
 #include <cstdint>
@@ -172,8 +180,8 @@ class PiMaster {
   util::Status set_policy(const std::string& name);
   const std::string& policy_name() const { return policy_name_; }
 
-  std::uint64_t spawns_succeeded() const { return spawns_ok_; }
-  std::uint64_t spawns_failed() const { return spawns_failed_; }
+  std::uint64_t spawns_succeeded() const { return spawns_ok_->value(); }
+  std::uint64_t spawns_failed() const { return spawns_failed_->value(); }
 
  private:
   friend class Reconciler;  // anti-entropy needs the raw registry
@@ -223,8 +231,9 @@ class PiMaster {
   proto::IdempotencyCache idem_{256};
   std::uint64_t op_seq_ = 0;  // idempotency keys for proxied daemon calls
   std::uint32_t next_container_mac_ = 1;
-  std::uint64_t spawns_ok_ = 0;
-  std::uint64_t spawns_failed_ = 0;
+  // Registry handles under `cloud.master.*` (never null).
+  util::Counter* spawns_ok_ = nullptr;
+  util::Counter* spawns_failed_ = nullptr;
   bool started_ = false;
 };
 

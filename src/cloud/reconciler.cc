@@ -9,7 +9,15 @@
 namespace picloud::cloud {
 
 Reconciler::Reconciler(PiMaster& master, Config config)
-    : master_(master), config_(config) {}
+    : master_(master), config_(config) {
+  util::MetricsRegistry& m = master_.sim_.metrics();
+  sweeps_ = &m.counter("cloud.reconciler.sweeps");
+  node_queries_ = &m.counter("cloud.reconciler.node_queries");
+  query_failures_ = &m.counter("cloud.reconciler.query_failures");
+  marked_lost_dead_node_ = &m.counter("cloud.reconciler.marked_lost_dead_node");
+  marked_lost_drift_ = &m.counter("cloud.reconciler.marked_lost_drift");
+  orphans_gc_ = &m.counter("cloud.reconciler.orphans_gc");
+}
 
 Reconciler::~Reconciler() { stop(); }
 
@@ -26,7 +34,7 @@ void Reconciler::stop() {
 }
 
 void Reconciler::sweep() {
-  ++stats_.sweeps;
+  sweeps_->inc();
 
   // (1) Records in "running" on nodes that stopped heartbeating: the
   // containers died with the node — mark lost so the owning ReplicaSet (or
@@ -35,7 +43,10 @@ void Reconciler::sweep() {
   for (auto& [name, record] : master_.instances_) {
     if (record.state == "running" && !master_.monitor_.alive(record.hostname)) {
       record.state = "lost";
-      ++stats_.marked_lost_dead_node;
+      marked_lost_dead_node_->inc();
+      PICLOUD_TRACE(master_.sim_.trace(), "cloud.reconciler", "marked_lost",
+                    {"instance", name}, {"node", record.hostname},
+                    {"reason", "dead_node"});
       LOG_WARN("reconcile", "%s lost (node %s dead)", name.c_str(),
                record.hostname.c_str());
     }
@@ -46,7 +57,7 @@ void Reconciler::sweep() {
     if (!master_.monitor_.alive(rec.hostname)) continue;
     auto ip_it = master_.node_ips_.find(rec.hostname);
     if (ip_it == master_.node_ips_.end()) continue;
-    ++stats_.node_queries;
+    node_queries_->inc();
     std::string hostname = rec.hostname;
     proto::RetryPolicy policy = config_.rest_policy;
     master_.client_->call(
@@ -54,7 +65,7 @@ void Reconciler::sweep() {
         util::Json(),
         [this, hostname](util::Result<proto::HttpResponse> result) {
           if (!result.ok() || !result.value().ok()) {
-            ++stats_.query_failures;
+            query_failures_->inc();
             return;
           }
           if (!running_) return;
@@ -104,7 +115,10 @@ void Reconciler::audit_node(const std::string& hostname,
     if (++strikes_[key] >= config_.confirmations) {
       strikes_.erase(key);
       record.state = "lost";
-      ++stats_.marked_lost_drift;
+      marked_lost_drift_->inc();
+      PICLOUD_TRACE(master_.sim_.trace(), "cloud.reconciler", "marked_lost",
+                    {"instance", name}, {"node", hostname},
+                    {"reason", "drift"});
       LOG_WARN("reconcile", "%s lost (node %s no longer reports it)",
                name.c_str(), hostname.c_str());
     }
@@ -144,7 +158,9 @@ void Reconciler::destroy_orphan(const std::string& hostname,
         // 404 counts: someone else (node crash, operator) beat us to it.
         if (result.ok() &&
             (result.value().ok() || result.value().status == 404)) {
-          ++stats_.orphans_destroyed;
+          orphans_gc_->inc();
+          PICLOUD_TRACE(master_.sim_.trace(), "cloud.reconciler", "orphan_gc",
+                        {"container", tag});
         }
       },
       policy);

@@ -44,6 +44,8 @@ class Reconciler {
         2, sim::Duration::seconds(3));
   };
 
+  // Value snapshot of the `cloud.reconciler.*` registry counters
+  // (orphans_destroyed is exported as `cloud.reconciler.orphans_gc`).
   struct Stats {
     std::uint64_t sweeps = 0;
     std::uint64_t node_queries = 0;
@@ -62,7 +64,16 @@ class Reconciler {
   void start();
   void stop();
   bool running() const { return running_; }
-  const Stats& stats() const { return stats_; }
+  Stats stats() const {
+    Stats s;
+    s.sweeps = sweeps_->value();
+    s.node_queries = node_queries_->value();
+    s.query_failures = query_failures_->value();
+    s.marked_lost_dead_node = marked_lost_dead_node_->value();
+    s.marked_lost_drift = marked_lost_drift_->value();
+    s.orphans_destroyed = orphans_gc_->value();
+    return s;
+  }
 
  private:
   void sweep();
@@ -73,7 +84,13 @@ class Reconciler {
 
   PiMaster& master_;
   Config config_;
-  Stats stats_;
+  // Registry counter handles under `cloud.reconciler.*` (never null).
+  util::Counter* sweeps_ = nullptr;
+  util::Counter* node_queries_ = nullptr;
+  util::Counter* query_failures_ = nullptr;
+  util::Counter* marked_lost_dead_node_ = nullptr;
+  util::Counter* marked_lost_drift_ = nullptr;
+  util::Counter* orphans_gc_ = nullptr;
   bool running_ = false;
   // Discrepancy strike counters, keyed "orphan/<host>/<name>" and
   // "drift/<name>"; an entry acts once it reaches config_.confirmations.

@@ -29,6 +29,7 @@ class ReplicaSet {
     sim::Duration reconcile_period = sim::Duration::seconds(10);
   };
 
+  // picloud-lint: allow(metrics-registry)
   struct Stats {
     std::uint64_t reconciliations = 0;
     std::uint64_t spawned = 0;

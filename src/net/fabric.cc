@@ -15,7 +15,14 @@ namespace {
 constexpr double kDrainEpsilonBytes = 1e-6;
 }  // namespace
 
-Fabric::Fabric(sim::Simulation& sim) : sim_(sim) {}
+Fabric::Fabric(sim::Simulation& sim) : sim_(sim) {
+  util::MetricsRegistry& m = sim_.metrics();
+  flows_started_ = &m.counter("net.fabric.flows_started");
+  flows_completed_ = &m.counter("net.fabric.flows_completed");
+  flows_failed_ = &m.counter("net.fabric.flows_failed");
+  flows_lost_ = &m.counter("net.fabric.flows_lost");
+  reroutes_ = &m.counter("net.fabric.reroutes");
+}
 
 NetNodeId Fabric::add_node(NodeKind kind, std::string name) {
   NetNodeId id = static_cast<NetNodeId>(nodes_.size());
@@ -144,7 +151,7 @@ FlowId Fabric::start_flow(FlowSpec spec) {
       << "start_flow endpoints: src=" << spec.src << " dst=" << spec.dst;
   PICLOUD_CHECK_GE(spec.bytes, 0) << "start_flow size";
   FlowId id = next_flow_id_++;
-  ++flows_started_;
+  flows_started_->inc();
 
   if (spec.src == spec.dst) {
     // Loopback: no fabric involvement.
@@ -152,7 +159,7 @@ FlowId Fabric::start_flow(FlowSpec spec) {
     sim_.after(kLoopbackDelay, [cb, id]() {
       if (cb) cb(id, true);
     });
-    ++flows_completed_;
+    flows_completed_->inc();
     return id;
   }
 
@@ -162,7 +169,7 @@ FlowId Fabric::start_flow(FlowSpec spec) {
     sim_.after(sim::Duration::zero(), [cb, id]() {
       if (cb) cb(id, false);
     });
-    ++flows_failed_;
+    flows_failed_->inc();
     if (routing_ != nullptr) routing_->on_flow_end(id);
     return id;
   }
@@ -177,8 +184,8 @@ FlowId Fabric::start_flow(FlowSpec spec) {
       sim_.after(links_[lid].delay, [cb, id]() {
         if (cb) cb(id, false);
       });
-      ++flows_failed_;
-      ++flows_lost_;
+      flows_failed_->inc();
+      flows_lost_->inc();
       if (routing_ != nullptr) routing_->on_flow_end(id);
       return id;
     }
@@ -314,9 +321,9 @@ void Fabric::finish_flow(FlowId id, bool success) {
   FlowCallback cb = std::move(flow.spec.on_complete);
   flows_.erase(it);
   if (success) {
-    ++flows_completed_;
+    flows_completed_->inc();
   } else {
-    ++flows_failed_;
+    flows_failed_->inc();
   }
   if (routing_ != nullptr) routing_->on_flow_end(id);
   reallocate();
@@ -329,6 +336,10 @@ void Fabric::set_link_pair_loss(LinkId id, double loss_p) {
   LinkId b = reverse(id);
   links_[a].loss_p = loss_p;
   links_[b].loss_p = loss_p;
+  PICLOUD_TRACE(sim_.trace(), "net.fabric",
+                loss_p > 0 ? "link_loss_on" : "link_loss_off",
+                {"from", nodes_[links_[a].from].name},
+                {"to", nodes_[links_[a].to].name});
   if (loss_p > 0) {
     LOG_INFO("fabric", "link %s <-> %s lossy p=%.3f",
              nodes_[links_[a].from].name.c_str(),
@@ -341,6 +352,9 @@ void Fabric::set_link_pair_up(LinkId id, bool up) {
   LinkId b = reverse(id);
   links_[a].up = up;
   links_[b].up = up;
+  PICLOUD_TRACE(sim_.trace(), "net.fabric", up ? "link_up" : "link_down",
+                {"from", nodes_[links_[a].from].name},
+                {"to", nodes_[links_[a].to].name});
   LOG_INFO("fabric", "link %s <-> %s %s", nodes_[links_[a].from].name.c_str(),
            nodes_[links_[a].to].name.c_str(), up ? "up" : "DOWN");
   if (up) {
@@ -368,6 +382,7 @@ void Fabric::set_link_pair_up(LinkId id, bool up) {
       finish_flow(fid, /*success=*/false);
     } else {
       flow.path = std::move(new_path);
+      reroutes_->inc();
     }
   }
   reallocate();

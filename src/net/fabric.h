@@ -153,11 +153,13 @@ class Fabric {
   double max_link_utilization() const;
   // Total bytes carried across all links (each hop counted).
   double total_bytes_carried() const;
-  std::uint64_t flows_started() const { return flows_started_; }
-  std::uint64_t flows_completed() const { return flows_completed_; }
-  std::uint64_t flows_failed() const { return flows_failed_; }
+  // Flow accounting lives in the registry under `net.fabric.*`; these
+  // accessors read the same counters.
+  std::uint64_t flows_started() const { return flows_started_->value(); }
+  std::uint64_t flows_completed() const { return flows_completed_->value(); }
+  std::uint64_t flows_failed() const { return flows_failed_->value(); }
   // Subset of flows_failed(): dropped by a lossy link at admission.
-  std::uint64_t flows_lost() const { return flows_lost_; }
+  std::uint64_t flows_lost() const { return flows_lost_->value(); }
 
   static constexpr sim::Duration kLoopbackDelay = sim::Duration::micros(20);
 
@@ -187,10 +189,12 @@ class Fabric {
   RoutingProvider* routing_ = nullptr;
   std::map<FlowId, Flow> flows_;  // ordered -> deterministic allocation
   FlowId next_flow_id_ = 1;
-  std::uint64_t flows_started_ = 0;
-  std::uint64_t flows_completed_ = 0;
-  std::uint64_t flows_failed_ = 0;
-  std::uint64_t flows_lost_ = 0;
+  // Registry counter handles under `net.fabric.*` (never null).
+  util::Counter* flows_started_ = nullptr;
+  util::Counter* flows_completed_ = nullptr;
+  util::Counter* flows_failed_ = nullptr;
+  util::Counter* flows_lost_ = nullptr;
+  util::Counter* reroutes_ = nullptr;  // flows repathed after a link cut
   // Dedicated loss stream: fixed default seed (overridable via
   // seed_loss_rng) rather than a fork of the root rng, so constructing a
   // fabric never perturbs the simulation's root stream.

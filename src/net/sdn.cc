@@ -54,7 +54,14 @@ const char* sdn_policy_name(SdnPolicy policy) {
 
 SdnController::SdnController(sim::Simulation& sim, SdnPolicy policy,
                              sim::Duration rule_idle_timeout)
-    : sim_(sim), policy_(policy), rule_idle_timeout_(rule_idle_timeout) {}
+    : sim_(sim), policy_(policy), rule_idle_timeout_(rule_idle_timeout) {
+  util::MetricsRegistry& m = sim_.metrics();
+  packet_ins_ = &m.counter("net.sdn.packet_ins");
+  table_hits_ = &m.counter("net.sdn.table_hits");
+  rules_installed_ = &m.counter("net.sdn.rules_installed");
+  rules_evicted_ = &m.counter("net.sdn.rules_evicted");
+  reroutes_ = &m.counter("net.sdn.reroutes");
+}
 
 std::optional<std::vector<LinkId>> SdnController::follow_rules(
     Fabric& fabric, NetNodeId src, NetNodeId dst) {
@@ -133,10 +140,10 @@ std::vector<LinkId> SdnController::compute_path(Fabric& fabric, NetNodeId src,
 std::vector<LinkId> SdnController::route(Fabric& fabric, NetNodeId src,
                                          NetNodeId dst, FlowId /*flow*/) {
   if (auto cached = follow_rules(fabric, src, dst)) {
-    ++stats_.table_hits;
+    table_hits_->inc();
     return *cached;
   }
-  ++stats_.packet_ins;
+  packet_ins_->inc();
   std::vector<LinkId> path = compute_path(fabric, src, dst);
   if (path.empty()) return path;
   install_path(fabric, src, dst, path);
@@ -150,7 +157,7 @@ void SdnController::install_path(Fabric& fabric, NetNodeId src, NetNodeId dst,
     NetNodeId from = fabric.link(lid).from;
     if (fabric.node(from).kind == NodeKind::kHost) continue;
     tables_[from].install(src, dst, lid, sim_.now());
-    ++stats_.rules_installed;
+    rules_installed_->inc();
   }
 }
 
@@ -160,7 +167,7 @@ void SdnController::flush_tables() {
 
 void SdnController::evict_idle(sim::SimTime now) {
   for (auto& [node, table] : tables_) {
-    stats_.rules_evicted += table.evict_idle(now, rule_idle_timeout_);
+    rules_evicted_->inc(table.evict_idle(now, rule_idle_timeout_));
   }
 }
 

@@ -58,6 +58,7 @@ enum class SdnPolicy {
 
 const char* sdn_policy_name(SdnPolicy policy);
 
+// Value snapshot of the controller's `net.sdn.*` registry counters.
 struct SdnStats {
   std::uint64_t packet_ins = 0;        // table misses raised to the controller
   std::uint64_t table_hits = 0;        // flows served from installed rules
@@ -89,7 +90,15 @@ class SdnController : public RoutingProvider {
   // Ages idle rules out of all tables.
   void evict_idle(sim::SimTime now);
 
-  const SdnStats& stats() const { return stats_; }
+  SdnStats stats() const {
+    SdnStats s;
+    s.packet_ins = packet_ins_->value();
+    s.table_hits = table_hits_->value();
+    s.rules_installed = rules_installed_->value();
+    s.rules_evicted = rules_evicted_->value();
+    s.reroutes = reroutes_->value();
+    return s;
+  }
   size_t total_rules() const;
 
  private:
@@ -103,7 +112,12 @@ class SdnController : public RoutingProvider {
   SdnPolicy policy_;
   sim::Duration rule_idle_timeout_;
   std::map<NetNodeId, FlowTable> tables_;  // per switch
-  SdnStats stats_;
+  // Registry counter handles under `net.sdn.*` (never null).
+  util::Counter* packet_ins_ = nullptr;
+  util::Counter* table_hits_ = nullptr;
+  util::Counter* rules_installed_ = nullptr;
+  util::Counter* rules_evicted_ = nullptr;
+  util::Counter* reroutes_ = nullptr;
 };
 
 // The pre-SDN baseline: classic L2 spanning-tree forwarding. Redundant

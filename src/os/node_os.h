@@ -76,6 +76,9 @@ class NodeOs {
   size_t running_container_count() const;
 
   // --- Monitoring ----------------------------------------------------------------------
+  // Instantaneous read of the node, polled by the daemon which owns the
+  // `node.<hostname>.` registry gauges (cloud/node_daemon.cc).
+  // picloud-lint: allow(metrics-registry)
   struct NodeStats {
     double cpu_utilization = 0;
     std::uint64_t mem_used = 0;

@@ -14,6 +14,11 @@ constexpr double kDrainEpsilonCycles = 1e-6;
 CpuScheduler::CpuScheduler(sim::Simulation& sim, double cycles_per_sec)
     : sim_(sim), capacity_(cycles_per_sec) {
   PICLOUD_CHECK_GT(capacity_, 0) << "CpuScheduler capacity";
+  util::MetricsRegistry& m = sim_.metrics();
+  tasks_started_ = &m.counter("os.sched.tasks_started");
+  tasks_completed_ = &m.counter("os.sched.tasks_completed");
+  tasks_cancelled_ = &m.counter("os.sched.tasks_cancelled");
+  reallocations_ = &m.counter("os.sched.reallocations");
 }
 
 CgroupId CpuScheduler::create_group(double shares, double limit_fraction) {
@@ -73,6 +78,7 @@ CpuTaskId CpuScheduler::run(CgroupId group, double cycles,
   task.on_done = std::move(on_done);
   tasks_.emplace(id, std::move(task));
   ++groups_[group].task_count;
+  tasks_started_->inc();
   reallocate();
   return id;
 }
@@ -96,6 +102,7 @@ void CpuScheduler::settle_all() {
 }
 
 void CpuScheduler::reallocate() {
+  reallocations_->inc();
   settle_all();
 
   // Phase 1: group rates — weighted fair share with per-group caps
@@ -191,6 +198,11 @@ void CpuScheduler::finish_task(CpuTaskId id, bool completed) {
     --group_it->second.task_count;
   }
   tasks_.erase(it);
+  if (completed) {
+    tasks_completed_->inc();
+  } else {
+    tasks_cancelled_->inc();
+  }
   reallocate();
   if (cb) cb(completed);
 }

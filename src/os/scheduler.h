@@ -104,6 +104,12 @@ class CpuScheduler {
   CpuTaskId next_task_ = 1;
   util::TimeWeighted util_signal_;
   std::function<void(double)> utilization_listener_;
+  // Cluster-aggregated registry counters: every node's scheduler shares the
+  // `os.sched.*` series (never null).
+  util::Counter* tasks_started_ = nullptr;
+  util::Counter* tasks_completed_ = nullptr;
+  util::Counter* tasks_cancelled_ = nullptr;
+  util::Counter* reallocations_ = nullptr;
 };
 
 }  // namespace picloud::os

@@ -6,20 +6,36 @@
 
 namespace picloud::proto {
 
+void IdempotencyCache::bind_metrics(util::MetricsRegistry& registry,
+                                    const std::string& prefix) {
+  admitted_ = &registry.counter(prefix + ".admitted");
+  replayed_ = &registry.counter(prefix + ".replayed");
+  coalesced_ = &registry.counter(prefix + ".coalesced");
+  evicted_ = &registry.counter(prefix + ".evicted");
+  // Back-fill activity recorded before binding so the registry view matches.
+  admitted_->inc(stats_.admitted);
+  replayed_->inc(stats_.replayed);
+  coalesced_->inc(stats_.coalesced);
+  evicted_->inc(stats_.evicted);
+}
+
 Responder IdempotencyCache::admit(const std::string& key, Responder respond) {
   if (key.empty()) return respond;  // unkeyed request: plain semantics
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     if (it->second.done) {
       ++stats_.replayed;
+      if (replayed_) replayed_->inc();
       if (respond) respond(it->second.response);
     } else {
       ++stats_.coalesced;
+      if (coalesced_) coalesced_->inc();
       it->second.waiters.push_back(std::move(respond));
     }
     return nullptr;
   }
   ++stats_.admitted;
+  if (admitted_) admitted_->inc();
   Entry entry;
   entry.waiters.push_back(std::move(respond));
   entries_.emplace(key, std::move(entry));
@@ -45,6 +61,7 @@ void IdempotencyCache::complete(const std::string& key,
     if (victim != entries_.end() && victim->second.done) {
       entries_.erase(victim);
       ++stats_.evicted;
+      if (evicted_) evicted_->inc();
     }
   }
   for (auto& waiter : waiters) {
@@ -54,7 +71,12 @@ void IdempotencyCache::complete(const std::string& key,
 
 RestServer::RestServer(net::Network& network, net::Ipv4Addr ip,
                        std::uint16_t port, Router* router)
-    : network_(network), ip_(ip), port_(port), router_(router) {}
+    : network_(network),
+      ip_(ip),
+      port_(port),
+      router_(router),
+      requests_counter_(
+          &network.simulation().metrics().counter("proto.rest.server.requests")) {}
 
 RestServer::~RestServer() { stop(); }
 
@@ -73,6 +95,7 @@ void RestServer::stop() {
 
 void RestServer::on_message(const net::Message& msg) {
   ++requests_served_;
+  requests_counter_->inc();
   net::Ipv4Addr reply_to = msg.src;
   std::uint16_t reply_port = msg.src_port;
   // Capture the network (which outlives every server) rather than `this`:
@@ -100,12 +123,22 @@ void RestServer::on_message(const net::Message& msg) {
 }
 
 RestClient::RestClient(net::Network& network, net::Ipv4Addr self,
-                       std::uint16_t ephemeral_port)
+                       std::uint16_t ephemeral_port,
+                       const std::string& metrics_prefix)
     : network_(network),
       sim_(network.simulation()),
       self_(self),
       port_(ephemeral_port),
       rng_(network.simulation().rng().fork()) {
+  util::MetricsRegistry& m = sim_.metrics();
+  requests_ = &m.counter(metrics_prefix + ".requests");
+  timeouts_ = &m.counter(metrics_prefix + ".timeouts");
+  retry_calls_counter_ = &m.counter(metrics_prefix + ".calls");
+  attempts_ = &m.counter(metrics_prefix + ".attempts");
+  retries_ = &m.counter(metrics_prefix + ".retries");
+  succeeded_after_retry_ = &m.counter(metrics_prefix + ".succeeded_after_retry");
+  exhausted_ = &m.counter(metrics_prefix + ".exhausted");
+  deadline_exceeded_ = &m.counter(metrics_prefix + ".deadline_exceeded");
   network_.listen(self_, port_,
                   [this](const net::Message& msg) { on_message(msg); });
 }
@@ -138,7 +171,7 @@ void RestClient::call(net::Ipv4Addr server, std::uint16_t port, Method method,
                       const std::string& path, util::Json body,
                       ResponseCallback cb, sim::Duration timeout) {
   std::uint64_t id = next_id_++;
-  ++calls_made_;
+  requests_->inc();
   HttpRequest request;
   request.method = method;
   request.path = path;
@@ -148,7 +181,7 @@ void RestClient::call(net::Ipv4Addr server, std::uint16_t port, Method method,
   Pending pending;
   pending.cb = std::move(cb);
   pending.timeout_event = sim_.after(timeout, [this, id]() {
-    ++timeouts_;
+    timeouts_->inc();
     finish(id, util::Error::make("timeout", "REST call timed out"));
   });
   pending_[id] = std::move(pending);
@@ -179,7 +212,7 @@ void RestClient::call(net::Ipv4Addr server, std::uint16_t port, Method method,
   rc.deadline = rc.has_deadline ? sim_.now() + policy.overall_deadline
                                 : sim::SimTime::max();
   retry_calls_.emplace(retry_id, std::move(rc));
-  ++retry_stats_.calls;
+  retry_calls_counter_->inc();
   retry_attempt(retry_id);
 }
 
@@ -193,7 +226,7 @@ void RestClient::retry_attempt(std::uint64_t retry_id) {
   if (rc.has_deadline) {
     sim::Duration left = rc.deadline - sim_.now();
     if (left <= sim::Duration::zero()) {
-      ++retry_stats_.deadline_exceeded;
+      deadline_exceeded_->inc();
       retry_done(retry_id,
                  util::Error::make("deadline", "REST call deadline exceeded"));
       return;
@@ -202,8 +235,8 @@ void RestClient::retry_attempt(std::uint64_t retry_id) {
   }
 
   ++rc.attempts_made;
-  ++retry_stats_.attempts;
-  if (rc.attempts_made > 1) ++retry_stats_.retries;
+  attempts_->inc();
+  if (rc.attempts_made > 1) retries_->inc();
 
   // Each attempt is a fresh single-shot call with its own correlation id, so
   // a late response to a timed-out attempt can never satisfy a newer one.
@@ -214,7 +247,7 @@ void RestClient::retry_attempt(std::uint64_t retry_id) {
         if (rit == retry_calls_.end()) return;
         RetryCall& rc = rit->second;
         if (result.ok()) {
-          if (rc.attempts_made > 1) ++retry_stats_.succeeded_after_retry;
+          if (rc.attempts_made > 1) succeeded_after_retry_->inc();
           retry_done(retry_id, std::move(result));
           return;
         }
@@ -224,7 +257,7 @@ void RestClient::retry_attempt(std::uint64_t retry_id) {
         }
         if (rc.policy.max_attempts > 0 &&
             rc.attempts_made >= rc.policy.max_attempts) {
-          ++retry_stats_.exhausted;
+          exhausted_->inc();
           retry_done(retry_id, std::move(result));
           return;
         }
@@ -241,7 +274,7 @@ void RestClient::retry_attempt(std::uint64_t retry_id) {
           backoff = backoff * (1.0 - rc.policy.jitter * rng_.next_double());
         }
         if (rc.has_deadline && sim_.now() + backoff >= rc.deadline) {
-          ++retry_stats_.deadline_exceeded;
+          deadline_exceeded_->inc();
           retry_done(
               retry_id,
               util::Error::make("deadline", "REST call deadline exceeded"));

@@ -28,6 +28,7 @@
 #include "net/network.h"
 #include "proto/http.h"
 #include "sim/simulation.h"
+#include "util/metrics.h"
 #include "util/result.h"
 #include "util/rng.h"
 
@@ -88,7 +89,9 @@ struct RetryPolicy {
   }
 };
 
-// Retry budget accounting across all policy-driven calls of one client.
+// Retry budget accounting across all policy-driven calls sharing a metrics
+// prefix. A value snapshot assembled from registry counters (the registry is
+// the source of truth; see retry_stats()).
 struct RetryStats {
   std::uint64_t calls = 0;              // logical calls issued with a policy
   std::uint64_t attempts = 0;           // wire attempts (>= calls)
@@ -127,6 +130,11 @@ class IdempotencyCache {
   // is a duplicate (its responder has been replayed or queued).
   Responder admit(const std::string& key, Responder respond);
 
+  // Mirrors every stat bump into `<prefix>.{admitted,replayed,coalesced,
+  // evicted}` counters. The cache has no Simulation of its own (it is also
+  // used standalone in tests), so owners that do wire it in at construction.
+  void bind_metrics(util::MetricsRegistry& registry, const std::string& prefix);
+
   std::size_t size() const { return entries_.size(); }
   const Stats& stats() const { return stats_; }
 
@@ -143,6 +151,10 @@ class IdempotencyCache {
   std::map<std::string, Entry> entries_;
   std::deque<std::string> completed_order_;
   Stats stats_;
+  util::Counter* admitted_ = nullptr;  // registry mirrors; null until bound
+  util::Counter* replayed_ = nullptr;
+  util::Counter* coalesced_ = nullptr;
+  util::Counter* evicted_ = nullptr;
 };
 
 // Serves a Router on (ip, port). The router is borrowed; callers keep it
@@ -173,18 +185,27 @@ class RestServer {
   std::uint16_t port_;
   Router* router_;
   bool serving_ = false;
-  std::uint64_t requests_served_ = 0;
+  std::uint64_t requests_served_ = 0;           // this server only
+  util::Counter* requests_counter_ = nullptr;   // proto.rest.server.requests
 };
 
 // Asynchronous REST client. One instance per caller identity (an IP); all
 // in-flight calls share one ephemeral port and demultiplex on the
 // correlation id.
+//
+// Accounting lives in the simulation's MetricsRegistry under
+// `<metrics_prefix>.{requests,timeouts,calls,attempts,retries,
+// succeeded_after_retry,exhausted,deadline_exceeded}`. Clients constructed
+// with the same prefix share counters (deliberate aggregation: every
+// default-prefix client rolls up under "proto.rest"); per-identity callers
+// like node daemons pass their own scope, e.g. "node.pi-r0-03.rest".
 class RestClient {
  public:
   static constexpr sim::Duration kDefaultTimeout = sim::Duration::seconds(5);
 
   RestClient(net::Network& network, net::Ipv4Addr self,
-             std::uint16_t ephemeral_port = 49152);
+             std::uint16_t ephemeral_port = 49152,
+             const std::string& metrics_prefix = "proto.rest");
   ~RestClient();
 
   RestClient(const RestClient&) = delete;
@@ -219,9 +240,21 @@ class RestClient {
   size_t inflight() const { return pending_.size(); }
   // Logical policy-driven calls still running (including between attempts).
   size_t inflight_retries() const { return retry_calls_.size(); }
-  std::uint64_t calls_made() const { return calls_made_; }
-  std::uint64_t timeouts() const { return timeouts_; }
-  const RetryStats& retry_stats() const { return retry_stats_; }
+  // Wire requests / attempt timeouts under this client's metrics prefix
+  // (shared across same-prefix clients, like the counters they read).
+  std::uint64_t calls_made() const { return requests_->value(); }
+  std::uint64_t timeouts() const { return timeouts_->value(); }
+  // Snapshot of the retry counters under this client's metrics prefix.
+  RetryStats retry_stats() const {
+    RetryStats s;
+    s.calls = retry_calls_counter_->value();
+    s.attempts = attempts_->value();
+    s.retries = retries_->value();
+    s.succeeded_after_retry = succeeded_after_retry_->value();
+    s.exhausted = exhausted_->value();
+    s.deadline_exceeded = deadline_exceeded_->value();
+    return s;
+  }
 
  private:
   struct Pending {
@@ -258,9 +291,15 @@ class RestClient {
   std::map<std::uint64_t, Pending> pending_;
   std::uint64_t next_retry_id_ = 1;
   std::map<std::uint64_t, RetryCall> retry_calls_;
-  std::uint64_t calls_made_ = 0;
-  std::uint64_t timeouts_ = 0;
-  RetryStats retry_stats_;
+  // Registry handles under the ctor's metrics prefix (never null).
+  util::Counter* requests_ = nullptr;
+  util::Counter* timeouts_ = nullptr;
+  util::Counter* retry_calls_counter_ = nullptr;
+  util::Counter* attempts_ = nullptr;
+  util::Counter* retries_ = nullptr;
+  util::Counter* succeeded_after_retry_ = nullptr;
+  util::Counter* exhausted_ = nullptr;
+  util::Counter* deadline_exceeded_ = nullptr;
 };
 
 }  // namespace picloud::proto

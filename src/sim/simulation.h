@@ -14,7 +14,9 @@
 #include "sim/event_queue.h"
 #include "sim/time.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/rng.h"
+#include "util/trace.h"
 
 namespace picloud::sim {
 
@@ -53,6 +55,16 @@ class Simulation {
   // Root RNG for this simulation; components should fork() their own stream.
   util::Rng& rng() { return rng_; }
 
+  // The telemetry spine (DESIGN.md §9): every layer registers its counters,
+  // gauges and histograms here under hierarchical dotted names, and the
+  // management plane serves snapshots over GET /metrics.
+  util::MetricsRegistry& metrics() { return metrics_; }
+  const util::MetricsRegistry& metrics() const { return metrics_; }
+
+  // Sim-time structured event trace (ring buffer + optional sink); the
+  // clock is pre-wired to this simulation's now().
+  util::TraceBuffer& trace() { return trace_; }
+
   // Number of events executed so far (for bench reporting).
   std::uint64_t events_executed() const { return events_executed_; }
 
@@ -64,8 +76,11 @@ class Simulation {
   EventQueue queue_;
   SimTime now_;
   util::Rng rng_;
+  util::MetricsRegistry metrics_;
+  util::TraceBuffer trace_;
   bool stop_requested_ = false;
   std::uint64_t events_executed_ = 0;
+  util::Counter* events_counter_ = nullptr;  // mirrors events_executed_
 };
 
 // A repeating timer with RAII / explicit-stop semantics. Used by monitoring

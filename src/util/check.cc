@@ -11,6 +11,8 @@ CheckFailure::CheckFailure(const char* file, int line, const char* condition)
 
 CheckFailure::~CheckFailure() {
   std::string context = stream_.str();
+  // Crash path: must not depend on the (possibly broken) log spine.
+  // picloud-lint: allow(metrics-registry)
   std::fprintf(stderr, "%s:%d: CHECK failed: %s%s%s\n", file_, line_,
                condition_, context.empty() ? "" : " — ", context.c_str());
   std::fflush(stderr);

@@ -1,0 +1,173 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace picloud::util {
+
+LogHistogram::LogHistogram(double min_value, double growth, int max_buckets)
+    : min_value_(min_value), growth_(growth) {
+  PICLOUD_CHECK_GT(min_value, 0.0) << "LogHistogram min_value";
+  PICLOUD_CHECK_GT(growth, 1.0) << "LogHistogram growth";
+  PICLOUD_CHECK_GT(max_buckets, 0) << "LogHistogram max_buckets";
+  log_growth_ = std::log(growth);
+  buckets_.assign(static_cast<std::size_t>(max_buckets), 0);
+}
+
+int LogHistogram::bucket_index(double v) const {
+  // v >= min_value_ here. Values beyond the top bucket clamp into it (their
+  // count stays right; the quantile saturates at the bucket's span, while
+  // max() remains exact).
+  int idx = static_cast<int>(std::floor(std::log(v / min_value_) / log_growth_));
+  return std::clamp(idx, 0, static_cast<int>(buckets_.size()) - 1);
+}
+
+void LogHistogram::observe(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  if (!(v >= min_value_)) {  // also catches NaN and non-positives
+    ++underflow_;
+    return;
+  }
+  ++buckets_[static_cast<std::size_t>(bucket_index(v))];
+}
+
+double LogHistogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  if (p <= 0) return min_;
+  if (p >= 100) return max_;
+  // Rank of the requested quantile, 1-based, over all samples (underflow
+  // sorts first: everything below min_value_ is "smaller than bucket 0").
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  rank = std::max<std::uint64_t>(rank, 1);
+  if (rank <= underflow_) return min_;
+  std::uint64_t seen = underflow_;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      double lo = min_value_ * std::pow(growth_, static_cast<double>(i));
+      double mid = lo * std::sqrt(growth_);  // geometric midpoint
+      return std::clamp(mid, min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::string LogHistogram::summary() const {
+  return format("n=%llu, p50=%.6g, p99=%.6g, max=%.6g",
+                static_cast<unsigned long long>(count_), percentile(50),
+                percentile(99), max());
+}
+
+Json LogHistogram::to_json() const {
+  Json j = Json::object();
+  j.set("count", static_cast<unsigned long long>(count_));
+  j.set("sum", sum_);
+  j.set("min", min());
+  j.set("max", max());
+  j.set("mean", mean());
+  j.set("p50", percentile(50));
+  j.set("p90", percentile(90));
+  j.set("p99", percentile(99));
+  return j;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  PICLOUD_DCHECK(!name.empty()) << "metric name";
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  PICLOUD_DCHECK(!name.empty()) << "metric name";
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+LogHistogram& MetricsRegistry::histogram(const std::string& name,
+                                         double min_value, double growth,
+                                         int max_buckets) {
+  PICLOUD_DCHECK(!name.empty()) << "metric name";
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<LogHistogram>(min_value, growth, max_buckets);
+  }
+  return *slot;
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it != counters_.end() ? it->second->value() : 0;
+}
+
+double MetricsRegistry::gauge_value(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second->value() : 0.0;
+}
+
+bool MetricsRegistry::has(const std::string& name) const {
+  return counters_.count(name) > 0 || gauges_.count(name) > 0 ||
+         histograms_.count(name) > 0;
+}
+
+namespace {
+
+// True when `name` is inside `prefix`'s subtree; on success `out` is the
+// exported key (the name with "prefix." stripped).
+bool in_scope(const std::string& name, const std::string& prefix,
+              std::string* out) {
+  if (prefix.empty()) {
+    *out = name;
+    return true;
+  }
+  if (name == prefix) {
+    *out = name;
+    return true;
+  }
+  if (name.size() > prefix.size() + 1 &&
+      name.compare(0, prefix.size(), prefix) == 0 &&
+      name[prefix.size()] == '.') {
+    *out = name.substr(prefix.size() + 1);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Json MetricsRegistry::snapshot(const std::string& prefix) const {
+  Json counters = Json::object();
+  Json gauges = Json::object();
+  Json histograms = Json::object();
+  std::string key;
+  for (const auto& [name, c] : counters_) {
+    if (in_scope(name, prefix, &key)) {
+      counters.set(key, static_cast<unsigned long long>(c->value()));
+    }
+  }
+  for (const auto& [name, g] : gauges_) {
+    if (in_scope(name, prefix, &key)) gauges.set(key, g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    if (in_scope(name, prefix, &key)) histograms.set(key, h->to_json());
+  }
+  Json j = Json::object();
+  j.set("counters", std::move(counters));
+  j.set("gauges", std::move(gauges));
+  j.set("histograms", std::move(histograms));
+  return j;
+}
+
+}  // namespace picloud::util

@@ -1,0 +1,140 @@
+// MetricsRegistry — the unified telemetry spine (DESIGN.md §9).
+//
+// The paper's management plane exists to answer "what is the cloud doing
+// right now" (the Fig. 4 panel, per-Pi CPU/memory monitoring of §II-C, the
+// power accounting of Table I). Every layer of this model reports through
+// one registry instead of ad-hoc per-module structs:
+//
+//   * Counter    — monotonically increasing u64 (events, retries, drops);
+//   * Gauge      — last-write-wins double (utilisation, watts, queue depth);
+//   * LogHistogram — fixed-memory log-bucket distribution (latencies, sizes).
+//
+// Names are hierarchical dotted paths, lowercase, with the owning layer as
+// the first segment: `net.fabric.pkts_dropped`, `cloud.reconciler.orphans_gc`,
+// `proto.rest.retries`, `node.<hostname>.cpu_utilization`. Per-node metrics
+// live under `node.<hostname>.` so a daemon can serve its own scope.
+//
+// The registry is owned by the sim::Simulation context (sim.metrics());
+// handles returned by counter()/gauge()/histogram() are stable for the
+// registry's lifetime, so components grab them once at construction and
+// increment on the hot path without a map lookup. Everything is
+// deterministic: same-seed runs produce bit-identical snapshot() JSON
+// (asserted by tests/determinism_test.cc).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace picloud::util {
+
+// Monotonic event count. inc() is a single add — safe on hot paths.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double d) { value_ += d; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+// Fixed-memory distribution: geometric buckets over (min_value, +inf).
+//
+// Bucket i spans [min_value * growth^i, min_value * growth^(i+1)); a
+// percentile query answers the geometric midpoint of its bucket, so the
+// relative error of any quantile is bounded by (growth - 1) — ≤ 8% with the
+// defaults — while memory stays O(max_buckets) no matter how many samples
+// stream in. min(), max(), mean() and sum() are exact (tracked separately).
+//
+// Use this on hot paths (per-request latencies over hours of simulated
+// time); util::Histogram keeps exact percentiles for benches whose tables
+// need them and whose sample counts are bounded.
+class LogHistogram {
+ public:
+  explicit LogHistogram(double min_value = 1e-6, double growth = 1.08,
+                        int max_buckets = 512);
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  // p in [0, 100]. Relative error ≤ (growth - 1); extremes are exact.
+  double percentile(double p) const;
+  double median() const { return percentile(50); }
+  double p99() const { return percentile(99); }
+
+  std::string summary() const;  // "n=…, p50=…, p99=…, max=…"
+  Json to_json() const;         // {count, sum, min, max, mean, p50, p90, p99}
+
+ private:
+  int bucket_index(double v) const;
+
+  double min_value_;
+  double log_growth_;   // precomputed ln(growth)
+  double growth_;
+  std::vector<std::uint64_t> buckets_;  // fixed size, allocated at ctor
+  std::uint64_t underflow_ = 0;         // samples <= 0 or below min_value
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+// The registry: hierarchical names -> metric instances. Handles are stable
+// pointers for the registry's lifetime (values are heap-allocated);
+// requesting an existing name returns the same instance, so independent
+// components contributing to one logical series (e.g. every node's CPU
+// scheduler under `os.sched.*`) aggregate naturally.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  LogHistogram& histogram(const std::string& name, double min_value = 1e-6,
+                          double growth = 1.08, int max_buckets = 512);
+
+  // Read-side helpers (tests, endpoints). Missing names read as zero.
+  std::uint64_t counter_value(const std::string& name) const;
+  double gauge_value(const std::string& name) const;
+  bool has(const std::string& name) const;
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  // Canonical JSON export:
+  //   {"counters": {...}, "gauges": {...}, "histograms": {...}}
+  // With a non-empty `prefix`, only metrics named `prefix` or `prefix.*`
+  // are exported and the `prefix.` is stripped from the keys — the shape a
+  // node daemon serves for its own `node.<hostname>.` scope. Keys iterate
+  // in sorted order, so serialization is deterministic.
+  Json snapshot(const std::string& prefix = "") const;
+
+ private:
+  // std::map keeps names ordered -> deterministic snapshots.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LogHistogram>> histograms_;
+};
+
+}  // namespace picloud::util

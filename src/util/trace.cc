@@ -1,0 +1,80 @@
+#include "util/trace.h"
+
+#include "util/strings.h"
+
+namespace picloud::util {
+
+Json TraceEvent::to_json() const {
+  Json j = Json::object();
+  j.set("t_s", static_cast<double>(t_ns) / 1e9);
+  j.set("component", component);
+  j.set("event", event);
+  if (!kv.empty()) {
+    Json fields = Json::object();
+    for (const auto& [k, v] : kv) fields.set(k, v);
+    j.set("fields", std::move(fields));
+  }
+  return j;
+}
+
+std::string TraceEvent::to_string() const {
+  std::string out = format("[%12.6fs] %s %s", static_cast<double>(t_ns) / 1e9,
+                           component.c_str(), event.c_str());
+  for (const auto& [k, v] : kv) out += " " + k + "=" + v;
+  return out;
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity) : capacity_(capacity) {
+  ring_.reserve(capacity_);
+}
+
+void TraceBuffer::record(std::string component, std::string event,
+                         std::vector<std::pair<std::string, std::string>> kv) {
+  if (!enabled_) return;
+  TraceEvent ev;
+  ev.t_ns = clock_ ? clock_() : 0;
+  ev.component = std::move(component);
+  ev.event = std::move(event);
+  ev.kv = std::move(kv);
+  ++recorded_;
+  if (sink_) sink_(ev);
+  if (capacity_ == 0) {
+    ++dropped_;
+    return;
+  }
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+  } else {
+    ring_[next_] = std::move(ev);
+    next_ = (next_ + 1) % capacity_;
+    ++dropped_;
+  }
+}
+
+std::size_t TraceBuffer::size() const { return ring_.size(); }
+
+std::vector<TraceEvent> TraceBuffer::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+Json TraceBuffer::to_json() const {
+  Json list = Json::array();
+  for (const TraceEvent& ev : events()) list.push_back(ev.to_json());
+  Json j = Json::object();
+  j.set("events", std::move(list));
+  j.set("recorded", static_cast<unsigned long long>(recorded_));
+  j.set("dropped", static_cast<unsigned long long>(dropped_));
+  return j;
+}
+
+void TraceBuffer::clear() {
+  ring_.clear();
+  next_ = 0;
+}
+
+}  // namespace picloud::util

@@ -1,0 +1,94 @@
+// Sim-time structured tracing — the causal-event half of the telemetry
+// spine (DESIGN.md §9; metrics are the aggregate half, util/metrics.h).
+//
+// Components record sparse control-plane events (a migration phase, a chaos
+// crash, a reconciler GC) as (sim-time, component, event, key=value...)
+// tuples into a fixed-capacity ring owned by the Simulation (sim.trace()).
+// The ring keeps the newest events; an optional sink sees every event as it
+// is recorded (live timeline feeds, test assertions) regardless of ring
+// eviction.
+//
+// This is for causal timelines, not hot-path accounting: a 56-node run
+// traces lifecycle edges (hundreds of events), never per-packet or
+// per-request activity — counters and histograms cover those.
+//
+//   PICLOUD_TRACE(sim.trace(), "cloud.chaos", "node_crash",
+//                 {"node", hostname});
+//
+// The macro skips all argument construction when tracing is disabled.
+// Determinism: events carry only sim-derived data, so same-seed runs yield
+// bit-identical to_json() output.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json.h"
+
+namespace picloud::util {
+
+struct TraceEvent {
+  std::int64_t t_ns = 0;  // simulated time the event was recorded
+  std::string component;  // dotted owner, e.g. "cloud.migration"
+  std::string event;      // verb, e.g. "precopy_round"
+  std::vector<std::pair<std::string, std::string>> kv;
+
+  Json to_json() const;       // {"t_s": ..., "component": ..., "event": ..., kv...}
+  std::string to_string() const;  // "[  12.500000s] cloud.chaos node_crash node=pi-r0-03"
+};
+
+class TraceBuffer {
+ public:
+  using Clock = std::function<std::int64_t()>;   // current sim time in ns
+  using Sink = std::function<void(const TraceEvent&)>;
+
+  explicit TraceBuffer(std::size_t capacity = 1024);
+
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  // The owning Simulation installs its clock; unset, events stamp t=0.
+  void set_clock(Clock clock) { clock_ = std::move(clock); }
+  // Sees every record() before ring insertion. Pass nullptr to remove.
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void record(std::string component, std::string event,
+              std::vector<std::pair<std::string, std::string>> kv = {});
+
+  // Retained events, oldest first.
+  std::vector<TraceEvent> events() const;
+  Json to_json() const;  // {"events": [...], "recorded": n, "dropped": n}
+
+  std::uint64_t recorded() const { return recorded_; }
+  // Events evicted from the ring (still seen by the sink, if any).
+  std::uint64_t dropped() const { return dropped_; }
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  bool enabled_ = true;
+  Clock clock_;
+  Sink sink_;
+  std::vector<TraceEvent> ring_;  // grows to capacity_, then wraps
+  std::size_t next_ = 0;          // insertion point once full
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+// Records a trace event iff the buffer is enabled; key/value pairs are
+// brace-lists of two strings: PICLOUD_TRACE(tb, "net.fabric", "link_down",
+// {"link", std::to_string(id)}). Arguments are not evaluated when disabled.
+#define PICLOUD_TRACE(buf_, component_, event_, ...)              \
+  do {                                                            \
+    ::picloud::util::TraceBuffer& tb_ = (buf_);                   \
+    if (tb_.enabled()) tb_.record((component_), (event_), {__VA_ARGS__}); \
+  } while (0)
+
+}  // namespace picloud::util

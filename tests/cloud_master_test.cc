@@ -319,5 +319,52 @@ TEST_F(SmallCloud, ConcurrentDoubleMigrationRefused) {
   EXPECT_TRUE(second_failed) << "second concurrent migration must be refused";
 }
 
+TEST_F(SmallCloud, MetricsEndpointsServeTheSpine) {
+  ASSERT_TRUE(cloud_->spawn_and_wait({.name = "web", .app_kind = "httpd"}).ok());
+  cloud_->run_for(sim::Duration::seconds(5));
+
+  // Pimaster GET /metrics: the whole registry, canonical shape.
+  proto::HttpResponse master = call(proto::Method::kGet, "/metrics");
+  ASSERT_EQ(master.status, 200);
+  ASSERT_TRUE(master.body.has("counters"));
+  ASSERT_TRUE(master.body.has("gauges"));
+  ASSERT_TRUE(master.body.has("histograms"));
+  const Json& counters = master.body.get("counters");
+  EXPECT_GE(counters.get_number("cloud.master.spawns_ok"), 1);
+  EXPECT_GT(counters.get_number("sim.events_executed"), 0);
+  EXPECT_GT(counters.get_number("net.fabric.flows_started"), 0);
+  EXPECT_GT(counters.get_number("proto.rest.server.requests"), 0);
+  // Per-node series show up under node.<hostname>.
+  const std::string& host0 = cloud_->daemon(0).hostname();
+  EXPECT_GT(counters.get_number("node." + host0 + ".heartbeats_sent"), 0);
+  EXPECT_GT(master.body.get("gauges").get_number("node." + host0 +
+                                                 ".mem_capacity"),
+            0);
+
+  // GET /trace serves the sim-time event ring alongside.
+  proto::HttpResponse trace = call(proto::Method::kGet, "/trace");
+  ASSERT_EQ(trace.status, 200);
+  EXPECT_TRUE(trace.body.has("events"));
+
+  // Node daemon GET /metrics: the same canonical shape, prefix-stripped to
+  // the daemon's own node.<hostname> scope.
+  cloud::NodeDaemon& daemon = cloud_->daemon(0);
+  proto::HttpResponse node;
+  bool done = false;
+  cloud_->panel().client().call(
+      daemon.ip(), cloud::NodeDaemon::kPort, proto::Method::kGet, "/metrics",
+      Json(),
+      [&](util::Result<proto::HttpResponse> result) {
+        done = true;
+        if (result.ok()) node = result.value();
+      },
+      sim::Duration::seconds(30));
+  cloud_->run_until(sim::Duration::seconds(60), [&]() { return done; });
+  ASSERT_EQ(node.status, 200);
+  EXPECT_GT(node.body.get("counters").get_number("heartbeats_sent"), 0);
+  EXPECT_GT(node.body.get("gauges").get_number("mem_capacity"), 0);
+  EXPECT_FALSE(node.body.get("counters").has("cloud.master.spawns_ok"));
+}
+
 }  // namespace
 }  // namespace picloud

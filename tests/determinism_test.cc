@@ -38,9 +38,16 @@ class Digest {
   std::uint64_t hash_ = 0xCBF29CE484222325ULL;  // FNV offset basis
 };
 
+struct ScenarioResult {
+  std::uint64_t digest = 0;
+  // Full MetricsRegistry snapshot, serialized. Canonical JSON with sorted
+  // keys: same-seed runs must match this byte for byte (DESIGN.md §9).
+  std::string metrics_json;
+};
+
 // Boots a 2x4 cloud, runs a mixed workload (httpd + kvstore + batch + HTTP
 // load + a delete/respawn cycle), and digests everything observable.
-std::uint64_t run_scenario(std::uint64_t seed) {
+ScenarioResult run_scenario(std::uint64_t seed) {
   sim::Simulation sim(seed);
   cloud::PiCloudConfig config;
   config.racks = 2;
@@ -92,15 +99,26 @@ std::uint64_t run_scenario(std::uint64_t seed) {
     d.add(record.value().hostname);
     d.add(static_cast<std::uint64_t>(record.value().ip.value()));
   }
-  return d.value();
+  return ScenarioResult{d.value(), sim.metrics().snapshot().dump()};
 }
 
 TEST(Determinism, SameSeedSameDigest) {
-  EXPECT_EQ(run_scenario(42), run_scenario(42));
+  EXPECT_EQ(run_scenario(42).digest, run_scenario(42).digest);
 }
 
 TEST(Determinism, DifferentSeedDifferentDigest) {
-  EXPECT_NE(run_scenario(42), run_scenario(1337));
+  EXPECT_NE(run_scenario(42).digest, run_scenario(1337).digest);
+}
+
+// The telemetry spine is part of the determinism contract: every counter,
+// gauge, and histogram any component registered — REST retries, fabric
+// flows, scheduler activity, per-node gauges — must serialize to the exact
+// same bytes on a same-seed rerun.
+TEST(Determinism, SameSeedBitIdenticalMetricsSnapshot) {
+  ScenarioResult a = run_scenario(42);
+  ScenarioResult b = run_scenario(42);
+  EXPECT_FALSE(a.metrics_json.empty());
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
 }
 
 }  // namespace

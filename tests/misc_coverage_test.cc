@@ -54,14 +54,18 @@ TEST(ControlPanelRender, PureRendererFormatsAllSections) {
   summary.set("mem_used", 100.0 * (1 << 20));
   summary.set("mem_capacity", 480.0 * (1 << 20));
 
+  // Node rows arrive in the canonical metrics-snapshot shape: gauges in a
+  // "gauges" sub-object, identity keys stamped on top by the master.
+  util::Json gauges = util::Json::object();
+  gauges.set("cpu_utilization", 0.5);
+  gauges.set("mem_used", 88.0 * (1 << 20));
+  gauges.set("containers_total", 1);
+  gauges.set("power_watts", 2.75);
   util::Json node = util::Json::object();
   node.set("hostname", "pi-r0-00");
   node.set("rack", 0);
   node.set("ip", "10.0.1.1");
-  node.set("cpu", 0.5);
-  node.set("mem_used", 88.0 * (1 << 20));
-  node.set("containers", 1);
-  node.set("watts", 2.75);
+  node.set("gauges", std::move(gauges));
   node.set("alive", true);
   util::Json nodes = util::Json::array().push_back(node);
 

@@ -176,6 +176,80 @@ TEST(LintRestRetry, SuppressionCommentSilences) {
 }
 
 // ---------------------------------------------------------------------------
+// metrics-registry
+
+TEST(LintMetricsRegistry, FlagsStatsStructWithoutRegistryTies) {
+  auto diags = lint_content("src/cloud/x.h",
+                            "#pragma once\n"
+                            "class X {\n"
+                            "  struct Stats { int spawned = 0; };\n"
+                            "};\n");
+  ASSERT_TRUE(has_rule(diags, "metrics-registry"));
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(LintMetricsRegistry, AcceptsValueSnapshotOfRegistrySeries) {
+  // A Stats struct is fine when the file holds registry handles (it is a
+  // value snapshot of registry series, the repo-wide migration pattern)...
+  auto diags = lint_content("src/cloud/x.h",
+                            "#pragma once\n"
+                            "class X {\n"
+                            "  struct Stats { int spawned = 0; };\n"
+                            "  util::Counter* spawned_ = nullptr;\n"
+                            "};\n");
+  EXPECT_FALSE(has_rule(diags, "metrics-registry"));
+  // ...or when it includes util/metrics.h directly.
+  diags = lint_content("src/proto/x.h",
+                       "#pragma once\n"
+                       "#include \"util/metrics.h\"\n"
+                       "struct RetryStats { int retries = 0; };\n");
+  EXPECT_FALSE(has_rule(diags, "metrics-registry"));
+}
+
+TEST(LintMetricsRegistry, StructRuleSkipsUtilAndNonSrc) {
+  // util/ is where the registry itself lives; tests/ and bench/ keep local
+  // aggregation structs freely.
+  EXPECT_FALSE(has_rule(
+      lint_content("src/util/x.h",
+                   "#pragma once\nstruct FooStats { int n = 0; };\n"),
+      "metrics-registry"));
+  EXPECT_FALSE(has_rule(
+      lint_content("bench/x.cc", "struct RunStats { int n = 0; };\n"),
+      "metrics-registry"));
+}
+
+TEST(LintMetricsRegistry, FlagsConsoleOutputInSrc) {
+  auto diags = lint_content("src/cloud/x.cc",
+                            "void f() {\n"
+                            "  printf(\"hi\\n\");\n"
+                            "  std::fprintf(stderr, \"oops\\n\");\n"
+                            "  std::cerr << 1;\n"
+                            "  std::cout << 2;\n"
+                            "}\n");
+  EXPECT_EQ(diags.size(), 4u);
+  EXPECT_TRUE(has_rule(diags, "metrics-registry"));
+}
+
+TEST(LintMetricsRegistry, ConsoleRuleSparesSnprintfAndNonSrc) {
+  // snprintf/vsnprintf format into buffers (PICLOUD_LOG uses them) and
+  // examples/ print to the terminal by design.
+  EXPECT_TRUE(lint_content("src/util/strings.cc",
+                           "int n = std::snprintf(buf, sizeof(buf), \"x\");\n")
+                  .empty());
+  EXPECT_TRUE(
+      lint_content("examples/demo.cpp", "std::printf(\"table row\\n\");\n")
+          .empty());
+}
+
+TEST(LintMetricsRegistry, SuppressionCommentSilences) {
+  auto diags = lint_content(
+      "src/util/logging.cc",
+      "// picloud-lint: allow(metrics-registry)\n"
+      "void sink() { std::fprintf(stderr, \"x\\n\"); }\n");
+  EXPECT_FALSE(has_rule(diags, "metrics-registry"));
+}
+
+// ---------------------------------------------------------------------------
 // suppressions
 
 TEST(LintSuppression, TrailingCommentSilencesThatLine) {

@@ -1,0 +1,174 @@
+// Telemetry spine unit tests: registry semantics, log-bucket histogram
+// accuracy, canonical snapshot JSON, and the sim-time trace ring.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace picloud::util {
+namespace {
+
+TEST(MetricsRegistry, CountersAreStableAndShared) {
+  MetricsRegistry m;
+  Counter& a = m.counter("net.fabric.flows_started");
+  a.inc();
+  a.inc(4);
+  // Requesting the same name returns the same instance: independent
+  // components contributing to one logical series aggregate naturally.
+  Counter& b = m.counter("net.fabric.flows_started");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 5u);
+  EXPECT_EQ(m.counter_value("net.fabric.flows_started"), 5u);
+  EXPECT_EQ(m.counter_value("never.registered"), 0u);
+  EXPECT_TRUE(m.has("net.fabric.flows_started"));
+  EXPECT_FALSE(m.has("net.fabric"));
+}
+
+TEST(MetricsRegistry, HandlesSurviveLaterRegistrations) {
+  MetricsRegistry m;
+  Counter* first = &m.counter("a.first");
+  // A pile of later registrations must not invalidate the earlier handle
+  // (components grab pointers once at construction).
+  for (int i = 0; i < 200; ++i) {
+    m.counter("b.fill." + std::to_string(i)).inc();
+  }
+  first->inc(7);
+  EXPECT_EQ(m.counter_value("a.first"), 7u);
+  EXPECT_EQ(m.size(), 201u);
+}
+
+TEST(MetricsRegistry, GaugeLastWriteWins) {
+  MetricsRegistry m;
+  Gauge& g = m.gauge("node.pi-r0-00.cpu_utilization");
+  g.set(0.25);
+  g.set(0.75);
+  g.add(0.05);
+  EXPECT_DOUBLE_EQ(m.gauge_value("node.pi-r0-00.cpu_utilization"), 0.80);
+}
+
+TEST(LogHistogram, ExactAggregatesAndBoundedQuantileError) {
+  LogHistogram h;  // min 1e-6, growth 1.08 -> quantile error <= 8%
+  std::vector<double> samples;
+  for (int i = 1; i <= 1000; ++i) samples.push_back(static_cast<double>(i));
+  double sum = 0;
+  for (double v : samples) {
+    h.observe(v);
+    sum += v;
+  }
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_DOUBLE_EQ(h.sum(), sum);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  EXPECT_DOUBLE_EQ(h.mean(), sum / 1000.0);
+  // Quantiles land within the documented relative-error bound of the exact
+  // rank statistic; extremes are exact.
+  EXPECT_NEAR(h.median(), 500.0, 500.0 * 0.08);
+  EXPECT_NEAR(h.percentile(90), 900.0, 900.0 * 0.08);
+  EXPECT_NEAR(h.p99(), 990.0, 990.0 * 0.08);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 1000.0);
+}
+
+TEST(LogHistogram, UnderflowAndEmptyBehave) {
+  LogHistogram h(/*min_value=*/1.0, /*growth=*/2.0, /*max_buckets=*/8);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);  // empty
+  h.observe(-3.0);  // below min_value: counted, sorts before bucket 0
+  h.observe(0.0);
+  h.observe(4.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), -3.0);  // exact even for underflow samples
+  EXPECT_DOUBLE_EQ(h.max(), 4.0);
+  EXPECT_DOUBLE_EQ(h.percentile(10), -3.0);  // rank 1 -> underflow -> min
+  EXPECT_DOUBLE_EQ(h.percentile(100), 4.0);
+}
+
+TEST(LogHistogram, TopBucketClampKeepsMaxExact) {
+  LogHistogram h(/*min_value=*/1.0, /*growth=*/2.0, /*max_buckets=*/4);
+  h.observe(1e9);  // far beyond the top bucket (span ends at 16)
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.max(), 1e9);
+  // The quantile saturates at the clamped bucket but never exceeds max().
+  EXPECT_LE(h.median(), 1e9);
+}
+
+TEST(MetricsRegistry, SnapshotJsonRoundTrip) {
+  MetricsRegistry m;
+  m.counter("cloud.master.spawns_ok").inc(3);
+  m.gauge("node.pi-r0-00.power_watts").set(2.75);
+  LogHistogram& h = m.histogram("cloud.migration.downtime_seconds");
+  h.observe(0.5);
+  h.observe(1.5);
+
+  Json snap = m.snapshot();
+  // All three sections are always present, even when empty elsewhere.
+  ASSERT_TRUE(snap.has("counters"));
+  ASSERT_TRUE(snap.has("gauges"));
+  ASSERT_TRUE(snap.has("histograms"));
+  EXPECT_EQ(snap.get("counters").get_number("cloud.master.spawns_ok"), 3);
+  EXPECT_DOUBLE_EQ(snap.get("gauges").get_number("node.pi-r0-00.power_watts"),
+                   2.75);
+  const Json& hist =
+      snap.get("histograms").get("cloud.migration.downtime_seconds");
+  EXPECT_EQ(hist.get_number("count"), 2);
+  EXPECT_DOUBLE_EQ(hist.get_number("sum"), 2.0);
+
+  // Canonical form: dump -> parse -> dump is the identity (sorted keys).
+  std::string dumped = snap.dump();
+  auto parsed = Json::parse(dumped);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().dump(), dumped);
+}
+
+TEST(MetricsRegistry, SnapshotPrefixFiltersAndStrips) {
+  MetricsRegistry m;
+  m.counter("node.pi-r0-00.heartbeats_sent").inc(9);
+  m.gauge("node.pi-r0-00.cpu_utilization").set(0.5);
+  m.counter("node.pi-r0-01.heartbeats_sent").inc(2);
+  m.counter("cloud.master.spawns_ok").inc();
+  // "node.pi-r0-0" is not a path component boundary of pi-r0-00's scope.
+  Json none = m.snapshot("node.pi-r0-0");
+  EXPECT_FALSE(none.get("counters").has("0.heartbeats_sent"));
+
+  Json scoped = m.snapshot("node.pi-r0-00");
+  EXPECT_EQ(scoped.get("counters").get_number("heartbeats_sent"), 9);
+  EXPECT_DOUBLE_EQ(scoped.get("gauges").get_number("cpu_utilization"), 0.5);
+  EXPECT_FALSE(scoped.get("counters").has("node.pi-r0-01.heartbeats_sent"));
+  EXPECT_FALSE(scoped.get("counters").has("cloud.master.spawns_ok"));
+}
+
+TEST(TraceBuffer, RingKeepsNewestAndCountsDrops) {
+  TraceBuffer tb(/*capacity=*/4);
+  std::int64_t now = 0;
+  tb.set_clock([&now]() { return now; });
+  for (int i = 0; i < 10; ++i) {
+    now = i * 1000;
+    PICLOUD_TRACE(tb, "test", "tick", {"i", std::to_string(i)});
+  }
+  EXPECT_EQ(tb.recorded(), 10u);
+  EXPECT_EQ(tb.dropped(), 6u);
+  std::vector<TraceEvent> events = tb.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest first, newest retained.
+  EXPECT_EQ(events.front().kv.at(0).second, "6");
+  EXPECT_EQ(events.back().kv.at(0).second, "9");
+  EXPECT_EQ(events.back().t_ns, 9000);
+}
+
+TEST(TraceBuffer, SinkSeesEverythingAndDisableSkips) {
+  TraceBuffer tb(/*capacity=*/2);
+  int sunk = 0;
+  tb.set_sink([&sunk](const TraceEvent&) { ++sunk; });
+  for (int i = 0; i < 5; ++i) PICLOUD_TRACE(tb, "test", "e");
+  EXPECT_EQ(sunk, 5);  // the sink outlives ring eviction
+  tb.set_enabled(false);
+  PICLOUD_TRACE(tb, "test", "e");
+  EXPECT_EQ(sunk, 5);
+  EXPECT_EQ(tb.recorded(), 5u);
+}
+
+}  // namespace
+}  // namespace picloud::util

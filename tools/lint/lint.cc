@@ -255,6 +255,46 @@ const std::map<std::string, std::set<std::string>>& layering() {
   return kDag;
 }
 
+// --- metrics-registry --------------------------------------------------------
+
+// Raw console output bypasses PICLOUD_LOG (and so the log sink / clock
+// prefixing). snprintf/vsnprintf stay legal: contains_token matches whole
+// identifiers only.
+constexpr BannedApi kConsoleApis[] = {
+    {"printf", true, "use PICLOUD_LOG (util/logging.h)"},
+    {"fprintf", true, "use PICLOUD_LOG (util/logging.h)"},
+    {"cerr", false, "use PICLOUD_LOG (util/logging.h)"},
+    {"cout", false, "use PICLOUD_LOG (util/logging.h)"},
+};
+
+// The identifier following a `struct` keyword on this blanked line, or ""
+// when there is none.
+std::string struct_name_on_line(const std::string& code) {
+  std::size_t at = 0;
+  const std::string kw = "struct";
+  while ((at = code.find(kw, at)) != std::string::npos) {
+    bool start_ok = at == 0 || !is_ident_char(code[at - 1]);
+    std::size_t end = at + kw.size();
+    bool end_ok = end < code.size() && !is_ident_char(code[end]);
+    if (!start_ok || !end_ok) {
+      at = end;
+      continue;
+    }
+    std::size_t b = code.find_first_not_of(" \t", end);
+    if (b == std::string::npos) return "";
+    std::size_t e = b;
+    while (e < code.size() && is_ident_char(code[e])) ++e;
+    if (e > b) return code.substr(b, e - b);
+    at = end;
+  }
+  return "";
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
 void split_lines(const std::string& text, std::vector<std::string>* out) {
   std::string line;
   std::stringstream ss(text);
@@ -393,6 +433,17 @@ std::vector<Diagnostic> lint_content(const std::string& path,
   const auto& dag = layering();
   auto allowed = dag.find(module);
 
+  // metrics-registry precondition: does this file talk to the spine? The
+  // include is parsed from raw text (the blanking pass erases quoted
+  // paths); the handle types from blanked code (a comment naming them does
+  // not count).
+  const bool metrics_aware =
+      content.find("#include \"util/metrics.h\"") != std::string::npos ||
+      pre.code.find("util::Counter") != std::string::npos ||
+      pre.code.find("util::Gauge") != std::string::npos ||
+      pre.code.find("util::LogHistogram") != std::string::npos ||
+      pre.code.find("MetricsRegistry") != std::string::npos;
+
   for (std::size_t i = 0; i < code_lines.size(); ++i) {
     const std::string& code = code_lines[i];
     int line = static_cast<int>(i) + 1;
@@ -411,6 +462,28 @@ std::vector<Diagnostic> lint_content(const std::string& path,
       report(line, "raw-assert",
              "'assert(' vanishes under NDEBUG; use PICLOUD_CHECK / "
              "PICLOUD_DCHECK from util/check.h");
+    }
+
+    // metrics-registry: ad-hoc Stats structs outside util/ must be value
+    // snapshots of registry series, and console output goes via PICLOUD_LOG.
+    if (in_src && module != "util" && !metrics_aware) {
+      std::string name = struct_name_on_line(code);
+      if (!name.empty() && ends_with(name, "Stats")) {
+        report(line, "metrics-registry",
+               "'struct " + name +
+                   "' is a parallel counter store; register the series with "
+                   "the MetricsRegistry (util/metrics.h) and keep this as a "
+                   "value snapshot of it");
+      }
+    }
+    if (in_src) {
+      for (const BannedApi& api : kConsoleApis) {
+        if (contains_token(code, api.token, api.requires_call)) {
+          report(line, "metrics-registry",
+                 std::string("'") + api.token +
+                     "' bypasses the structured log spine; " + api.hint);
+        }
+      }
     }
 
     // include-hygiene: no upward includes across the layering DAG. Parsed

@@ -22,6 +22,14 @@
 //                     or timeout/Duration argument. The datagram network
 //                     drops requests; a bare call hangs on the default
 //                     single-attempt timeout with no backoff.
+//   metrics-registry  telemetry must flow through the unified spine
+//                     (DESIGN.md §9). A `struct *Stats` declared in src/
+//                     outside util/ must live in a file that talks to the
+//                     MetricsRegistry (includes util/metrics.h or holds
+//                     util::Counter/Gauge/LogHistogram handles) — i.e. be a
+//                     value snapshot of registry series, not a parallel
+//                     counter store. Direct std::cerr/std::cout/printf/
+//                     fprintf in src/ is banned in favour of PICLOUD_LOG.
 //
 // A finding on a line is suppressed with a trailing or immediately preceding
 // comment:  // picloud-lint: allow(<rule>[, <rule>...])
