@@ -12,6 +12,8 @@
 #include "cloud/cloud.h"
 #include "net/topology.h"
 #include "sim/simulation.h"
+#include "testing/runner.h"
+#include "testing/scenario.h"
 
 using namespace picloud;
 
@@ -92,6 +94,22 @@ void BM_CloudMinute(benchmark::State& state) {
   state.SetLabel("sim-minutes/wall-iteration");
 }
 BENCHMARK(BM_CloudMinute)->Unit(benchmark::kMillisecond);
+
+// One full fuzzer scenario end to end — boot, workloads, chaos schedule,
+// invariant sweeps, quiesce. Tracks the cost of a sweep seed so the tier-1
+// 25-seed budget (and the nightly 250) stays honest as the stack grows.
+void BM_ScenarioFuzz(benchmark::State& state) {
+  const picloud::testing::Scenario scenario =
+      picloud::testing::ScenarioGenerator().generate(
+          static_cast<std::uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    picloud::testing::RunReport report =
+        picloud::testing::run_scenario(scenario);
+    benchmark::DoNotOptimize(report.digest);
+  }
+  state.SetLabel("seed " + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_ScenarioFuzz)->Arg(1)->Arg(3)->Unit(benchmark::kMillisecond);
 
 // Canonical fixed-seed scenario whose full MetricsRegistry snapshot is
 // written as JSON after the benchmarks — the machine-readable artifact CI

@@ -82,18 +82,23 @@ class PiCloud {
 
   // --- Components --------------------------------------------------------------
   sim::Simulation& simulation() { return sim_; }
+  const sim::Simulation& simulation() const { return sim_; }
   net::Fabric& fabric() { return *fabric_; }
+  const net::Fabric& fabric() const { return *fabric_; }
   net::Network& network() { return *network_; }
   const net::Topology& topology() const { return topology_; }
   net::SdnController* sdn() { return sdn_.get(); }
   PiMaster& master() { return *master_; }
+  const PiMaster& master() const { return *master_; }
   ControlPanel& panel() { return *panel_; }
   hw::MachineRoom& machine_room() { return machine_room_; }
 
   size_t node_count() const { return daemons_.size(); }
   NodeDaemon& daemon(size_t i) { return *daemons_[i]; }
+  const NodeDaemon& daemon(size_t i) const { return *daemons_[i]; }
   NodeDaemon* daemon_by_hostname(const std::string& hostname);
   os::NodeOs& node(size_t i) { return *node_oses_[i]; }
+  const os::NodeOs& node(size_t i) const { return *node_oses_[i]; }
   hw::Device& device(size_t i) { return *devices_[i]; }
 
   net::Ipv4Addr master_ip() const { return config_.master_ip; }

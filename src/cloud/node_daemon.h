@@ -84,6 +84,7 @@ class NodeDaemon {
   void crash();
 
   os::NodeOs& node() { return node_; }
+  const os::NodeOs& node() const { return node_; }
   const std::string& hostname() const { return node_.hostname(); }
   bool registered() const { return registered_; }
   net::Ipv4Addr ip() const { return node_.host_ip(); }

@@ -4,6 +4,7 @@
 
 #include "os/container.h"
 #include "util/check.h"
+#include "util/faults.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -35,6 +36,7 @@ PiMaster::PiMaster(net::Network& network, net::NetNodeId fabric_node,
       config_(std::move(config)),
       monitor_(sim_, config_.node_liveness_window) {
   util::MetricsRegistry& m = sim_.metrics();
+  spawn_requests_ = &m.counter("cloud.master.spawn_requests");
   spawns_ok_ = &m.counter("cloud.master.spawns_ok");
   spawns_failed_ = &m.counter("cloud.master.spawns_failed");
   idem_.bind_metrics(m, "cloud.master.dedup");
@@ -207,6 +209,10 @@ std::vector<NodeView> PiMaster::placement_views() const {
 }
 
 void PiMaster::spawn_instance(SpawnSpec spec, SpawnCallback cb) {
+  // Every admission is counted exactly once, before any outcome: the
+  // invariant spawns_ok + spawns_failed <= spawn_requests holds at all
+  // times (equality once no spawn is in flight).
+  spawn_requests_->inc();
   if (spec.name.empty()) {
     spawns_failed_->inc();
     cb(util::Error::make("invalid", "instance name required"));
@@ -338,6 +344,9 @@ void PiMaster::spawn_instance(SpawnSpec spec, SpawnCallback cb) {
         instances_[spec.name] = record;
         dns_->add_record(spec.name, vip);
         spawns_ok_->inc();
+        if (util::FaultInjection::instance().double_count_spawn_ok) {
+          spawns_ok_->inc();  // planted bug for the fuzzer self-check
+        }
         record_op_end(spec.name, true);
         LOG_INFO("pimaster", "spawned %s on %s at %s", spec.name.c_str(),
                  hostname.c_str(), vip.to_string().c_str());

@@ -177,9 +177,15 @@ class PiMaster {
   // True while a spawn/delete/migrate for `name` has not completed.
   bool operation_in_flight(const std::string& name) const;
   std::vector<InstanceRecord> instances() const;
+  // Zero-copy const view of the registry, keyed by instance name — what the
+  // invariant checker and other read-only auditors iterate.
+  const std::map<std::string, InstanceRecord>& instance_records() const {
+    return instances_;
+  }
   util::Status set_policy(const std::string& name);
   const std::string& policy_name() const { return policy_name_; }
 
+  std::uint64_t spawn_requests() const { return spawn_requests_->value(); }
   std::uint64_t spawns_succeeded() const { return spawns_ok_->value(); }
   std::uint64_t spawns_failed() const { return spawns_failed_->value(); }
 
@@ -232,6 +238,7 @@ class PiMaster {
   std::uint64_t op_seq_ = 0;  // idempotency keys for proxied daemon calls
   std::uint32_t next_container_mac_ = 1;
   // Registry handles under `cloud.master.*` (never null).
+  util::Counter* spawn_requests_ = nullptr;
   util::Counter* spawns_ok_ = nullptr;
   util::Counter* spawns_failed_ = nullptr;
   bool started_ = false;

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "util/check.h"
+#include "util/faults.h"
 #include "util/logging.h"
 
 namespace picloud::net {
@@ -39,9 +40,9 @@ std::pair<LinkId, LinkId> Fabric::add_link(NetNodeId a, NetNodeId b,
   LinkId ab = static_cast<LinkId>(links_.size());
   LinkId ba = ab + 1;
   links_.push_back(
-      DirectedLink{ab, a, b, capacity_bps, delay, true, 0, 0, 0, 0});
+      DirectedLink{ab, a, b, capacity_bps, delay, true, 0, 0, 0, 0, 0});
   links_.push_back(
-      DirectedLink{ba, b, a, capacity_bps, delay, true, 0, 0, 0, 0});
+      DirectedLink{ba, b, a, capacity_bps, delay, true, 0, 0, 0, 0, 0});
   nodes_[a].out_links.push_back(ab);
   nodes_[b].out_links.push_back(ba);
   return {ab, ba};
@@ -186,6 +187,12 @@ FlowId Fabric::start_flow(FlowSpec spec) {
       });
       flows_failed_->inc();
       flows_lost_->inc();
+      // Per-link drop odometer; sum(links.flows_dropped) == flows_lost is a
+      // fuzzer invariant. The fault knob plants exactly that bug for the
+      // harness's self-check.
+      if (!util::FaultInjection::instance().skip_link_drop_accounting) {
+        ++links_[lid].flows_dropped;
+      }
       if (routing_ != nullptr) routing_->on_flow_end(id);
       return id;
     }

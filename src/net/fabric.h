@@ -53,6 +53,10 @@ struct DirectedLink {
   int active_flows = 0;
   // Cumulative bytes carried (monitoring / SDN stats).
   double bytes_carried = 0;
+  // Flows this link dropped at admission while lossy. Summed over all links
+  // this equals the fabric's flows_lost() counter — an invariant the
+  // simulation fuzzer's fabric-conservation probe checks every sweep.
+  std::uint64_t flows_dropped = 0;
 
   double utilization() const {
     return capacity_bps > 0 ? allocated_bps / capacity_bps : 0.0;
@@ -101,6 +105,9 @@ class Fabric {
   // --- Introspection --------------------------------------------------------
   const NetNode& node(NetNodeId id) const { return nodes_[id]; }
   const DirectedLink& link(LinkId id) const { return links_[id]; }
+  // Const view of every directed link — per-link byte/drop counters for
+  // monitoring and the invariant checker.
+  const std::vector<DirectedLink>& links() const { return links_; }
   size_t node_count() const { return nodes_.size(); }
   size_t link_count() const { return links_.size(); }
   std::optional<NetNodeId> find_node(const std::string& name) const;

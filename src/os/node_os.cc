@@ -141,6 +141,13 @@ std::vector<Container*> NodeOs::containers() {
   return out;
 }
 
+std::vector<const Container*> NodeOs::containers() const {
+  std::vector<const Container*> out;
+  out.reserve(containers_.size());
+  for (const auto& [name, c] : containers_) out.push_back(c.get());
+  return out;
+}
+
 size_t NodeOs::running_container_count() const {
   size_t n = 0;
   for (const auto& [name, c] : containers_) {

@@ -55,6 +55,7 @@ class NodeOs {
   sim::Simulation& simulation() { return sim_; }
   CpuScheduler& cpu() { return *cpu_; }
   MemoryManager& memory() { return *memory_; }
+  const MemoryManager& memory() const { return *memory_; }
   storage::SdCard& sdcard() { return *sdcard_; }
   net::Network& network() { return network_; }
 
@@ -72,6 +73,7 @@ class NodeOs {
   // Stops (if needed) and removes the container.
   util::Status destroy_container(const std::string& name);
   std::vector<Container*> containers();
+  std::vector<const Container*> containers() const;
   size_t container_count() const { return containers_.size(); }
   size_t running_container_count() const;
 

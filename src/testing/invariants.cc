@@ -1,0 +1,315 @@
+#include "testing/invariants.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "net/fabric.h"
+#include "os/container.h"
+#include "os/node_os.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace picloud::testing {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Built-in probe catalogue. Each factory closes over the cloud and returns
+// the probe; install_builtin_probes() registers every one of them — the
+// picloud_lint invariant-catalogue rule fails the build if a probe_* factory
+// is defined here but never registered.
+// ---------------------------------------------------------------------------
+
+// No double memory accounting on any node: Raspbian's own footprint plus
+// the sum of container cgroup charges must equal the memory manager's used
+// bytes exactly. A leaked group (container destroyed without uncharge) or a
+// double charge (spawn retry charging twice) breaks the equality.
+InvariantChecker::Probe probe_memory_accounting(cloud::PiCloud& cloud) {
+  return [&cloud](const InvariantChecker::FailFn& fail) {
+    for (size_t i = 0; i < cloud.node_count(); ++i) {
+      const os::NodeOs& node = std::as_const(cloud).node(i);
+      if (!node.running()) continue;
+      std::uint64_t expected = os::NodeOs::kSystemRamBytes;
+      for (const os::Container* c : node.containers()) {
+        expected += c->memory_usage();
+      }
+      const std::uint64_t used = node.memory().used();
+      if (used != expected) {
+        std::ostringstream msg;
+        msg << node.hostname() << ": memory used " << used
+            << " != system + containers " << expected;
+        fail(msg.str());
+      }
+    }
+  };
+}
+
+// Instance-record state machine legality: every record carries a known
+// state, a name, a host, and a positive admission reservation.
+InvariantChecker::Probe probe_instance_record_legality(cloud::PiCloud& cloud) {
+  return [&cloud](const InvariantChecker::FailFn& fail) {
+    const sim::SimTime now = cloud.simulation().now();
+    for (const auto& [name, rec] :
+         std::as_const(cloud).master().instance_records()) {
+      if (rec.state != "running" && rec.state != "migrating" &&
+          rec.state != "lost") {
+        fail(name + ": illegal state '" + rec.state + "'");
+      }
+      if (rec.name != name) {
+        fail(name + ": record name '" + rec.name + "' disagrees with key");
+      }
+      if (rec.hostname.empty()) {
+        fail(name + ": record has no hostname");
+      }
+      if (rec.mem_reserved == 0) {
+        fail(name + ": zero memory reservation");
+      }
+      if (rec.created_at > now) {
+        fail(name + ": created in the future");
+      }
+    }
+  };
+}
+
+// Registry <-> daemon agreement (quiesce only — legitimately false while a
+// migration holds two copies or a crash has not yet been reconciled):
+// every "running" record maps to a live container, every live container
+// maps to a record, and no container name exists twice in the fleet.
+InvariantChecker::Probe probe_registry_agreement(cloud::PiCloud& cloud) {
+  return [&cloud](const InvariantChecker::FailFn& fail) {
+    std::map<std::string, int> live;
+    for (size_t i = 0; i < cloud.node_count(); ++i) {
+      const os::NodeOs& node = std::as_const(cloud).node(i);
+      if (!node.running()) continue;
+      for (const os::Container* c : node.containers()) {
+        if (c->state() == os::ContainerState::kRunning ||
+            c->state() == os::ContainerState::kFrozen) {
+          ++live[c->name()];
+        }
+      }
+    }
+    for (const auto& [name, count] : live) {
+      if (count > 1) {
+        fail("container '" + name + "' exists on " + std::to_string(count) +
+             " nodes");
+      }
+    }
+    const auto& records = std::as_const(cloud).master().instance_records();
+    for (const auto& [name, rec] : records) {
+      if (rec.state != "running") continue;
+      cloud::NodeDaemon* host = cloud.daemon_by_hostname(rec.hostname);
+      if (host == nullptr || !host->node().running()) {
+        fail("record '" + name + "' running on dead node " + rec.hostname);
+        continue;
+      }
+      if (live.find(name) == live.end()) {
+        fail("record '" + name + "' running on " + rec.hostname +
+             " but no such container in the fleet");
+      }
+    }
+    for (const auto& [name, count] : live) {
+      auto it = records.find(name);
+      if (it == records.end()) {
+        fail("container '" + name + "' has no instance record (orphan)");
+      } else if (it->second.state == "lost") {
+        fail("container '" + name + "' alive but recorded lost");
+      }
+    }
+  };
+}
+
+// Metrics consistency on the master's spawn pipeline: every terminal
+// outcome was admitted exactly once, so ok + failed can never exceed
+// requests (the double_count_spawn_ok fault knob breaks exactly this).
+InvariantChecker::Probe probe_spawn_accounting(cloud::PiCloud& cloud) {
+  return [&cloud](const InvariantChecker::FailFn& fail) {
+    const util::MetricsRegistry& m = cloud.simulation().metrics();
+    const std::uint64_t requests =
+        m.counter_value("cloud.master.spawn_requests");
+    const std::uint64_t ok = m.counter_value("cloud.master.spawns_ok");
+    const std::uint64_t failed = m.counter_value("cloud.master.spawns_failed");
+    if (ok + failed > requests) {
+      std::ostringstream msg;
+      msg << "spawn outcomes exceed admissions: ok " << ok << " + failed "
+          << failed << " > requests " << requests;
+      fail(msg.str());
+    }
+  };
+}
+
+// Conservation of flows and bytes in the fabric: every started flow is
+// completed, failed, or still active; lossy-link drops are a subset of
+// failures and sum per-link to the global counter; no link is allocated
+// past capacity; per-link byte odometers never run backwards.
+InvariantChecker::Probe probe_fabric_conservation(cloud::PiCloud& cloud) {
+  auto last_bytes = std::make_shared<std::vector<double>>();
+  return [&cloud, last_bytes](const InvariantChecker::FailFn& fail) {
+    const net::Fabric& fabric = std::as_const(cloud).fabric();
+    const std::uint64_t started = fabric.flows_started();
+    const std::uint64_t completed = fabric.flows_completed();
+    const std::uint64_t failed = fabric.flows_failed();
+    const std::uint64_t active = fabric.active_flow_count();
+    if (started != completed + failed + active) {
+      std::ostringstream msg;
+      msg << "flow conservation: started " << started << " != completed "
+          << completed << " + failed " << failed << " + active " << active;
+      fail(msg.str());
+    }
+    if (fabric.flows_lost() > failed) {
+      fail("lossy drops " + std::to_string(fabric.flows_lost()) +
+           " exceed total failures " + std::to_string(failed));
+    }
+    std::uint64_t link_drops = 0;
+    last_bytes->resize(fabric.links().size(), 0.0);
+    for (const net::DirectedLink& link : fabric.links()) {
+      link_drops += link.flows_dropped;
+      if (link.active_flows < 0) {
+        fail("link " + std::to_string(link.id) + " negative active flows");
+      }
+      if (link.allocated_bps > link.capacity_bps * (1 + 1e-6)) {
+        std::ostringstream msg;
+        msg << "link " << link.id << " allocated " << link.allocated_bps
+            << " bps over capacity " << link.capacity_bps;
+        fail(msg.str());
+      }
+      double& prev = (*last_bytes)[link.id];
+      if (link.bytes_carried + 1e-9 < prev) {
+        std::ostringstream msg;
+        msg << "link " << link.id << " bytes_carried went backwards: "
+            << prev << " -> " << link.bytes_carried;
+        fail(msg.str());
+      }
+      prev = link.bytes_carried;
+    }
+    if (link_drops != fabric.flows_lost()) {
+      std::ostringstream msg;
+      msg << "per-link drop accounting: sum " << link_drops
+          << " != fabric flows_lost " << fabric.flows_lost();
+      fail(msg.str());
+    }
+  };
+}
+
+// Post-chaos convergence (quiesce only): every fault in a scenario is
+// paired with a recovery, so by quiesce the whole fleet must be powered,
+// registered, heartbeating within the liveness window, with no migration
+// still in flight.
+InvariantChecker::Probe probe_convergence(cloud::PiCloud& cloud) {
+  return [&cloud](const InvariantChecker::FailFn& fail) {
+    for (size_t i = 0; i < cloud.node_count(); ++i) {
+      cloud::NodeDaemon& daemon = cloud.daemon(i);
+      if (!daemon.node().running()) {
+        fail("node " + daemon.hostname() + " still down at quiesce");
+        continue;
+      }
+      if (!daemon.registered()) {
+        fail("node " + daemon.hostname() + " not registered at quiesce");
+      }
+      if (!cloud.master().monitor().alive(daemon.hostname())) {
+        fail("node " + daemon.hostname() + " not heartbeating at quiesce");
+      }
+    }
+    const std::uint64_t in_flight = cloud.master().migrations().in_flight();
+    if (in_flight != 0) {
+      fail(std::to_string(in_flight) + " migrations still in flight");
+    }
+  };
+}
+
+}  // namespace
+
+InvariantChecker::InvariantChecker(sim::Simulation& sim,
+                                   cloud::PiCloud& cloud)
+    : sim_(sim), cloud_(cloud) {}
+
+void InvariantChecker::register_probe(std::string name, Phase phase,
+                                      Probe probe) {
+  probes_.push_back(Entry{std::move(name), phase, std::move(probe)});
+}
+
+void InvariantChecker::install_builtin_probes() {
+  register_probe("memory-accounting", Phase::kSweep,
+                 probe_memory_accounting(cloud_));
+  register_probe("instance-record-legality", Phase::kSweep,
+                 probe_instance_record_legality(cloud_));
+  register_probe("spawn-accounting", Phase::kSweep,
+                 probe_spawn_accounting(cloud_));
+  register_probe("fabric-conservation", Phase::kSweep,
+                 probe_fabric_conservation(cloud_));
+  register_probe("registry-agreement", Phase::kQuiesce,
+                 probe_registry_agreement(cloud_));
+  register_probe("post-chaos-convergence", Phase::kQuiesce,
+                 probe_convergence(cloud_));
+}
+
+void InvariantChecker::run_phase(bool include_quiesce) {
+  util::Counter& probe_runs =
+      sim_.metrics().counter("testing.invariants.probe_runs");
+  util::Counter& violation_count =
+      sim_.metrics().counter("testing.invariants.violations");
+  const std::int64_t now_ns = sim_.now().ns();
+  for (const Entry& entry : probes_) {
+    if (entry.phase == Phase::kQuiesce && !include_quiesce) continue;
+    probe_runs.inc();
+    const std::string& probe_name = entry.name;
+    auto fail = [this, &violation_count, &probe_name,
+                 now_ns](const std::string& message) {
+      // Dedup: a continuously-violated invariant records once per distinct
+      // message, with a repeat count, so reports stay readable.
+      for (size_t i = 0; i < violations_.size(); ++i) {
+        if (violations_[i].probe == probe_name &&
+            violations_[i].message == message) {
+          ++repeat_counts_[i];
+          return;
+        }
+      }
+      violation_count.inc();
+      violations_.push_back(Violation{probe_name, now_ns, message});
+      repeat_counts_.push_back(1);
+      PICLOUD_TRACE(sim_.trace(), "testing.invariants", "violation",
+                    {"probe", probe_name}, {"message", message});
+    };
+    entry.probe(fail);
+  }
+}
+
+void InvariantChecker::sweep() {
+  ++sweeps_;
+  sim_.metrics().counter("testing.invariants.sweeps").inc();
+  run_phase(/*include_quiesce=*/false);
+}
+
+void InvariantChecker::run_quiesce() {
+  sim_.metrics().counter("testing.invariants.quiesce_runs").inc();
+  run_phase(/*include_quiesce=*/true);
+}
+
+std::string InvariantChecker::report(std::uint64_t seed,
+                                     std::size_t trace_tail) const {
+  std::ostringstream out;
+  out << "invariant report: seed=" << seed << " t="
+      << sim_.now().to_seconds() << "s sweeps=" << sweeps_ << " violations="
+      << violations_.size() << "\n";
+  for (size_t i = 0; i < violations_.size(); ++i) {
+    const Violation& v = violations_[i];
+    out << "  [t=" << static_cast<double>(v.t_ns) * 1e-9 << "s] " << v.probe
+        << ": " << v.message;
+    if (repeat_counts_[i] > 1) out << " (x" << repeat_counts_[i] << ")";
+    out << "\n";
+  }
+  const auto events = sim_.trace().events();
+  if (!events.empty() && !violations_.empty()) {
+    out << "  trace tail (" << std::min(trace_tail, events.size()) << " of "
+        << events.size() << " retained):\n";
+    const size_t start =
+        events.size() > trace_tail ? events.size() - trace_tail : 0;
+    for (size_t i = start; i < events.size(); ++i) {
+      out << "    " << events[i].to_string() << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace picloud::testing

@@ -1,0 +1,96 @@
+// InvariantChecker — cluster-wide correctness probes for simulation fuzzing
+// (DESIGN.md §10).
+//
+// A probe is a named predicate over the whole cloud (every node's OS, the
+// master's instance registry, the fabric's accounting, the metrics spine)
+// that must hold either continuously (Phase::kSweep — evaluated at a
+// sim-time cadence while chaos is running) or once the cluster has
+// converged (Phase::kQuiesce — stronger claims like "registry agrees with
+// reality" that are legitimately false mid-migration or mid-crash).
+//
+// Probes live in the central catalogue (install_builtin_probes) or are
+// registered by the runner for scenario-specific state (e.g. the load
+// generator's histogram accounting); picloud_lint's invariant-catalogue
+// rule enforces that every probe_* factory in src/testing/ is actually
+// registered somewhere — an unreferenced probe is dead checking code.
+//
+// Determinism contract: probes only *read* simulation state. They never
+// draw from any rng stream and never schedule events, so an instrumented
+// run digests bit-identically to a bare one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cloud/cloud.h"
+#include "sim/simulation.h"
+
+namespace picloud::testing {
+
+enum class Phase {
+  kSweep,    // must hold at every sweep while the scenario runs
+  kQuiesce,  // must hold after convergence (also evaluated at quiesce)
+};
+
+struct Violation {
+  std::string probe;
+  std::int64_t t_ns = 0;  // sim time the probe fired
+  std::string message;
+};
+
+class InvariantChecker {
+ public:
+  // A probe calls `fail(message)` once per violated condition.
+  using FailFn = std::function<void(const std::string&)>;
+  using Probe = std::function<void(const FailFn&)>;
+
+  InvariantChecker(sim::Simulation& sim, cloud::PiCloud& cloud);
+
+  InvariantChecker(const InvariantChecker&) = delete;
+  InvariantChecker& operator=(const InvariantChecker&) = delete;
+
+  // Adds a probe to the catalogue. Names are stable identifiers that show
+  // up in violation reports and repro files.
+  void register_probe(std::string name, Phase phase, Probe probe);
+
+  // The built-in catalogue: memory accounting, instance-record legality,
+  // registry<->daemon agreement, metrics consistency, fabric conservation,
+  // post-chaos convergence.
+  void install_builtin_probes();
+
+  // Evaluates every kSweep probe at the current sim time.
+  void sweep();
+  // Evaluates the full catalogue (sweep + quiesce probes) — call once the
+  // scenario believes the cluster has converged.
+  void run_quiesce();
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<Violation>& violations() const { return violations_; }
+  std::uint64_t sweeps() const { return sweeps_; }
+
+  // Human-readable failure report: each violation with its sim time, plus
+  // the tail of the sim-time trace ring for causal context.
+  std::string report(std::uint64_t seed, std::size_t trace_tail = 25) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    Phase phase;
+    Probe probe;
+  };
+
+  void run_phase(bool include_quiesce);
+
+  sim::Simulation& sim_;
+  cloud::PiCloud& cloud_;
+  std::vector<Entry> probes_;
+  std::vector<Violation> violations_;
+  std::uint64_t sweeps_ = 0;
+  // A probe that fails every sweep would flood the report; identical
+  // (probe, message) pairs are recorded once and counted.
+  std::vector<std::uint64_t> repeat_counts_;
+};
+
+}  // namespace picloud::testing

@@ -1,0 +1,152 @@
+#include "testing/minimizer.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace picloud::testing {
+
+namespace {
+
+// Removes every chaos event belonging to a pair id in `gone`, then tightens
+// the chaos window to just past the last remaining event (an empty schedule
+// keeps a short token window so the scenario shape stays valid).
+Scenario drop_pairs(const Scenario& s, const std::set<int>& gone) {
+  Scenario out = s;
+  out.chaos.clear();
+  std::int64_t last_ns = 0;
+  for (const ChaosEvent& e : s.chaos) {
+    if (gone.count(e.pair) > 0) continue;
+    out.chaos.push_back(e);
+    last_ns = std::max(last_ns, e.at.ns());
+  }
+  if (out.chaos.size() < s.chaos.size()) {
+    const std::int64_t floor_ns = sim::Duration::seconds(30).ns();
+    out.chaos_window = sim::Duration::nanos(
+        std::max(floor_ns, last_ns + sim::Duration::seconds(10).ns()));
+  }
+  return out;
+}
+
+std::vector<int> pair_ids(const Scenario& s) {
+  std::set<int> ids;
+  for (const ChaosEvent& e : s.chaos) ids.insert(e.pair);
+  return std::vector<int>(ids.begin(), ids.end());
+}
+
+}  // namespace
+
+SeedMinimizer::SeedMinimizer(RunFn run, int max_runs)
+    : run_(std::move(run)), max_runs_(max_runs) {}
+
+int SeedMinimizer::size(const Scenario& s) {
+  return s.node_count() + static_cast<int>(s.chaos.size()) +
+         s.total_replicas();
+}
+
+bool SeedMinimizer::still_fails(const Scenario& candidate,
+                                const std::string& signature,
+                                int* runs_left) {
+  if (*runs_left <= 0) return false;
+  --*runs_left;
+  RunReport r = run_(candidate);
+  return r.failed() && r.signature() == signature;
+}
+
+SeedMinimizer::Outcome SeedMinimizer::minimize(const Scenario& start) {
+  Outcome out;
+  out.minimal = start;
+  int runs_left = max_runs_;
+
+  --runs_left;
+  RunReport original = run_(start);
+  out.runs = 1;
+  out.original_failed = original.failed();
+  if (!out.original_failed) return out;
+  out.signature = original.signature();
+
+  Scenario best = start;
+
+  // 1. Chaos reduction, ddmin-style: try dropping halves of the pair set,
+  //    then quarters, then individual pairs. After an accepted reduction the
+  //    scan restarts over the smaller pair set at the same granularity.
+  for (int granularity = 2; granularity <= 8; granularity *= 2) {
+    bool progressed = true;
+    while (progressed && runs_left > 0) {
+      progressed = false;
+      const std::vector<int> ids = pair_ids(best);
+      if (ids.empty()) break;
+      const size_t chunk =
+          std::max<size_t>(1, ids.size() / static_cast<size_t>(granularity));
+      for (size_t lo = 0; lo < ids.size(); lo += chunk) {
+        std::set<int> gone(
+            ids.begin() + static_cast<std::ptrdiff_t>(lo),
+            ids.begin() +
+                static_cast<std::ptrdiff_t>(std::min(lo + chunk, ids.size())));
+        Scenario candidate = drop_pairs(best, gone);
+        if (candidate.chaos.size() == best.chaos.size()) continue;
+        if (still_fails(candidate, out.signature, &runs_left)) {
+          best = candidate;
+          progressed = true;
+          break;
+        }
+      }
+    }
+    if (pair_ids(best).size() <= 1) break;
+  }
+
+  // 2. Workload reduction: drop whole tiers, then shed replicas.
+  for (size_t i = 0; i < best.workloads.size();) {
+    Scenario candidate = best;
+    candidate.workloads.erase(candidate.workloads.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+    if (still_fails(candidate, out.signature, &runs_left)) {
+      best = candidate;
+    } else {
+      ++i;
+    }
+  }
+  for (size_t i = 0; i < best.workloads.size(); ++i) {
+    while (best.workloads[i].replicas > 1) {
+      Scenario candidate = best;
+      --candidate.workloads[i].replicas;
+      if (!still_fails(candidate, out.signature, &runs_left)) break;
+      best = candidate;
+    }
+  }
+
+  // 3. Cluster reduction. The fat-tree shape is fixed at k=4, so first try
+  //    trading it for the shrinkable multi-root tree, then shed Pis and
+  //    racks while the workload still fits.
+  if (best.topology == "fat-tree") {
+    Scenario candidate = best;
+    candidate.topology = "multi-root-tree";
+    if (still_fails(candidate, out.signature, &runs_left)) best = candidate;
+  }
+  if (best.topology != "fat-tree") {
+    auto fits = [](const Scenario& s) {
+      return s.total_replicas() < s.node_count();
+    };
+    while (best.hosts_per_rack > 1) {
+      Scenario candidate = best;
+      --candidate.hosts_per_rack;
+      if (!fits(candidate)) break;
+      if (!still_fails(candidate, out.signature, &runs_left)) break;
+      best = candidate;
+    }
+    while (best.racks > 1) {
+      Scenario candidate = best;
+      --candidate.racks;
+      if (!fits(candidate)) break;
+      if (!still_fails(candidate, out.signature, &runs_left)) break;
+      best = candidate;
+    }
+  }
+
+  out.minimal = best;
+  out.runs = max_runs_ - runs_left;
+  out.shrank = size(best) < size(start);
+  return out;
+}
+
+}  // namespace picloud::testing

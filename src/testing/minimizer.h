@@ -1,0 +1,53 @@
+// SeedMinimizer — greedy shrinking of failing scenarios (DESIGN.md §10).
+//
+// A fuzzer-found failure at 15 nodes / 6 fault pairs / 3 app tiers is a
+// miserable debugging artifact. The minimizer repeatedly proposes smaller
+// scenarios — fewer chaos pairs (ddmin-style chunk removal), fewer
+// workloads and replicas, fewer Pis — re-runs each candidate, and accepts a
+// reduction only when the run still fails *with the same signature* (same
+// first violated probe, or same lifecycle stage), so it never wanders onto
+// a different bug. The result is the smallest scenario found within the run
+// budget plus a one-line repro command.
+//
+// The run function is injected so unit tests can minimize against a cheap
+// synthetic oracle instead of booting real clouds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "testing/runner.h"
+#include "testing/scenario.h"
+
+namespace picloud::testing {
+
+class SeedMinimizer {
+ public:
+  using RunFn = std::function<RunReport(const Scenario&)>;
+
+  struct Outcome {
+    Scenario minimal;            // smallest still-failing scenario found
+    std::string signature;       // the failure it preserves
+    int runs = 0;                // scenario executions spent
+    bool original_failed = false;
+    bool shrank = false;         // minimal is strictly smaller than start
+  };
+
+  // `run` executes a candidate; `max_runs` bounds total executions
+  // (the original counts as one).
+  explicit SeedMinimizer(RunFn run, int max_runs = 48);
+
+  // Size metric the minimizer drives down: nodes + chaos events + replicas.
+  static int size(const Scenario& s);
+
+  Outcome minimize(const Scenario& start);
+
+ private:
+  bool still_fails(const Scenario& candidate, const std::string& signature,
+                   int* runs_left);
+
+  RunFn run_;
+  int max_runs_;
+};
+
+}  // namespace picloud::testing

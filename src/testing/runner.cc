@@ -1,0 +1,304 @@
+#include "testing/runner.h"
+
+#include <bit>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "apps/loadgen.h"
+#include "cloud/replicaset.h"
+#include "net/fabric.h"
+#include "os/node_os.h"
+#include "util/check.h"
+
+namespace picloud::testing {
+
+namespace {
+
+// FNV-1a end-state digest (same construction as tests/cloud_soak_test.cc):
+// any divergence between two runs of the same scenario shows up here.
+class Digest {
+ public:
+  void add(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (v >> (8 * i)) & 0xFF;
+      hash_ *= 0x100000001B3ULL;
+    }
+  }
+  void add(double v) { add(std::bit_cast<std::uint64_t>(v)); }
+  void add(const std::string& s) {
+    for (unsigned char c : s) {
+      hash_ ^= c;
+      hash_ *= 0x100000001B3ULL;
+    }
+  }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xCBF29CE484222325ULL;
+};
+
+// Scenario-specific probe: the load generator's latency histogram must
+// record exactly one sample per completed request, and outcomes must not
+// exceed requests sent (metrics consistency for the data path).
+InvariantChecker::Probe probe_loadgen_accounting(
+    const apps::HttpLoadGen& gen, int index) {
+  return [&gen, index](const InvariantChecker::FailFn& fail) {
+    if (gen.latencies().count() != gen.completed()) {
+      std::ostringstream msg;
+      msg << "loadgen " << index << ": histogram count "
+          << gen.latencies().count() << " != completed " << gen.completed();
+      fail(msg.str());
+    }
+    if (gen.completed() + gen.timed_out() > gen.sent()) {
+      std::ostringstream msg;
+      msg << "loadgen " << index << ": completed " << gen.completed()
+          << " + timed out " << gen.timed_out() << " > sent " << gen.sent();
+      fail(msg.str());
+    }
+  };
+}
+
+// Resolves the ToR uplink list (rack -> aggregation links) the chaos
+// schedule's link targets index into, in deterministic topology order.
+std::vector<net::LinkId> tor_uplinks(cloud::PiCloud& cloud) {
+  std::vector<net::LinkId> uplinks;
+  for (net::NetNodeId tor : cloud.topology().tor_switches) {
+    for (net::LinkId lid : cloud.fabric().node(tor).out_links) {
+      if (cloud.fabric().node(cloud.fabric().link(lid).to).kind ==
+          net::NodeKind::kSwitch) {
+        uplinks.push_back(lid);
+      }
+    }
+  }
+  return uplinks;
+}
+
+std::vector<net::LinkId> rack_uplinks(cloud::PiCloud& cloud, int rack) {
+  std::vector<net::LinkId> uplinks;
+  const auto& tors = cloud.topology().tor_switches;
+  if (tors.empty()) return uplinks;
+  net::NetNodeId tor = tors[static_cast<size_t>(rack) % tors.size()];
+  for (net::LinkId lid : cloud.fabric().node(tor).out_links) {
+    if (cloud.fabric().node(cloud.fabric().link(lid).to).kind ==
+        net::NodeKind::kSwitch) {
+      uplinks.push_back(lid);
+    }
+  }
+  return uplinks;
+}
+
+void apply_chaos_event(cloud::PiCloud& cloud,
+                       const std::vector<net::LinkId>& uplinks,
+                       net::LinkId master_uplink, const ChaosEvent& e) {
+  net::Fabric& fabric = cloud.fabric();
+  switch (e.kind) {
+    case ChaosKind::kNodeCrash: {
+      cloud::NodeDaemon& d = cloud.daemon(
+          static_cast<size_t>(e.target) % cloud.node_count());
+      // Crashing an already-dead node (two pairs picked the same target)
+      // would be a no-op anyway; the guard keeps trace output clean.
+      if (d.node().running()) d.crash();
+      break;
+    }
+    case ChaosKind::kNodeRestart:
+      // start() is idempotent, so overlapping pairs heal safely.
+      cloud.daemon(static_cast<size_t>(e.target) % cloud.node_count())
+          .start();
+      break;
+    case ChaosKind::kLinkDown:
+      if (!uplinks.empty()) {
+        fabric.set_link_pair_up(
+            uplinks[static_cast<size_t>(e.target) % uplinks.size()], false);
+      }
+      break;
+    case ChaosKind::kLinkUp:
+      if (!uplinks.empty()) {
+        fabric.set_link_pair_up(
+            uplinks[static_cast<size_t>(e.target) % uplinks.size()], true);
+      }
+      break;
+    case ChaosKind::kLinkLossOn:
+      if (!uplinks.empty()) {
+        fabric.set_link_pair_loss(
+            uplinks[static_cast<size_t>(e.target) % uplinks.size()],
+            e.param);
+      }
+      break;
+    case ChaosKind::kLinkLossOff:
+      if (!uplinks.empty()) {
+        fabric.set_link_pair_loss(
+            uplinks[static_cast<size_t>(e.target) % uplinks.size()], 0.0);
+      }
+      break;
+    case ChaosKind::kRackPartition:
+      for (net::LinkId lid : rack_uplinks(cloud, e.target)) {
+        fabric.set_link_pair_up(lid, false);
+      }
+      break;
+    case ChaosKind::kRackHeal:
+      for (net::LinkId lid : rack_uplinks(cloud, e.target)) {
+        fabric.set_link_pair_up(lid, true);
+      }
+      break;
+    case ChaosKind::kMasterBlipStart:
+      fabric.set_link_pair_up(master_uplink, false);
+      break;
+    case ChaosKind::kMasterBlipEnd:
+      fabric.set_link_pair_up(master_uplink, true);
+      break;
+  }
+}
+
+}  // namespace
+
+std::string RunReport::signature() const {
+  if (!ready) return "boot";
+  if (!violations.empty()) return "probe:" + violations.front().probe;
+  if (!converged) return "converge";
+  return "ok";
+}
+
+RunReport run_scenario(const Scenario& scenario) {
+  RunReport report;
+  report.seed = scenario.seed;
+
+  sim::Simulation sim(scenario.seed);
+  cloud::PiCloudConfig config;
+  config.racks = scenario.racks;
+  config.hosts_per_rack = scenario.hosts_per_rack;
+  config.topology = scenario.topology == "fat-tree"
+                        ? cloud::PiCloudConfig::Topo::kFatTree
+                        : cloud::PiCloudConfig::Topo::kMultiRootTree;
+  config.fat_tree_k = scenario.fat_tree_k;
+  config.placement_policy = scenario.placement_policy;
+  cloud::PiCloud cloud(sim, config);
+  cloud.power_on();
+  report.ready = cloud.await_ready();
+
+  InvariantChecker checker(sim, cloud);
+  checker.install_builtin_probes();
+
+  auto finalize = [&](bool converged) {
+    report.converged = converged;
+    report.violations = checker.violations();
+    report.sweeps = checker.sweeps();
+    report.events = sim.events_executed();
+    Digest d;
+    d.add(sim.events_executed());
+    d.add(static_cast<std::uint64_t>(sim.now().ns()));
+    d.add(sim.metrics().snapshot().dump());
+    for (const auto& [name, rec] :
+         std::as_const(cloud).master().instance_records()) {
+      d.add(name);
+      d.add(rec.state);
+      d.add(rec.hostname);
+      d.add(rec.mem_reserved);
+      d.add(static_cast<std::uint64_t>(rec.ip.value()));
+    }
+    for (size_t i = 0; i < cloud.node_count(); ++i) {
+      const os::NodeOs& node = std::as_const(cloud).node(i);
+      d.add(node.hostname());
+      d.add(static_cast<std::uint64_t>(node.running() ? 1 : 0));
+      d.add(node.running() ? node.memory().used() : 0);
+    }
+    report.digest = d.value();
+    if (report.failed()) {
+      std::ostringstream out;
+      out << "scenario seed=" << scenario.seed
+          << " failed (signature=" << report.signature() << ")\n"
+          << "  ready=" << report.ready << " converged=" << report.converged
+          << " violations=" << report.violations.size() << "\n"
+          << checker.report(scenario.seed) << "repro: "
+          << scenario.repro_command() << "\n";
+      report.summary = out.str();
+    }
+  };
+
+  if (!report.ready) {
+    finalize(false);
+    return report;
+  }
+  cloud.run_for(sim::Duration::seconds(5));
+
+  // --- Workload --------------------------------------------------------------
+  std::vector<std::unique_ptr<cloud::ReplicaSet>> tiers;
+  std::vector<std::unique_ptr<apps::HttpLoadGen>> loadgens;
+  for (size_t i = 0; i < scenario.workloads.size(); ++i) {
+    const WorkloadSpec& w = scenario.workloads[i];
+    cloud::ReplicaSet::Config rs;
+    rs.name_prefix = "w" + std::to_string(i);
+    rs.replicas = w.replicas;
+    rs.spec.app_kind = w.app_kind;
+    tiers.push_back(
+        std::make_unique<cloud::ReplicaSet>(sim, cloud.master(), rs));
+    if (w.app_kind == "httpd" && w.load_rps > 0) {
+      apps::HttpLoadGen::Params load;
+      load.requests_per_sec = w.load_rps;
+      load.request_timeout = sim::Duration::seconds(1);
+      loadgens.push_back(std::make_unique<apps::HttpLoadGen>(
+          cloud.network(), cloud.admin_ip(), std::vector<net::Ipv4Addr>{},
+          load, sim.rng().fork(),
+          static_cast<std::uint16_t>(40080 + i)));
+      apps::HttpLoadGen* gen = loadgens.back().get();
+      cloud::ReplicaSet* tier = tiers.back().get();
+      tier->set_on_change([gen, tier]() { gen->set_targets(tier->endpoints()); });
+      checker.register_probe(
+          "loadgen-accounting", Phase::kSweep,
+          probe_loadgen_accounting(*gen,
+                                   static_cast<int>(loadgens.size()) - 1));
+    }
+    tiers.back()->start();
+  }
+  auto workloads_healthy = [&]() {
+    for (size_t i = 0; i < tiers.size(); ++i) {
+      if (tiers[i]->healthy_replicas() !=
+          static_cast<size_t>(scenario.workloads[i].replicas)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (!cloud.run_until(sim::Duration::seconds(300), workloads_healthy)) {
+    report.ready = false;  // never reached a healthy baseline
+    finalize(false);
+    return report;
+  }
+  for (auto& gen : loadgens) gen->start();
+
+  // --- Chaos window, with the checker sweeping throughout --------------------
+  sim::PeriodicTask sweeper(sim, scenario.sweep_period,
+                            [&checker]() { checker.sweep(); });
+  const std::vector<net::LinkId> uplinks = tor_uplinks(cloud);
+  // The pimaster's only uplink: first directed link out of its fabric node.
+  const net::NetNodeId master_node = cloud.master().fabric_node();
+  PICLOUD_CHECK(!cloud.fabric().node(master_node).out_links.empty());
+  const net::LinkId master_uplink =
+      cloud.fabric().node(master_node).out_links.front();
+  for (const ChaosEvent& e : scenario.chaos) {
+    sim.after(e.at, [&cloud, &uplinks, master_uplink, e]() {
+      apply_chaos_event(cloud, uplinks, master_uplink, e);
+    });
+  }
+  cloud.run_for(scenario.chaos_window);
+
+  // --- Convergence + quiesce --------------------------------------------------
+  const bool converged =
+      cloud.run_until(scenario.settle_budget, [&]() {
+        return workloads_healthy() &&
+               cloud.master().migrations().in_flight() == 0;
+      });
+  for (auto& gen : loadgens) gen->stop();
+  // Two reconciler generations so orphan/drift strikes mature and the
+  // registry-agreement probe sees the settled registry.
+  const sim::Duration generation =
+      cloud.master().master_config().reconcile.period;
+  cloud.run_for(generation + generation + sim::Duration::seconds(10));
+  sweeper.stop();
+  if (converged) checker.run_quiesce();
+  finalize(converged);
+  return report;
+}
+
+}  // namespace picloud::testing

@@ -1,0 +1,273 @@
+#include "testing/scenario.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace picloud::testing {
+
+namespace {
+
+using util::Error;
+
+struct KindName {
+  ChaosKind kind;
+  const char* name;
+};
+
+constexpr KindName kKindNames[] = {
+    {ChaosKind::kNodeCrash, "node-crash"},
+    {ChaosKind::kNodeRestart, "node-restart"},
+    {ChaosKind::kLinkDown, "link-down"},
+    {ChaosKind::kLinkUp, "link-up"},
+    {ChaosKind::kLinkLossOn, "link-loss-on"},
+    {ChaosKind::kLinkLossOff, "link-loss-off"},
+    {ChaosKind::kRackPartition, "rack-partition"},
+    {ChaosKind::kRackHeal, "rack-heal"},
+    {ChaosKind::kMasterBlipStart, "master-blip-start"},
+    {ChaosKind::kMasterBlipEnd, "master-blip-end"},
+};
+
+// Durations serialize as integer nanosecond counts: ns is the Duration's
+// native unit and stays exactly representable in a JSON double (< 2^53),
+// so repro files round-trip bit-identically — fractional milliseconds
+// would not.
+sim::Duration duration_from_ns(double ns) {
+  return sim::Duration::nanos(static_cast<std::int64_t>(ns));
+}
+
+}  // namespace
+
+const char* chaos_kind_name(ChaosKind kind) {
+  for (const auto& kn : kKindNames) {
+    if (kn.kind == kind) return kn.name;
+  }
+  PICLOUD_CHECK(false) << "unknown ChaosKind";
+  return "?";
+}
+
+util::Result<ChaosKind> chaos_kind_from_name(const std::string& name) {
+  for (const auto& kn : kKindNames) {
+    if (name == kn.name) return kn.kind;
+  }
+  return Error::make("bad_chaos_kind", "unknown chaos kind: " + name);
+}
+
+util::Json ChaosEvent::to_json() const {
+  util::Json j = util::Json::object();
+  j.set("at_ns", static_cast<double>(at.ns()));
+  j.set("kind", std::string(chaos_kind_name(kind)));
+  j.set("target", target);
+  j.set("param", param);
+  j.set("pair", pair);
+  return j;
+}
+
+util::Result<ChaosEvent> ChaosEvent::from_json(const util::Json& j) {
+  ChaosEvent e;
+  e.at = duration_from_ns(j.get_number("at_ns", 0));
+  auto kind = chaos_kind_from_name(j.get_string("kind", ""));
+  if (!kind.ok()) return kind.error();
+  e.kind = kind.value();
+  e.target = static_cast<int>(j.get_number("target", 0));
+  e.param = j.get_number("param", 0);
+  e.pair = static_cast<int>(j.get_number("pair", 0));
+  return e;
+}
+
+util::Json WorkloadSpec::to_json() const {
+  util::Json j = util::Json::object();
+  j.set("app_kind", app_kind);
+  j.set("replicas", replicas);
+  j.set("load_rps", load_rps);
+  return j;
+}
+
+util::Result<WorkloadSpec> WorkloadSpec::from_json(const util::Json& j) {
+  WorkloadSpec w;
+  w.app_kind = j.get_string("app_kind", "");
+  if (w.app_kind.empty())
+    return Error::make("bad_workload", "workload missing app_kind");
+  w.replicas = static_cast<int>(j.get_number("replicas", 1));
+  w.load_rps = j.get_number("load_rps", 0);
+  return w;
+}
+
+int Scenario::node_count() const { return racks * hosts_per_rack; }
+
+int Scenario::total_replicas() const {
+  int n = 0;
+  for (const auto& w : workloads) n += w.replicas;
+  return n;
+}
+
+util::Json Scenario::to_json() const {
+  util::Json j = util::Json::object();
+  j.set("seed", static_cast<double>(seed));
+  j.set("racks", racks);
+  j.set("hosts_per_rack", hosts_per_rack);
+  j.set("topology", topology);
+  j.set("fat_tree_k", fat_tree_k);
+  j.set("placement_policy", placement_policy);
+  j.set("chaos_window_ns", static_cast<double>(chaos_window.ns()));
+  j.set("settle_budget_ns", static_cast<double>(settle_budget.ns()));
+  j.set("sweep_period_ns", static_cast<double>(sweep_period.ns()));
+  util::Json ws = util::Json::array();
+  for (const auto& w : workloads) ws.push_back(w.to_json());
+  j.set("workloads", std::move(ws));
+  util::Json cs = util::Json::array();
+  for (const auto& e : chaos) cs.push_back(e.to_json());
+  j.set("chaos", std::move(cs));
+  return j;
+}
+
+util::Result<Scenario> Scenario::from_json(const util::Json& j) {
+  Scenario s;
+  s.seed = static_cast<std::uint64_t>(j.get_number("seed", 1));
+  s.racks = static_cast<int>(j.get_number("racks", 2));
+  s.hosts_per_rack = static_cast<int>(j.get_number("hosts_per_rack", 4));
+  s.topology = j.get_string("topology", "multi-root-tree");
+  s.fat_tree_k = static_cast<int>(j.get_number("fat_tree_k", 4));
+  s.placement_policy = j.get_string("placement_policy", "first-fit");
+  s.chaos_window = duration_from_ns(j.get_number("chaos_window_ns", 0));
+  s.settle_budget = duration_from_ns(j.get_number("settle_budget_ns", 0));
+  s.sweep_period = duration_from_ns(j.get_number("sweep_period_ns", 5e9));
+  if (s.racks < 1 || s.hosts_per_rack < 1)
+    return Error::make("bad_scenario", "scenario has an empty cluster");
+  if (j.get("workloads").is_array()) {
+    for (const auto& wj : j.get("workloads").as_array()) {
+      auto w = WorkloadSpec::from_json(wj);
+      if (!w.ok()) return w.error();
+      s.workloads.push_back(w.value());
+    }
+  }
+  if (j.get("chaos").is_array()) {
+    for (const auto& cj : j.get("chaos").as_array()) {
+      auto e = ChaosEvent::from_json(cj);
+      if (!e.ok()) return e.error();
+      s.chaos.push_back(e.value());
+    }
+  }
+  return s;
+}
+
+std::string Scenario::repro_command() const {
+  std::ostringstream out;
+  out << "PICLOUD_FUZZ_SEED_LIST=" << seed
+      << " ./tests/scenario_fuzz_test --gtest_filter=ScenarioFuzzTest.Sweep";
+  return out.str();
+}
+
+ScenarioGenerator::ScenarioGenerator(GeneratorLimits limits)
+    : limits_(limits) {}
+
+Scenario ScenarioGenerator::generate(std::uint64_t seed) const {
+  const GeneratorLimits& lim = limits_;
+  // Private stream: scenario shape must not perturb (or be perturbed by) the
+  // simulation's own rng. Offset the seed so scenario draws and sim draws
+  // differ even for the same seed value.
+  util::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x5eed);
+
+  Scenario s;
+  s.seed = seed;
+  s.racks = static_cast<int>(rng.uniform_int(lim.min_racks, lim.max_racks));
+  s.hosts_per_rack = static_cast<int>(
+      rng.uniform_int(lim.min_hosts_per_rack, lim.max_hosts_per_rack));
+  if (rng.next_double() < lim.fat_tree_p) {
+    // The re-cabled fat-tree variant has a fixed k=4 shape (16 hosts in 4
+    // racks); PiCloud ignores the generated rack/host counts then, so pin
+    // them to the real values for node_count() and chaos targeting.
+    s.topology = "fat-tree";
+    s.fat_tree_k = 4;
+    s.racks = 4;
+    s.hosts_per_rack = 4;
+  }
+  static const char* kPolicies[] = {"first-fit",    "best-fit",
+                                    "worst-fit",    "round-robin",
+                                    "least-loaded", "rack-affinity"};
+  s.placement_policy = kPolicies[rng.uniform_int(
+      0, static_cast<std::int64_t>(std::size(kPolicies)) - 1)];
+
+  s.chaos_window = sim::Duration::nanos(
+      rng.uniform_int(lim.min_window.ns(), lim.max_window.ns()));
+  s.settle_budget = sim::Duration::minutes(12);
+  s.sweep_period = sim::Duration::seconds(5);
+
+  // Workload mix. Replica totals are capped below the cluster's node count
+  // so chaos-induced migrations always have somewhere to land.
+  const int n_workloads = static_cast<int>(
+      rng.uniform_int(lim.min_workloads, lim.max_workloads));
+  int budget = std::max(1, s.node_count() - 1);
+  for (int i = 0; i < n_workloads && budget > 0; ++i) {
+    WorkloadSpec w;
+    // httpd tiers dominate so most scenarios exercise the data path
+    // end-to-end (loadgen -> fabric -> containers) under chaos.
+    const double pick = rng.next_double();
+    if (pick < 0.55) {
+      w.app_kind = "httpd";
+      w.load_rps = rng.uniform(5.0, 30.0);
+    } else if (pick < 0.85) {
+      w.app_kind = "kvstore";
+    } else {
+      w.app_kind = "batch";
+    }
+    w.replicas = static_cast<int>(
+        rng.uniform_int(1, std::min(lim.max_replicas, budget)));
+    budget -= w.replicas;
+    s.workloads.push_back(w);
+  }
+
+  // Chaos schedule: paired fault/recovery events. Recovery always lands
+  // inside the window so every scenario is expected to converge afterwards.
+  const int n_faults =
+      static_cast<int>(rng.uniform_int(lim.min_faults, lim.max_faults));
+  for (int pair = 0; pair < n_faults; ++pair) {
+    const std::int64_t window_ns = s.chaos_window.ns();
+    const std::int64_t start_ns = rng.uniform_int(0, window_ns * 3 / 4);
+    const std::int64_t repair_ns =
+        rng.uniform_int(lim.min_repair.ns(), lim.max_repair.ns());
+    const std::int64_t end_ns = std::min(window_ns - 1, start_ns + repair_ns);
+
+    ChaosEvent fault, heal;
+    fault.at = sim::Duration::nanos(start_ns);
+    heal.at = sim::Duration::nanos(end_ns);
+    fault.pair = heal.pair = pair;
+
+    const double kind_pick = rng.next_double();
+    if (kind_pick < 0.40) {
+      fault.kind = ChaosKind::kNodeCrash;
+      heal.kind = ChaosKind::kNodeRestart;
+      fault.target = heal.target = static_cast<int>(
+          rng.uniform_int(0, std::max(0, s.node_count() - 1)));
+    } else if (kind_pick < 0.60) {
+      fault.kind = ChaosKind::kLinkDown;
+      heal.kind = ChaosKind::kLinkUp;
+      fault.target = heal.target =
+          static_cast<int>(rng.uniform_int(0, 7));  // mod uplink count
+    } else if (kind_pick < 0.80) {
+      fault.kind = ChaosKind::kLinkLossOn;
+      heal.kind = ChaosKind::kLinkLossOff;
+      fault.target = heal.target = static_cast<int>(rng.uniform_int(0, 7));
+      fault.param = rng.uniform(0.05, 0.5);
+    } else if (kind_pick < 0.92) {
+      fault.kind = ChaosKind::kRackPartition;
+      heal.kind = ChaosKind::kRackHeal;
+      fault.target = heal.target =
+          static_cast<int>(rng.uniform_int(0, std::max(0, s.racks - 1)));
+    } else {
+      fault.kind = ChaosKind::kMasterBlipStart;
+      heal.kind = ChaosKind::kMasterBlipEnd;
+    }
+    s.chaos.push_back(fault);
+    s.chaos.push_back(heal);
+  }
+  std::stable_sort(s.chaos.begin(), s.chaos.end(),
+                   [](const ChaosEvent& a, const ChaosEvent& b) {
+                     return a.at.ns() < b.at.ns();
+                   });
+  return s;
+}
+
+}  // namespace picloud::testing

@@ -1,0 +1,134 @@
+// Scenario — the declarative unit of simulation fuzzing (DESIGN.md §10).
+//
+// The paper's whole argument is that a scale model lets you exercise cloud
+// behaviours cheaply and repeatably; our deterministic emulation goes
+// further: from a single 64-bit seed, ScenarioGenerator derives a random
+// cluster (rack count, Pis per rack, topology variant), a workload mix
+// (replicated app tiers + an HTTP load generator) and a chaos schedule
+// (node crashes, link cuts, lossy periods, rack partitions, management-plane
+// blips) as one printable, re-loadable Scenario value. The same seed always
+// yields the same scenario, and running the same scenario is bit-identical,
+// so "fuzz seed 4711 fails" is a complete bug report.
+//
+// Chaos is a *schedule*, not a stochastic process (contrast
+// cloud::ChaosMonkey): every fault is an explicit (time, kind, target) tuple
+// paired with its recovery event, which is what makes failing scenarios
+// shrinkable — the SeedMinimizer removes fault/recovery pairs wholesale and
+// re-runs, instead of perturbing an RNG stream it cannot reason about.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/json.h"
+#include "util/result.h"
+
+namespace picloud::testing {
+
+// One scheduled chaos action. `at` is the offset from the start of the chaos
+// window (the cluster is booted and the workload healthy by then).
+enum class ChaosKind {
+  kNodeCrash,       // target: host index (mod node count)
+  kNodeRestart,     //   …its paired power-cycle
+  kLinkDown,        // target: ToR-uplink index (mod uplink count)
+  kLinkUp,          //   …its paired repair
+  kLinkLossOn,      // target: ToR-uplink index; param: drop probability
+  kLinkLossOff,     //   …its paired clearing
+  kRackPartition,   // target: rack index (mod rack count); all uplinks cut
+  kRackHeal,        //   …its paired healing
+  kMasterBlipStart, // the pimaster's uplink goes dark (management outage)
+  kMasterBlipEnd,   //   …and comes back
+};
+
+const char* chaos_kind_name(ChaosKind kind);
+util::Result<ChaosKind> chaos_kind_from_name(const std::string& name);
+
+struct ChaosEvent {
+  sim::Duration at;
+  ChaosKind kind = ChaosKind::kNodeCrash;
+  int target = 0;
+  double param = 0;  // loss probability for kLinkLossOn
+  // Fault and recovery share a pair id; the minimizer removes whole pairs so
+  // a shrunk schedule never strands a node in the crashed state.
+  int pair = 0;
+
+  util::Json to_json() const;
+  static util::Result<ChaosEvent> from_json(const util::Json& j);
+};
+
+// One replicated app tier, spawned through the real control plane (a
+// cloud::ReplicaSet driving POST /instances on the pimaster).
+struct WorkloadSpec {
+  std::string app_kind = "httpd";  // httpd | kvstore | batch | ...
+  int replicas = 1;
+  // For httpd tiers: offered HTTP load in requests/sec from the admin
+  // workstation (0 = no load generator on this tier).
+  double load_rps = 0;
+
+  util::Json to_json() const;
+  static util::Result<WorkloadSpec> from_json(const util::Json& j);
+};
+
+struct Scenario {
+  // The seed everything derives from: the generator's draws, the
+  // simulation's root RNG, and the repro command line.
+  std::uint64_t seed = 1;
+
+  // --- Cluster shape ---------------------------------------------------------
+  int racks = 2;
+  int hosts_per_rack = 4;
+  std::string topology = "multi-root-tree";  // or "fat-tree"
+  int fat_tree_k = 4;
+  std::string placement_policy = "first-fit";
+
+  // --- Phases ----------------------------------------------------------------
+  sim::Duration chaos_window = sim::Duration::minutes(4);
+  sim::Duration settle_budget = sim::Duration::minutes(12);
+  sim::Duration sweep_period = sim::Duration::seconds(5);
+
+  std::vector<WorkloadSpec> workloads;
+  std::vector<ChaosEvent> chaos;  // sorted by `at`
+
+  int node_count() const;
+  int total_replicas() const;
+
+  // Full round-trip serialization: to_json() output re-loads with
+  // from_json() into an identical scenario — the repro-file format the fuzz
+  // test writes on failure and PICLOUD_FUZZ_SCENARIO loads back.
+  util::Json to_json() const;
+  static util::Result<Scenario> from_json(const util::Json& j);
+
+  // One-line repro recipe for a failing seed.
+  std::string repro_command() const;
+};
+
+// Bounds on what generate() may produce; the defaults keep one scenario in
+// the low seconds of host time so a 25-seed sweep fits the tier-1 budget.
+struct GeneratorLimits {
+  int min_racks = 1, max_racks = 3;
+  int min_hosts_per_rack = 2, max_hosts_per_rack = 5;
+  double fat_tree_p = 0.15;  // probability of the re-cabled fat-tree variant
+  int min_workloads = 1, max_workloads = 3;
+  int max_replicas = 3;
+  int min_faults = 1, max_faults = 6;
+  sim::Duration min_window = sim::Duration::minutes(2);
+  sim::Duration max_window = sim::Duration::minutes(5);
+  sim::Duration min_repair = sim::Duration::seconds(15);
+  sim::Duration max_repair = sim::Duration::seconds(90);
+};
+
+class ScenarioGenerator {
+ public:
+  explicit ScenarioGenerator(GeneratorLimits limits = {});
+
+  // Deterministic: the scenario is a pure function of `seed` (and the
+  // limits). Draws come from a private Rng stream, never the simulation's.
+  Scenario generate(std::uint64_t seed) const;
+
+ private:
+  GeneratorLimits limits_;
+};
+
+}  // namespace picloud::testing

@@ -1,0 +1,10 @@
+#include "util/faults.h"
+
+namespace picloud::util {
+
+FaultInjection& FaultInjection::instance() {
+  static FaultInjection faults;
+  return faults;
+}
+
+}  // namespace picloud::util

@@ -1,0 +1,35 @@
+// Test-only fault injection knobs — seeded bugs for the simulation-fuzzing
+// harness (DESIGN.md §10).
+//
+// The invariant checker in src/testing/ is only trustworthy if it can be
+// shown to *fail*: tests/testing_selfcheck_test.cc flips one of these knobs,
+// runs a scenario, and asserts the checker reports the planted violation.
+// Each knob deliberately breaks one accounting contract that production code
+// otherwise maintains:
+//
+//   double_count_spawn_ok        cloud/pimaster.cc counts a successful spawn
+//                                twice, violating spawns_ok + spawns_failed
+//                                <= spawn_requests.
+//   skip_link_drop_accounting    net/fabric.cc omits the per-link drop
+//                                increment on a lossy-link admission drop,
+//                                violating sum(link drops) == flows_lost.
+//
+// All knobs default to off; flipping one costs a single branch on a cold
+// path, so production behaviour and determinism are unchanged when unused.
+// The singleton is process-global (tests run scenarios back to back in one
+// process) — call reset() in test teardown.
+#pragma once
+
+namespace picloud::util {
+
+struct FaultInjection {
+  bool double_count_spawn_ok = false;
+  bool skip_link_drop_accounting = false;
+
+  void reset() { *this = FaultInjection(); }
+  bool any() const { return double_count_spawn_ok || skip_link_drop_accounting; }
+
+  static FaultInjection& instance();
+};
+
+}  // namespace picloud::util

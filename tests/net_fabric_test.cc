@@ -6,6 +6,7 @@
 
 #include "net/fabric.h"
 #include "sim/simulation.h"
+#include "util/faults.h"
 #include "util/rng.h"
 
 namespace picloud::net {
@@ -279,6 +280,74 @@ TEST_P(FairnessProperty, MaxMinConditionsHold) {
 
 INSTANTIATE_TEST_SUITE_P(RandomTopologies, FairnessProperty,
                          ::testing::Range(1, 25));
+
+// ---------------------------------------------------------------------------
+// Per-link loss accounting — the basis of the simulation fuzzer's
+// fabric-conservation probe: every admission drop must land on exactly one
+// link's odometer, so the per-link sum always equals flows_lost().
+
+std::uint64_t dropped_sum(const Fabric& fabric) {
+  std::uint64_t sum = 0;
+  for (const DirectedLink& link : fabric.links()) sum += link.flows_dropped;
+  return sum;
+}
+
+TEST(Fabric, PerLinkDropOdometersSumToFlowsLost) {
+  TwoHosts t(100e6);
+  t.fabric.set_link_pair_loss(
+      t.fabric.links()[0].id, 0.5);  // a<->sw lossy both ways
+
+  int failed = 0;
+  for (int i = 0; i < 200; ++i) {
+    FlowSpec spec;
+    spec.src = t.a;
+    spec.dst = t.b;
+    spec.bytes = 1000;
+    spec.on_complete = [&](FlowId, bool success) {
+      if (!success) ++failed;
+    };
+    t.fabric.start_flow(std::move(spec));
+  }
+  t.sim.run();
+
+  EXPECT_GT(t.fabric.flows_lost(), 0u);
+  EXPECT_EQ(static_cast<std::uint64_t>(failed), t.fabric.flows_lost());
+  EXPECT_EQ(dropped_sum(t.fabric), t.fabric.flows_lost());
+  // Only the lossy a->sw direction admitted (and thus dropped) flows.
+  for (const DirectedLink& link : t.fabric.links()) {
+    if (link.flows_dropped > 0) {
+      EXPECT_EQ(link.from, t.a);
+      EXPECT_EQ(link.to, t.sw);
+    }
+  }
+}
+
+// The fault-injection knob exists so the fuzzer can prove its probes bite:
+// with accounting skipped, the global counter advances while the per-link
+// odometers stay flat — exactly the divergence the probe must flag.
+TEST(Fabric, SkipAccountingKnobDivergesOdometerFromCounter) {
+  util::FaultInjection::instance().skip_link_drop_accounting = true;
+  TwoHosts t(100e6);
+  t.fabric.set_link_pair_loss(t.fabric.links()[0].id, 1.0);
+
+  int failed = 0;
+  for (int i = 0; i < 20; ++i) {
+    FlowSpec spec;
+    spec.src = t.a;
+    spec.dst = t.b;
+    spec.bytes = 1000;
+    spec.on_complete = [&](FlowId, bool success) {
+      if (!success) ++failed;
+    };
+    t.fabric.start_flow(std::move(spec));
+  }
+  t.sim.run();
+  util::FaultInjection::instance().reset();
+
+  EXPECT_EQ(failed, 20);
+  EXPECT_EQ(t.fabric.flows_lost(), 20u);
+  EXPECT_EQ(dropped_sum(t.fabric), 0u) << "knob did not suppress accounting";
+}
 
 }  // namespace
 }  // namespace picloud::net

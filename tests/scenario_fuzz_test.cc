@@ -1,0 +1,149 @@
+// Simulation-fuzzing sweep (DESIGN.md §10): every seed derives a random
+// cluster + workload + chaos schedule, runs it end to end under the
+// cluster-wide invariant checker, and must come out converged and clean.
+//
+// Tier-1 runs a 25-seed sweep; environment overrides:
+//   PICLOUD_FUZZ_SEEDS=N        sweep seeds 1..N (the nightly job uses 250)
+//   PICLOUD_FUZZ_SEED_LIST=a,b  sweep exactly these seeds (repro)
+//   PICLOUD_FUZZ_TIME=secs      wall-clock budget; the sweep stops adding
+//                               seeds once exceeded (at least one runs)
+//   PICLOUD_FUZZ_SCENARIO=path  run one scenario re-loaded from a repro file
+//   PICLOUD_FUZZ_ARTIFACTS=dir  write failing-scenario repro JSON here
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "testing/runner.h"
+#include "testing/scenario.h"
+
+// The fuzz harness lives in picloud::testing, which shadows gtest's
+// ::testing inside the picloud namespace; aliasing both and staying in the
+// global namespace sidesteps the collision.
+namespace testing_ = picloud::testing;
+namespace util = picloud::util;
+
+namespace {
+
+std::vector<std::uint64_t> sweep_seeds() {
+  if (const char* list = std::getenv("PICLOUD_FUZZ_SEED_LIST")) {
+    std::vector<std::uint64_t> seeds;
+    std::stringstream ss(list);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      if (!tok.empty()) seeds.push_back(std::strtoull(tok.c_str(), nullptr, 10));
+    }
+    if (!seeds.empty()) return seeds;
+  }
+  int count = 25;
+  if (const char* n = std::getenv("PICLOUD_FUZZ_SEEDS")) {
+    count = std::max(1, std::atoi(n));
+  }
+  std::vector<std::uint64_t> seeds;
+  for (int i = 1; i <= count; ++i) seeds.push_back(static_cast<std::uint64_t>(i));
+  return seeds;
+}
+
+// Writes a failing scenario as a re-loadable repro file when the artifacts
+// dir is configured (the nightly CI job uploads these).
+void write_repro(const testing_::Scenario& scenario,
+                 const testing_::RunReport& report) {
+  const char* dir = std::getenv("PICLOUD_FUZZ_ARTIFACTS");
+  if (dir == nullptr) return;
+  const std::string path =
+      std::string(dir) + "/scenario-seed-" + std::to_string(scenario.seed) + ".json";
+  std::ofstream out(path);
+  if (!out) return;
+  util::Json repro = util::Json::object();
+  repro.set("scenario", scenario.to_json());
+  repro.set("signature", report.signature());
+  repro.set("summary", report.summary);
+  out << repro.pretty() << "\n";
+}
+
+TEST(ScenarioFuzzTest, Sweep) {
+  // Single-scenario repro mode: re-load a written artifact and run only it.
+  if (const char* path = std::getenv("PICLOUD_FUZZ_SCENARIO")) {
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << "cannot read " << path;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    auto parsed = util::Json::parse(buf.str());
+    ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+    const util::Json& root = parsed.value();
+    auto loaded = testing_::Scenario::from_json(
+        root.has("scenario") ? root.get("scenario") : root);
+    ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+    testing_::RunReport report = testing_::run_scenario(loaded.value());
+    EXPECT_FALSE(report.failed()) << report.summary;
+    return;
+  }
+
+  // Wall-clock budget: bounds only how many seeds run, never what any one
+  // seed does — the simulation itself stays bit-deterministic.
+  double budget_s = 0;
+  if (const char* t = std::getenv("PICLOUD_FUZZ_TIME")) budget_s = std::atof(t);
+  const auto started =
+      std::chrono::steady_clock::now();  // picloud-lint: allow(nondeterminism)
+
+  const testing_::ScenarioGenerator generator;
+  int ran = 0;
+  for (std::uint64_t seed : sweep_seeds()) {
+    if (budget_s > 0 && ran > 0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() -  // picloud-lint: allow(nondeterminism)
+          started;
+      if (elapsed.count() > budget_s) break;
+    }
+    const testing_::Scenario scenario = generator.generate(seed);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const testing_::RunReport report = testing_::run_scenario(scenario);
+    ++ran;
+    if (report.failed()) {
+      write_repro(scenario, report);
+      ADD_FAILURE() << report.summary << "scenario:\n"
+                    << scenario.to_json().pretty();
+    }
+  }
+  EXPECT_GE(ran, 1);
+}
+
+// The scenario is a pure function of the seed.
+TEST(ScenarioFuzzTest, GeneratorIsDeterministic) {
+  const testing_::ScenarioGenerator generator;
+  for (std::uint64_t seed : {1ull, 7ull, 4711ull}) {
+    EXPECT_EQ(generator.generate(seed).to_json().dump(),
+              generator.generate(seed).to_json().dump());
+  }
+}
+
+// Repro files round-trip exactly: to_json -> from_json -> to_json.
+TEST(ScenarioFuzzTest, ScenarioJsonRoundTrips) {
+  const testing_::ScenarioGenerator generator;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const testing_::Scenario original = generator.generate(seed);
+    const std::string dumped = original.to_json().dump();
+    auto parsed = util::Json::parse(dumped);
+    ASSERT_TRUE(parsed.ok());
+    auto reloaded = testing_::Scenario::from_json(parsed.value());
+    ASSERT_TRUE(reloaded.ok()) << reloaded.error().message;
+    EXPECT_EQ(reloaded.value().to_json().dump(), dumped) << "seed " << seed;
+  }
+}
+
+// Same scenario, two runs, bit-identical end state — the property every
+// repro workflow rests on.
+TEST(ScenarioFuzzTest, SameSeedRunsBitIdentically) {
+  const testing_::Scenario scenario = testing_::ScenarioGenerator().generate(3);
+  const testing_::RunReport a = testing_::run_scenario(scenario);
+  const testing_::RunReport b = testing_::run_scenario(scenario);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.signature(), b.signature());
+}
+
+}  // namespace

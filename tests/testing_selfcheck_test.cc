@@ -1,0 +1,160 @@
+// Self-checks for the simulation-fuzzing harness (DESIGN.md §10): a checker
+// that cannot fail proves nothing. These tests plant real bugs behind
+// util::FaultInjection knobs and assert the invariant sweep catches them,
+// then exercise the SeedMinimizer's shrinking guarantees against both a
+// cheap synthetic oracle and the real runner.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "testing/minimizer.h"
+#include "testing/runner.h"
+#include "testing/scenario.h"
+#include "util/faults.h"
+
+namespace testing_ = picloud::testing;
+using picloud::util::FaultInjection;
+
+namespace {
+
+// A small but complete scenario: two tiers, one crash pair and one lossy
+// pair, enough to exercise spawn, respawn, lossy REST and the sweeps.
+testing_::Scenario small_scenario() {
+  testing_::Scenario s;
+  s.seed = 101;
+  s.racks = 1;
+  s.hosts_per_rack = 3;
+  s.chaos_window = picloud::sim::Duration::minutes(2);
+  s.workloads.push_back(testing_::WorkloadSpec{"httpd", 2, 10.0});
+  testing_::ChaosEvent crash;
+  crash.at = picloud::sim::Duration::seconds(20);
+  crash.kind = testing_::ChaosKind::kNodeCrash;
+  crash.target = 1;
+  crash.pair = 0;
+  testing_::ChaosEvent restart = crash;
+  restart.at = picloud::sim::Duration::seconds(50);
+  restart.kind = testing_::ChaosKind::kNodeRestart;
+  s.chaos.push_back(crash);
+  s.chaos.push_back(restart);
+  return s;
+}
+
+class SelfCheckTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjection::instance().reset(); }
+};
+
+// Mutation smoke: the planted double-count bug must be caught by the
+// spawn-accounting probe — and the identical scenario must pass clean with
+// the knob off, so the detection is attributable to the planted bug alone.
+TEST_F(SelfCheckTest, CheckerCatchesPlantedSpawnAccountingBug) {
+  const testing_::Scenario scenario = small_scenario();
+
+  FaultInjection::instance().double_count_spawn_ok = true;
+  const testing_::RunReport broken = testing_::run_scenario(scenario);
+  EXPECT_TRUE(broken.failed());
+  ASSERT_FALSE(broken.violations.empty()) << "planted bug went undetected";
+  EXPECT_EQ(broken.signature(), "probe:spawn-accounting");
+  EXPECT_NE(broken.summary.find("repro:"), std::string::npos);
+
+  FaultInjection::instance().reset();
+  const testing_::RunReport clean = testing_::run_scenario(scenario);
+  EXPECT_FALSE(clean.failed()) << clean.summary;
+}
+
+// A failing seed is a complete bug report: the same broken scenario must
+// reproduce bit-identically, twice.
+TEST_F(SelfCheckTest, FailingSeedReproducesBitIdentically) {
+  FaultInjection::instance().double_count_spawn_ok = true;
+  const testing_::Scenario scenario = small_scenario();
+  const testing_::RunReport a = testing_::run_scenario(scenario);
+  const testing_::RunReport b = testing_::run_scenario(scenario);
+  EXPECT_TRUE(a.failed());
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.signature(), b.signature());
+  ASSERT_EQ(a.violations.size(), b.violations.size());
+  for (size_t i = 0; i < a.violations.size(); ++i) {
+    EXPECT_EQ(a.violations[i].message, b.violations[i].message);
+    EXPECT_EQ(a.violations[i].t_ns, b.violations[i].t_ns);
+  }
+}
+
+// Minimizer against a synthetic oracle: the "bug" needs chaos pair 2 and at
+// least one httpd tier; everything else is noise the minimizer must strip.
+TEST_F(SelfCheckTest, MinimizerShrinksToTheFailureCore) {
+  auto oracle = [](const testing_::Scenario& s) {
+    testing_::RunReport r;
+    r.seed = s.seed;
+    r.ready = true;
+    bool has_pair2 = false;
+    for (const auto& e : s.chaos) has_pair2 = has_pair2 || e.pair == 2;
+    bool has_httpd = false;
+    for (const auto& w : s.workloads) has_httpd |= w.app_kind == "httpd";
+    r.converged = true;
+    if (has_pair2 && has_httpd) {
+      r.violations.push_back(
+          testing_::Violation{"synthetic-probe", 0, "planted"});
+    }
+    return r;
+  };
+
+  testing_::Scenario start = small_scenario();
+  start.racks = 3;
+  start.hosts_per_rack = 4;
+  start.workloads.push_back(testing_::WorkloadSpec{"kvstore", 2, 0.0});
+  for (int pair = 1; pair <= 4; ++pair) {
+    testing_::ChaosEvent down;
+    down.at = picloud::sim::Duration::seconds(10 * pair);
+    down.kind = testing_::ChaosKind::kLinkDown;
+    down.target = pair;
+    down.pair = pair;
+    testing_::ChaosEvent up = down;
+    up.at = picloud::sim::Duration::seconds(10 * pair + 15);
+    up.kind = testing_::ChaosKind::kLinkUp;
+    start.chaos.push_back(down);
+    start.chaos.push_back(up);
+  }
+
+  testing_::SeedMinimizer minimizer(oracle, /*max_runs=*/64);
+  const auto outcome = minimizer.minimize(start);
+  EXPECT_TRUE(outcome.original_failed);
+  EXPECT_TRUE(outcome.shrank);
+  // Strict decrease on every axis the reductions cover.
+  EXPECT_LT(testing_::SeedMinimizer::size(outcome.minimal),
+            testing_::SeedMinimizer::size(start));
+  EXPECT_LT(outcome.minimal.node_count(), start.node_count());
+  EXPECT_LT(outcome.minimal.chaos.size(), start.chaos.size());
+  EXPECT_LT(outcome.minimal.total_replicas(), start.total_replicas());
+  // The failure core survived: pair 2 and an httpd tier.
+  std::set<int> pairs;
+  for (const auto& e : outcome.minimal.chaos) pairs.insert(e.pair);
+  EXPECT_EQ(pairs, std::set<int>{2});
+  ASSERT_EQ(outcome.minimal.workloads.size(), 1u);
+  EXPECT_EQ(outcome.minimal.workloads[0].app_kind, "httpd");
+  EXPECT_EQ(outcome.signature, "probe:synthetic-probe");
+  // Re-running the minimal scenario still fails the same way.
+  EXPECT_EQ(oracle(outcome.minimal).signature(), outcome.signature);
+}
+
+// Minimizer against the real runner: with the planted spawn-accounting bug
+// every scenario fails, so the minimizer must walk the cluster and schedule
+// down to their floors while the event/node counts strictly decrease.
+TEST_F(SelfCheckTest, MinimizerShrinksARealFailingScenario) {
+  FaultInjection::instance().double_count_spawn_ok = true;
+  const testing_::Scenario start = small_scenario();
+  testing_::SeedMinimizer minimizer(testing_::run_scenario, /*max_runs=*/12);
+  const auto outcome = minimizer.minimize(start);
+  EXPECT_TRUE(outcome.original_failed);
+  EXPECT_EQ(outcome.signature, "probe:spawn-accounting");
+  EXPECT_TRUE(outcome.shrank);
+  EXPECT_LT(testing_::SeedMinimizer::size(outcome.minimal),
+            testing_::SeedMinimizer::size(start));
+  EXPECT_LE(outcome.runs, 12);
+  const testing_::RunReport again = testing_::run_scenario(outcome.minimal);
+  EXPECT_TRUE(again.failed());
+  EXPECT_EQ(again.signature(), outcome.signature);
+}
+
+}  // namespace

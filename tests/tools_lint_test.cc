@@ -250,6 +250,52 @@ TEST(LintMetricsRegistry, SuppressionCommentSilences) {
 }
 
 // ---------------------------------------------------------------------------
+// invariant-catalogue
+
+TEST(LintInvariantCatalogue, FlagsUnregisteredProbeFactory) {
+  auto diags = lint_content(
+      "src/testing/x.cc",
+      "InvariantChecker::Probe probe_orphan(const cloud::PiCloud& c) {\n"
+      "  return [](const InvariantChecker::FailFn& fail) {};\n"
+      "}\n");
+  ASSERT_TRUE(has_rule(diags, "invariant-catalogue"));
+  EXPECT_NE(diags[0].message.find("probe_orphan"), std::string::npos);
+}
+
+TEST(LintInvariantCatalogue, AcceptsRegisteredProbe) {
+  auto diags = lint_content(
+      "src/testing/x.cc",
+      "InvariantChecker::Probe probe_memory(const cloud::PiCloud& c) {\n"
+      "  return [](const InvariantChecker::FailFn& fail) {};\n"
+      "}\n"
+      "void install(InvariantChecker& chk, const cloud::PiCloud& c) {\n"
+      "  chk.register_probe(\"memory\", Phase::kSweep, probe_memory(c));\n"
+      "}\n");
+  EXPECT_FALSE(has_rule(diags, "invariant-catalogue"));
+}
+
+TEST(LintInvariantCatalogue, OnlyAppliesToTestingModule) {
+  // probe_* helpers elsewhere (e.g. monitoring code in cloud/) are not
+  // invariant probes and carry no registration obligation.
+  auto diags = lint_content(
+      "src/cloud/x.cc",
+      "InvariantChecker::Probe probe_thing() {\n"
+      "  return [](const InvariantChecker::FailFn& fail) {};\n"
+      "}\n");
+  EXPECT_FALSE(has_rule(diags, "invariant-catalogue"));
+}
+
+TEST(LintInvariantCatalogue, SuppressionCommentSilences) {
+  auto diags = lint_content(
+      "src/testing/x.cc",
+      "// picloud-lint: allow(invariant-catalogue)\n"
+      "InvariantChecker::Probe probe_experimental(const cloud::PiCloud& c) {\n"
+      "  return [](const InvariantChecker::FailFn& fail) {};\n"
+      "}\n");
+  EXPECT_FALSE(has_rule(diags, "invariant-catalogue"));
+}
+
+// ---------------------------------------------------------------------------
 // suppressions
 
 TEST(LintSuppression, TrailingCommentSilencesThatLine) {

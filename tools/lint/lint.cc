@@ -251,6 +251,9 @@ const std::map<std::string, std::set<std::string>>& layering() {
       {"apps", {"hw", "net", "os", "proto", "sim", "storage", "util"}},
       {"cloud",
        {"apps", "cost", "hw", "net", "os", "proto", "sim", "storage", "util"}},
+      {"testing",
+       {"apps", "cloud", "cost", "hw", "net", "os", "proto", "sim", "storage",
+        "util"}},
   };
   return kDag;
 }
@@ -405,6 +408,89 @@ std::vector<RestCallSite> find_bare_rest_calls(const std::string& code) {
   return sites;
 }
 
+// --- invariant-catalogue -----------------------------------------------------
+//
+// src/testing's invariant probes are factories named probe_<x> returning a
+// *Probe. A probe that is defined but never passed to register_probe(...) in
+// the same file is dead checking code — the fuzzer would silently not
+// enforce it — so the rule demands every probe_* definition appear inside
+// some register_probe call's argument span.
+
+struct ProbeDef {
+  int line = 0;
+  std::string name;
+};
+
+void find_probe_defs_and_regs(const std::string& code,
+                              std::vector<ProbeDef>* defs,
+                              std::set<std::string>* registered) {
+  // Registered names: probe_* identifiers inside the paren-balanced span of
+  // any register_probe(...) call.
+  std::size_t at = 0;
+  const std::string reg = "register_probe";
+  while ((at = code.find(reg, at)) != std::string::npos) {
+    std::size_t end = at + reg.size();
+    bool start_ok = at == 0 || !is_ident_char(code[at - 1]);
+    std::size_t open = code.find_first_not_of(" \t\n", end);
+    if (!start_ok || open == std::string::npos || code[open] != '(') {
+      at = end;
+      continue;
+    }
+    int depth = 0;
+    std::size_t close = open;
+    for (; close < code.size(); ++close) {
+      if (code[close] == '(') ++depth;
+      if (code[close] == ')' && --depth == 0) break;
+    }
+    if (close >= code.size()) break;
+    std::size_t p = open;
+    while ((p = code.find("probe_", p)) != std::string::npos && p < close) {
+      bool sok = !is_ident_char(code[p - 1]);
+      std::size_t e = p;
+      while (e < code.size() && is_ident_char(code[e])) ++e;
+      if (sok) registered->insert(code.substr(p, e - p));
+      p = e;
+    }
+    at = close;
+  }
+
+  // Definitions: a probe_* identifier opening a parameter list whose
+  // preceding token is the factory's return type ending in "Probe".
+  at = 0;
+  while ((at = code.find("probe_", at)) != std::string::npos) {
+    bool start_ok = at == 0 || !is_ident_char(code[at - 1]);
+    std::size_t e = at;
+    while (e < code.size() && is_ident_char(code[e])) ++e;
+    if (!start_ok) {
+      at = e;
+      continue;
+    }
+    std::size_t open = code.find_first_not_of(" \t\n", e);
+    if (open == std::string::npos || code[open] != '(') {
+      at = e;
+      continue;
+    }
+    std::size_t prev_end = at;
+    while (prev_end > 0 &&
+           std::isspace(static_cast<unsigned char>(code[prev_end - 1]))) {
+      --prev_end;
+    }
+    std::size_t prev_begin = prev_end;
+    while (prev_begin > 0 &&
+           (is_ident_char(code[prev_begin - 1]) || code[prev_begin - 1] == ':')) {
+      --prev_begin;
+    }
+    std::string prev = code.substr(prev_begin, prev_end - prev_begin);
+    if (ends_with(prev, "Probe")) {
+      int line = 1 + static_cast<int>(std::count(
+                         code.begin(), code.begin() + static_cast<long>(at),
+                         '\n'));
+      defs->push_back(ProbeDef{line, code.substr(at, e - at)});
+    }
+    at = e;
+  }
+}
+
 }  // namespace
 
 std::vector<Diagnostic> lint_content(const std::string& path,
@@ -517,6 +603,22 @@ std::vector<Diagnostic> lint_content(const std::string& path,
       report(site.line, "rest-retry",
              "RestClient call without an explicit RetryPolicy or timeout; "
              "state the call's reliability (see proto/rest.h)");
+    }
+  }
+
+  // invariant-catalogue: every probe factory in src/testing must be wired
+  // into the checker via register_probe, in the same file.
+  if (module == "testing") {
+    std::vector<ProbeDef> defs;
+    std::set<std::string> registered;
+    find_probe_defs_and_regs(pre.code, &defs, &registered);
+    for (const ProbeDef& def : defs) {
+      if (registered.count(def.name) == 0) {
+        report(def.line, "invariant-catalogue",
+               "'" + def.name +
+                   "' is defined but never passed to register_probe; an "
+                   "unregistered probe silently checks nothing");
+      }
     }
   }
   return diags;

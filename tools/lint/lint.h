@@ -30,6 +30,11 @@
 //                     value snapshot of registry series, not a parallel
 //                     counter store. Direct std::cerr/std::cout/printf/
 //                     fprintf in src/ is banned in favour of PICLOUD_LOG.
+//   invariant-catalogue  simulation-fuzzing probes in src/testing/ (factory
+//                     functions probe_<x> returning a *Probe) must be passed
+//                     to register_probe(...) in the same file — an
+//                     unregistered probe is dead checking code that enforces
+//                     nothing.
 //
 // A finding on a line is suppressed with a trailing or immediately preceding
 // comment:  // picloud-lint: allow(<rule>[, <rule>...])
