@@ -3,17 +3,22 @@
 // methodology argument — the PiCloud exists because simulators trade
 // fidelity for speed; this shows the model's own overhead envelope.
 #include <benchmark/benchmark.h>
+#include <sys/resource.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <string>
 
 #include "cloud/cloud.h"
 #include "net/topology.h"
+#include "sim/event_queue.h"
 #include "sim/simulation.h"
 #include "testing/runner.h"
 #include "testing/scenario.h"
+#include "util/json.h"
 
 using namespace picloud;
 
@@ -140,9 +145,103 @@ void write_metrics_snapshot() {
                path.c_str());
 }
 
+// --- perf baseline (PICLOUD_PERF_OUT) ----------------------------------------
+//
+// The ROADMAP's perf-trajectory artifact: three host-speed numbers written as
+// JSON and committed as BENCH_sim_perf.json at the repo root, so regressions
+// show up as a diff between builds. Wall-clock here measures the *host*, not
+// the simulation — the one legitimate use of real time in this tree, hence
+// the explicit lint allowances.
+
+double wall_seconds(const std::function<void()>& fn) {
+  auto t0 = std::chrono::steady_clock::now();  // picloud-lint: allow(nondeterminism)
+  fn();
+  auto t1 = std::chrono::steady_clock::now();  // picloud-lint: allow(nondeterminism)
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+long max_rss_kb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;
+}
+
+void write_perf_baseline() {
+  const char* env = std::getenv("PICLOUD_PERF_OUT");
+  if (env == nullptr || *env == '\0') return;  // opt-in
+
+  // (1) events/sec: a self-scheduling chain through the full Simulation
+  // front end (id allocation, clock advance, dispatch).
+  constexpr int kChain = 2000000;
+  sim::Simulation kernel(1);
+  int remaining = kChain;
+  std::function<void()> tick = [&]() {
+    if (--remaining > 0) kernel.after(sim::Duration::micros(1), tick);
+  };
+  double kernel_wall = wall_seconds([&]() {
+    kernel.after(sim::Duration::micros(1), tick);
+    kernel.run();
+  });
+  double events_per_sec = kChain / kernel_wall;
+
+  // (2) bytes/event: peak-RSS growth while holding a large pending backlog.
+  // Must run before anything allocation-heavy peaks the process, so
+  // write_perf_baseline() is called ahead of the google-benchmark suite.
+  constexpr int kPending = 1 << 20;
+  double bytes_per_event = 0;
+  {
+    long before_kb = max_rss_kb();
+    sim::EventQueue q;
+    for (int i = 0; i < kPending; ++i) {
+      q.schedule(sim::SimTime::from_ns(i), []() {});
+    }
+    bytes_per_event = (max_rss_kb() - before_kb) * 1024.0 / kPending;
+    while (!q.empty()) q.run_next();
+  }
+
+  // (3) sim-seconds per wall-second on a loaded cloud: the full management
+  // plane (heartbeats, gossip, scheduler scans) plus 20 serving containers.
+  sim::Simulation sim(1);
+  cloud::PiCloud cloud(sim);
+  cloud.power_on();
+  cloud.await_ready();
+  for (int i = 0; i < 20; ++i) {
+    (void)cloud.spawn_and_wait(
+        {.name = "web-" + std::to_string(i), .app_kind = "httpd"});
+  }
+  constexpr double kSimSeconds = 600;
+  double cloud_wall = wall_seconds(
+      [&]() { cloud.run_for(sim::Duration::seconds(kSimSeconds)); });
+
+  util::Json doc(util::JsonObject{
+      {"tool", "bench_sim_perf"},
+      {"version", 1},
+      {"config", util::Json(util::JsonObject{
+                     {"event_chain", kChain},
+                     {"pending_events", kPending},
+                     {"cloud_sim_seconds", kSimSeconds},
+                 })},
+      {"metrics", util::Json(util::JsonObject{
+                      {"events_per_sec", events_per_sec},
+                      {"bytes_per_event", bytes_per_event},
+                      {"sim_seconds_per_wall_second", kSimSeconds / cloud_wall},
+                  })},
+  });
+  std::ofstream out(env, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "bench_sim_perf: cannot write %s\n", env);
+    return;
+  }
+  out << doc.pretty() << "\n";
+  std::fprintf(stderr, "bench_sim_perf: perf baseline -> %s\n", env);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Before the benchmark suite: the bytes/event measurement reads peak RSS,
+  // which only moves while this process is still small.
+  write_perf_baseline();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

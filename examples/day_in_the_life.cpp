@@ -14,12 +14,17 @@
 #include "cloud/chaos.h"
 #include "cloud/cloud.h"
 #include "cloud/replicaset.h"
+#include "util/logging.h"
 #include "util/strings.h"
 
 using namespace picloud;
 
 int main() {
   sim::Simulation sim(2013);  // the paper's vintage
+  // Narrate the day: warnings and up, stamped with the simulated clock so
+  // the output reads like the syslog of a real PiCloud run.
+  util::Logging::set_level(util::LogLevel::kWarn);
+  sim.install_clock_log_sink();
   cloud::PiCloudConfig config;
   config.placement_policy = "best-fit";
   cloud::PiCloud cloud(sim, config);

@@ -3,7 +3,6 @@
 #include <cassert>
 
 #include "util/json.h"
-#include "util/logging.h"
 
 namespace picloud::apps {
 

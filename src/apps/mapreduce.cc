@@ -2,7 +2,6 @@
 
 #include <cassert>
 
-#include "util/logging.h"
 
 namespace picloud::apps {
 

@@ -4,7 +4,6 @@
 
 #include "apps/factory.h"
 #include "util/logging.h"
-#include "util/strings.h"
 
 namespace picloud::cloud {
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "util/logging.h"
 
 namespace picloud::cloud {
 

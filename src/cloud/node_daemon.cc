@@ -3,7 +3,6 @@
 #include <utility>
 
 #include "util/logging.h"
-#include "util/strings.h"
 
 namespace picloud::cloud {
 

@@ -17,7 +17,6 @@
 #include "sim/simulation.h"
 #include "sim/time.h"
 #include "util/rng.h"
-#include "util/stats.h"
 
 namespace picloud::net {
 

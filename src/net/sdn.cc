@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 
-#include "util/logging.h"
 
 namespace picloud::net {
 

@@ -3,7 +3,6 @@
 #include <vector>
 
 #include "util/json.h"
-#include "util/logging.h"
 
 namespace picloud::proto {
 

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "util/check.h"
+#include "util/logging.h"
 
 namespace picloud::sim {
 

@@ -13,7 +13,6 @@
 
 #include "sim/event_queue.h"
 #include "sim/time.h"
-#include "util/logging.h"
 #include "util/metrics.h"
 #include "util/rng.h"
 #include "util/trace.h"

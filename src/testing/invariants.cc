@@ -18,7 +18,7 @@ namespace {
 // ---------------------------------------------------------------------------
 // Built-in probe catalogue. Each factory closes over the cloud and returns
 // the probe; install_builtin_probes() registers every one of them — the
-// picloud_lint invariant-catalogue rule fails the build if a probe_* factory
+// picloud_analyze invariant-catalogue rule fails the build if a probe_* factory
 // is defined here but never registered.
 // ---------------------------------------------------------------------------
 

@@ -10,7 +10,7 @@
 //
 // Probes live in the central catalogue (install_builtin_probes) or are
 // registered by the runner for scenario-specific state (e.g. the load
-// generator's histogram accounting); picloud_lint's invariant-catalogue
+// generator's histogram accounting); picloud_analyze's invariant-catalogue
 // rule enforces that every probe_* factory in src/testing/ is actually
 // registered somewhere — an unreferenced probe is dead checking code.
 //

@@ -17,7 +17,7 @@
 //     hot paths (per-event bookkeeping). Compiled out under NDEBUG; the
 //     condition is not evaluated, so operands must be side-effect free.
 //
-// Raw `assert(` is banned in src/ and enforced by tools/lint/picloud_lint.
+// Raw `assert(` is banned in src/ and enforced by tools/lint/picloud_analyze.
 #pragma once
 
 #include <sstream>

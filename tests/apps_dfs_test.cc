@@ -109,6 +109,16 @@ TEST_F(DfsCloud, StoredBytesHitTheSdCards) {
   }
   // 8 MiB x 2 replicas of card space.
   EXPECT_NEAR(sd_after - sd_before, 16.0 * (1 << 20), 1.0);
+  // The namenode's ledger and the datanode apps' own accounting agree.
+  EXPECT_EQ(namenode_->file_bytes("blob"), 8ull << 20);
+  std::uint64_t app_bytes = 0;
+  for (size_t i = 0; i < cloud_->node_count(); ++i) {
+    auto* dn = dynamic_cast<DfsNodeApp*>(
+        cloud_->node(i).find_container(util::format("dn-%zu", i))->app());
+    ASSERT_NE(dn, nullptr);
+    app_bytes += dn->stored_bytes();
+  }
+  EXPECT_EQ(app_bytes, 16ull << 20);
 }
 
 TEST_F(DfsCloud, RemoveFreesTheCards) {

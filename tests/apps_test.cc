@@ -71,6 +71,7 @@ TEST(Httpd, ServesRequestsAndCounts) {
       w.nodes[0]->find_container("web")->app());
   ASSERT_NE(app, nullptr);
   EXPECT_EQ(app->requests_served(), gen.completed());
+  EXPECT_EQ(app->requests_dropped(), 0u);  // uncapped CPU: nothing sheds
 }
 
 TEST(Httpd, CpuCapRaisesLatencyUnderLoad) {
@@ -146,6 +147,12 @@ TEST(Kvstore, CgroupLimitRejectsOversizedDataset) {
   // 30 MB idle + 4 x 8 MB = 62 MB fits; the 5th 8 MB put crosses 64 MB.
   EXPECT_EQ(accepted, 4);
   EXPECT_EQ(rejected, 6);
+  // The app's own op accounting agrees with the client's view.
+  auto* app = dynamic_cast<KvStoreApp*>(
+      w.nodes[0]->find_container("db")->app());
+  ASSERT_NE(app, nullptr);
+  EXPECT_EQ(app->ops_served(), 4u);
+  EXPECT_EQ(app->ops_rejected(), 6u);
 }
 
 TEST(Kvstore, StateSurvivesStopStart) {
@@ -194,6 +201,17 @@ TEST(MapReduce, WordcountStyleJobCompletes) {
   EXPECT_GT(result.duration.to_seconds(), 0.0);
   // Shuffle actually crossed the fabric.
   EXPECT_GT(w.fabric.total_bytes_carried(), spec.input_bytes * 0.3);
+  // Every task landed on some worker; totals match the spec.
+  std::uint64_t maps = 0, reduces = 0;
+  for (int i = 0; i < 4; ++i) {
+    auto* worker = dynamic_cast<MapReduceWorkerApp*>(
+        w.nodes[i]->find_container("mr" + std::to_string(i))->app());
+    ASSERT_NE(worker, nullptr);
+    maps += worker->map_tasks_done();
+    reduces += worker->reduce_tasks_done();
+  }
+  EXPECT_EQ(maps, spec.map_tasks);
+  EXPECT_EQ(reduces, spec.reducers.size());
 }
 
 TEST(MapReduce, MoreWorkersFinishFaster) {

@@ -124,6 +124,11 @@ TEST(Chaos, LinkFlapsAreRepaired) {
   chaos.stop();
   EXPECT_GT(chaos.stats().link_cuts, 5u);
   EXPECT_GT(chaos.stats().link_repairs, 5u);
+  // The live down/lossy sets reconcile with the cumulative counters.
+  EXPECT_EQ(chaos.links_down(),
+            chaos.stats().link_cuts - chaos.stats().link_repairs);
+  EXPECT_EQ(chaos.links_lossy(),
+            chaos.stats().loss_onsets - chaos.stats().loss_clears);
   // Multi-root redundancy: even with one uplink down per rack, hosts reach
   // each other (only total-rack isolation would break this).
   sim.run_until(sim.now() + sim::Duration::minutes(2));
@@ -137,6 +142,8 @@ TEST(Diurnal, ProfilePeaksAtTheRightHour) {
   params.noise = 0;
   params.flash_per_day = 0;
   apps::DiurnalProfile profile(params, util::Rng(1));
+  profile.advance(sim::SimTime::zero() + sim::Duration::minutes(360));
+  EXPECT_FALSE(profile.in_flash());  // flash_per_day = 0: never in flash
   auto at_hour = [&](double h) {
     return profile.rate_at(sim::SimTime::from_ns(
         static_cast<std::int64_t>(h * 3600.0 * 1e9)));
@@ -158,6 +165,7 @@ TEST(Diurnal, FlashCrowdsMultiplyTheRate) {
   apps::DiurnalProfile profile(params, util::Rng(2));
   sim::SimTime t = sim::SimTime::zero() + sim::Duration::minutes(30);
   profile.advance(t);
+  EXPECT_TRUE(profile.in_flash());
   EXPECT_NEAR(profile.rate_at(t), 200, 1e-6);
   sim::SimTime later = t + sim::Duration::minutes(11);
   EXPECT_NEAR(profile.rate_at(later), 50, 1e-6);  // flash expired

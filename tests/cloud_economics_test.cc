@@ -67,6 +67,10 @@ TEST_F(EconomicsCloud, BillingAccruesHourly) {
   cloud_->run_for(sim::Duration::minutes(30));
   // Half an hour of $0.018/h.
   EXPECT_NEAR(econ->revenue_usd(sim_->now()), 0.009, 0.0005);
+  // The books balance: profit is revenue net of the metered energy bill.
+  EXPECT_DOUBLE_EQ(
+      econ->profit_usd(sim_->now()),
+      econ->revenue_usd(sim_->now()) - econ->energy_cost_usd());
   // Terminated tenants stop accruing.
   bool done = false;
   econ->terminate("t1", [&](util::Status status) {
@@ -96,6 +100,7 @@ TEST_F(EconomicsCloud, NoOvercommitSellsAtMostOneCorePerNode) {
   }
   EXPECT_EQ(ok, 8);
   EXPECT_EQ(refused, 1);
+  EXPECT_EQ(econ->rejected_launches(), 1u);
   EXPECT_NEAR(econ->cpu_sold("pi-r0-00"), 1.0, 1e-9);
 }
 
@@ -168,6 +173,14 @@ TEST(BatchApp, DutyCycleScalesConsumption) {
   sim.run_until(sim.now() + sim::Duration::seconds(60));
   double half_cycles = half.value()->cpu_cycles_used();
   EXPECT_NEAR(half_cycles / full_cycles, 0.5, 0.1);
+  // The apps' own progress accounting moved in step with the cycles burnt.
+  auto* full_app = dynamic_cast<apps::BatchApp*>(full.value()->app());
+  auto* half_app = dynamic_cast<apps::BatchApp*>(half.value()->app());
+  ASSERT_NE(full_app, nullptr);
+  ASSERT_NE(half_app, nullptr);
+  EXPECT_GT(full_app->cycles_completed(), 0.0);
+  EXPECT_GT(half_app->cycles_completed(), 0.0);
+  EXPECT_GE(full_app->cycles_completed(), half_app->cycles_completed());
 }
 
 }  // namespace

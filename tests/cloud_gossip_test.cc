@@ -109,7 +109,9 @@ TEST(Gossip, FullCloudIntegration) {
   PiCloud cloud(sim, config);
   cloud.power_on();
   ASSERT_TRUE(cloud.await_ready());
+  EXPECT_FALSE(cloud.gossip_enabled());
   cloud.start_gossip();
+  EXPECT_TRUE(cloud.gossip_enabled());
   cloud.run_for(sim::Duration::seconds(15));
   // Ask an arbitrary Pi for the cluster view: it knows all 8 members.
   GossipAgent* agent = cloud.gossip_agent(5);

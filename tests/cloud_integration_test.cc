@@ -8,6 +8,7 @@
 #include "cloud/cloud.h"
 #include "apps/httpd.h"
 #include "apps/loadgen.h"
+#include "util/strings.h"
 
 namespace picloud {
 namespace {

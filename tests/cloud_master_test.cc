@@ -52,6 +52,8 @@ class SmallCloud : public ::testing::Test {
 };
 
 TEST_F(SmallCloud, SpawnValidation) {
+  // Boot sanity: every Pi leased its address from the master's DHCP service.
+  EXPECT_EQ(cloud_->master().dhcp().active_leases(), 6u);
   // Missing name.
   EXPECT_EQ(call(proto::Method::kPost, "/instances", Json::object()).status,
             400);
@@ -77,9 +79,13 @@ TEST_F(SmallCloud, SpawnValidation) {
 TEST_F(SmallCloud, DeleteCleansRegistryEvenWhenNodeCrashed) {
   auto record = cloud_->spawn_and_wait({.name = "orphan"});
   ASSERT_TRUE(record.ok());
+  EXPECT_EQ(cloud_->master().spawn_requests(), 1u);
+  EXPECT_EQ(cloud_->master().spawns_succeeded(), 1u);
+  EXPECT_EQ(cloud_->master().spawns_failed(), 0u);
   cloud::NodeDaemon* daemon =
       cloud_->daemon_by_hostname(record.value().hostname);
   ASSERT_NE(daemon, nullptr);
+  EXPECT_EQ(daemon->metrics_scope(), "node." + record.value().hostname);
   daemon->crash();
   cloud_->run_for(sim::Duration::seconds(12));
   // The daemon is gone; delete must still clear master state. The daemon's

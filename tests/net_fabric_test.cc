@@ -28,6 +28,8 @@ struct TwoHosts {
 
 TEST(Fabric, SingleFlowFinishesAtLineRate) {
   TwoHosts t(100e6);
+  EXPECT_EQ(t.fabric.find_node("b"), std::optional<NetNodeId>(t.b));
+  EXPECT_EQ(t.fabric.find_node("ghost"), std::nullopt);
   bool done = false;
   sim::SimTime finish;
   FlowSpec spec;

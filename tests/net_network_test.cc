@@ -147,6 +147,8 @@ TEST(Network, RebindMovesDelivery) {
   // The "migration": vip moves from host 1 to host 2.
   w.network.bind_ip(vip, w.topo.hosts[2]);
   EXPECT_EQ(w.network.resolve(vip), std::optional<NetNodeId>(w.topo.hosts[2]));
+  EXPECT_EQ(w.network.ips_on_node(w.topo.hosts[1]), 0u);  // vip moved away
+  EXPECT_EQ(w.network.ips_on_node(w.topo.hosts[2]), 1u);
   int got = 0;
   w.network.listen(vip, 80, [&](const Message&) { ++got; });
   Message msg;

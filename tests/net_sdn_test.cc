@@ -270,6 +270,7 @@ TEST(SpanningTree, ReconvergesAfterTreeLinkFailure) {
   }
   ASSERT_NE(dead, kInvalidLink);
   fabric.set_link_pair_up(dead, false);
+  stp.invalidate();  // drop the cached tree; the next route must rebuild
   FlowSpec retry;
   retry.src = topo.hosts[0];
   retry.dst = topo.hosts[55];

@@ -18,6 +18,7 @@ namespace {
 TEST(MemoryManager, ChargesAndLimits) {
   MemoryManager mem(100);
   MemGroupId g = mem.create_group(/*limit=*/40);
+  EXPECT_EQ(mem.group_limit(g), 40u);
   EXPECT_TRUE(mem.charge(g, 30).ok());
   EXPECT_EQ(mem.group_usage(g), 30u);
   util::Status over_limit = mem.charge(g, 20);
@@ -214,6 +215,7 @@ TEST(NodeOs, ImageCacheRespectsSdCapacity) {
   EXPECT_EQ(full.error().code, "disk_full");
   // Re-adding a cached layer is a no-op success.
   EXPECT_TRUE(w.node->add_image_layer("base:1", 10ull << 30).ok());
+  EXPECT_EQ(w.node->cached_layers(), std::vector<std::string>{"base:1"});
 }
 
 TEST(NodeOs, CreateRequiresCachedImage) {

@@ -101,7 +101,11 @@ TEST(CpuScheduler, FreezeStopsProgressThawResumes) {
   CgroupId g = cpu.create_group();
   sim::SimTime finish;
   cpu.run(g, 700e6, [&](bool) { finish = sim.now(); });  // 1s of work
-  sim.after(sim::Duration::seconds(0.5), [&]() { cpu.freeze_group(g, true); });
+  EXPECT_EQ(cpu.runnable_tasks(), 1u);
+  sim.after(sim::Duration::seconds(0.5), [&]() {
+    cpu.freeze_group(g, true);
+    EXPECT_EQ(cpu.runnable_tasks(), 0u);  // frozen group's task is parked
+  });
   sim.after(sim::Duration::seconds(2.5), [&]() { cpu.freeze_group(g, false); });
   sim.run();
   // 0.5s done, frozen 2s, remaining 0.5s: finishes at 3.0s.

@@ -9,6 +9,7 @@
 #include "proto/http.h"
 #include "proto/rest.h"
 #include "sim/simulation.h"
+#include "util/strings.h"
 
 namespace picloud::proto {
 namespace {
@@ -59,6 +60,8 @@ TEST(Router, LiteralAndParamRoutes) {
                 [](const HttpRequest&, const PathParams& params) {
                   return HttpResponse::make(200, Json(params.at("hostname")));
                 });
+
+  EXPECT_EQ(router.route_count(), 2u);
 
   HttpRequest list;
   list.method = Method::kGet;
@@ -134,6 +137,7 @@ TEST(Rest, EndToEndCall) {
                   });
   RestServer server(w.network, w.server_ip, 8080, &w.router);
   server.start();
+  EXPECT_TRUE(server.serving());
   RestClient client(w.network, w.client_ip);
 
   bool got = false;
@@ -143,9 +147,14 @@ TEST(Rest, EndToEndCall) {
                ASSERT_TRUE(result.ok());
                EXPECT_EQ(result.value().body.as_string(), "pong");
              });
+  EXPECT_EQ(client.inflight(), 1u);
   w.sim.run();
   EXPECT_TRUE(got);
+  EXPECT_EQ(client.inflight(), 0u);
+  EXPECT_EQ(client.calls_made(), 1u);
   EXPECT_EQ(server.requests_served(), 1u);
+  server.stop();
+  EXPECT_FALSE(server.serving());
 }
 
 TEST(Rest, AsyncHandlerRespondsLater) {
@@ -246,6 +255,10 @@ TEST(Dhcp, DoraHandshakeBindsClient) {
   EXPECT_EQ(client.state(), DhcpClient::State::kBound);
   EXPECT_EQ(bound, net::Ipv4Addr(10, 0, 1, 1));
   EXPECT_EQ(w.server->active_leases(), 1u);
+  // One DORA: one discover in, one ack out, no naks.
+  EXPECT_EQ(w.server->discovers_seen(), 1u);
+  EXPECT_EQ(w.server->acks_sent(), 1u);
+  EXPECT_EQ(w.server->naks_sent(), 0u);
   auto lease = w.server->lease_for_mac("b8:27:eb:00:00:01");
   ASSERT_TRUE(lease.has_value());
   EXPECT_EQ(lease->hostname, "pi-r0-00");
@@ -337,6 +350,7 @@ struct DnsWorld {
 TEST(Dns, ResolveOverTheWire) {
   DnsWorld w;
   w.server->add_record("pi-r0-00", net::Ipv4Addr(10, 0, 1, 1));
+  EXPECT_EQ(w.server->record_count(), 1u);
   DnsResolver resolver(w.network, w.client_ip, w.server_ip);
   net::Ipv4Addr got;
   resolver.resolve("pi-r0-00", [&](util::Result<net::Ipv4Addr> result) {
@@ -374,6 +388,7 @@ TEST(Dns, CacheServesRepeatsWithoutQueries) {
   EXPECT_EQ(resolved, 3);
   EXPECT_EQ(resolver.queries_sent(), 1u);
   EXPECT_EQ(resolver.cache_hits(), 2u);
+  EXPECT_EQ(resolver.cache_size(), 1u);  // one name cached, served twice
 }
 
 TEST(Dns, CacheExpiresAfterTtl) {
@@ -382,6 +397,8 @@ TEST(Dns, CacheExpiresAfterTtl) {
   DnsResolver resolver(w.network, w.client_ip, w.server_ip);
   resolver.resolve("web", [](util::Result<net::Ipv4Addr>) {});
   w.sim.run();
+  // The server's advertised TTL drives the client cache lifetime tested here.
+  EXPECT_NEAR(w.server->ttl().to_seconds(), 60.0, 1e-9);
   w.sim.run_until(w.sim.now() + sim::Duration::seconds(120));  // > 60s TTL
   resolver.resolve("web", [](util::Result<net::Ipv4Addr>) {});
   w.sim.run();

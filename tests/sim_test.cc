@@ -19,6 +19,9 @@ TEST(Duration, ArithmeticAndConversions) {
   EXPECT_LT(Duration::micros(1), Duration::millis(1));
   EXPECT_EQ(Duration::seconds(3).to_string(), "3.000s");
   EXPECT_EQ(Duration::micros(1500).to_string(), "1.500ms");
+  EXPECT_EQ(Duration::millis(2).to_micros(), 2000.0);
+  EXPECT_TRUE(Duration::zero().is_zero());
+  EXPECT_FALSE(Duration::micros(1).is_zero());
 }
 
 TEST(SimTime, OrderingAndOffsets) {

@@ -59,6 +59,18 @@ TEST(Strings, TrimStripsWhitespace) {
   EXPECT_EQ(trim("   "), "");
 }
 
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("pi-r0-00", "pi-"));
+  EXPECT_FALSE(starts_with("pi", "pi-"));
+  EXPECT_TRUE(ends_with("base:1", ":1"));
+  EXPECT_FALSE(ends_with(":1", "base:1"));
+}
+
+TEST(Strings, ToLowerAsciiOnly) {
+  EXPECT_EQ(to_lower("Pi-R0-00"), "pi-r0-00");
+  EXPECT_EQ(to_lower("already lower"), "already lower");
+}
+
 TEST(Strings, ParseU64) {
   unsigned long long v = 0;
   EXPECT_TRUE(parse_u64("18446744073709551615", &v));
@@ -165,6 +177,12 @@ TEST(Json, LargeIntegersSerializeWithoutExponent) {
   EXPECT_EQ(j.dump(), "1887436800");
 }
 
+TEST(Json, AsIntTruncatesAndDefaults) {
+  EXPECT_EQ(Json(41.9).as_int(), 41);
+  EXPECT_EQ(Json(-3).as_int(), -3);
+  EXPECT_EQ(Json("nan").as_int(), 0);  // wrong type: zero value
+}
+
 // ---------------------------------------------------------------------------
 // stats
 
@@ -250,6 +268,14 @@ TEST(Rng, ExponentialMeanConverges) {
   RunningStats s;
   for (int i = 0; i < 20000; ++i) s.add(rng.exponential(5.0));
   EXPECT_NEAR(s.mean(), 5.0, 0.15);
+}
+
+TEST(Rng, NormalMeanAndSpreadConverge) {
+  Rng rng(17);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
 }
 
 TEST(Rng, ParetoRespectsMinimumAndMean) {

@@ -1,0 +1,57 @@
+// C++ tokenizer for picloud_analyze (tools/lint).
+//
+// Every rule in the analyzer reads this token stream instead of doing its
+// own substring scanning, which kills the regex-era false-positive classes
+// in one place: comments and string/char literals become their own token
+// kinds (a doc comment mentioning rand() is a kComment token, never an
+// identifier), raw strings R"delim(...)delim" are one token, digit
+// separators (1'000'000) don't open char literals, and backslash-newline
+// line continuations are spliced transparently while line numbers stay
+// anchored to the physical source.
+//
+// The lexer is deliberately a *lexer*, not a parser: it produces
+// identifiers, numbers, literals, punctuators, comments, and preprocessor
+// directives with line/column positions. Anything smarter (declaration vs
+// reference, include resolution) lives in the project model (model.h).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace picloud::lint {
+
+enum class TokenKind {
+  kIdentifier,   // foo, PICLOUD_CHECK, int (keywords are identifiers too;
+                 // use is_keyword() to tell them apart)
+  kNumber,       // 42, 1'000'000, 0x1p-3, 1.5e9
+  kString,       // "..." or R"delim(...)delim", prefix included
+  kChar,         // 'a', '\n', u8'x'
+  kPunct,        // one token per punctuator; "::" "->" "<<" etc. are single
+  kComment,      // // line or /* block */; text() keeps the body verbatim
+  kPpDirective,  // "#include", "#pragma", "#define", ... ('#' + name)
+  kHeaderName,   // the <...> or "..." operand of an #include, quotes kept
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;  // exact lexeme (spliced across line continuations)
+  int line = 1;      // 1-based physical line where the token starts
+  int col = 1;       // 1-based column on that line
+
+  bool is(TokenKind k) const { return kind == k; }
+  bool is(TokenKind k, const char* t) const { return kind == k && text == t; }
+  bool is_punct(const char* t) const { return is(TokenKind::kPunct, t); }
+  bool is_ident(const char* t) const { return is(TokenKind::kIdentifier, t); }
+};
+
+// Tokenizes `content`. Never fails: unterminated constructs produce a token
+// running to end-of-file, and bytes that fit nothing become 1-char kPunct
+// tokens, so rules always see the best-effort stream.
+std::vector<Token> tokenize(const std::string& content);
+
+// True for C++ keywords (if, for, const, operator, ...). Identifiers that
+// look like calls but are keywords (if (...), while (...)) are filtered with
+// this in the symbol-classification pass.
+bool is_keyword(const std::string& ident);
+
+}  // namespace picloud::lint

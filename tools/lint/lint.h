@@ -1,51 +1,77 @@
-// picloud_lint — repo-specific static analysis for the determinism rules.
+// picloud_analyze — whole-program static analysis for the determinism rules.
 //
 // The simulator's contract is bit-reproducible whole-cloud runs (DESIGN.md
-// §6.1). That contract is easy to break with one stray call to a wall clock
-// or the libc RNG, so this linter walks the tree and enforces:
+// §6.1). That contract is easy to break with one stray wall-clock call, an
+// unordered container leaking iteration order into a digest, or a dangling
+// by-reference lambda capture firing from the event queue — so the analyzer
+// lexes the whole tree (lexer.h), builds a cross-file project model
+// (model.h: include graph, computed module layering, symbol index) and runs
+// twelve rules over it:
 //
-//   nondeterminism    banned APIs (rand/srand, std::random_device, time(),
-//                     gettimeofday, clock_gettime, std::chrono::system_clock/
-//                     steady_clock/high_resolution_clock, std::this_thread)
-//                     anywhere in src/, examples/, bench/, tests/. Randomness
-//                     comes from util::Rng streams; time from sim::Simulation.
-//   raw-assert        `assert(` in src/ — invariants must use PICLOUD_CHECK /
-//                     PICLOUD_DCHECK (src/util/check.h) so they survive NDEBUG.
-//   pragma-once       every header must contain `#pragma once`.
-//   include-hygiene   src/<module>/ may only include from itself and the
-//                     modules below it in the layering DAG (util at the
-//                     bottom, cloud at the top); e.g. src/util must not
-//                     reach upward into src/sim or src/cloud.
-//   rest-retry        RestClient call sites in src/cloud/*.cc (receiver
-//                     identifier containing "client", method call/get/post)
-//                     must state their reliability explicitly — a RetryPolicy
-//                     or timeout/Duration argument. The datagram network
-//                     drops requests; a bare call hangs on the default
-//                     single-attempt timeout with no backoff.
-//   metrics-registry  telemetry must flow through the unified spine
-//                     (DESIGN.md §9). A `struct *Stats` declared in src/
-//                     outside util/ must live in a file that talks to the
-//                     MetricsRegistry (includes util/metrics.h or holds
-//                     util::Counter/Gauge/LogHistogram handles) — i.e. be a
-//                     value snapshot of registry series, not a parallel
-//                     counter store. Direct std::cerr/std::cout/printf/
-//                     fprintf in src/ is banned in favour of PICLOUD_LOG.
-//   invariant-catalogue  simulation-fuzzing probes in src/testing/ (factory
-//                     functions probe_<x> returning a *Probe) must be passed
-//                     to register_probe(...) in the same file — an
-//                     unregistered probe is dead checking code that enforces
-//                     nothing.
+//   nondeterminism       banned wall-clock / libc-RNG / threading APIs
+//                        (rand/srand, std::random_device, time(),
+//                        gettimeofday, clock_gettime, system_clock/
+//                        steady_clock/high_resolution_clock, this_thread)
+//                        anywhere in the tree. Randomness comes from
+//                        util::Rng streams; time from sim::Simulation.
+//   raw-assert           `assert(` in src/ — invariants must use
+//                        PICLOUD_CHECK / PICLOUD_DCHECK (src/util/check.h)
+//                        so they survive NDEBUG.
+//   pragma-once          every header must contain `#pragma once`.
+//   include-hygiene      module layering, computed from the whole-tree
+//                        include graph: a src/<module> include edge that
+//                        creates a module-level cycle against the
+//                        prevailing direction is a violation (the old
+//                        hard-coded DAG is gone; the graph is the spec).
+//   include-cycle        file-level #include cycles (strongly connected
+//                        components of the include graph).
+//   unused-include       a project header is included but none of the
+//                        symbols it declares are referenced by the
+//                        including file (reported under src/ only).
+//   unordered-container  std::unordered_map/set/multimap/multiset in src/ —
+//                        iteration order feeds event ordering and digests;
+//                        the repo's ordered-container convention (std::map/
+//                        std::set) is enforced.
+//   event-capture        a lambda with a `[&]` default-reference capture
+//                        passed to Simulation::after/at/schedule or a
+//                        PeriodicTask — the event fires after the enclosing
+//                        frame is gone, so default reference captures are
+//                        dangling-by-fire-time hazards. Capture explicitly
+//                        ([this], [this, id], by value) in src/.
+//   dead-symbol          a function or type defined in src/ that no file in
+//                        src/, tests/, bench/ or examples/ references —
+//                        dead checking code (an unregistered probe, an
+//                        unkept helper) enforces nothing.
+//   rest-retry           RestClient call sites in src/cloud/*.cc (receiver
+//                        identifier containing "client", method
+//                        call/get/post) must state their reliability — a
+//                        RetryPolicy or timeout/Duration argument.
+//   metrics-registry     telemetry flows through the unified spine
+//                        (DESIGN.md §9): a `struct *Stats` in src/ outside
+//                        util/ must live in a file that talks to the
+//                        MetricsRegistry; std::cerr/cout/printf/fprintf in
+//                        src/ is banned in favour of PICLOUD_LOG.
+//   invariant-catalogue  probe_<x> factories in src/testing/ must be passed
+//                        to register_probe(...) in the same file.
 //
-// A finding on a line is suppressed with a trailing or immediately preceding
-// comment:  // picloud-lint: allow(<rule>[, <rule>...])
+// A finding on a line is suppressed with a trailing or immediately
+// preceding comment:  // picloud-lint: allow(<rule>[, <rule>...])
 //
-// The core is a library (this header) so the rules are unit-testable on
-// in-memory content; the picloud_lint binary wraps directory walking.
+// For CI the analyzer emits text, JSON or SARIF (--format=), and supports
+// ratcheting: --write-baseline records today's findings, --baseline=FILE
+// exits 0 as long as no *new* findings appear (see output in this header).
+//
+// The core is a library so the lexer, model and rules are unit-testable on
+// in-memory content; the picloud_analyze binary wraps directory walking and
+// flag parsing.
 #pragma once
 
+#include <map>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "model.h"
 
 namespace picloud::lint {
 
@@ -56,9 +82,33 @@ struct Diagnostic {
   std::string message;
 };
 
-// Lints one file's `content`. `path` scopes the path-dependent rules:
-// raw-assert fires only under src/, include-hygiene only under src/<module>/,
-// pragma-once only for .h files.
+// Rule catalogue (id + one-line summary), used by --list-rules and the
+// SARIF tool.driver.rules table.
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+const std::vector<RuleInfo>& rule_catalogue();
+
+struct AnalyzeOptions {
+  // Whole-program rules (dead-symbol, unused-include) only make sense when
+  // the model covers the full tree; single-file entry points disable them.
+  bool whole_program = true;
+};
+
+// Runs every rule over the model. Diagnostics are deduplicated and sorted
+// by (file, line, rule, message); suppressed findings are dropped.
+std::vector<Diagnostic> analyze(const ProjectModel& model,
+                                const AnalyzeOptions& options = {});
+
+// Convenience: builds an in-memory model from (path, content) pairs and
+// analyzes it. The workhorse for unit tests.
+std::vector<Diagnostic> analyze_files(
+    const std::vector<ProjectModel::Input>& inputs,
+    const AnalyzeOptions& options = {});
+
+// Lints one file's content with per-file rules only (no whole-program
+// rules — a lone file would trivially "prove" its symbols dead).
 std::vector<Diagnostic> lint_content(const std::string& path,
                                      const std::string& content);
 
@@ -71,8 +121,41 @@ std::vector<Diagnostic> lint_file(const std::string& path);
 // Directories named "build" or starting with '.' are skipped.
 std::vector<std::string> collect_files(const std::vector<std::string>& roots);
 
-// Lints every file under `roots`, printing "file:line: rule: message" per
-// finding to `out`. Returns the number of diagnostics (0 == clean).
+// Reads every file under `roots` into a model. Unreadable files and missing
+// roots append "io" diagnostics (a misspelled CI root must not read as
+// clean).
+ProjectModel load_project(const std::vector<std::string>& roots,
+                          std::vector<Diagnostic>* io_diags);
+
+// Analyzes every file under `roots`, printing "file:line: rule: message"
+// per finding to `out`. Returns the number of diagnostics (0 == clean).
 int run(const std::vector<std::string>& roots, std::ostream& out);
+
+// --- output formats & baseline ratchet (output.cc) ---------------------------
+
+std::string to_text(const std::vector<Diagnostic>& diags);
+std::string to_json(const std::vector<Diagnostic>& diags);
+std::string to_sarif(const std::vector<Diagnostic>& diags);
+
+// A baseline is a multiset of known findings keyed by (file, rule, message)
+// — line numbers are deliberately excluded so unrelated edits that shift a
+// finding don't churn the ratchet. `filter` returns only findings beyond
+// the baselined count per key, i.e. the *new* ones.
+class Baseline {
+ public:
+  static Baseline from_diagnostics(const std::vector<Diagnostic>& diags);
+  // Parses the JSON produced by to_json(). Returns false (with *error set)
+  // on malformed input.
+  static bool parse(const std::string& text, Baseline* out,
+                    std::string* error);
+
+  std::string to_json() const;
+  std::vector<Diagnostic> filter(const std::vector<Diagnostic>& diags) const;
+  std::size_t size() const;
+
+ private:
+  // key -> allowed count; key is file\x01rule\x01message.
+  std::map<std::string, int> counts_;
+};
 
 }  // namespace picloud::lint

@@ -1,0 +1,607 @@
+#include "model.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <functional>
+#include <sstream>
+
+namespace picloud::lint {
+
+namespace {
+
+
+// Parses "picloud-lint: allow(a, b)" out of one comment's text, attributing
+// the allowance to `line` (the comment's start line — same contract as the
+// regex-era linter, so existing suppressions in the tree keep working).
+void parse_allow(const std::string& comment, int line,
+                 std::map<int, std::set<std::string>>* allows) {
+  const std::string kKey = "picloud-lint:";
+  std::size_t at = comment.find(kKey);
+  if (at == std::string::npos) return;
+  std::size_t open = comment.find("allow(", at);
+  if (open == std::string::npos) return;
+  std::size_t close = comment.find(')', open);
+  if (close == std::string::npos) return;
+  std::string list = comment.substr(open + 6, close - open - 6);
+  std::stringstream ss(list);
+  std::string rule;
+  while (std::getline(ss, rule, ',')) {
+    std::size_t b = rule.find_first_not_of(" \t");
+    std::size_t e = rule.find_last_not_of(" \t");
+    if (b == std::string::npos) continue;
+    (*allows)[line].insert(rule.substr(b, e - b + 1));
+  }
+}
+
+// Resolves "." and ".." components; keeps the path relative if it was.
+std::string normalize_path(const std::string& path) {
+  std::vector<std::string> parts;
+  bool absolute = !path.empty() && path[0] == '/';
+  std::stringstream ss(path);
+  std::string part;
+  while (std::getline(ss, part, '/')) {
+    if (part.empty() || part == ".") continue;
+    if (part == ".." && !parts.empty() && parts.back() != "..") {
+      parts.pop_back();
+      continue;
+    }
+    parts.push_back(part);
+  }
+  std::string out = absolute ? "/" : "";
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += "/";
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string dir_of(const std::string& path) {
+  std::size_t slash = path.rfind('/');
+  return slash == std::string::npos ? "" : path.substr(0, slash);
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+std::string module_of(const std::string& path) {
+  std::filesystem::path p(path);
+  for (auto it = p.begin(); it != p.end(); ++it) {
+    if (*it == "src") {
+      auto next = std::next(it);
+      if (next != p.end() && std::next(next) != p.end()) {
+        return next->string();
+      }
+      return "";
+    }
+  }
+  return "";
+}
+
+ProjectModel ProjectModel::build(const std::vector<Input>& inputs) {
+  ProjectModel model;
+  model.files_.reserve(inputs.size());
+  for (const Input& input : inputs) {
+    SourceFile f;
+    f.path = input.path;
+    f.module = module_of(input.path);
+    f.is_header = std::filesystem::path(input.path).extension() == ".h";
+    f.tokens = tokenize(input.content);
+    for (int ti = 0; ti < static_cast<int>(f.tokens.size()); ++ti) {
+      const Token& t = f.tokens[ti];
+      if (t.kind == TokenKind::kComment) {
+        parse_allow(t.text, t.line, &f.allows);
+        continue;
+      }
+      f.code.push_back(ti);
+      int span = static_cast<int>(std::count(t.text.begin(), t.text.end(), '\n'));
+      for (int l = t.line; l <= t.line + span; ++l) f.code_lines.insert(l);
+      if (t.kind == TokenKind::kHeaderName && ti > 0 &&
+          f.tokens[ti - 1].is(TokenKind::kPpDirective, "#include") &&
+          t.text.size() >= 2) {
+        IncludeDirective inc;
+        inc.system = t.text[0] == '<';
+        inc.spelled = t.text.substr(1, t.text.size() - 2);
+        inc.line = t.line;
+        f.includes.push_back(inc);
+      }
+    }
+    model.by_path_.emplace(f.path, static_cast<int>(model.files_.size()));
+    model.files_.push_back(std::move(f));
+  }
+  model.declared_.resize(model.files_.size());
+  model.resolve_includes();
+  model.compute_include_cycles();
+  model.compute_layering();
+  model.index_symbols();
+  return model;
+}
+
+int ProjectModel::file_index(const std::string& path) const {
+  auto it = by_path_.find(path);
+  return it == by_path_.end() ? -1 : it->second;
+}
+
+const std::set<std::string>& ProjectModel::declared_names(int file) const {
+  static const std::set<std::string> kEmpty;
+  if (file < 0 || file >= static_cast<int>(declared_.size())) return kEmpty;
+  return declared_[file];
+}
+
+bool ProjectModel::suppressed(int file, int line,
+                              const std::string& rule) const {
+  if (file < 0 || file >= static_cast<int>(files_.size())) return false;
+  const SourceFile& f = files_[file];
+  auto covers = [&](int l) {
+    auto it = f.allows.find(l);
+    return it != f.allows.end() && it->second.count(rule) > 0;
+  };
+  if (covers(line)) return true;
+  // Walk up over comment-only lines directly above the diagnostic.
+  for (int l = line - 1; l >= 1; --l) {
+    if (f.code_lines.count(l) > 0) break;
+    if (covers(l)) return true;
+  }
+  return false;
+}
+
+// --- include resolution ------------------------------------------------------
+
+void ProjectModel::resolve_includes() {
+  for (SourceFile& f : files_) {
+    for (IncludeDirective& inc : f.includes) {
+      if (inc.system) continue;
+      // 1. Relative to the including file's directory.
+      std::string sibling = normalize_path(
+          dir_of(f.path).empty() ? inc.spelled
+                                 : dir_of(f.path) + "/" + inc.spelled);
+      auto it = by_path_.find(sibling);
+      if (it != by_path_.end()) {
+        inc.resolved = it->second;
+        continue;
+      }
+      // 2. Repo convention: quoted paths are relative to src/.
+      for (const std::string& cand :
+           {std::string("src/") + inc.spelled, inc.spelled}) {
+        it = by_path_.find(normalize_path(cand));
+        if (it != by_path_.end()) {
+          inc.resolved = it->second;
+          break;
+        }
+      }
+      if (inc.resolved >= 0) continue;
+      std::string src_suffix = "/src/" + inc.spelled;
+      std::string any_suffix = "/" + inc.spelled;
+      int src_hit = -1, any_hit = -1;
+      int any_hits = 0;
+      for (int i = 0; i < static_cast<int>(files_.size()); ++i) {
+        if (src_hit < 0 && ends_with(files_[i].path, src_suffix)) src_hit = i;
+        if (ends_with(files_[i].path, any_suffix)) {
+          any_hit = i;
+          ++any_hits;
+        }
+      }
+      // Prefer the src/-anchored match; otherwise a unique suffix match
+      // (ambiguous short names stay unresolved rather than guessed).
+      if (src_hit >= 0) {
+        inc.resolved = src_hit;
+      } else if (any_hits == 1) {
+        inc.resolved = any_hit;
+      }
+    }
+  }
+}
+
+// --- include cycles (file-level SCCs) ---------------------------------------
+
+void ProjectModel::compute_include_cycles() {
+  const int n = static_cast<int>(files_.size());
+  std::vector<std::vector<int>> adj(n);
+  std::vector<bool> self_loop(n, false);
+  for (int i = 0; i < n; ++i) {
+    for (const IncludeDirective& inc : files_[i].includes) {
+      if (inc.resolved < 0) continue;
+      if (inc.resolved == i) self_loop[i] = true;
+      adj[i].push_back(inc.resolved);
+    }
+  }
+  // Tarjan SCC (recursive; tree depth is bounded by the include chain).
+  std::vector<int> index(n, -1), low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<int> stack;
+  int counter = 0;
+  std::vector<std::vector<int>> sccs;
+  std::function<void(int)> strongconnect = [&](int v) {
+    index[v] = low[v] = counter++;
+    stack.push_back(v);
+    on_stack[v] = true;
+    for (int w : adj[v]) {
+      if (index[w] < 0) {
+        strongconnect(w);
+        low[v] = std::min(low[v], low[w]);
+      } else if (on_stack[w]) {
+        low[v] = std::min(low[v], index[w]);
+      }
+    }
+    if (low[v] == index[v]) {
+      std::vector<int> scc;
+      int w;
+      do {
+        w = stack.back();
+        stack.pop_back();
+        on_stack[w] = false;
+        scc.push_back(w);
+      } while (w != v);
+      if (scc.size() > 1 || self_loop[v]) sccs.push_back(std::move(scc));
+    }
+  };
+  for (int v = 0; v < n; ++v) {
+    if (index[v] < 0) strongconnect(v);
+  }
+  for (std::vector<int>& scc : sccs) {
+    std::sort(scc.begin(), scc.end(), [&](int a, int b) {
+      return files_[a].path < files_[b].path;
+    });
+  }
+  std::sort(sccs.begin(), sccs.end(), [&](const auto& a, const auto& b) {
+    return files_[a.front()].path < files_[b.front()].path;
+  });
+  include_cycles_ = std::move(sccs);
+}
+
+// --- module layering (computed, not hard-coded) ------------------------------
+//
+// Build the module-level dependency graph from every cross-module include
+// under src/. A consistent layering is exactly an acyclic module graph; a
+// violating include creates a cycle against the prevailing direction. The
+// violating edges are found by repeatedly breaking cycles at their
+// least-used edge (the minority direction is the violation — the one stray
+// util -> sim include loses to the hundreds of sim -> util ones), which is
+// deterministic and needs no hand-maintained DAG.
+
+void ProjectModel::compute_layering() {
+  std::map<std::pair<std::string, std::string>, ModuleEdge> edges;
+  for (int i = 0; i < static_cast<int>(files_.size()); ++i) {
+    const SourceFile& f = files_[i];
+    if (f.module.empty()) continue;
+    for (const IncludeDirective& inc : f.includes) {
+      if (inc.resolved < 0) continue;
+      const SourceFile& target = files_[inc.resolved];
+      if (target.module.empty() || target.module == f.module) continue;
+      ModuleEdge& e = edges[{f.module, target.module}];
+      e.from = f.module;
+      e.to = target.module;
+      e.sites.emplace_back(i, inc.line);
+    }
+  }
+
+  std::set<std::pair<std::string, std::string>> removed;
+  for (;;) {
+    // Adjacency over the surviving edges, sorted for determinism.
+    std::map<std::string, std::vector<std::string>> adj;
+    for (const auto& [key, e] : edges) {
+      if (removed.count(key) > 0) continue;
+      adj[key.first].push_back(key.second);
+    }
+    // Find any cycle by DFS with an explicit path.
+    std::vector<std::string> cycle;
+    std::set<std::string> done;
+    std::function<bool(const std::string&, std::vector<std::string>&)> dfs =
+        [&](const std::string& m, std::vector<std::string>& path) {
+          auto pos = std::find(path.begin(), path.end(), m);
+          if (pos != path.end()) {
+            cycle.assign(pos, path.end());
+            return true;
+          }
+          if (done.count(m) > 0) return false;
+          path.push_back(m);
+          auto it = adj.find(m);
+          if (it != adj.end()) {
+            for (const std::string& next : it->second) {
+              if (dfs(next, path)) return true;
+            }
+          }
+          path.pop_back();
+          done.insert(m);
+          return false;
+        };
+    std::vector<std::string> path;
+    for (const auto& [m, _] : adj) {
+      if (dfs(m, path)) break;
+    }
+    if (cycle.empty()) break;
+    // Break the cycle at its least-used edge (ties: lexicographic).
+    std::pair<std::string, std::string> worst;
+    std::size_t worst_sites = 0;
+    for (std::size_t k = 0; k < cycle.size(); ++k) {
+      std::pair<std::string, std::string> key = {
+          cycle[k], cycle[(k + 1) % cycle.size()]};
+      std::size_t sites = edges.at(key).sites.size();
+      if (worst.first.empty() || sites < worst_sites ||
+          (sites == worst_sites && key < worst)) {
+        worst = key;
+        worst_sites = sites;
+      }
+    }
+    removed.insert(worst);
+    ModuleEdge flagged = edges.at(worst);
+    std::string desc;
+    for (std::size_t k = 0; k < cycle.size(); ++k) {
+      desc += cycle[k] + " -> ";
+    }
+    desc += cycle.front();
+    flagged.cycle = desc;
+    layering_violations_.push_back(std::move(flagged));
+  }
+  std::sort(layering_violations_.begin(), layering_violations_.end(),
+            [](const ModuleEdge& a, const ModuleEdge& b) {
+              return std::tie(a.from, a.to) < std::tie(b.from, b.to);
+            });
+}
+
+// --- symbol index ------------------------------------------------------------
+
+namespace {
+
+bool is_type_keyword(const std::string& t) {
+  static const std::set<std::string> kTypes = {
+      "void",   "bool",     "char",     "int",      "long",
+      "short",  "float",    "double",   "auto",     "unsigned",
+      "signed", "wchar_t",  "char8_t",  "char16_t", "char32_t",
+      "const",  "constexpr"};
+  return kTypes.count(t) > 0;
+}
+
+// Classifies every identifier token of one file as definition, declaration
+// or reference, feeding the global symbol map and the per-file declared-name
+// set. Token-level heuristics, tuned on this codebase's idiom:
+//   - `Name (params) {`  after cv/noexcept/trailing-return -> function def
+//     (keywords, member-initializer-list entries and call-argument contexts
+//     are filtered by the previous token)
+//   - `Name (params) ;`  with a type-ish previous token -> declaration
+//   - `struct/class/enum Name` -> type def (with body) or forward decl
+//   - `#define Name`, `using Name =`, enumerators -> defs
+//   - everything else -> reference
+struct Classifier {
+  const SourceFile& f;
+  const int fi;
+  std::map<std::string, SymbolInfo>& symbols;
+  std::set<std::string>& declared;
+
+  const std::vector<Token>& T;
+  const std::vector<int>& C;
+  const int n;
+  std::set<int> enumerators;  // C-indices that are enumerator definitions
+
+  Classifier(const SourceFile& file, int file_index,
+             std::map<std::string, SymbolInfo>& sym,
+             std::set<std::string>& decl)
+      : f(file),
+        fi(file_index),
+        symbols(sym),
+        declared(decl),
+        T(file.tokens),
+        C(file.code),
+        n(static_cast<int>(file.code.size())) {}
+
+  const Token& tok(int ci) const { return T[C[ci]]; }
+  bool has(int ci) const { return ci >= 0 && ci < n; }
+  bool punct(int ci, const char* p) const {
+    return has(ci) && tok(ci).is_punct(p);
+  }
+  bool ident(int ci, const char* t) const {
+    return has(ci) && tok(ci).is_ident(t);
+  }
+  bool plain_ident(int ci) const {
+    return has(ci) && tok(ci).kind == TokenKind::kIdentifier &&
+           !is_keyword(tok(ci).text);
+  }
+
+  // Index just past the matching ')' for the '(' at `ci`, or n.
+  int skip_parens(int ci) const {
+    int depth = 0;
+    for (int j = ci; j < n; ++j) {
+      if (punct(j, "(")) ++depth;
+      if (punct(j, ")") && --depth == 0) return j + 1;
+    }
+    return n;
+  }
+
+  void def(const std::string& name, int line, SymbolKind kind) {
+    symbols[name].defs.push_back(SymbolDef{fi, line, kind});
+    declared.insert(name);
+  }
+  void decl(const std::string& name) {
+    ++symbols[name].decls;
+    declared.insert(name);
+  }
+  void ref(const std::string& name) { ++symbols[name].refs; }
+
+  bool type_ish(int ci) const {
+    if (!has(ci)) return false;
+    const Token& t = tok(ci);
+    if (t.kind == TokenKind::kIdentifier) {
+      return !is_keyword(t.text) || is_type_keyword(t.text);
+    }
+    return t.is_punct(">") || t.is_punct("*") || t.is_punct("&") ||
+           t.is_punct("&&");
+  }
+
+  // C-index of the significant token before `ci`, skipping one [[...]]
+  // attribute group (`class [[nodiscard]] Result` must still read as a
+  // class-key followed by the name).
+  int before(int ci) const {
+    int j = ci - 1;
+    if (!punct(j, "]") || !punct(j - 1, "]")) return j;
+    int depth = 0;
+    for (int k = j; k >= 0; --k) {
+      if (punct(k, "]")) ++depth;
+      if (punct(k, "[") && --depth == 0) return k - 1;
+    }
+    return j;
+  }
+
+  // What follows a parameter list: skips cv-qualifiers, noexcept(...),
+  // override/final, __attribute__((...)) and trailing return types. Returns
+  // the terminator's C-index (pointing at '{', ';', or wherever the scan
+  // stopped).
+  int after_params(int j) const {
+    int guard = 0;
+    while (has(j) && guard++ < 64) {
+      if (ident(j, "const") || ident(j, "override") || ident(j, "final") ||
+          ident(j, "mutable") || punct(j, "&") || punct(j, "&&")) {
+        ++j;
+      } else if (ident(j, "noexcept") || ident(j, "__attribute__")) {
+        ++j;
+        if (punct(j, "(")) j = skip_parens(j);
+      } else if (punct(j, "->")) {
+        // Trailing return type: skip type tokens until the terminator.
+        ++j;
+        while (has(j) && guard++ < 64) {
+          if (punct(j, "{") || punct(j, ";") || punct(j, ")") ||
+              punct(j, "=")) {
+            break;
+          }
+          if (punct(j, "(")) {
+            j = skip_parens(j);
+            continue;
+          }
+          ++j;
+        }
+        break;
+      } else {
+        break;
+      }
+    }
+    return j;
+  }
+
+  void find_enumerators() {
+    for (int ci = 0; ci < n; ++ci) {
+      if (!ident(ci, "enum")) continue;
+      int j = ci + 1;
+      if (ident(j, "class") || ident(j, "struct")) ++j;
+      if (plain_ident(j)) ++j;  // the enum's name (classified separately)
+      // Optional enum-base: ": type" until '{' or ';'.
+      int guard = 0;
+      while (has(j) && !punct(j, "{") && !punct(j, ";") && guard++ < 16) ++j;
+      if (!punct(j, "{")) continue;
+      int depth = 0;
+      for (; has(j); ++j) {
+        if (punct(j, "{")) ++depth;
+        if (punct(j, "}") && --depth == 0) break;
+        if (depth == 1 && plain_ident(j) &&
+            (punct(j - 1, "{") || punct(j - 1, ","))) {
+          enumerators.insert(j);
+        }
+      }
+    }
+  }
+
+  void run() {
+    find_enumerators();
+    for (int ci = 0; ci < n; ++ci) {
+      const Token& t = tok(ci);
+      if (t.kind != TokenKind::kIdentifier || is_keyword(t.text)) continue;
+      const std::string& name = t.text;
+
+      if (enumerators.count(ci) > 0) {
+        def(name, t.line, SymbolKind::kEnumerator);
+        continue;
+      }
+      if (has(ci - 1) && tok(ci - 1).kind == TokenKind::kPpDirective) {
+        if (tok(ci - 1).text == "#define") {
+          def(name, t.line, SymbolKind::kMacro);
+        } else {
+          ref(name);  // #ifdef NAME, #if defined NAME, ...
+        }
+        continue;
+      }
+      const int p = before(ci);  // skips a [[nodiscard]]-style attribute
+      // enum [class|struct] Name
+      if (ident(p, "enum") ||
+          ((ident(p, "class") || ident(p, "struct")) && ident(p - 1, "enum"))) {
+        int j = ci + 1, guard = 0;
+        while (has(j) && !punct(j, "{") && !punct(j, ";") && guard++ < 16) ++j;
+        if (punct(j, "{")) {
+          def(name, t.line, SymbolKind::kType);
+        } else {
+          decl(name);
+        }
+        continue;
+      }
+      // struct/class/union Name (skipping template parameters)
+      if (ident(p, "struct") || ident(p, "class") || ident(p, "union")) {
+        if (punct(p - 1, "<") || punct(p - 1, ",")) continue;  // template<>
+        if (punct(ci + 1, ";")) {
+          decl(name);  // forward declaration
+        } else if (punct(ci + 1, "{") || punct(ci + 1, ":") ||
+                   ident(ci + 1, "final")) {
+          def(name, t.line, SymbolKind::kType);
+        } else {
+          ref(name);  // elaborated type specifier etc.
+        }
+        continue;
+      }
+      if (ident(ci - 1, "using") && punct(ci + 1, "=")) {
+        def(name, t.line, SymbolKind::kAlias);
+        continue;
+      }
+      if (ident(ci - 1, "namespace")) continue;  // namespace names: unindexed
+
+      if (punct(ci + 1, "(")) {
+        // Member access, initializer-list entries and argument positions are
+        // call sites, never declarations.
+        if (punct(ci - 1, ".") || punct(ci - 1, "->") || punct(ci - 1, ",") ||
+            punct(ci - 1, ":") || punct(ci - 1, "(")) {
+          ref(name);
+          continue;
+        }
+        int j = after_params(skip_parens(ci + 1));
+        if (punct(j, "{")) {
+          def(name, t.line, SymbolKind::kFunction);
+          continue;
+        }
+        // `= 0;` / `= default;` / `= delete;` close declarations too.
+        if (punct(j, "=") &&
+            (has(j + 1) && (tok(j + 1).text == "0" ||
+                            tok(j + 1).text == "default" ||
+                            tok(j + 1).text == "delete")) &&
+            punct(j + 2, ";")) {
+          decl(name);
+          continue;
+        }
+        if (punct(j, ";") && type_ish(ci - 1) && !punct(ci - 1, "::")) {
+          decl(name);
+          continue;
+        }
+        ref(name);
+        continue;
+      }
+      // Variable-shaped: `Type name = ...` / `Type name;` / `Type name{...}`.
+      // Recorded for the per-file export surface (unused-include) only; the
+      // global index treats it as a reference so variables never shadow a
+      // same-named function's liveness.
+      if (type_ish(ci - 1) && !punct(ci - 1, "::") &&
+          (punct(ci + 1, "=") || punct(ci + 1, ";") || punct(ci + 1, "{") ||
+           punct(ci + 1, "["))) {
+        declared.insert(name);
+      }
+      ref(name);
+    }
+  }
+};
+
+}  // namespace
+
+void ProjectModel::index_symbols() {
+  for (int i = 0; i < static_cast<int>(files_.size()); ++i) {
+    Classifier classifier(files_[i], i, symbols_, declared_[i]);
+    classifier.run();
+  }
+}
+
+}  // namespace picloud::lint

@@ -1,0 +1,133 @@
+// Project model for picloud_analyze: the cross-file layer between the
+// lexer (lexer.h) and the rules (rules.cc).
+//
+// Built once per analysis run from every file under the analyzed roots, it
+// holds three whole-program structures the per-file regex linter could
+// never see:
+//
+//   include graph   every #include "..." resolved to a project file, with
+//                   file-level strongly-connected components (include
+//                   cycles) and a module-level layering *computed from the
+//                   graph*: instead of a hard-coded DAG, the analyzer finds
+//                   the set of minority include edges whose removal makes
+//                   the src/<module> graph acyclic — those edges are the
+//                   layering violations.
+//   symbol index    token-level classification of every identifier into
+//                   definition / declaration / reference, aggregated per
+//                   name (for dead-symbol) and per file (for
+//                   unused-include). Heuristic by design: it tracks
+//                   function and type definitions, macros, enumerators and
+//                   aliases without a full parse, which is exact enough for
+//                   whole-tree hazard rules gated by a baseline.
+//   suppressions    `// picloud-lint: allow(rule, ...)` comments, parsed
+//                   from comment tokens and attributed to source lines.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lexer.h"
+
+namespace picloud::lint {
+
+struct IncludeDirective {
+  std::string spelled;  // path between the quotes/brackets, e.g. "util/rng.h"
+  bool system = false;  // <...> form
+  int line = 1;
+  int resolved = -1;    // index into ProjectModel::files(), -1 when external
+};
+
+struct SourceFile {
+  std::string path;
+  std::string module;  // "util", "sim", ... for src/<module>/ files, else ""
+  bool is_header = false;
+  std::vector<Token> tokens;
+  std::vector<int> code;  // indices into `tokens` of non-comment tokens
+  std::vector<IncludeDirective> includes;
+  std::map<int, std::set<std::string>> allows;  // line -> suppressed rules
+  std::set<int> code_lines;                     // lines with code tokens
+};
+
+enum class SymbolKind { kFunction, kType, kMacro, kAlias, kEnumerator };
+
+struct SymbolDef {
+  int file = -1;
+  int line = 1;
+  SymbolKind kind = SymbolKind::kFunction;
+};
+
+struct SymbolInfo {
+  std::vector<SymbolDef> defs;  // definition sites, in scan order
+  int decls = 0;                // prototypes / forward declarations
+  int refs = 0;                 // everything else (calls, uses, mentions)
+};
+
+// One module-level include edge flagged by the layering computation.
+struct ModuleEdge {
+  std::string from;
+  std::string to;
+  std::vector<std::pair<int, int>> sites;  // (file index, include line)
+  std::string cycle;                       // "a -> b -> a" context string
+};
+
+class ProjectModel {
+ public:
+  struct Input {
+    std::string path;
+    std::string content;
+  };
+
+  // Lexes and indexes every input. Deterministic: inputs are processed in
+  // the given order and all derived structures use sorted containers.
+  static ProjectModel build(const std::vector<Input>& inputs);
+
+  const std::vector<SourceFile>& files() const { return files_; }
+  int file_index(const std::string& path) const;
+
+  // File-level include cycles: each strongly-connected component of size
+  // > 1 (or with a self-edge), as sorted file-index lists, sorted by their
+  // first member's path.
+  const std::vector<std::vector<int>>& include_cycles() const {
+    return include_cycles_;
+  }
+
+  // Module-level layering violations: the minimum-usage include edges whose
+  // removal makes the src/<module> graph acyclic. Empty when the layering
+  // is consistent.
+  const std::vector<ModuleEdge>& layering_violations() const {
+    return layering_violations_;
+  }
+
+  const std::map<std::string, SymbolInfo>& symbols() const { return symbols_; }
+
+  // Names a file declares or defines (functions, types, macros, enumerators,
+  // aliases, variables) — the export surface unused-include checks against.
+  const std::set<std::string>& declared_names(int file) const;
+
+  // True when `rule` on files()[file] line `line` is silenced by an
+  // allow() comment on that line or on directly preceding comment-only
+  // lines.
+  bool suppressed(int file, int line, const std::string& rule) const;
+
+ private:
+  void resolve_includes();
+  void compute_include_cycles();
+  void compute_layering();
+  void index_symbols();
+
+  std::vector<SourceFile> files_;
+  std::map<std::string, int> by_path_;
+  std::vector<std::vector<int>> include_cycles_;
+  std::vector<ModuleEdge> layering_violations_;
+  std::map<std::string, SymbolInfo> symbols_;
+  std::vector<std::set<std::string>> declared_;  // parallel to files_
+};
+
+// The path component after "src" ("net" for a/src/net/fabric.cc), or ""
+// when the path is not under a src/<module>/ directory.
+std::string module_of(const std::string& path);
+
+}  // namespace picloud::lint

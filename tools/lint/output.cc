@@ -1,0 +1,172 @@
+// Output formats (text / JSON / SARIF 2.1.0) and the baseline ratchet.
+//
+// The baseline lets a new rule land gated on "no new findings": commit
+// today's findings with --write-baseline, make CI pass --baseline, and the
+// tree can only get cleaner — any finding beyond the recorded count per
+// (file, rule, message) key fails the run. Line numbers are excluded from
+// the key so unrelated edits that shift a finding do not churn the ratchet.
+#include <map>
+
+#include "lint.h"
+#include "util/json.h"
+
+namespace picloud::lint {
+
+namespace {
+
+constexpr char kSep = '\x01';
+
+std::string fingerprint(const Diagnostic& d) {
+  return d.file + kSep + d.rule + kSep + d.message;
+}
+
+}  // namespace
+
+std::string to_text(const std::vector<Diagnostic>& diags) {
+  std::string out;
+  for (const Diagnostic& d : diags) {
+    out += d.file + ":" + std::to_string(d.line) + ": " + d.rule + ": " +
+           d.message + "\n";
+  }
+  return out;
+}
+
+std::string to_json(const std::vector<Diagnostic>& diags) {
+  util::JsonArray findings;
+  for (const Diagnostic& d : diags) {
+    findings.push_back(util::Json(util::JsonObject{
+        {"file", d.file},
+        {"line", d.line},
+        {"rule", d.rule},
+        {"message", d.message},
+    }));
+  }
+  util::Json doc(util::JsonObject{
+      {"tool", "picloud_analyze"},
+      {"version", 1},
+      {"findings", util::Json(std::move(findings))},
+  });
+  return doc.pretty() + "\n";
+}
+
+std::string to_sarif(const std::vector<Diagnostic>& diags) {
+  util::JsonArray rules;
+  for (const RuleInfo& rule : rule_catalogue()) {
+    rules.push_back(util::Json(util::JsonObject{
+        {"id", rule.id},
+        {"shortDescription", util::Json(util::JsonObject{
+                                 {"text", rule.summary},
+                             })},
+    }));
+  }
+  util::JsonArray results;
+  for (const Diagnostic& d : diags) {
+    results.push_back(util::Json(util::JsonObject{
+        {"ruleId", d.rule},
+        {"level", "error"},
+        {"message", util::Json(util::JsonObject{{"text", d.message}})},
+        {"locations",
+         util::Json(util::JsonArray{util::Json(util::JsonObject{
+             {"physicalLocation",
+              util::Json(util::JsonObject{
+                  {"artifactLocation",
+                   util::Json(util::JsonObject{{"uri", d.file}})},
+                  {"region", util::Json(util::JsonObject{
+                                 {"startLine", d.line < 1 ? 1 : d.line}})},
+              })},
+         })})},
+    }));
+  }
+  util::Json doc(util::JsonObject{
+      {"$schema", "https://json.schemastore.org/sarif-2.1.0.json"},
+      {"version", "2.1.0"},
+      {"runs",
+       util::Json(util::JsonArray{util::Json(util::JsonObject{
+           {"tool", util::Json(util::JsonObject{
+                        {"driver", util::Json(util::JsonObject{
+                                       {"name", "picloud_analyze"},
+                                       {"rules", util::Json(std::move(rules))},
+                                   })},
+                    })},
+           {"results", util::Json(std::move(results))},
+       })})},
+  });
+  return doc.pretty() + "\n";
+}
+
+Baseline Baseline::from_diagnostics(const std::vector<Diagnostic>& diags) {
+  Baseline out;
+  for (const Diagnostic& d : diags) ++out.counts_[fingerprint(d)];
+  return out;
+}
+
+bool Baseline::parse(const std::string& text, Baseline* out,
+                     std::string* error) {
+  util::Result<util::Json> doc = util::Json::parse(text);
+  if (!doc.ok()) {
+    if (error != nullptr) *error = doc.error().message;
+    return false;
+  }
+  if (!doc.value().is_object() || !doc.value().get("findings").is_array()) {
+    if (error != nullptr) *error = "baseline must be {\"findings\": [...]}";
+    return false;
+  }
+  out->counts_.clear();
+  for (const util::Json& f : doc.value().get("findings").as_array()) {
+    if (!f.is_object()) {
+      if (error != nullptr) *error = "finding entries must be objects";
+      return false;
+    }
+    Diagnostic d;
+    d.file = f.get("file").as_string();
+    d.rule = f.get("rule").as_string();
+    d.message = f.get("message").as_string();
+    int count =
+        f.has("count") ? static_cast<int>(f.get("count").as_int()) : 1;
+    out->counts_[fingerprint(d)] += count;
+  }
+  return true;
+}
+
+std::string Baseline::to_json() const {
+  util::JsonArray findings;
+  for (const auto& [key, count] : counts_) {
+    std::size_t a = key.find(kSep);
+    std::size_t b = key.find(kSep, a + 1);
+    findings.push_back(util::Json(util::JsonObject{
+        {"file", key.substr(0, a)},
+        {"rule", key.substr(a + 1, b - a - 1)},
+        {"message", key.substr(b + 1)},
+        {"count", count},
+    }));
+  }
+  util::Json doc(util::JsonObject{
+      {"tool", "picloud_analyze"},
+      {"version", 1},
+      {"findings", util::Json(std::move(findings))},
+  });
+  return doc.pretty() + "\n";
+}
+
+std::vector<Diagnostic> Baseline::filter(
+    const std::vector<Diagnostic>& diags) const {
+  std::map<std::string, int> budget = counts_;
+  std::vector<Diagnostic> fresh;
+  for (const Diagnostic& d : diags) {
+    auto it = budget.find(fingerprint(d));
+    if (it != budget.end() && it->second > 0) {
+      --it->second;
+      continue;
+    }
+    fresh.push_back(d);
+  }
+  return fresh;
+}
+
+std::size_t Baseline::size() const {
+  std::size_t total = 0;
+  for (const auto& [_, count] : counts_) total += count;
+  return total;
+}
+
+}  // namespace picloud::lint

@@ -1,0 +1,148 @@
+// picloud_analyze — whole-program static analysis for the repo's
+// determinism & hygiene rules (see tools/lint/lint.h for the rule list and
+// suppression syntax).
+//
+// Usage:
+//   picloud_analyze [flags] <dir-or-file>...
+//
+// Flags:
+//   --format=text|json|sarif   output format (default text)
+//   --output=FILE              write the report to FILE instead of stdout
+//   --baseline=FILE            ratchet: only findings beyond FILE's recorded
+//                              counts fail the run
+//   --write-baseline=FILE      record the current findings as the new
+//                              baseline and exit 0
+//   --list-rules               print the rule catalogue and exit
+//
+// Exits 0 when clean (after baseline subtraction), 1 when any finding
+// remains, 2 on usage error or unreadable baseline.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace {
+
+bool take_flag(const std::string& arg, const std::string& name,
+               std::string* value) {
+  std::string prefix = name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+int usage() {
+  std::cerr
+      << "usage: picloud_analyze [--format=text|json|sarif] [--output=FILE]\n"
+      << "                       [--baseline=FILE] [--write-baseline=FILE]\n"
+      << "                       [--list-rules] <dir-or-file>...\n"
+      << "whole-program static analysis of .h/.cc/.cpp files for the\n"
+      << "determinism & hygiene rules (tools/lint/lint.h)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace picloud::lint;
+
+  std::string format = "text";
+  std::string output_path;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::vector<std::string> roots;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const RuleInfo& rule : rule_catalogue()) {
+        std::cout << rule.id << "  " << rule.summary << "\n";
+      }
+      return 0;
+    }
+    if (take_flag(arg, "--format", &format) ||
+        take_flag(arg, "--output", &output_path) ||
+        take_flag(arg, "--baseline", &baseline_path) ||
+        take_flag(arg, "--write-baseline", &write_baseline_path)) {
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::cerr << "picloud_analyze: unknown flag '" << arg << "'\n";
+      return usage();
+    }
+    roots.push_back(arg);
+  }
+  if (roots.empty()) return usage();
+  if (format != "text" && format != "json" && format != "sarif") {
+    std::cerr << "picloud_analyze: unknown --format '" << format << "'\n";
+    return usage();
+  }
+
+  std::vector<Diagnostic> diags;
+  ProjectModel model = load_project(roots, &diags);
+  std::vector<Diagnostic> findings = analyze(model);
+  diags.insert(diags.end(), findings.begin(), findings.end());
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "picloud_analyze: cannot write baseline '"
+                << write_baseline_path << "'\n";
+      return 2;
+    }
+    out << Baseline::from_diagnostics(diags).to_json();
+    std::cerr << "picloud_analyze: baseline (" << diags.size()
+              << " finding(s)) -> " << write_baseline_path << "\n";
+    return 0;
+  }
+
+  std::size_t total = diags.size();
+  std::size_t baselined = 0;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path, std::ios::binary);
+    if (!in) {
+      std::cerr << "picloud_analyze: cannot read baseline '" << baseline_path
+                << "'\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    Baseline baseline;
+    std::string error;
+    if (!Baseline::parse(buf.str(), &baseline, &error)) {
+      std::cerr << "picloud_analyze: bad baseline '" << baseline_path
+                << "': " << error << "\n";
+      return 2;
+    }
+    diags = baseline.filter(diags);
+    baselined = total - diags.size();
+  }
+
+  std::string report = format == "json"    ? to_json(diags)
+                       : format == "sarif" ? to_sarif(diags)
+                                           : to_text(diags);
+  if (output_path.empty()) {
+    std::cout << report;
+  } else {
+    std::ofstream out(output_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "picloud_analyze: cannot write '" << output_path << "'\n";
+      return 2;
+    }
+    out << report;
+  }
+
+  if (!diags.empty()) {
+    std::cerr << "picloud_analyze: " << diags.size() << " finding(s)";
+    if (baselined > 0) std::cerr << " (+" << baselined << " baselined)";
+    std::cerr << "\n";
+    return 1;
+  }
+  if (baselined > 0) {
+    std::cerr << "picloud_analyze: clean (" << baselined << " baselined)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,581 @@
+// The rule set: every rule walks the shared token stream / project model
+// (no substring scanning — see lexer.h / model.h).
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "lint.h"
+
+namespace picloud::lint {
+
+namespace {
+
+// --- shared helpers ----------------------------------------------------------
+
+struct FileView {
+  const SourceFile& f;
+  const std::vector<Token>& T;
+  const std::vector<int>& C;
+  const int n;
+
+  explicit FileView(const SourceFile& file)
+      : f(file),
+        T(file.tokens),
+        C(file.code),
+        n(static_cast<int>(file.code.size())) {}
+
+  const Token& tok(int ci) const { return T[C[ci]]; }
+  bool has(int ci) const { return ci >= 0 && ci < n; }
+  bool punct(int ci, const char* p) const {
+    return has(ci) && tok(ci).is_punct(p);
+  }
+  bool ident(int ci, const char* t) const {
+    return has(ci) && tok(ci).is_ident(t);
+  }
+  bool is_ident(int ci) const {
+    return has(ci) && tok(ci).kind == TokenKind::kIdentifier;
+  }
+  // Index just past the matching ')' for the '(' at ci, or n.
+  int skip_parens(int ci) const {
+    int depth = 0;
+    for (int j = ci; j < n; ++j) {
+      if (punct(j, "(")) ++depth;
+      if (punct(j, ")") && --depth == 0) return j + 1;
+    }
+    return n;
+  }
+};
+
+struct Reporter {
+  const ProjectModel& model;
+  std::vector<Diagnostic>& diags;
+
+  void operator()(int file, int line, const std::string& rule,
+                  std::string message) const {
+    if (model.suppressed(file, line, rule)) return;
+    diags.push_back(
+        Diagnostic{model.files()[file].path, line, rule, std::move(message)});
+  }
+};
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+bool contains(const std::string& haystack, const char* needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+// --- nondeterminism ----------------------------------------------------------
+
+struct BannedApi {
+  const char* token;
+  bool requires_call;  // must be followed by '(' (filters members like .time)
+  const char* hint;
+};
+
+constexpr BannedApi kBannedApis[] = {
+    {"rand", true, "use util::Rng"},
+    {"srand", false, "seed util::Rng from the experiment config"},
+    {"random_device", false, "use util::Rng"},
+    {"time", true, "use sim::Simulation::now()"},
+    {"gettimeofday", false, "use sim::Simulation::now()"},
+    {"clock_gettime", false, "use sim::Simulation::now()"},
+    {"system_clock", false, "use sim::Simulation::now()"},
+    {"steady_clock", false, "use sim::Simulation::now()"},
+    {"high_resolution_clock", false, "use sim::Simulation::now()"},
+    {"this_thread", false, "the simulator is single-threaded by design"},
+};
+
+// Raw console output bypasses PICLOUD_LOG (and so the log sink / clock
+// prefixing). snprintf/vsnprintf stay legal: they are distinct identifiers.
+constexpr BannedApi kConsoleApis[] = {
+    {"printf", true, "use PICLOUD_LOG (util/logging.h)"},
+    {"fprintf", true, "use PICLOUD_LOG (util/logging.h)"},
+    {"cerr", false, "use PICLOUD_LOG (util/logging.h)"},
+    {"cout", false, "use PICLOUD_LOG (util/logging.h)"},
+};
+
+constexpr const char* kUnorderedContainers[] = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+// --- per-file rules ----------------------------------------------------------
+
+void per_file_rules(const ProjectModel& model, int fi, const Reporter& report) {
+  const SourceFile& f = model.files()[fi];
+  const FileView v(f);
+  const bool in_src = !f.module.empty() ||
+                      f.path.find("src/") == 0 ||
+                      f.path.find("/src/") != std::string::npos;
+
+  // pragma-once: headers must carry the guard.
+  if (f.is_header) {
+    bool has_guard = false;
+    for (int ci = 0; ci + 1 < v.n; ++ci) {
+      if (v.tok(ci).is(TokenKind::kPpDirective, "#pragma") &&
+          v.ident(ci + 1, "once")) {
+        has_guard = true;
+        break;
+      }
+    }
+    if (!has_guard) {
+      report(fi, 1, "pragma-once", "header is missing '#pragma once'");
+    }
+  }
+
+  // metrics-registry precondition: does this file talk to the spine?
+  bool metrics_aware = false;
+  for (const IncludeDirective& inc : f.includes) {
+    if (inc.spelled == "util/metrics.h") metrics_aware = true;
+  }
+  for (int ci = 0; ci < v.n && !metrics_aware; ++ci) {
+    if (v.ident(ci, "MetricsRegistry")) metrics_aware = true;
+    if ((v.ident(ci, "Counter") || v.ident(ci, "Gauge") ||
+         v.ident(ci, "LogHistogram")) &&
+        v.punct(ci - 1, "::") && v.ident(ci - 2, "util")) {
+      metrics_aware = true;
+    }
+  }
+
+  for (int ci = 0; ci < v.n; ++ci) {
+    const Token& t = v.tok(ci);
+    if (t.kind != TokenKind::kIdentifier) continue;
+    const bool called = v.punct(ci + 1, "(");
+
+    // nondeterminism: banned wall-clock / libc-RNG / threading APIs.
+    for (const BannedApi& api : kBannedApis) {
+      if (t.text == api.token && (!api.requires_call || called)) {
+        report(fi, t.line, "nondeterminism",
+               std::string("'") + api.token +
+                   "' breaks bit-reproducible runs; " + api.hint);
+      }
+    }
+
+    if (!in_src) continue;
+
+    // raw-assert: src/ must use the CHECK framework.
+    if (t.text == "assert" && called) {
+      report(fi, t.line, "raw-assert",
+             "'assert(' vanishes under NDEBUG; use PICLOUD_CHECK / "
+             "PICLOUD_DCHECK from util/check.h");
+    }
+
+    // unordered-container: iteration order is hash/pointer-dependent and
+    // feeds event ordering and digests; the ordered-container convention
+    // (std::map / std::set) is load-bearing for bit-reproducibility.
+    for (const char* banned : kUnorderedContainers) {
+      if (t.text == banned) {
+        report(fi, t.line, "unordered-container",
+               std::string("'std::") + banned +
+                   "' iteration order is not deterministic across "
+                   "implementations; use std::map/std::set (or a vector) so "
+                   "event ordering and digests stay bit-reproducible");
+      }
+    }
+
+    // metrics-registry: console output goes via PICLOUD_LOG.
+    for (const BannedApi& api : kConsoleApis) {
+      if (t.text == api.token && (!api.requires_call || called)) {
+        report(fi, t.line, "metrics-registry",
+               std::string("'") + api.token +
+                   "' bypasses the structured log spine; " + api.hint);
+      }
+    }
+
+    // metrics-registry: ad-hoc Stats structs outside util/ must be value
+    // snapshots of registry series.
+    if (f.module != "util" && !metrics_aware && t.text == "struct" &&
+        v.is_ident(ci + 1)) {
+      const std::string& name = v.tok(ci + 1).text;
+      if (name.size() >= 5 &&
+          name.compare(name.size() - 5, 5, "Stats") == 0) {
+        report(fi, t.line, "metrics-registry",
+               "'struct " + name +
+                   "' is a parallel counter store; register the series with "
+                   "the MetricsRegistry (util/metrics.h) and keep this as a "
+                   "value snapshot of it");
+      }
+    }
+  }
+}
+
+// --- event-capture -----------------------------------------------------------
+//
+// A `[&]` (or `[&, ...]`) lambda handed to the event queue outlives its
+// enclosing frame: Simulation::after/at/schedule and PeriodicTask run it at
+// fire time, when everything the default capture referenced may be gone.
+// Explicit captures ([this], [this, id], by value) state the lifetime
+// contract; `[&]` hides it. src/ only — tests pump the queue inside the
+// capturing scope.
+
+void event_capture_rule(const ProjectModel& model, int fi,
+                        const Reporter& report) {
+  const SourceFile& f = model.files()[fi];
+  if (f.module.empty()) return;
+  const FileView v(f);
+  for (int ci = 0; ci < v.n; ++ci) {
+    if (!v.is_ident(ci) || !v.punct(ci + 1, "(")) continue;
+    const std::string& name = v.tok(ci).text;
+    bool scheduler_method =
+        (name == "after" || name == "at" || name == "schedule") &&
+        (v.punct(ci - 1, ".") || v.punct(ci - 1, "->"));
+    bool periodic_ctor = name == "PeriodicTask";
+    if (!scheduler_method && !periodic_ctor) continue;
+    int close = v.skip_parens(ci + 1);
+    for (int j = ci + 2; j < close - 1; ++j) {
+      if (!v.punct(j, "[") || !v.punct(j + 1, "&")) continue;
+      if (!v.punct(j + 2, "]") && !v.punct(j + 2, ",")) continue;
+      // Lambda-introducer, not a subscript: `x[&y]` has an identifier,
+      // ')' or ']' before the bracket.
+      if (v.is_ident(j - 1) || v.punct(j - 1, ")") || v.punct(j - 1, "]")) {
+        continue;
+      }
+      report(fi, v.tok(j).line, "event-capture",
+             "'[&]' default-reference capture in a lambda scheduled via '" +
+                 name +
+                 "' dangles by fire time; capture explicitly ([this], "
+                 "[this, id], or by value)");
+    }
+  }
+}
+
+// --- rest-retry --------------------------------------------------------------
+
+void rest_retry_rule(const ProjectModel& model, int fi,
+                     const Reporter& report) {
+  const SourceFile& f = model.files()[fi];
+  if (f.module != "cloud" || f.is_header) return;
+  const FileView v(f);
+  for (int ci = 0; ci < v.n; ++ci) {
+    if (!v.is_ident(ci) || !v.punct(ci + 1, "(")) continue;
+    const std::string& name = v.tok(ci).text;
+    if (name != "call" && name != "get" && name != "post") continue;
+    if (!v.punct(ci - 1, ".") && !v.punct(ci - 1, "->")) continue;
+    if (!v.is_ident(ci - 2)) continue;
+    if (!contains(lower(v.tok(ci - 2).text), "client")) continue;
+    int close = v.skip_parens(ci + 1);
+    if (close - (ci + 1) <= 2) continue;  // zero-arg: unique_ptr::get() etc.
+    bool explicit_reliability = false;
+    for (int j = ci + 2; j < close - 1; ++j) {
+      if (!v.is_ident(j)) continue;
+      const std::string& arg = v.tok(j).text;
+      if (contains(arg, "policy") || contains(arg, "Policy") ||
+          contains(arg, "timeout") || contains(arg, "Timeout") ||
+          contains(arg, "Duration")) {
+        explicit_reliability = true;
+        break;
+      }
+    }
+    if (!explicit_reliability) {
+      report(fi, v.tok(ci).line, "rest-retry",
+             "RestClient call without an explicit RetryPolicy or timeout; "
+             "state the call's reliability (see proto/rest.h)");
+    }
+  }
+}
+
+// --- invariant-catalogue -----------------------------------------------------
+
+void invariant_catalogue_rule(const ProjectModel& model, int fi,
+                              const Reporter& report) {
+  const SourceFile& f = model.files()[fi];
+  if (f.module != "testing") return;
+  const FileView v(f);
+  std::set<std::string> registered;
+  for (int ci = 0; ci < v.n; ++ci) {
+    if (!v.ident(ci, "register_probe") || !v.punct(ci + 1, "(")) continue;
+    int close = v.skip_parens(ci + 1);
+    for (int j = ci + 2; j < close - 1; ++j) {
+      if (v.is_ident(j) && v.tok(j).text.rfind("probe_", 0) == 0) {
+        registered.insert(v.tok(j).text);
+      }
+    }
+  }
+  for (int ci = 0; ci < v.n; ++ci) {
+    if (!v.is_ident(ci) || !v.punct(ci + 1, "(")) continue;
+    const std::string& name = v.tok(ci).text;
+    if (name.rfind("probe_", 0) != 0) continue;
+    // A factory definition: the preceding token is its return type, ending
+    // in "Probe" (e.g. InvariantChecker::Probe).
+    if (!v.is_ident(ci - 1)) continue;
+    const std::string& ret = v.tok(ci - 1).text;
+    if (ret.size() < 5 || ret.compare(ret.size() - 5, 5, "Probe") != 0) {
+      continue;
+    }
+    if (registered.count(name) == 0) {
+      report(fi, v.tok(ci).line, "invariant-catalogue",
+             "'" + name +
+                 "' is defined but never passed to register_probe; an "
+                 "unregistered probe silently checks nothing");
+    }
+  }
+}
+
+// --- include-hygiene / include-cycle (project model) -------------------------
+
+void include_rules(const ProjectModel& model, const Reporter& report) {
+  // Module layering, computed from the whole-tree include graph.
+  for (const ModuleEdge& edge : model.layering_violations()) {
+    for (const auto& [file, line] : edge.sites) {
+      report(file, line, "include-hygiene",
+             "src/" + edge.from + " must not include into src/" + edge.to +
+                 ": this edge creates a module cycle (" + edge.cycle +
+                 "); the layering is computed from the whole-tree include "
+                 "graph and this is its minority direction");
+    }
+  }
+  // File-level include cycles.
+  for (const std::vector<int>& scc : model.include_cycles()) {
+    std::string members;
+    for (std::size_t i = 0; i < scc.size(); ++i) {
+      if (i > 0) members += " <-> ";
+      members += model.files()[scc[i]].path;
+    }
+    // Anchor the diagnostic at the first member's include of another member.
+    int anchor_file = scc.front();
+    int anchor_line = 1;
+    for (const IncludeDirective& inc : model.files()[anchor_file].includes) {
+      if (std::find(scc.begin(), scc.end(), inc.resolved) != scc.end()) {
+        anchor_line = inc.line;
+        break;
+      }
+    }
+    report(anchor_file, anchor_line, "include-cycle",
+           "#include cycle: " + members +
+               "; break it with a forward declaration or by splitting the "
+               "header");
+  }
+}
+
+// --- unused-include ----------------------------------------------------------
+
+void unused_include_rule(const ProjectModel& model, int fi,
+                         const Reporter& report) {
+  const SourceFile& f = model.files()[fi];
+  if (f.module.empty()) return;  // reported under src/ only
+  const FileView v(f);
+  // The including file's referenced identifier set.
+  std::set<std::string> used;
+  for (int ci = 0; ci < v.n; ++ci) {
+    if (v.is_ident(ci)) used.insert(v.tok(ci).text);
+  }
+  std::string stem = std::filesystem::path(f.path).stem().string();
+  for (const IncludeDirective& inc : f.includes) {
+    if (inc.resolved < 0 || inc.resolved == fi) continue;
+    const SourceFile& target = model.files()[inc.resolved];
+    // A .cc always keeps its own header (that include *is* the interface).
+    if (std::filesystem::path(target.path).stem().string() == stem &&
+        target.module == f.module) {
+      continue;
+    }
+    const std::set<std::string>& exported =
+        model.declared_names(inc.resolved);
+    if (exported.empty()) continue;  // nothing indexable to check against
+    bool any_used = false;
+    for (const std::string& name : exported) {
+      if (used.count(name) > 0) {
+        any_used = true;
+        break;
+      }
+    }
+    if (!any_used) {
+      report(fi, inc.line, "unused-include",
+             "'" + inc.spelled + "' is included but none of the symbols it "
+             "declares are referenced here; drop the include (or include "
+             "what you use)");
+    }
+  }
+}
+
+// --- dead-symbol -------------------------------------------------------------
+
+bool dead_symbol_exempt(const std::string& name) {
+  if (name == "main") return true;
+  if (!name.empty() && name[0] == '_') return true;
+  if (name.rfind("operator", 0) == 0) return true;
+  return false;
+}
+
+void dead_symbol_rule(const ProjectModel& model, const Reporter& report) {
+  for (const auto& [name, info] : model.symbols()) {
+    if (info.refs > 0 || dead_symbol_exempt(name)) continue;
+    // Only functions and types *defined under src/* carry the obligation;
+    // macros/enumerators/aliases produce too much completeness noise.
+    const SymbolDef* site = nullptr;
+    for (const SymbolDef& def : info.defs) {
+      if (def.kind != SymbolKind::kFunction && def.kind != SymbolKind::kType) {
+        continue;
+      }
+      if (model.files()[def.file].module.empty()) continue;
+      if (site == nullptr) site = &def;
+    }
+    if (site == nullptr) continue;
+    report(site->file, site->line, "dead-symbol",
+           "'" + name +
+               "' is defined but referenced nowhere in src/, tests/, bench/ "
+               "or examples/; dead checking code enforces nothing — delete "
+               "it or wire it in");
+  }
+}
+
+}  // namespace
+
+// --- rule catalogue ----------------------------------------------------------
+
+const std::vector<RuleInfo>& rule_catalogue() {
+  static const std::vector<RuleInfo> kRules = {
+      {"nondeterminism",
+       "banned wall-clock / libc-RNG / threading APIs break bit-reproducible "
+       "runs"},
+      {"raw-assert", "assert() vanishes under NDEBUG; use PICLOUD_CHECK"},
+      {"pragma-once", "headers must contain #pragma once"},
+      {"include-hygiene",
+       "module include edge against the layering computed from the include "
+       "graph"},
+      {"include-cycle", "file-level #include cycle"},
+      {"unused-include", "included project header with no referenced symbol"},
+      {"unordered-container",
+       "std::unordered_* iteration order leaks into event ordering and "
+       "digests"},
+      {"event-capture",
+       "[&] default-reference capture in a scheduled lambda dangles by fire "
+       "time"},
+      {"dead-symbol", "function/type defined in src/ but referenced nowhere"},
+      {"rest-retry",
+       "RestClient call must state a RetryPolicy or timeout"},
+      {"metrics-registry",
+       "telemetry must flow through the MetricsRegistry / PICLOUD_LOG spine"},
+      {"invariant-catalogue",
+       "probe_* factories in src/testing must be register_probe()d"},
+      {"io", "file or root could not be read"},
+  };
+  return kRules;
+}
+
+// --- analysis entry points ---------------------------------------------------
+
+std::vector<Diagnostic> analyze(const ProjectModel& model,
+                                const AnalyzeOptions& options) {
+  std::vector<Diagnostic> diags;
+  Reporter report{model, diags};
+  for (int fi = 0; fi < static_cast<int>(model.files().size()); ++fi) {
+    per_file_rules(model, fi, report);
+    event_capture_rule(model, fi, report);
+    rest_retry_rule(model, fi, report);
+    invariant_catalogue_rule(model, fi, report);
+    if (options.whole_program) unused_include_rule(model, fi, report);
+  }
+  include_rules(model, report);
+  if (options.whole_program) dead_symbol_rule(model, report);
+
+  std::sort(diags.begin(), diags.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  diags.erase(std::unique(diags.begin(), diags.end(),
+                          [](const Diagnostic& a, const Diagnostic& b) {
+                            return a.file == b.file && a.line == b.line &&
+                                   a.rule == b.rule && a.message == b.message;
+                          }),
+              diags.end());
+  return diags;
+}
+
+std::vector<Diagnostic> analyze_files(
+    const std::vector<ProjectModel::Input>& inputs,
+    const AnalyzeOptions& options) {
+  return analyze(ProjectModel::build(inputs), options);
+}
+
+std::vector<Diagnostic> lint_content(const std::string& path,
+                                     const std::string& content) {
+  AnalyzeOptions options;
+  options.whole_program = false;
+  return analyze_files({{path, content}}, options);
+}
+
+std::vector<Diagnostic> lint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {Diagnostic{path, 0, "io", "cannot read file"}};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return lint_content(path, buf.str());
+}
+
+std::vector<std::string> collect_files(const std::vector<std::string>& roots) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  auto wanted = [](const fs::path& p) {
+    auto ext = p.extension();
+    return ext == ".h" || ext == ".cc" || ext == ".cpp";
+  };
+  for (const std::string& root : roots) {
+    fs::path rp(root);
+    std::error_code ec;
+    if (fs::is_regular_file(rp, ec)) {
+      files.push_back(rp.string());
+      continue;
+    }
+    if (!fs::is_directory(rp, ec)) continue;
+    fs::recursive_directory_iterator it(rp, ec), end;
+    for (; it != end; it.increment(ec)) {
+      if (ec) break;
+      const fs::path& p = it->path();
+      std::string name = p.filename().string();
+      if (it->is_directory() &&
+          (name == "build" || (!name.empty() && name[0] == '.'))) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (it->is_regular_file() && wanted(p)) files.push_back(p.string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+ProjectModel load_project(const std::vector<std::string>& roots,
+                          std::vector<Diagnostic>* io_diags) {
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (!std::filesystem::exists(root, ec)) {
+      io_diags->push_back(
+          Diagnostic{root, 0, "io", "no such file or directory"});
+    }
+  }
+  std::vector<ProjectModel::Input> inputs;
+  for (const std::string& file : collect_files(roots)) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      io_diags->push_back(Diagnostic{file, 0, "io", "cannot read file"});
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    inputs.push_back({file, buf.str()});
+  }
+  return ProjectModel::build(inputs);
+}
+
+int run(const std::vector<std::string>& roots, std::ostream& out) {
+  std::vector<Diagnostic> diags;
+  ProjectModel model = load_project(roots, &diags);
+  std::vector<Diagnostic> findings = analyze(model);
+  diags.insert(diags.end(), findings.begin(), findings.end());
+  for (const Diagnostic& d : diags) {
+    out << d.file << ":" << d.line << ": " << d.rule << ": " << d.message
+        << "\n";
+  }
+  return static_cast<int>(diags.size());
+}
+
+}  // namespace picloud::lint
