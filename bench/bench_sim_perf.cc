@@ -12,6 +12,9 @@
 #include <functional>
 #include <string>
 
+#include "apps/httpd.h"
+#include "apps/lb.h"
+#include "apps/loadgen.h"
 #include "cloud/cloud.h"
 #include "net/topology.h"
 #include "sim/event_queue.h"
@@ -116,6 +119,65 @@ void BM_ScenarioFuzz(benchmark::State& state) {
 }
 BENCHMARK(BM_ScenarioFuzz)->Arg(1)->Arg(3)->Unit(benchmark::kMillisecond);
 
+// The overload tier under fire (DESIGN.md §11): 3 expensive httpd replicas
+// behind the L7 balancer, a 10x open-loop flash crowd for 20 of 45 simulated
+// seconds. Dominated by admission-queue churn, LB proxy hops and the retry /
+// breaker machinery — the hot path a flash crowd actually exercises, so its
+// wall cost is tracked alongside the substrate numbers.
+void run_flash_crowd_once(std::uint64_t* completed_out) {
+  sim::Simulation sim(29);
+  cloud::PiCloudConfig config;
+  config.racks = 1;
+  config.hosts_per_rack = 5;
+  config.placement_policy = "round-robin";
+  cloud::PiCloud cloud(sim, config);
+  cloud.power_on();
+  cloud.await_ready();
+  cloud.run_for(sim::Duration::seconds(5));
+
+  apps::HttpdParams backend;
+  backend.cycles_per_request = 2e7;
+  std::vector<net::Ipv4Addr> tier;
+  for (int i = 0; i < 3; ++i) {
+    auto record = cloud.spawn_and_wait({.name = "web-" + std::to_string(i),
+                                        .app_kind = "httpd",
+                                        .app_params = backend.to_json()});
+    if (record.ok()) tier.push_back(record.value().ip);
+  }
+  auto lb_record = cloud.spawn_and_wait({.name = "lb", .app_kind = "lb"});
+  if (!lb_record.ok()) return;
+  cloud::NodeDaemon* daemon =
+      cloud.daemon_by_hostname(lb_record.value().hostname);
+  auto* lb = dynamic_cast<apps::LbApp*>(
+      daemon->node().find_container("lb")->app());
+  lb->set_backends(tier);
+
+  apps::HttpLoadGen::Params load;
+  load.requests_per_sec = 40;
+  load.request_timeout = sim::Duration::seconds(1);
+  load.shape.kind = apps::TrafficShape::Kind::kFlashCrowd;
+  load.shape.at = sim::Duration::seconds(10);
+  load.shape.duration = sim::Duration::seconds(20);
+  load.shape.multiplier = 10.0;
+  apps::HttpLoadGen clients(cloud.network(), cloud.admin_ip(),
+                            {lb_record.value().ip}, load, util::Rng(29));
+  clients.start();
+  cloud.run_for(sim::Duration::seconds(45));
+  clients.stop();
+  cloud.run_for(sim::Duration::seconds(5));
+  if (completed_out != nullptr) *completed_out = clients.completed();
+}
+
+void BM_FlashCrowd(benchmark::State& state) {
+  std::uint64_t completed = 0;
+  for (auto _ : state) {
+    run_flash_crowd_once(&completed);
+    benchmark::DoNotOptimize(completed);
+  }
+  state.SetLabel("50 sim-seconds, 10x crowd");
+}
+BENCHMARK(BM_FlashCrowd)->Unit(benchmark::kMillisecond);
+
 // Canonical fixed-seed scenario whose full MetricsRegistry snapshot is
 // written as JSON after the benchmarks — the machine-readable artifact CI
 // uploads per build, so telemetry regressions (a counter that stops moving,
@@ -213,6 +275,12 @@ void write_perf_baseline() {
   double cloud_wall = wall_seconds(
       [&]() { cloud.run_for(sim::Duration::seconds(kSimSeconds)); });
 
+  // (4) the flash-crowd scenario (50 sim-seconds of overload machinery) as
+  // sim-seconds per wall-second — the serving tier's hot-path speed.
+  constexpr double kFlashSimSeconds = 50;
+  double flash_wall =
+      wall_seconds([]() { run_flash_crowd_once(nullptr); });
+
   util::Json doc(util::JsonObject{
       {"tool", "bench_sim_perf"},
       {"version", 1},
@@ -220,11 +288,14 @@ void write_perf_baseline() {
                      {"event_chain", kChain},
                      {"pending_events", kPending},
                      {"cloud_sim_seconds", kSimSeconds},
+                     {"flash_sim_seconds", kFlashSimSeconds},
                  })},
       {"metrics", util::Json(util::JsonObject{
                       {"events_per_sec", events_per_sec},
                       {"bytes_per_event", bytes_per_event},
                       {"sim_seconds_per_wall_second", kSimSeconds / cloud_wall},
+                      {"flash_crowd_sim_seconds_per_wall_second",
+                       kFlashSimSeconds / flash_wall},
                   })},
   });
   std::ofstream out(env, std::ios::binary);

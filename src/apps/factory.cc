@@ -4,6 +4,7 @@
 #include "apps/dfs.h"
 #include "apps/httpd.h"
 #include "apps/kvstore.h"
+#include "apps/lb.h"
 #include "apps/mapreduce.h"
 
 namespace picloud::apps {
@@ -17,6 +18,10 @@ util::Result<std::unique_ptr<os::ContainerApp>> make_app(
   if (kind == "kvstore") {
     return std::unique_ptr<os::ContainerApp>(
         new KvStoreApp(KvStoreParams::from_json(params)));
+  }
+  if (kind == "lb") {
+    return std::unique_ptr<os::ContainerApp>(
+        new LbApp(LbParams::from_json(params)));
   }
   if (kind == "mr-worker") {
     return std::unique_ptr<os::ContainerApp>(new MapReduceWorkerApp);

@@ -28,6 +28,35 @@
 
 namespace picloud::apps {
 
+// Time-varying open-loop arrival process (DESIGN.md §11). The shape
+// modulates a base rate as a pure function of sim time, so same-seed runs
+// see identical offered load:
+//   * steady      — constant base rate;
+//   * diurnal     — sinusoid: base * (1 + amplitude * sin(2π t / period));
+//   * flash_crowd — base rate stepped to base * multiplier inside
+//                   [at, at + duration) — the 10× spike of the acceptance
+//                   scenario.
+// Independently, `cost_alpha > 1` gives each request a Pareto-distributed
+// work multiplier (mean `cost_mean`) that servers apply to their per-request
+// cycles — the heavy-tailed request cost of real traffic.
+struct TrafficShape {
+  enum class Kind { kSteady, kDiurnal, kFlashCrowd };
+  Kind kind = Kind::kSteady;
+  double amplitude = 0.5;                                  // diurnal
+  sim::Duration period = sim::Duration::seconds(120);      // diurnal
+  sim::Duration at = sim::Duration::seconds(30);           // flash crowd
+  sim::Duration duration = sim::Duration::seconds(20);     // flash crowd
+  double multiplier = 10.0;                                // flash crowd
+  double cost_mean = 1.0;   // heavy-tailed request cost (any kind)
+  double cost_alpha = 0.0;  // <= 1 disables (constant cost 1)
+
+  // Rate multiplier at time `t` since the generator started.
+  double factor(sim::Duration t) const;
+
+  static TrafficShape from_json(const util::Json& j);
+  util::Json to_json() const;
+};
+
 class HttpLoadGen {
  public:
   struct Params {
@@ -35,6 +64,21 @@ class HttpLoadGen {
     std::uint16_t server_port = 80;
     sim::Duration request_timeout = sim::Duration::seconds(10);
     std::uint64_t request_bytes = 256;  // GET + headers
+    TrafficShape shape;
+
+    // --- Client-side protection (DESIGN.md §11) ------------------------------
+    // Retries per request beyond the first attempt are additionally capped
+    // by a token bucket: `retry_budget_ratio` tokens accrue per original
+    // request (bucket starts and caps at `retry_budget_burst`), a retry
+    // spends one. Keeps failover from amplifying a flash crowd.
+    int max_attempts = 2;
+    double retry_budget_ratio = 0.1;
+    double retry_budget_burst = 10.0;
+    // Per-target breaker: this many consecutive failures opens the breaker
+    // for `breaker_open_duration`; after that one trial request is let
+    // through (half-open) and its outcome closes or re-opens the breaker.
+    int breaker_failure_threshold = 5;
+    sim::Duration breaker_open_duration = sim::Duration::seconds(2);
   };
 
   HttpLoadGen(net::Network& network, net::Ipv4Addr self,
@@ -45,25 +89,66 @@ class HttpLoadGen {
   void start();
   void stop();
 
-  // Adds/replaces the target pool (targets rotate round-robin).
+  // Replaces the target pool. Breaker state survives for targets present in
+  // both pools and the rotation cursor follows the target it pointed at, so
+  // ReplicaSet churn does not perturb same-seed digests.
   void set_targets(std::vector<net::Ipv4Addr> targets);
 
-  // Changes the offered rate; takes effect from the next arrival (the
-  // TracePlayer's knob for diurnal/flash-crowd dynamics).
+  // Changes the offered base rate; takes effect from the next arrival (the
+  // TracePlayer's knob; the shape multiplies on top).
   void set_rate(double requests_per_sec);
   double rate() const { return params_.requests_per_sec; }
+  void set_shape(TrafficShape shape) { params_.shape = shape; }
 
   // Fixed-memory log-bucket latency distribution (ms). Quantiles carry the
   // LogHistogram's ≤8% relative-error bound; benches that need exact
   // quantiles keep their own util::Histogram.
   const util::LogHistogram& latencies() const { return latencies_; }
+
+  // --- Accounting (conservation probe: see invariants.cc) --------------------
+  // arrivals == completed + failed + timed_out + breaker_rejected
+  //             + in_flight, at any instant; and
+  // attempts_sent - sent <= retry_budget_ratio * sent + retry_budget_burst.
+  std::uint64_t arrivals() const { return arrivals_; }
   std::uint64_t sent() const { return sent_; }
+  std::uint64_t attempts_sent() const { return attempts_sent_; }
   std::uint64_t completed() const { return completed_; }
+  std::uint64_t completed_brownout() const { return completed_brownout_; }
   std::uint64_t timed_out() const { return timed_out_; }
+  std::uint64_t failed() const { return failed_; }
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t retries_denied() const { return retries_denied_; }
+  std::uint64_t breaker_rejected() const { return breaker_rejected_; }
+  std::uint64_t breakers_opened() const { return breakers_opened_; }
+  std::size_t in_flight() const { return pending_.size(); }
+  const Params& params() const { return params_; }
 
  private:
+  struct Breaker {
+    int consecutive_failures = 0;
+    sim::SimTime open_until;   // breaker open while now < open_until
+    bool open = false;
+  };
+
+  struct Pending {
+    sim::SimTime first_sent_at;
+    net::Ipv4Addr target;
+    std::string path;
+    double cost = 1.0;
+    int attempts = 0;
+    sim::EventId timeout_event = 0;
+  };
+
   void fire_next();
+  void on_arrival();
+  void send_attempt(std::uint64_t id);
+  void attempt_failed(std::uint64_t id);
   void on_message(const net::Message& msg);
+  bool pick_target(net::Ipv4Addr exclude, bool use_exclude,
+                   net::Ipv4Addr* out);
+  bool breaker_allows(net::Ipv4Addr target);
+  void record_failure(net::Ipv4Addr target);
+  void record_success(net::Ipv4Addr target);
 
   net::Network& network_;
   sim::Simulation& sim_;
@@ -73,19 +158,27 @@ class HttpLoadGen {
   util::Rng rng_;
   std::uint16_t port_;
   bool running_ = false;
+  sim::SimTime started_at_;
   size_t next_target_ = 0;
   std::uint64_t next_id_ = 1;
   sim::EventId arrival_event_ = 0;
 
-  struct Pending {
-    sim::SimTime sent_at;
-    sim::EventId timeout_event = 0;
-  };
+  std::map<net::Ipv4Addr, Breaker> breakers_;
+  double retry_tokens_ = 0;
+
   std::map<std::uint64_t, Pending> pending_;
   util::LogHistogram latencies_;
+  std::uint64_t arrivals_ = 0;
   std::uint64_t sent_ = 0;
+  std::uint64_t attempts_sent_ = 0;
   std::uint64_t completed_ = 0;
+  std::uint64_t completed_brownout_ = 0;
   std::uint64_t timed_out_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t retries_denied_ = 0;
+  std::uint64_t breaker_rejected_ = 0;
+  std::uint64_t breakers_opened_ = 0;
 };
 
 // Machine-to-machine background flows straight on the fabric.

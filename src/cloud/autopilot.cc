@@ -29,6 +29,30 @@ void Autopilot::evaluate() {
   if (draining_) return;  // one consolidation at a time
   ++stats_.evaluations;
 
+  // --- SLO burn: shed/dropped requests accumulating too fast ------------------
+  if (!config_.slo_burn_counter.empty()) {
+    const std::uint64_t count =
+        sim_.metrics().counter_value(config_.slo_burn_counter);
+    const std::uint64_t burned =
+        count >= last_slo_count_ ? count - last_slo_count_ : 0;
+    last_slo_count_ = count;
+    const double rate =
+        static_cast<double>(burned) / config_.evaluation_period.to_seconds();
+    if (rate > config_.slo_burn_threshold) {
+      ++stats_.slo_scale_ups;
+      LOG_INFO("autopilot", "SLO burn %.1f/s on %s: scaling up", rate,
+               config_.slo_burn_counter.c_str());
+      if (!parked_.empty()) {
+        std::string wake = *parked_.begin();
+        parked_.erase(parked_.begin());
+        ++stats_.nodes_powered_on;
+        if (power_control_) power_control_(wake, true);
+      }
+      if (scale_up_hook_) scale_up_hook_();
+      return;  // never consolidate while the SLO is burning
+    }
+  }
+
   std::vector<NodeView> views = master_.monitor().views();
   // Partition: live, parked-by-us, and how loaded the live set is. A node
   // we just parked can still look monitor-alive for one liveness window, so

@@ -37,6 +37,15 @@ class Autopilot {
     double wake_cpu_threshold = 0.75;
     // Only drain a donor whose instances all fit elsewhere with headroom.
     double target_mem_headroom = 0.9;
+
+    // --- SLO-burn scale-up (DESIGN.md §11) -----------------------------------
+    // A registry counter whose growth is an SLO violation (shed requests,
+    // deadline drops — e.g. "apps.httpd.shed_admission"). When it burns
+    // faster than `slo_burn_threshold` per second over an evaluation
+    // period, the autopilot wakes parked capacity and fires the scale-up
+    // hook instead of consolidating. Empty = disabled.
+    std::string slo_burn_counter;
+    double slo_burn_threshold = 1.0;  // violations/sec
   };
 
   // picloud-lint: allow(metrics-registry)
@@ -47,6 +56,7 @@ class Autopilot {
     std::uint64_t migrations_failed = 0;
     std::uint64_t nodes_powered_off = 0;
     std::uint64_t nodes_powered_on = 0;
+    std::uint64_t slo_scale_ups = 0;
   };
 
   // Flips a node's power (the facade wires this to daemon start/stop —
@@ -62,6 +72,11 @@ class Autopilot {
   void set_power_control(PowerControl control) {
     power_control_ = std::move(control);
   }
+
+  // Fired on an SLO-burn scale-up decision (wired by the operator to e.g.
+  // ReplicaSet::set_replicas on the burning tier).
+  using ScaleUpHook = std::function<void()>;
+  void set_scale_up_hook(ScaleUpHook hook) { scale_up_hook_ = std::move(hook); }
 
   void start();
   void stop();
@@ -81,6 +96,8 @@ class Autopilot {
   PiMaster& master_;
   Config config_;
   PowerControl power_control_;
+  ScaleUpHook scale_up_hook_;
+  std::uint64_t last_slo_count_ = 0;
   bool running_ = false;
   bool draining_ = false;
   std::set<std::string> parked_;

@@ -39,6 +39,24 @@ std::vector<net::Ipv4Addr> ReplicaSet::endpoints() const {
   return out;
 }
 
+void ReplicaSet::set_replicas(int replicas) {
+  if (replicas < 0) replicas = 0;
+  if (replicas == config_.replicas) return;
+  // Shrinking: delete the instances in the abandoned slots; reconcile()
+  // only iterates slots < config_.replicas, so nothing will respawn them.
+  for (int slot = replicas; slot < config_.replicas; ++slot) {
+    std::string name = replica_name(slot);
+    if (!master_.instance(name).ok()) continue;
+    master_.delete_instance(name, [this](util::Status) {
+      if (on_change_) on_change_();
+    });
+  }
+  LOG_INFO("replicaset", "%s: scaling %d -> %d replicas",
+           config_.name_prefix.c_str(), config_.replicas, replicas);
+  config_.replicas = replicas;
+  if (running_) reconcile();
+}
+
 void ReplicaSet::reconcile() {
   ++stats_.reconciliations;
   for (int slot = 0; slot < config_.replicas; ++slot) {

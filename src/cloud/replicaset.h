@@ -49,6 +49,11 @@ class ReplicaSet {
   // IPs of replicas currently healthy (node alive + container running).
   std::vector<net::Ipv4Addr> endpoints() const;
   size_t healthy_replicas() const { return endpoints().size(); }
+  int replicas() const { return config_.replicas; }
+  // Re-targets the set (the autopilot's SLO-burn scale-up signal lands
+  // here). Growing spawns into the new slots on the next reconcile; shrinking
+  // deletes the excess slots' instances.
+  void set_replicas(int replicas);
   // Fires after any reconciliation that changed the endpoint set.
   void set_on_change(std::function<void()> hook) { on_change_ = std::move(hook); }
 

@@ -128,6 +128,7 @@ class Container {
 
   void set_app(std::unique_ptr<ContainerApp> app);
   ContainerApp* app() { return app_.get(); }
+  const ContainerApp* app() const { return app_.get(); }
   // Removes the app without stopping it — used by migration to move it.
   std::unique_ptr<ContainerApp> detach_app();
 

@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <map>
 #include <memory>
+#include <set>
 #include <sstream>
 
+#include "apps/httpd.h"
+#include "apps/kvstore.h"
+#include "apps/lb.h"
 #include "net/fabric.h"
 #include "os/container.h"
 #include "os/node_os.h"
@@ -192,6 +196,123 @@ InvariantChecker::Probe probe_fabric_conservation(cloud::PiCloud& cloud) {
   };
 }
 
+// Every request a serving app admits is accounted exactly once (DESIGN.md
+// §11): received must equal the sum of terminal outcomes plus work still
+// queued or in service, at any instant — on every httpd, kvstore and lb
+// instance in the fleet. A lost update anywhere in the admission queue,
+// brownout path or shed path breaks the equality.
+InvariantChecker::Probe probe_app_conservation(cloud::PiCloud& cloud) {
+  return [&cloud](const InvariantChecker::FailFn& fail) {
+    for (size_t i = 0; i < cloud.node_count(); ++i) {
+      const os::NodeOs& node = std::as_const(cloud).node(i);
+      if (!node.running()) continue;
+      for (const os::Container* c : node.containers()) {
+        const os::ContainerApp* app = c->app();
+        if (app == nullptr) continue;
+        const std::string kind = app->kind();
+        std::ostringstream msg;
+        if (kind == "httpd") {
+          const auto* h = static_cast<const apps::HttpdApp*>(app);
+          const std::uint64_t accounted =
+              h->served_ok() + h->served_brownout() + h->shed_admission() +
+              h->shed_deadline() + h->refused_at_start() + h->queue_depth() +
+              static_cast<std::uint64_t>(h->in_service());
+          if (h->requests_received() != accounted) {
+            msg << c->name() << ": httpd received " << h->requests_received()
+                << " != accounted " << accounted;
+            fail(msg.str());
+          }
+        } else if (kind == "kvstore") {
+          const auto* k = static_cast<const apps::KvStoreApp*>(app);
+          const std::uint64_t accounted =
+              k->ops_served() + k->ops_rejected() + k->shed_admission() +
+              k->shed_deadline() + k->refused_at_start() + k->queue_depth() +
+              static_cast<std::uint64_t>(k->in_service());
+          if (k->ops_received() != accounted) {
+            msg << c->name() << ": kvstore received " << k->ops_received()
+                << " != accounted " << accounted;
+            fail(msg.str());
+          }
+        } else if (kind == "lb") {
+          const auto* lb = static_cast<const apps::LbApp*>(app);
+          const std::uint64_t accounted =
+              lb->responses_ok() + lb->responses_error() +
+              lb->dropped_in_flight() + lb->in_flight();
+          if (lb->requests_received() != accounted) {
+            msg << c->name() << ": lb received " << lb->requests_received()
+                << " != accounted " << accounted;
+            fail(msg.str());
+          }
+        }
+      }
+    }
+  };
+}
+
+// Retry amplification stays inside the budget: a load balancer may send at
+// most ratio * requests + burst retries on top of the original attempts.
+// If this fails, failover is amplifying an overload (retry storm).
+InvariantChecker::Probe probe_lb_retry_budget(cloud::PiCloud& cloud) {
+  return [&cloud](const InvariantChecker::FailFn& fail) {
+    for (size_t i = 0; i < cloud.node_count(); ++i) {
+      const os::NodeOs& node = std::as_const(cloud).node(i);
+      if (!node.running()) continue;
+      for (const os::Container* c : node.containers()) {
+        const os::ContainerApp* app = c->app();
+        if (app == nullptr || app->kind() != "lb") continue;
+        const auto* lb = static_cast<const apps::LbApp*>(app);
+        const double budget =
+            lb->params().retry_budget_ratio *
+                static_cast<double>(lb->requests_forwarded()) +
+            lb->params().retry_budget_burst;
+        const std::uint64_t extra =
+            lb->attempts_forwarded() - lb->requests_forwarded();
+        if (static_cast<double>(extra) > budget + 1e-6 ||
+            lb->retries_attempted() != extra) {
+          std::ostringstream msg;
+          msg << c->name() << ": lb retries " << extra << " (counter "
+              << lb->retries_attempted() << ") exceed budget " << budget;
+          fail(msg.str());
+        }
+      }
+    }
+  };
+}
+
+// At quiesce every backend a load balancer still considers healthy must be
+// a live, running container at that address — the LB never routes into the
+// void once churn has settled (ejected-and-dead backends must have been
+// dropped by the endpoint hook or the breaker).
+InvariantChecker::Probe probe_lb_routing(cloud::PiCloud& cloud) {
+  return [&cloud](const InvariantChecker::FailFn& fail) {
+    std::set<std::uint32_t> live_ips;
+    for (size_t i = 0; i < cloud.node_count(); ++i) {
+      const os::NodeOs& node = std::as_const(cloud).node(i);
+      if (!node.running()) continue;
+      for (const os::Container* c : node.containers()) {
+        if (c->state() == os::ContainerState::kRunning) {
+          live_ips.insert(c->ip().value());
+        }
+      }
+    }
+    for (size_t i = 0; i < cloud.node_count(); ++i) {
+      const os::NodeOs& node = std::as_const(cloud).node(i);
+      if (!node.running()) continue;
+      for (const os::Container* c : node.containers()) {
+        const os::ContainerApp* app = c->app();
+        if (app == nullptr || app->kind() != "lb") continue;
+        const auto* lb = static_cast<const apps::LbApp*>(app);
+        for (net::Ipv4Addr ip : lb->healthy_backends()) {
+          if (live_ips.count(ip.value()) == 0) {
+            fail(c->name() + ": healthy rotation contains dead backend " +
+                 ip.to_string());
+          }
+        }
+      }
+    }
+  };
+}
+
 // Post-chaos convergence (quiesce only): every fault in a scenario is
 // paired with a recovery, so by quiesce the whole fleet must be powered,
 // registered, heartbeating within the liveness window, with no migration
@@ -238,8 +359,13 @@ void InvariantChecker::install_builtin_probes() {
                  probe_spawn_accounting(cloud_));
   register_probe("fabric-conservation", Phase::kSweep,
                  probe_fabric_conservation(cloud_));
+  register_probe("app-conservation", Phase::kSweep,
+                 probe_app_conservation(cloud_));
+  register_probe("lb-retry-budget", Phase::kSweep,
+                 probe_lb_retry_budget(cloud_));
   register_probe("registry-agreement", Phase::kQuiesce,
                  probe_registry_agreement(cloud_));
+  register_probe("lb-routing", Phase::kQuiesce, probe_lb_routing(cloud_));
   register_probe("post-chaos-convergence", Phase::kQuiesce,
                  probe_convergence(cloud_));
 }

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <vector>
 
+#include "apps/lb.h"
 #include "apps/loadgen.h"
 #include "cloud/replicaset.h"
 #include "net/fabric.h"
@@ -40,8 +41,9 @@ class Digest {
 };
 
 // Scenario-specific probe: the load generator's latency histogram must
-// record exactly one sample per completed request, and outcomes must not
-// exceed requests sent (metrics consistency for the data path).
+// record exactly one sample per completed request, every arrival must be
+// accounted exactly once, and client-side retries must stay inside the
+// token-bucket budget (metrics consistency for the data path).
 InvariantChecker::Probe probe_loadgen_accounting(
     const apps::HttpLoadGen& gen, int index) {
   return [&gen, index](const InvariantChecker::FailFn& fail) {
@@ -51,13 +53,47 @@ InvariantChecker::Probe probe_loadgen_accounting(
           << gen.latencies().count() << " != completed " << gen.completed();
       fail(msg.str());
     }
-    if (gen.completed() + gen.timed_out() > gen.sent()) {
+    const std::uint64_t accounted = gen.completed() + gen.failed() +
+                                    gen.timed_out() + gen.breaker_rejected() +
+                                    gen.in_flight();
+    if (gen.arrivals() != accounted) {
       std::ostringstream msg;
-      msg << "loadgen " << index << ": completed " << gen.completed()
-          << " + timed out " << gen.timed_out() << " > sent " << gen.sent();
+      msg << "loadgen " << index << ": arrivals " << gen.arrivals()
+          << " != accounted " << accounted << " (completed "
+          << gen.completed() << " failed " << gen.failed() << " timed_out "
+          << gen.timed_out() << " rejected " << gen.breaker_rejected()
+          << " in_flight " << gen.in_flight() << ")";
+      fail(msg.str());
+    }
+    const double budget =
+        gen.params().retry_budget_ratio * static_cast<double>(gen.sent()) +
+        gen.params().retry_budget_burst;
+    const std::uint64_t extra = gen.attempts_sent() - gen.sent();
+    if (static_cast<double>(extra) > budget + 1e-6 ||
+        gen.retries() != extra) {
+      std::ostringstream msg;
+      msg << "loadgen " << index << ": retries " << extra << " (counter "
+          << gen.retries() << ") exceed budget " << budget;
       fail(msg.str());
     }
   };
+}
+
+// Resolves the (single) LB instance of tier `name` to its app object, via
+// the registry -> daemon -> container chain. Returns nullptr while the LB is
+// respawning after churn — callers re-resolve on every endpoint change
+// instead of caching an app pointer that migration would invalidate.
+apps::LbApp* find_lb_app(cloud::PiCloud& cloud, const std::string& name) {
+  auto record = std::as_const(cloud).master().instance(name);
+  if (!record.ok()) return nullptr;
+  cloud::NodeDaemon* daemon =
+      cloud.daemon_by_hostname(record.value().hostname);
+  if (daemon == nullptr || !daemon->node().running()) return nullptr;
+  os::Container* c = daemon->node().find_container(name);
+  if (c == nullptr || c->app() == nullptr || c->app()->kind() != "lb") {
+    return nullptr;
+  }
+  return static_cast<apps::LbApp*>(c->app());
 }
 
 // Resolves the ToR uplink list (rack -> aggregation links) the chaos
@@ -225,6 +261,13 @@ RunReport run_scenario(const Scenario& scenario) {
   // --- Workload --------------------------------------------------------------
   std::vector<std::unique_ptr<cloud::ReplicaSet>> tiers;
   std::vector<std::unique_ptr<apps::HttpLoadGen>> loadgens;
+  // Healthy-baseline bookkeeping covers backend AND lb tiers, so indices
+  // into `tiers` no longer align with scenario.workloads.
+  struct TierExpect {
+    cloud::ReplicaSet* rs;
+    int want;
+  };
+  std::vector<TierExpect> expected;
   for (size_t i = 0; i < scenario.workloads.size(); ++i) {
     const WorkloadSpec& w = scenario.workloads[i];
     cloud::ReplicaSet::Config rs;
@@ -233,28 +276,63 @@ RunReport run_scenario(const Scenario& scenario) {
     rs.spec.app_kind = w.app_kind;
     tiers.push_back(
         std::make_unique<cloud::ReplicaSet>(sim, cloud.master(), rs));
-    if (w.app_kind == "httpd" && w.load_rps > 0) {
+    cloud::ReplicaSet* tier = tiers.back().get();
+    expected.push_back({tier, w.replicas});
+    const bool loaded = w.app_kind == "httpd" && w.load_rps > 0;
+    const bool fronted = loaded && w.lb;
+    cloud::ReplicaSet* lb_tier = nullptr;
+    std::string lb_name;
+    if (fronted) {
+      cloud::ReplicaSet::Config lbc;
+      lbc.name_prefix = rs.name_prefix + "-lb";
+      lbc.replicas = 1;
+      lbc.spec.app_kind = "lb";
+      tiers.push_back(
+          std::make_unique<cloud::ReplicaSet>(sim, cloud.master(), lbc));
+      lb_tier = tiers.back().get();
+      expected.push_back({lb_tier, 1});
+      lb_name = lbc.name_prefix + "-0";
+    }
+    if (loaded) {
       apps::HttpLoadGen::Params load;
       load.requests_per_sec = w.load_rps;
       load.request_timeout = sim::Duration::seconds(1);
+      load.shape = w.traffic;
       loadgens.push_back(std::make_unique<apps::HttpLoadGen>(
           cloud.network(), cloud.admin_ip(), std::vector<net::Ipv4Addr>{},
           load, sim.rng().fork(),
           static_cast<std::uint16_t>(40080 + i)));
       apps::HttpLoadGen* gen = loadgens.back().get();
-      cloud::ReplicaSet* tier = tiers.back().get();
-      tier->set_on_change([gen, tier]() { gen->set_targets(tier->endpoints()); });
+      if (fronted) {
+        // Backend churn re-pushes the endpoint set into the LB; LB churn
+        // re-targets the generator AND refreshes the (possibly freshly
+        // respawned) LB's backends. The LB app is re-resolved on every fire
+        // because respawn/migration moves the container.
+        auto push_backends = [&cloud, tier, lb_name]() {
+          if (apps::LbApp* lb = find_lb_app(cloud, lb_name)) {
+            lb->set_backends(tier->endpoints());
+          }
+        };
+        tier->set_on_change(push_backends);
+        lb_tier->set_on_change([gen, lb_tier, push_backends]() {
+          push_backends();
+          gen->set_targets(lb_tier->endpoints());
+        });
+      } else {
+        tier->set_on_change(
+            [gen, tier]() { gen->set_targets(tier->endpoints()); });
+      }
       checker.register_probe(
           "loadgen-accounting", Phase::kSweep,
           probe_loadgen_accounting(*gen,
                                    static_cast<int>(loadgens.size()) - 1));
     }
-    tiers.back()->start();
+    tier->start();
+    if (lb_tier != nullptr) lb_tier->start();
   }
   auto workloads_healthy = [&]() {
-    for (size_t i = 0; i < tiers.size(); ++i) {
-      if (tiers[i]->healthy_replicas() !=
-          static_cast<size_t>(scenario.workloads[i].replicas)) {
+    for (const TierExpect& e : expected) {
+      if (e.rs->healthy_replicas() != static_cast<size_t>(e.want)) {
         return false;
       }
     }

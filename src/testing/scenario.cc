@@ -82,6 +82,8 @@ util::Json WorkloadSpec::to_json() const {
   j.set("app_kind", app_kind);
   j.set("replicas", replicas);
   j.set("load_rps", load_rps);
+  j.set("lb", lb);
+  j.set("traffic", traffic.to_json());
   return j;
 }
 
@@ -92,6 +94,10 @@ util::Result<WorkloadSpec> WorkloadSpec::from_json(const util::Json& j) {
     return Error::make("bad_workload", "workload missing app_kind");
   w.replicas = static_cast<int>(j.get_number("replicas", 1));
   w.load_rps = j.get_number("load_rps", 0);
+  w.lb = j.get_bool("lb", false);
+  if (j.get("traffic").is_object()) {
+    w.traffic = apps::TrafficShape::from_json(j.get("traffic"));
+  }
   return w;
 }
 
@@ -216,6 +222,35 @@ Scenario ScenarioGenerator::generate(std::uint64_t seed) const {
     w.replicas = static_cast<int>(
         rng.uniform_int(1, std::min(lim.max_replicas, budget)));
     budget -= w.replicas;
+    if (w.app_kind == "httpd" && w.load_rps > 0) {
+      // Traffic shape: the nightly fuzz job wants >= 20% of scenarios to
+      // carry a traffic-shape event, so per loaded httpd tier the flash +
+      // diurnal picks alone clear that (tested in scenario_fuzz_test).
+      const double shape_pick = rng.next_double();
+      if (shape_pick < 0.20) {
+        w.traffic.kind = apps::TrafficShape::Kind::kFlashCrowd;
+        w.traffic.at = sim::Duration::nanos(
+            rng.uniform_int(0, s.chaos_window.ns() / 2));
+        w.traffic.duration =
+            sim::Duration::seconds(rng.uniform(10.0, 30.0));
+        w.traffic.multiplier = rng.uniform(5.0, 12.0);
+      } else if (shape_pick < 0.35) {
+        w.traffic.kind = apps::TrafficShape::Kind::kDiurnal;
+        w.traffic.period = sim::Duration::seconds(rng.uniform(60.0, 180.0));
+        w.traffic.amplitude = rng.uniform(0.3, 0.8);
+      }
+      if (rng.chance(0.30)) {
+        w.traffic.cost_alpha = rng.uniform(1.5, 3.0);
+        w.traffic.cost_mean = 1.0;
+      }
+      // Front the tier with an L7 LB when the replica budget allows the
+      // extra instance (the LB itself is spawned through the control
+      // plane, so it occupies a slot like any replica).
+      if (budget > 0 && rng.chance(0.5)) {
+        w.lb = true;
+        budget -= 1;
+      }
+    }
     s.workloads.push_back(w);
   }
 

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "apps/loadgen.h"
 #include "sim/time.h"
 #include "util/json.h"
 #include "util/result.h"
@@ -66,6 +67,19 @@ struct WorkloadSpec {
   // For httpd tiers: offered HTTP load in requests/sec from the admin
   // workstation (0 = no load generator on this tier).
   double load_rps = 0;
+  // Front the tier with an L7 load balancer (a one-replica "lb" tier the
+  // generator's clients target instead of the backends).
+  bool lb = false;
+  // Time-varying open-loop shape for the tier's load generator (steady,
+  // diurnal, flash crowd + heavy-tailed request cost); see apps/loadgen.h.
+  apps::TrafficShape traffic;
+
+  // True when the spec carries a traffic-shape event (non-steady curve or a
+  // heavy-tailed cost) — the nightly fuzz job's coverage criterion.
+  bool has_traffic_event() const {
+    return traffic.kind != apps::TrafficShape::Kind::kSteady ||
+           traffic.cost_alpha > 1.0;
+  }
 
   util::Json to_json() const;
   static util::Result<WorkloadSpec> from_json(const util::Json& j);

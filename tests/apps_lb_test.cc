@@ -1,0 +1,313 @@
+// L7 load balancer tests: balancing policies, active health checking with
+// ejection and half-open re-admission, retry-budget caps on failover
+// amplification, and the conservation accounting the invariant probes
+// sweep (DESIGN.md §11).
+#include <gtest/gtest.h>
+
+#include "apps/httpd.h"
+#include "apps/lb.h"
+#include "apps/loadgen.h"
+#include "hw/device.h"
+#include "net/topology.h"
+#include "os/node_os.h"
+#include "sim/simulation.h"
+
+namespace picloud::apps {
+namespace {
+
+// A rack of real NodeOs instances to host containers on (apps_test.cc's
+// harness).
+struct LbWorld {
+  sim::Simulation sim;
+  net::Fabric fabric{sim};
+  net::Network network{sim, fabric};
+  net::Topology topo;
+  std::vector<std::unique_ptr<hw::Device>> devices;
+  std::vector<std::unique_ptr<os::NodeOs>> nodes;
+  net::Ipv4Addr client_ip{10, 0, 0, 200};
+
+  explicit LbWorld(int host_count = 4) {
+    topo = net::build_single_rack(fabric, host_count);
+    for (int i = 0; i < host_count; ++i) {
+      devices.push_back(std::make_unique<hw::Device>(
+          i, "pi-r0-" + std::to_string(i), hw::pi_model_b()));
+      nodes.push_back(std::make_unique<os::NodeOs>(
+          sim, *devices.back(), network, topo.hosts[i]));
+      nodes.back()->boot();
+      nodes.back()->set_host_ip(net::Ipv4Addr(10, 0, 0, 1 + i));
+    }
+    network.bind_ip(client_ip, topo.internet);
+  }
+
+  net::Ipv4Addr launch(int n, const std::string& name,
+                       std::unique_ptr<os::ContainerApp> app,
+                       double cpu_limit = 0.0) {
+    auto created = nodes[n]->create_container(
+        {.name = name, .cpu_limit = cpu_limit});
+    EXPECT_TRUE(created.ok());
+    created.value()->set_app(std::move(app));
+    net::Ipv4Addr ip(10, 0, 1,
+                     static_cast<std::uint8_t>(10 * (n + 1) +
+                                               nodes[n]->container_count()));
+    EXPECT_TRUE(created.value()->start(ip).ok());
+    return ip;
+  }
+
+  LbApp* lb_app(int n, const std::string& name) {
+    auto* app = dynamic_cast<LbApp*>(nodes[n]->find_container(name)->app());
+    EXPECT_NE(app, nullptr);
+    return app;
+  }
+
+  HttpdApp* httpd_app(int n, const std::string& name) {
+    auto* app =
+        dynamic_cast<HttpdApp*>(nodes[n]->find_container(name)->app());
+    EXPECT_NE(app, nullptr);
+    return app;
+  }
+};
+
+void expect_lb_conservation(const LbApp& lb) {
+  EXPECT_EQ(lb.requests_received(),
+            lb.responses_ok() + lb.responses_error() +
+                lb.dropped_in_flight() + lb.in_flight());
+}
+
+void expect_lb_retry_budget(const LbApp& lb) {
+  const double budget =
+      lb.params().retry_budget_ratio *
+          static_cast<double>(lb.requests_forwarded()) +
+      lb.params().retry_budget_burst;
+  EXPECT_LE(static_cast<double>(lb.attempts_forwarded() -
+                                lb.requests_forwarded()),
+            budget + 1e-6);
+}
+
+TEST(LoadBalancer, RoundRobinSpreadsLoadEvenly) {
+  LbWorld w;
+  std::vector<net::Ipv4Addr> backends;
+  for (int i = 0; i < 3; ++i) {
+    backends.push_back(
+        w.launch(i, "web" + std::to_string(i), std::make_unique<HttpdApp>()));
+  }
+  auto lb_ip = w.launch(3, "lb", std::make_unique<LbApp>());
+  LbApp* lb = w.lb_app(3, "lb");
+  lb->set_backends(backends);
+
+  HttpLoadGen::Params params;
+  params.requests_per_sec = 60;
+  params.request_timeout = sim::Duration::seconds(1);
+  HttpLoadGen gen(w.network, w.client_ip, {lb_ip}, params, util::Rng(7));
+  gen.start();
+  w.sim.run_until(w.sim.now() + sim::Duration::seconds(20));
+  gen.stop();
+  w.sim.run_until(w.sim.now() + sim::Duration::seconds(3));
+
+  EXPECT_GT(gen.completed(), 1000u);
+  EXPECT_EQ(gen.failed(), 0u);
+  EXPECT_EQ(lb->backend_count(), 3u);
+  EXPECT_EQ(lb->healthy_backends().size(), 3u);
+  // Round-robin: the three shares differ by at most the health-probe noise.
+  std::uint64_t lo = UINT64_MAX, hi = 0;
+  for (int i = 0; i < 3; ++i) {
+    std::uint64_t served =
+        w.httpd_app(i, "web" + std::to_string(i))->requests_received();
+    lo = std::min(lo, served);
+    hi = std::max(hi, served);
+  }
+  EXPECT_GT(lo, 0u);
+  EXPECT_LE(hi - lo, hi / 10 + 50);
+  expect_lb_conservation(*lb);
+  expect_lb_retry_budget(*lb);
+}
+
+TEST(LoadBalancer, LeastOutstandingFavorsTheFastBackend) {
+  LbWorld w;
+  // One full-speed backend, one throttled to 5% of the core: the slow one
+  // accumulates outstanding requests and least-outstanding routes around it.
+  std::vector<net::Ipv4Addr> backends;
+  backends.push_back(w.launch(0, "fast", std::make_unique<HttpdApp>()));
+  backends.push_back(
+      w.launch(1, "slow", std::make_unique<HttpdApp>(), /*cpu_limit=*/0.05));
+  LbParams lp;
+  lp.policy = LbPolicy::kLeastOutstanding;
+  auto lb_ip = w.launch(3, "lb", std::make_unique<LbApp>(lp));
+  LbApp* lb = w.lb_app(3, "lb");
+  lb->set_backends(backends);
+
+  HttpLoadGen::Params params;
+  params.requests_per_sec = 80;
+  params.request_timeout = sim::Duration::seconds(2);
+  HttpLoadGen gen(w.network, w.client_ip, {lb_ip}, params, util::Rng(11));
+  gen.start();
+  w.sim.run_until(w.sim.now() + sim::Duration::seconds(20));
+  gen.stop();
+  w.sim.run_until(w.sim.now() + sim::Duration::seconds(3));
+
+  std::uint64_t fast = w.httpd_app(0, "fast")->requests_received();
+  std::uint64_t slow = w.httpd_app(1, "slow")->requests_received();
+  EXPECT_GT(fast, slow * 2);
+  expect_lb_conservation(*lb);
+}
+
+TEST(LoadBalancer, EjectsDeadBackendAndFailsOverTraffic) {
+  LbWorld w;
+  std::vector<net::Ipv4Addr> backends;
+  backends.push_back(w.launch(0, "web0", std::make_unique<HttpdApp>()));
+  backends.push_back(w.launch(1, "web1", std::make_unique<HttpdApp>()));
+  auto lb_ip = w.launch(3, "lb", std::make_unique<LbApp>());
+  LbApp* lb = w.lb_app(3, "lb");
+  lb->set_backends(backends);
+
+  HttpLoadGen::Params params;
+  params.requests_per_sec = 40;
+  params.request_timeout = sim::Duration::seconds(1);
+  HttpLoadGen gen(w.network, w.client_ip, {lb_ip}, params, util::Rng(13));
+  gen.start();
+  w.sim.run_until(w.sim.now() + sim::Duration::seconds(5));
+  std::uint64_t completed_before = gen.completed();
+
+  // Kill web1: its IP unbinds, probes and proxied attempts fast-fail.
+  w.nodes[1]->find_container("web1")->stop();
+  w.sim.run_until(w.sim.now() + sim::Duration::seconds(10));
+
+  EXPECT_GE(lb->backends_ejected(), 1u);
+  EXPECT_EQ(lb->backend_state(backends[1]), LbApp::BackendState::kEjected);
+  ASSERT_EQ(lb->healthy_backends().size(), 1u);
+  EXPECT_EQ(lb->healthy_backends()[0], backends[0]);
+  // Traffic keeps flowing through the survivor.
+  EXPECT_GT(gen.completed(), completed_before + 200);
+
+  gen.stop();
+  w.sim.run_until(w.sim.now() + sim::Duration::seconds(3));
+  expect_lb_conservation(*lb);
+  expect_lb_retry_budget(*lb);
+}
+
+TEST(LoadBalancer, HalfOpenProbeReadmitsRecoveredBackend) {
+  LbWorld w;
+  std::vector<net::Ipv4Addr> backends;
+  backends.push_back(w.launch(0, "web0", std::make_unique<HttpdApp>()));
+  backends.push_back(w.launch(1, "web1", std::make_unique<HttpdApp>()));
+  auto lb_ip = w.launch(3, "lb", std::make_unique<LbApp>());
+  LbApp* lb = w.lb_app(3, "lb");
+  lb->set_backends(backends);
+
+  HttpLoadGen::Params params;
+  params.requests_per_sec = 30;
+  params.request_timeout = sim::Duration::seconds(1);
+  HttpLoadGen gen(w.network, w.client_ip, {lb_ip}, params, util::Rng(17));
+  gen.start();
+  w.sim.run_until(w.sim.now() + sim::Duration::seconds(3));
+
+  w.nodes[1]->find_container("web1")->stop();
+  w.sim.run_until(w.sim.now() + sim::Duration::seconds(6));
+  ASSERT_EQ(lb->backend_state(backends[1]), LbApp::BackendState::kEjected);
+
+  // The backend comes back at the same address (a respawn); the next
+  // half-open probe after the ejection period readmits it.
+  auto created = w.nodes[1]->create_container({.name = "web1r"});
+  ASSERT_TRUE(created.ok());
+  created.value()->set_app(std::make_unique<HttpdApp>());
+  ASSERT_TRUE(created.value()->start(backends[1]).ok());
+  w.sim.run_until(w.sim.now() + sim::Duration::seconds(15));
+
+  EXPECT_GE(lb->backends_readmitted(), 1u);
+  EXPECT_EQ(lb->backend_state(backends[1]), LbApp::BackendState::kHealthy);
+  EXPECT_EQ(lb->healthy_backends().size(), 2u);
+  // And it serves again.
+  EXPECT_GT(w.httpd_app(1, "web1r")->requests_served(), 0u);
+
+  gen.stop();
+  w.sim.run_until(w.sim.now() + sim::Duration::seconds(3));
+  expect_lb_conservation(*lb);
+}
+
+TEST(LoadBalancer, RetryBudgetCapsFailoverAmplification) {
+  LbWorld w;
+  // Backends with a zero-capacity admission queue shed every proxied
+  // request but still answer health probes (the probe fast-path bypasses
+  // admission), so they are never ejected: every request fails, every
+  // failure is retry-eligible, and only the token bucket stops the LB from
+  // doubling its upstream traffic indefinitely.
+  HttpdParams hp;
+  hp.queue_capacity = 0;
+  std::vector<net::Ipv4Addr> backends;
+  backends.push_back(w.launch(0, "web0", std::make_unique<HttpdApp>(hp)));
+  backends.push_back(w.launch(1, "web1", std::make_unique<HttpdApp>(hp)));
+  // A small burst so the bucket visibly drains inside the test window (shed
+  // responses also feed the breaker, so the backends spend most of the run
+  // ejected and only a few failures hit the bucket per readmission cycle).
+  LbParams lp;
+  lp.retry_budget_burst = 2.0;
+  auto lb_ip = w.launch(3, "lb", std::make_unique<LbApp>(lp));
+  LbApp* lb = w.lb_app(3, "lb");
+  lb->set_backends(backends);
+
+  HttpLoadGen::Params params;
+  params.requests_per_sec = 50;
+  params.request_timeout = sim::Duration::seconds(1);
+  HttpLoadGen gen(w.network, w.client_ip, {lb_ip}, params, util::Rng(19));
+  gen.start();
+  w.sim.run_until(w.sim.now() + sim::Duration::seconds(20));
+  gen.stop();
+  w.sim.run_until(w.sim.now() + sim::Duration::seconds(3));
+
+  EXPECT_EQ(gen.completed(), 0u);
+  EXPECT_GT(lb->requests_received(), 0u);
+  // The bucket drained: further retries are denied, amplification stays
+  // inside ratio * forwarded + burst.
+  EXPECT_GT(lb->retries_denied(), 0u);
+  expect_lb_retry_budget(*lb);
+  expect_lb_conservation(*lb);
+  // The client side is budget-bounded too.
+  const double client_budget =
+      gen.params().retry_budget_ratio * static_cast<double>(gen.sent()) +
+      gen.params().retry_budget_burst;
+  EXPECT_LE(static_cast<double>(gen.attempts_sent() - gen.sent()),
+            client_budget + 1e-6);
+  // Consecutive failures opened the client breaker against the LB at least
+  // once, shedding offered arrivals client-side.
+  EXPECT_GT(gen.breakers_opened(), 0u);
+  EXPECT_GT(gen.breaker_rejected(), 0u);
+}
+
+TEST(LoadBalancer, SetBackendsPreservesRotationAcrossChurn) {
+  LbWorld w;
+  std::vector<net::Ipv4Addr> backends;
+  for (int i = 0; i < 3; ++i) {
+    backends.push_back(
+        w.launch(i, "web" + std::to_string(i), std::make_unique<HttpdApp>()));
+  }
+  auto lb_ip = w.launch(3, "lb", std::make_unique<LbApp>());
+  LbApp* lb = w.lb_app(3, "lb");
+  lb->set_backends(backends);
+
+  HttpLoadGen::Params params;
+  params.requests_per_sec = 40;
+  params.request_timeout = sim::Duration::seconds(1);
+  HttpLoadGen gen(w.network, w.client_ip, {lb_ip}, params, util::Rng(23));
+  gen.start();
+  w.sim.run_until(w.sim.now() + sim::Duration::seconds(5));
+
+  // Shrink then regrow the pool mid-traffic: no crash, no stuck requests,
+  // and the dropped backend stops receiving.
+  lb->set_backends({backends[0], backends[2]});
+  w.sim.run_until(w.sim.now() + sim::Duration::seconds(5));
+  std::uint64_t web1_frozen = w.httpd_app(1, "web1")->requests_received();
+  w.sim.run_until(w.sim.now() + sim::Duration::seconds(3));
+  EXPECT_EQ(w.httpd_app(1, "web1")->requests_received(), web1_frozen);
+
+  lb->set_backends(backends);
+  w.sim.run_until(w.sim.now() + sim::Duration::seconds(5));
+  EXPECT_GT(w.httpd_app(1, "web1")->requests_received(), web1_frozen);
+
+  gen.stop();
+  w.sim.run_until(w.sim.now() + sim::Duration::seconds(3));
+  EXPECT_EQ(gen.failed(), 0u);
+  EXPECT_EQ(lb->in_flight(), 0u);
+  expect_lb_conservation(*lb);
+}
+
+}  // namespace
+}  // namespace picloud::apps

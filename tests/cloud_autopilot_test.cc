@@ -4,6 +4,8 @@
 
 #include "apps/loadgen.h"
 #include "cloud/cloud.h"
+#include "cloud/replicaset.h"
+#include "util/metrics.h"
 #include "util/strings.h"
 
 namespace picloud::cloud {
@@ -89,6 +91,71 @@ TEST(Autopilot, WakesParkedNodesUnderPressure) {
   // A rewoken node re-registers with the master.
   auto summary = cloud.master().monitor().summary();
   EXPECT_GT(summary.nodes_alive, 1);
+}
+
+TEST(Autopilot, SloBurnWakesCapacityAndScalesTheTier) {
+  sim::Simulation sim(19);
+  PiCloudConfig config;
+  config.racks = 1;
+  config.hosts_per_rack = 5;
+  config.placement_policy = "best-fit";
+  PiCloud cloud(sim, config);
+  cloud.power_on();
+  ASSERT_TRUE(cloud.await_ready());
+  cloud.run_for(sim::Duration::seconds(5));
+
+  ReplicaSet::Config rs;
+  rs.name_prefix = "web";
+  rs.replicas = 2;
+  rs.spec.app_kind = "httpd";
+  rs.reconcile_period = sim::Duration::seconds(5);
+  ReplicaSet tier(sim, cloud.master(), rs);
+  tier.start();
+  ASSERT_TRUE(cloud.run_until(sim::Duration::minutes(5), [&]() {
+    return tier.healthy_replicas() == 2;
+  }));
+
+  Autopilot::Config auto_config;
+  auto_config.evaluation_period = sim::Duration::seconds(10);
+  auto_config.min_nodes_on = 1;
+  auto_config.slo_burn_counter = "apps.httpd.shed_admission";
+  auto_config.slo_burn_threshold = 2.0;  // violations/sec
+  Autopilot& autopilot = cloud.enable_autopilot(auto_config);
+  // The scale-up hook widens the serving tier — the runbook reaction the
+  // overload design calls for (shed requests are the SLO-burn signal).
+  autopilot.set_scale_up_hook([&]() {
+    if (tier.replicas() < 4) tier.set_replicas(tier.replicas() + 1);
+  });
+
+  // Idle fleet: with no burn, the autopilot parks spare capacity.
+  cloud.run_for(sim::Duration::minutes(3));
+  ASSERT_GE(autopilot.parked_nodes().size(), 1u);
+  EXPECT_EQ(autopilot.stats().slo_scale_ups, 0u);
+  std::size_t parked_before = autopilot.parked_nodes().size();
+
+  // Burn the SLO: the metered shed counter (the same registry series the
+  // httpd instances write through) grows past the threshold.
+  util::Counter& sheds = sim.metrics().counter("apps.httpd.shed_admission");
+  sim::PeriodicTask burner(sim, sim::Duration::seconds(1),
+                           [&sheds]() { sheds.inc(50); });
+  cloud.run_for(sim::Duration::minutes(2));
+  burner.stop();
+
+  EXPECT_GE(autopilot.stats().slo_scale_ups, 1u);
+  // Parked capacity was woken, and the hook grew the tier.
+  EXPECT_LT(autopilot.parked_nodes().size(), parked_before);
+  EXPECT_GT(tier.replicas(), 2);
+  ASSERT_TRUE(cloud.run_until(sim::Duration::minutes(5), [&]() {
+    return tier.healthy_replicas() ==
+           static_cast<size_t>(tier.replicas());
+  }));
+
+  // Once the burn stops, no further scale-ups fire. (One more evaluation
+  // may still see the final partial window's increments — let it flush.)
+  cloud.run_for(sim::Duration::seconds(15));
+  std::uint64_t scale_ups = autopilot.stats().slo_scale_ups;
+  cloud.run_for(sim::Duration::minutes(2));
+  EXPECT_EQ(autopilot.stats().slo_scale_ups, scale_ups);
 }
 
 TEST(Migration, ArpConvergenceCostsMoreDowntimeThanSdnRedirect) {

@@ -1,6 +1,10 @@
 // ReplicaSet reconciliation unit tests.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "apps/lb.h"
+#include "apps/loadgen.h"
 #include "cloud/cloud.h"
 #include "cloud/replicaset.h"
 #include "util/strings.h"
@@ -107,6 +111,109 @@ TEST_F(ReplicaSetCloud, SpawnFailuresAreCountedWhenClusterFull) {
   cloud_->run_for(sim::Duration::minutes(3));
   EXPECT_EQ(tier->healthy_replicas(), 18u);
   EXPECT_GT(tier->stats().spawn_failures, 0u);
+}
+
+TEST_F(ReplicaSetCloud, SetReplicasGrowsAndShrinksSlots) {
+  auto tier = make_set(2);
+  tier->start();
+  ASSERT_TRUE(cloud_->run_until(sim::Duration::minutes(5), [&]() {
+    return tier->healthy_replicas() == 2;
+  }));
+
+  tier->set_replicas(4);
+  EXPECT_EQ(tier->replicas(), 4);
+  ASSERT_TRUE(cloud_->run_until(sim::Duration::minutes(5), [&]() {
+    return tier->healthy_replicas() == 4;
+  }));
+  EXPECT_TRUE(cloud_->master().instance("web-3").ok());
+
+  // Shrinking deletes the excess slots (highest first) from the registry.
+  tier->set_replicas(1);
+  ASSERT_TRUE(cloud_->run_until(sim::Duration::minutes(5), [&]() {
+    return tier->healthy_replicas() == 1 &&
+           !cloud_->master().instance("web-3").ok() &&
+           !cloud_->master().instance("web-1").ok();
+  }));
+  EXPECT_TRUE(cloud_->master().instance("web-0").ok());
+  // And the set stays at the new size through a reconcile generation.
+  cloud_->run_for(sim::Duration::seconds(30));
+  EXPECT_EQ(tier->healthy_replicas(), 1u);
+}
+
+TEST_F(ReplicaSetCloud, LbFollowsEndpointChurnUnderTraffic) {
+  // Satellite of the overload tier (DESIGN.md §11): an LB consumes the
+  // endpoint-change hook; killing and respawning replicas mid-traffic must
+  // converge the LB's pool with no requests routed into the void at
+  // quiesce.
+  auto tier = make_set(3);
+  auto lb_record =
+      cloud_->spawn_and_wait({.name = "lb-0", .app_kind = "lb"});
+  ASSERT_TRUE(lb_record.ok());
+  // Re-resolved on every hook fire: a respawned LB is a new app object.
+  auto find_lb = [&]() -> apps::LbApp* {
+    auto record = cloud_->master().instance("lb-0");
+    if (!record.ok()) return nullptr;
+    NodeDaemon* daemon = cloud_->daemon_by_hostname(record.value().hostname);
+    if (daemon == nullptr || !daemon->node().running()) return nullptr;
+    os::Container* c = daemon->node().find_container("lb-0");
+    if (c == nullptr) return nullptr;
+    return dynamic_cast<apps::LbApp*>(c->app());
+  };
+  tier->set_on_change([&]() {
+    if (apps::LbApp* lb = find_lb()) lb->set_backends(tier->endpoints());
+  });
+  tier->start();
+  ASSERT_TRUE(cloud_->run_until(sim::Duration::minutes(5), [&]() {
+    return tier->healthy_replicas() == 3;
+  }));
+  apps::LbApp* lb = find_lb();
+  ASSERT_NE(lb, nullptr);
+  lb->set_backends(tier->endpoints());
+
+  apps::HttpLoadGen::Params params;
+  params.requests_per_sec = 30;
+  params.request_timeout = sim::Duration::seconds(1);
+  apps::HttpLoadGen gen(cloud_->network(), cloud_->admin_ip(),
+                        {lb_record.value().ip}, params, util::Rng(41));
+  gen.start();
+  cloud_->run_for(sim::Duration::seconds(5));
+  std::uint64_t completed_before_churn = gen.completed();
+
+  // Crash a node hosting a web replica (never the LB's own node).
+  std::string lb_host = cloud_->master().instance("lb-0").value().hostname;
+  NodeDaemon* victim_daemon = nullptr;
+  for (int i = 0; i < 3; ++i) {
+    auto record = cloud_->master().instance(util::format("web-%d", i));
+    ASSERT_TRUE(record.ok());
+    if (record.value().hostname != lb_host) {
+      victim_daemon = cloud_->daemon_by_hostname(record.value().hostname);
+      break;
+    }
+  }
+  ASSERT_NE(victim_daemon, nullptr);
+  victim_daemon->crash();
+
+  // The reconciler respawns elsewhere; the hook re-points the LB.
+  ASSERT_TRUE(cloud_->run_until(sim::Duration::minutes(5), [&]() {
+    return tier->healthy_replicas() == 3;
+  }));
+  cloud_->run_for(sim::Duration::seconds(10));
+  EXPECT_GT(gen.completed(), completed_before_churn + 100);
+
+  gen.stop();
+  cloud_->run_for(sim::Duration::seconds(5));
+  // Converged: the LB's healthy pool is exactly the tier's endpoint set,
+  // nothing is parked in flight, and every pooled address is live.
+  EXPECT_EQ(lb->healthy_backends().size(), 3u);
+  EXPECT_EQ(lb->in_flight(), 0u);
+  std::vector<net::Ipv4Addr> endpoints = tier->endpoints();
+  for (net::Ipv4Addr ip : lb->healthy_backends()) {
+    EXPECT_NE(std::find(endpoints.begin(), endpoints.end(), ip),
+              endpoints.end());
+  }
+  EXPECT_EQ(lb->requests_received(),
+            lb->responses_ok() + lb->responses_error() +
+                lb->dropped_in_flight() + lb->in_flight());
 }
 
 TEST_F(ReplicaSetCloud, StopFreezesTheSet) {

@@ -135,6 +135,60 @@ TEST(ScenarioFuzzTest, ScenarioJsonRoundTrips) {
   }
 }
 
+// The nightly 250-seed sweep's coverage criterion: a healthy share of
+// generated scenarios carry a traffic-shape event (flash crowd, diurnal
+// curve, or heavy-tailed request cost), and some front their tier with an
+// L7 load balancer — otherwise the overload machinery never gets fuzzed.
+TEST(ScenarioFuzzTest, GeneratorCoversTrafficShapesAndLbTiers) {
+  const testing_::ScenarioGenerator generator;
+  int with_shape = 0;
+  int with_lb = 0;
+  const int kSeeds = 250;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const testing_::Scenario scenario = generator.generate(seed);
+    bool shape = false;
+    bool lb = false;
+    for (const testing_::WorkloadSpec& w : scenario.workloads) {
+      shape = shape || w.has_traffic_event();
+      lb = lb || w.lb;
+    }
+    with_shape += shape ? 1 : 0;
+    with_lb += lb ? 1 : 0;
+  }
+  EXPECT_GE(with_shape, kSeeds / 5)
+      << "fewer than 20% of scenarios carry a traffic-shape event";
+  EXPECT_GE(with_lb, kSeeds / 20);
+}
+
+// A hand-built overload scenario — flash crowd against an LB-fronted tier —
+// replays bit-identically and clean, like any generated one.
+TEST(ScenarioFuzzTest, LbFlashCrowdScenarioReplaysBitIdentically) {
+  testing_::Scenario scenario;
+  scenario.seed = 99;
+  scenario.racks = 1;
+  scenario.hosts_per_rack = 5;
+  scenario.chaos_window = picloud::sim::Duration::minutes(2);
+  testing_::WorkloadSpec web;
+  web.app_kind = "httpd";
+  web.replicas = 3;
+  web.load_rps = 30;
+  web.lb = true;
+  web.traffic.kind = picloud::apps::TrafficShape::Kind::kFlashCrowd;
+  web.traffic.at = picloud::sim::Duration::seconds(20);
+  web.traffic.duration = picloud::sim::Duration::seconds(30);
+  web.traffic.multiplier = 8.0;
+  web.traffic.cost_alpha = 2.0;
+  web.traffic.cost_mean = 2.0;
+  scenario.workloads.push_back(web);
+
+  const testing_::RunReport a = testing_::run_scenario(scenario);
+  EXPECT_FALSE(a.failed()) << a.summary;
+  const testing_::RunReport b = testing_::run_scenario(scenario);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.signature(), b.signature());
+}
+
 // Same scenario, two runs, bit-identical end state — the property every
 // repro workflow rests on.
 TEST(ScenarioFuzzTest, SameSeedRunsBitIdentically) {

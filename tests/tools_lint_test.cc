@@ -598,6 +598,85 @@ TEST(LintDeadSymbol, SingleFileEntryPointsDoNotProveSymbolsDead) {
 }
 
 // ---------------------------------------------------------------------------
+// bounded-queue
+
+TEST(LintBoundedQueue, FlagsUnboundedPendingWorkQueue) {
+  auto diags = analyze_files({
+      {"src/apps/srv.h",
+       "#pragma once\n"
+       "#include <deque>\n"
+       "struct Srv {\n"
+       "  std::deque<int> request_queue_;\n"
+       "};\n"},
+  });
+  auto findings = with_rule(diags, "bounded-queue");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/apps/srv.h");
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_NE(findings[0].message.find("request_queue_"), std::string::npos);
+}
+
+TEST(LintBoundedQueue, CapacityCheckInSameStemSiblingBounds) {
+  // The repo's idiom: declaration in the .h, admission check in the .cc —
+  // including the static_cast<int>(...) spelling around .size().
+  auto diags = analyze_files({
+      {"src/apps/srv.h",
+       "#pragma once\n"
+       "#include <deque>\n"
+       "struct Srv {\n"
+       "  void admit(int r);\n"
+       "  std::deque<int> request_queue_;\n"
+       "  int capacity_ = 64;\n"
+       "};\n"},
+      {"src/apps/srv.cc",
+       "#include \"apps/srv.h\"\n"
+       "void Srv::admit(int r) {\n"
+       "  if (static_cast<int>(request_queue_.size()) >= capacity_) return;\n"
+       "  request_queue_.push_back(r);\n"
+       "}\n"},
+  });
+  EXPECT_FALSE(has_rule(diags, "bounded-queue"));
+}
+
+TEST(LintBoundedQueue, OnlyPendingWorkNamesInAppsAndCloudAreInScope) {
+  // A BFS scratch queue in net/ and an innocuously-named vector in apps/
+  // are out of scope.
+  auto diags = analyze_files({
+      {"src/net/walk.cc",
+       "#include <deque>\n"
+       "void walk() { std::deque<int> queue; queue.push_back(0); }\n"},
+      {"src/apps/srv.h",
+       "#pragma once\n"
+       "#include <vector>\n"
+       "struct Srv { std::vector<int> history_; };\n"},
+  });
+  EXPECT_FALSE(has_rule(diags, "bounded-queue"));
+}
+
+TEST(LintBoundedQueue, SuppressionCommentSilences) {
+  auto diags = analyze_files({
+      {"src/cloud/ctl.h",
+       "#pragma once\n"
+       "#include <vector>\n"
+       "struct Ctl {\n"
+       "  // picloud-lint: allow(bounded-queue)\n"
+       "  std::vector<int> pending_ops_;\n"
+       "};\n"},
+  });
+  EXPECT_FALSE(has_rule(diags, "bounded-queue"));
+}
+
+TEST(LintBoundedQueue, SingleFileModeStaysQuiet) {
+  // The admission check usually lives in the sibling .cc; a lone header
+  // must not be declared unbounded.
+  auto diags = lint_content("src/apps/srv.h",
+                            "#pragma once\n"
+                            "#include <deque>\n"
+                            "struct Srv { std::deque<int> job_queue_; };\n");
+  EXPECT_FALSE(has_rule(diags, "bounded-queue"));
+}
+
+// ---------------------------------------------------------------------------
 // rest-retry
 
 TEST(LintRestRetry, FlagsBareRestClientCallInCloudSources) {

@@ -6,7 +6,7 @@
 // by-reference lambda capture firing from the event queue — so the analyzer
 // lexes the whole tree (lexer.h), builds a cross-file project model
 // (model.h: include graph, computed module layering, symbol index) and runs
-// twelve rules over it:
+// thirteen rules over it:
 //
 //   nondeterminism       banned wall-clock / libc-RNG / threading APIs
 //                        (rand/srand, std::random_device, time(),
@@ -53,6 +53,13 @@
 //                        src/ is banned in favour of PICLOUD_LOG.
 //   invariant-catalogue  probe_<x> factories in src/testing/ must be passed
 //                        to register_probe(...) in the same file.
+//   bounded-queue        a std::deque/std::vector in src/apps/ or src/cloud/
+//                        named like pending work (*queue*, *pending*,
+//                        *backlog*) with no capacity comparison against its
+//                        .size() in the declaring file or its same-stem
+//                        sibling — unbounded queues turn overload into
+//                        memory exhaustion instead of load shedding
+//                        (DESIGN.md §11).
 //
 // A finding on a line is suppressed with a trailing or immediately
 // preceding comment:  // picloud-lint: allow(<rule>[, <rule>...])

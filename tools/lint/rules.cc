@@ -392,6 +392,106 @@ void unused_include_rule(const ProjectModel& model, int fi,
   }
 }
 
+// --- bounded-queue -----------------------------------------------------------
+//
+// Overload resilience starts at admission (DESIGN.md §11): a pending-work
+// queue in the serving tier that nothing bounds turns a flash crowd into
+// memory exhaustion and unbounded latency instead of load shedding. Any
+// std::deque / std::vector declaration in src/apps/ or src/cloud/ whose
+// name says it holds pending work (*queue*, *pending*, *backlog*) must come
+// with a capacity comparison against its .size() — in the declaring file or
+// its same-stem sibling (.h <-> .cc) — or carry an explicit
+// allow(bounded-queue). Whole-program only: the declaration usually lives
+// in the header and the admission check in the .cc.
+
+bool compares_queue_size(const SourceFile& f, const std::string& name) {
+  const FileView v(f);
+  static const char* kRelOps[] = {"<", ">", "<=", ">=", "=="};
+  for (int ci = 0; ci + 4 < v.n; ++ci) {
+    if (!v.is_ident(ci) || v.tok(ci).text != name) continue;
+    if (!v.punct(ci + 1, ".") || !v.ident(ci + 2, "size") ||
+        !v.punct(ci + 3, "(") || !v.punct(ci + 4, ")")) {
+      continue;
+    }
+    // A relational operator within a few tokens on either side covers
+    // `q_.size() >= cap`, `cap > q_.size()` and the
+    // `static_cast<int>(q_.size()) >= cap` spelling.
+    for (int j = std::max(0, ci - 8); j < std::min(v.n, ci + 12); ++j) {
+      if (j >= ci && j <= ci + 4) continue;
+      for (const char* op : kRelOps) {
+        if (v.punct(j, op)) return true;
+      }
+    }
+  }
+  return false;
+}
+
+void bounded_queue_rule(const ProjectModel& model, int fi,
+                        const Reporter& report) {
+  const SourceFile& f = model.files()[fi];
+  if (f.module != "apps" && f.module != "cloud") return;
+  const FileView v(f);
+  const std::string stem = std::filesystem::path(f.path).stem().string();
+  for (int ci = 2; ci < v.n; ++ci) {
+    if (!(v.ident(ci, "deque") || v.ident(ci, "vector")) ||
+        !v.punct(ci - 1, "::") || !v.ident(ci - 2, "std") ||
+        !v.punct(ci + 1, "<")) {
+      continue;
+    }
+    // Skip the template argument list; the lexer emits '>>' as one token,
+    // which closes two levels.
+    int depth = 0;
+    int j = ci + 1;
+    for (; j < v.n; ++j) {
+      if (v.punct(j, "<")) {
+        ++depth;
+      } else if (v.punct(j, ">")) {
+        if (--depth == 0) {
+          ++j;
+          break;
+        }
+      } else if (v.punct(j, ">>")) {
+        depth -= 2;
+        if (depth <= 0) {
+          ++j;
+          break;
+        }
+      }
+    }
+    if (!v.has(j) || !v.is_ident(j)) continue;  // not a declaration
+    const std::string& name = v.tok(j).text;
+    const std::string l = lower(name);
+    if (!contains(l, "queue") && !contains(l, "pending") &&
+        !contains(l, "backlog")) {
+      continue;
+    }
+    // Declarator end or initializer start — filters expressions and
+    // function parameters mid-list.
+    if (!v.punct(j + 1, ";") && !v.punct(j + 1, "{") &&
+        !v.punct(j + 1, "=")) {
+      continue;
+    }
+    bool bounded = compares_queue_size(f, name);
+    for (int oi = 0; oi < static_cast<int>(model.files().size()) && !bounded;
+         ++oi) {
+      if (oi == fi) continue;
+      const SourceFile& other = model.files()[oi];
+      if (other.module != f.module) continue;
+      if (std::filesystem::path(other.path).stem().string() != stem) continue;
+      bounded = compares_queue_size(other, name);
+    }
+    if (!bounded) {
+      report(fi, v.tok(j).line, "bounded-queue",
+             "'" + name +
+                 "' is a pending-work queue with no capacity check; an "
+                 "unbounded queue turns overload into memory exhaustion "
+                 "instead of load shedding — compare " + name +
+                 ".size() against a capacity before enqueueing (or "
+                 "suppress with allow(bounded-queue))");
+    }
+  }
+}
+
 // --- dead-symbol -------------------------------------------------------------
 
 bool dead_symbol_exempt(const std::string& name) {
@@ -446,6 +546,9 @@ const std::vector<RuleInfo>& rule_catalogue() {
        "[&] default-reference capture in a scheduled lambda dangles by fire "
        "time"},
       {"dead-symbol", "function/type defined in src/ but referenced nowhere"},
+      {"bounded-queue",
+       "pending-work std::deque/std::vector in src/apps or src/cloud with no "
+       "capacity check"},
       {"rest-retry",
        "RestClient call must state a RetryPolicy or timeout"},
       {"metrics-registry",
@@ -468,7 +571,10 @@ std::vector<Diagnostic> analyze(const ProjectModel& model,
     event_capture_rule(model, fi, report);
     rest_retry_rule(model, fi, report);
     invariant_catalogue_rule(model, fi, report);
-    if (options.whole_program) unused_include_rule(model, fi, report);
+    if (options.whole_program) {
+      unused_include_rule(model, fi, report);
+      bounded_queue_rule(model, fi, report);
+    }
   }
   include_rules(model, report);
   if (options.whole_program) dead_symbol_rule(model, report);
