@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -22,20 +23,37 @@
 #include "testing/runner.h"
 #include "testing/scenario.h"
 #include "util/json.h"
+#include "util/logging.h"
 
 using namespace picloud;
 
 namespace {
+
+// Set by the build (bench/CMakeLists.txt); recorded as BENCH provenance so a
+// committed baseline can't silently mix Debug and Release numbers.
+#ifndef PICLOUD_BUILD_TYPE
+#define PICLOUD_BUILD_TYPE "unknown"
+#endif
+constexpr const char* kBuildType = PICLOUD_BUILD_TYPE;
+
+// The events/sec chain: a 16-byte trivially-copyable functor, so scheduling
+// takes the event pool's inline path — the representative case after the
+// hot-loop re-architecture (DESIGN.md §12). The old std::function version
+// measured closure-spill cost, not dispatch cost.
+struct ChainTick {
+  sim::Simulation* sim;
+  int* remaining;
+  void operator()() const {
+    if (--*remaining > 0) sim->after(sim::Duration::micros(1), *this);
+  }
+};
 
 // Raw event kernel throughput.
 void BM_EventKernel(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulation sim(1);
     int remaining = static_cast<int>(state.range(0));
-    std::function<void()> tick = [&]() {
-      if (--remaining > 0) sim.after(sim::Duration::micros(1), tick);
-    };
-    sim.after(sim::Duration::micros(1), tick);
+    sim.after(sim::Duration::micros(1), ChainTick{&sim, &remaining});
     sim.run();
     benchmark::DoNotOptimize(sim.events_executed());
   }
@@ -228,34 +246,71 @@ long max_rss_kb() {
   return usage.ru_maxrss;
 }
 
+// Reads `git rev-parse HEAD` for BENCH provenance; "unknown" outside a
+// checkout (e.g. an exported tarball build).
+std::string git_sha() {
+  std::string sha = "unknown";
+  // picloud-lint: allow(nondeterminism)
+  if (FILE* p = popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char buf[64] = {};
+    if (std::fgets(buf, sizeof(buf), p) != nullptr) {
+      std::string line(buf);
+      while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+        line.pop_back();
+      }
+      if (line.size() == 40) sha = line;
+    }
+    pclose(p);
+  }
+  return sha;
+}
+
 void write_perf_baseline() {
   const char* env = std::getenv("PICLOUD_PERF_OUT");
   if (env == nullptr || *env == '\0') return;  // opt-in
 
   // (1) events/sec: a self-scheduling chain through the full Simulation
-  // front end (id allocation, clock advance, dispatch).
-  constexpr int kChain = 2000000;
-  sim::Simulation kernel(1);
-  int remaining = kChain;
-  std::function<void()> tick = [&]() {
-    if (--remaining > 0) kernel.after(sim::Duration::micros(1), tick);
-  };
-  double kernel_wall = wall_seconds([&]() {
-    kernel.after(sim::Duration::micros(1), tick);
-    kernel.run();
-  });
-  double events_per_sec = kChain / kernel_wall;
+  // front end (id allocation, clock advance, dispatch). A short untimed
+  // chain first warms the core (frequency ramp, predictors, pool pages) so
+  // the timed window measures steady state, and the timed chain is long
+  // enough (~0.2 s) that start-up transients are in the noise. Best of
+  // kKernelReps timed chains: shared/virtualised runners swing identical
+  // builds by 30%+, and the best window is the one least perturbed by the
+  // host — the number that tracks the code, not the neighbours.
+  constexpr int kChain = 20000000;
+  constexpr int kKernelReps = 3;
+  {
+    sim::Simulation warmup(1);
+    int warm_remaining = 1000000;
+    warmup.after(sim::Duration::micros(1), ChainTick{&warmup, &warm_remaining});
+    warmup.run();
+  }
+  double events_per_sec = 0;
+  for (int rep = 0; rep < kKernelReps; ++rep) {
+    sim::Simulation kernel(1);
+    int remaining = kChain;
+    const ChainTick tick{&kernel, &remaining};
+    double kernel_wall = wall_seconds([&]() {
+      kernel.after(sim::Duration::micros(1), tick);
+      kernel.run();
+    });
+    events_per_sec = std::max(events_per_sec, kChain / kernel_wall);
+  }
 
   // (2) bytes/event: peak-RSS growth while holding a large pending backlog.
-  // Must run before anything allocation-heavy peaks the process, so
-  // write_perf_baseline() is called ahead of the google-benchmark suite.
+  // The backlog models the periodic storm (heartbeats, probes, monitor
+  // scans): events spread across the next ~64 sim-seconds, so they sit in
+  // the timer wheel the way a real fleet's timers do. Must run before
+  // anything allocation-heavy peaks the process, so write_perf_baseline()
+  // is called ahead of the google-benchmark suite.
   constexpr int kPending = 1 << 20;
   double bytes_per_event = 0;
   {
     long before_kb = max_rss_kb();
     sim::EventQueue q;
     for (int i = 0; i < kPending; ++i) {
-      q.schedule(sim::SimTime::from_ns(i), []() {});
+      q.schedule(sim::SimTime::from_ns(static_cast<std::int64_t>(i) * 61'000),
+                 []() {});
     }
     bytes_per_event = (max_rss_kb() - before_kb) * 1024.0 / kPending;
     while (!q.empty()) q.run_next();
@@ -281,14 +336,48 @@ void write_perf_baseline() {
   double flash_wall =
       wall_seconds([]() { run_flash_crowd_once(nullptr); });
 
+  // (5) fuzz-sweep throughput: the 25 stock ScenarioGenerator seeds (the
+  // nightly fuzz corpus) run end to end, events/sec recorded per seed. This
+  // exercises the whole stack — boot, chaos, convergence probes — rather
+  // than the bare kernel, so it is the number most representative of what a
+  // research run costs. Warnings are muted; per-seed digests are asserted
+  // against goldens in tests/sim_wheel_test.cc, not here.
+  constexpr int kFuzzSeeds = 25;
+  util::JsonArray fuzz_series;
+  std::uint64_t fuzz_events = 0;
+  double fuzz_wall = 0;
+  {
+    util::LogLevel prev_level = util::Logging::level();
+    util::Logging::set_level(util::LogLevel::kOff);
+    testing::ScenarioGenerator gen;
+    for (int seed = 1; seed <= kFuzzSeeds; ++seed) {
+      testing::Scenario scenario = gen.generate(seed);
+      std::uint64_t events = 0;
+      double wall = wall_seconds([&]() {
+        testing::RunReport report = testing::run_scenario(scenario);
+        events = report.events;
+      });
+      fuzz_series.push_back(util::Json(events / wall));
+      fuzz_events += events;
+      fuzz_wall += wall;
+    }
+    util::Logging::set_level(prev_level);
+  }
+
   util::Json doc(util::JsonObject{
       {"tool", "bench_sim_perf"},
-      {"version", 1},
+      {"version", 2},
+      {"provenance", util::Json(util::JsonObject{
+                         {"git_sha", git_sha()},
+                         {"build_type", kBuildType},
+                     })},
       {"config", util::Json(util::JsonObject{
                      {"event_chain", kChain},
+                     {"kernel_reps", kKernelReps},
                      {"pending_events", kPending},
                      {"cloud_sim_seconds", kSimSeconds},
                      {"flash_sim_seconds", kFlashSimSeconds},
+                     {"fuzz_seeds", kFuzzSeeds},
                  })},
       {"metrics", util::Json(util::JsonObject{
                       {"events_per_sec", events_per_sec},
@@ -296,6 +385,9 @@ void write_perf_baseline() {
                       {"sim_seconds_per_wall_second", kSimSeconds / cloud_wall},
                       {"flash_crowd_sim_seconds_per_wall_second",
                        kFlashSimSeconds / flash_wall},
+                      {"fuzz_sweep_events_per_sec", util::Json(fuzz_series)},
+                      {"fuzz_sweep_aggregate_events_per_sec",
+                       fuzz_events / fuzz_wall},
                   })},
   });
   std::ofstream out(env, std::ios::binary);

@@ -180,6 +180,8 @@ LbApp::BackendState LbApp::backend_state(net::Ipv4Addr ip) const {
   return it != backends_.end() ? it->second.state : BackendState::kEjected;
 }
 
+// Runs per proxied request (plus per retry) — keep allocation-free.
+// picloud-hot
 bool LbApp::choose_backend(net::Ipv4Addr exclude, bool use_exclude,
                            net::Ipv4Addr* out) {
   if (rotation_.empty()) return false;

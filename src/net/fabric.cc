@@ -225,6 +225,8 @@ double Fabric::flow_rate_bps(FlowId id) const {
   return it != flows_.end() ? it->second.rate_bps : 0.0;
 }
 
+// Runs once per flow per rate change — the fabric's hottest path.
+// picloud-hot
 void Fabric::settle(Flow& flow) {
   sim::Duration elapsed = sim_.now() - flow.last_update;
   if (elapsed > sim::Duration::zero() && flow.rate_bps > 0) {

@@ -88,6 +88,8 @@ void CpuScheduler::cancel(CpuTaskId task) {
   finish_task(task, /*completed=*/false);
 }
 
+// Runs over every task on each scheduling change — keep allocation-free.
+// picloud-hot
 void CpuScheduler::settle_all() {
   for (auto& [id, task] : tasks_) {
     sim::Duration elapsed = sim_.now() - task.last_update;

@@ -130,44 +130,63 @@ void Router::handle_async(Method method, const std::string& pattern,
   Route route;
   route.method = method;
   route.pattern = pattern;
-  route.segments = util::split_nonempty(pattern, '/');
-  route.handler = std::move(handler);
-  routes_.push_back(std::move(route));
-}
-
-bool Router::match(const Route& route, const std::vector<std::string>& parts,
-                   PathParams* params) {
-  if (route.segments.size() != parts.size()) return false;
-  PathParams captured;
-  for (size_t i = 0; i < parts.size(); ++i) {
-    const std::string& seg = route.segments[i];
+  for (const std::string& seg : util::split_nonempty(pattern, '/')) {
+    Seg compiled;
     if (!seg.empty() && seg[0] == ':') {
-      captured[seg.substr(1)] = parts[i];
-    } else if (seg != parts[i]) {
-      return false;
+      compiled.param = seg.substr(1);
+    } else {
+      compiled.literal = seg_names_.intern(seg);
     }
+    route.segs.push_back(std::move(compiled));
   }
-  *params = std::move(captured);
-  return true;
+  route.handler = std::move(handler);
+  const std::size_t count = route.segs.size();
+  if (by_count_.size() <= count) by_count_.resize(count + 1);
+  by_count_[count].push_back(static_cast<std::uint32_t>(routes_.size()));
+  routes_.push_back(std::move(route));
 }
 
 void Router::dispatch_async(const HttpRequest& request,
                             Responder respond) const {
-  auto parts = util::split_nonempty(request.path, '/');
+  const auto parts = util::split_nonempty_views(request.path, '/');
+  // Resolve each request segment to the literal vocabulary once; a segment
+  // the table has never seen (invalid Symbol) can only match a capture.
+  std::vector<util::Symbol> part_syms(parts.size());
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    part_syms[i] = seg_names_.find(parts[i]);
+  }
   bool path_matched = false;
-  // Later registrations win: scan newest-first.
-  for (auto it = routes_.rbegin(); it != routes_.rend(); ++it) {
-    PathParams params;
-    if (!match(*it, parts, &params)) continue;
-    path_matched = true;
-    if (it->method != request.method) continue;
-    std::uint64_t id = request.id;
-    it->handler(request, params,
-                [respond = std::move(respond), id](HttpResponse resp) {
-                  resp.id = id;
-                  respond(std::move(resp));
-                });
-    return;
+  if (parts.size() < by_count_.size()) {
+    const auto& bucket = by_count_[parts.size()];
+    // Later registrations win: scan newest-first.
+    for (auto it = bucket.rbegin(); it != bucket.rend(); ++it) {
+      const Route& route = routes_[*it];
+      bool ok = true;
+      for (std::size_t i = 0; i < parts.size(); ++i) {
+        const util::Symbol lit = route.segs[i].literal;
+        if (lit.valid() && lit != part_syms[i]) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      path_matched = true;
+      if (route.method != request.method) continue;
+      // Params materialize only for the route that actually runs.
+      PathParams params;
+      for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (!route.segs[i].literal.valid()) {
+          params.emplace(route.segs[i].param, std::string(parts[i]));
+        }
+      }
+      std::uint64_t id = request.id;
+      route.handler(request, params,
+                    [respond = std::move(respond), id](HttpResponse resp) {
+                      resp.id = id;
+                      respond(std::move(resp));
+                    });
+      return;
+    }
   }
   HttpResponse resp = path_matched
                           ? error_response(405, "method_not_allowed",

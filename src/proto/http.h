@@ -14,8 +14,10 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "util/intern.h"
 #include "util/json.h"
 #include "util/result.h"
 
@@ -65,6 +67,14 @@ using Responder = std::function<void(HttpResponse)>;
 using AsyncRouteHandler =
     std::function<void(const HttpRequest&, const PathParams&, Responder)>;
 
+// Routes are compiled at registration into a table keyed by segment count,
+// with literal segments interned (util/intern.h): dispatch splits the
+// request path into string_views, resolves each segment to a Symbol with
+// one hash probe, and matches candidates by integer compares — no
+// per-request segment strings, no string compares in the scan. PathParams
+// are materialized only for the winning route. Observable semantics are
+// unchanged: later registrations win on exact duplicates, an unmatched
+// path is 404, a matched path with the wrong method is 405.
 class Router {
  public:
   // Registers a route; ":name" segments capture. Later registrations win on
@@ -82,15 +92,26 @@ class Router {
   std::vector<std::string> describe() const;
 
  private:
+  // One pre-compiled pattern segment: a valid `literal` matches exactly
+  // that interned string; an invalid one is a ":param" capture.
+  struct Seg {
+    util::Symbol literal;
+    std::string param;  // capture name, empty for literals
+  };
   struct Route {
     Method method;
-    std::vector<std::string> segments;  // pre-split pattern
-    std::string pattern;
+    std::vector<Seg> segs;
+    std::string pattern;  // original, for describe()
     AsyncRouteHandler handler;
   };
-  static bool match(const Route& route, const std::vector<std::string>& parts,
-                    PathParams* params);
+
   std::vector<Route> routes_;
+  // Literal-segment vocabulary shared by all routes. Request segments that
+  // find() nothing here can only match ":param" captures.
+  util::StringTable seg_names_;
+  // Route indices (registration order) bucketed by segment count — only
+  // same-length candidates are ever scanned.
+  std::vector<std::vector<std::uint32_t>> by_count_;
 };
 
 }  // namespace picloud::proto

@@ -21,45 +21,48 @@ void IdempotencyCache::bind_metrics(util::MetricsRegistry& registry,
 
 Responder IdempotencyCache::admit(const std::string& key, Responder respond) {
   if (key.empty()) return respond;  // unkeyed request: plain semantics
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    if (it->second.done) {
+  const util::Symbol sym = keys_.intern(key);
+  if (entries_.size() <= sym.id()) entries_.resize(sym.id() + 1);
+  if (Entry* entry = entries_[sym.id()].get()) {
+    if (entry->done) {
       ++stats_.replayed;
       if (replayed_) replayed_->inc();
-      if (respond) respond(it->second.response);
+      if (respond) respond(entry->response);
     } else {
       ++stats_.coalesced;
       if (coalesced_) coalesced_->inc();
-      it->second.waiters.push_back(std::move(respond));
+      entry->waiters.push_back(std::move(respond));
     }
     return nullptr;
   }
   ++stats_.admitted;
   if (admitted_) admitted_->inc();
-  Entry entry;
-  entry.waiters.push_back(std::move(respond));
-  entries_.emplace(key, std::move(entry));
-  return [this, key](HttpResponse response) {
-    complete(key, std::move(response));
+  auto entry = std::make_unique<Entry>();
+  entry->waiters.push_back(std::move(respond));
+  entries_[sym.id()] = std::move(entry);
+  ++live_;
+  return [this, sym](HttpResponse response) {
+    complete(sym, std::move(response));
   };
 }
 
-void IdempotencyCache::complete(const std::string& key,
-                                HttpResponse response) {
-  auto it = entries_.find(key);
-  if (it == entries_.end()) return;  // evicted mid-flight: nothing to record
-  Entry& entry = it->second;
-  if (entry.done) return;  // a wrapped responder fired twice; first wins
-  entry.done = true;
-  entry.response = response;
-  std::vector<Responder> waiters = std::move(entry.waiters);
-  entry.waiters.clear();
+void IdempotencyCache::complete(util::Symbol key, HttpResponse response) {
+  Entry* entry = key.id() < entries_.size() ? entries_[key.id()].get()
+                                            : nullptr;
+  if (entry == nullptr) return;  // evicted mid-flight: nothing to record
+  if (entry->done) return;  // a wrapped responder fired twice; first wins
+  entry->done = true;
+  entry->response = response;
+  std::vector<Responder> waiters = std::move(entry->waiters);
+  entry->waiters.clear();
   completed_order_.push_back(key);
-  while (completed_order_.size() > 0 && entries_.size() > capacity_) {
-    auto victim = entries_.find(completed_order_.front());
+  while (!completed_order_.empty() && live_ > capacity_) {
+    const util::Symbol victim = completed_order_.front();
     completed_order_.pop_front();
-    if (victim != entries_.end() && victim->second.done) {
-      entries_.erase(victim);
+    Entry* v = entries_[victim.id()].get();
+    if (v != nullptr && v->done) {
+      entries_[victim.id()].reset();
+      --live_;
       ++stats_.evicted;
       if (evicted_) evicted_->inc();
     }

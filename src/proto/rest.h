@@ -21,6 +21,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,7 @@
 #include "net/network.h"
 #include "proto/http.h"
 #include "sim/simulation.h"
+#include "util/intern.h"
 #include "util/metrics.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -114,6 +116,13 @@ struct RetryStats {
 // in-flight execution's outcome. Completed entries are evicted FIFO beyond
 // `capacity` (in-progress entries are never evicted). Empty keys bypass the
 // cache entirely (legacy callers without keys keep plain semantics).
+//
+// Keys are interned (util/intern.h): admit() is one hash probe plus an
+// indexed load, and the wrapped responder carries a 4-byte Symbol instead
+// of a key copy. Retries of one mutation hit the same Symbol; eviction
+// frees the entry (response body, waiters) while the key string stays in
+// the table — bounded by the number of *distinct* mutations in a run,
+// which simulation workloads keep small.
 class IdempotencyCache {
  public:
   explicit IdempotencyCache(std::size_t capacity = 256)
@@ -135,7 +144,7 @@ class IdempotencyCache {
   // used standalone in tests), so owners that do wire it in at construction.
   void bind_metrics(util::MetricsRegistry& registry, const std::string& prefix);
 
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const { return live_; }
   const Stats& stats() const { return stats_; }
 
  private:
@@ -145,11 +154,13 @@ class IdempotencyCache {
     std::vector<Responder> waiters;
   };
 
-  void complete(const std::string& key, HttpResponse response);
+  void complete(util::Symbol key, HttpResponse response);
 
   std::size_t capacity_;
-  std::map<std::string, Entry> entries_;
-  std::deque<std::string> completed_order_;
+  util::StringTable keys_;
+  std::vector<std::unique_ptr<Entry>> entries_;  // indexed by key Symbol id
+  std::size_t live_ = 0;                         // non-null entries
+  std::deque<util::Symbol> completed_order_;
   Stats stats_;
   util::Counter* admitted_ = nullptr;  // registry mirrors; null until bound
   util::Counter* replayed_ = nullptr;

@@ -4,15 +4,23 @@
 // than parallel speed (a full 56-node PiCloud day simulates in seconds).
 // Components receive a Simulation& at construction and use after()/at() to
 // schedule their behaviour; nothing in the codebase reads wall-clock time.
+//
+// after()/at() are templated so closures are built directly into the event
+// queue's pooled slots (DESIGN.md §12) — passing a lambda costs no
+// std::function and, for small trivially-copyable captures, no allocation.
 #pragma once
 
+#include <concepts>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <type_traits>
+#include <utility>
 
 #include "sim/event_queue.h"
 #include "sim/time.h"
+#include "util/check.h"
 #include "util/metrics.h"
 #include "util/rng.h"
 #include "util/trace.h"
@@ -30,12 +38,33 @@ class Simulation {
   SimTime now() const { return now_; }
 
   // Schedules `fn` to run after `delay` (>= 0) from now.
-  EventId after(Duration delay, EventFn fn);
+  template <typename F>
+  EventId after(Duration delay, F&& fn) {
+    PICLOUD_CHECK_GE(delay.ns(), 0) << "after() with negative delay";
+    return queue_.schedule(now_ + delay, std::forward<F>(fn));
+  }
 
   // Schedules `fn` at absolute time `t` (>= now).
-  EventId at(SimTime t, EventFn fn);
+  template <typename F>
+  EventId at(SimTime t, F&& fn) {
+    PICLOUD_CHECK(t >= now_) << "at() in the past: t=" << t.ns()
+                             << "ns now=" << now_.ns() << "ns";
+    return queue_.schedule(t, std::forward<F>(fn));
+  }
+
+  // Schedules `fn` every `period` (> 0), first firing one period from now.
+  // One pooled slot for the series' lifetime; cancel(id) stops it.
+  template <typename F>
+  EventId schedule_periodic(Duration period, F&& fn) {
+    PICLOUD_CHECK_GT(period.ns(), 0) << "PeriodicTask period";
+    return queue_.schedule_periodic(now_ + period, period,
+                                    std::forward<F>(fn));
+  }
 
   void cancel(EventId id) { queue_.cancel(id); }
+
+  // True while `id` is pending (for periodic series: not yet stopped).
+  bool event_pending(EventId id) const { return queue_.is_pending(id); }
 
   // Runs events until the queue drains or `horizon` is passed (events at
   // exactly `horizon` still run). Advances now() to `horizon` if the queue
@@ -64,8 +93,21 @@ class Simulation {
   // clock is pre-wired to this simulation's now().
   util::TraceBuffer& trace() { return trace_; }
 
-  // Number of events executed so far (for bench reporting).
-  std::uint64_t events_executed() const { return events_executed_; }
+  // Number of events executed so far (for bench reporting). Derived from
+  // queue accounting (EventQueue::executed()) rather than counted in the run
+  // loop — a per-event counter increment cost ~15% of kernel throughput
+  // (DESIGN.md §12.3). The "sim.events_executed" metrics series reads the
+  // same derivation through a registry-linked counter, so snapshots are
+  // unchanged.
+  std::uint64_t events_executed() const { return queue_.executed(); }
+
+  // Event-pool / timer-wheel instrumentation (DESIGN.md §12.2).
+  EventQueue::Stats queue_stats() const { return queue_.stats(); }
+
+  // Publishes queue_stats() as sim.queue.* gauges. On demand only (bench
+  // teardown, tests): steady-state runs never register these series, so
+  // metrics snapshots — and run digests — are unchanged unless asked for.
+  void publish_queue_stats();
 
   // Installs a log sink that prefixes the simulated clock, e.g.
   // "[   1.250000s] [INFO ] dhcp: OFFER 10.0.1.17 to b8:27:eb:...".
@@ -74,12 +116,13 @@ class Simulation {
  private:
   EventQueue queue_;
   SimTime now_;
+  // Declared next to now_ so the run loop's per-iteration stop test shares
+  // the clock's (always-hot) cache line instead of touching a line of its
+  // own past the registry and trace ring.
+  bool stop_requested_ = false;
   util::Rng rng_;
   util::MetricsRegistry metrics_;
   util::TraceBuffer trace_;
-  bool stop_requested_ = false;
-  std::uint64_t events_executed_ = 0;
-  util::Counter* events_counter_ = nullptr;  // mirrors events_executed_
 };
 
 // A repeating timer with RAII / explicit-stop semantics. Used by monitoring
@@ -87,30 +130,52 @@ class Simulation {
 //
 // The callback fires every `period`, first firing one period after start().
 // Destroying or stop()ping the task cancels future firings. Movable.
+//
+// A thin handle over a first-class periodic pool slot: construction does no
+// heap allocation for small trivially-copyable callbacks (e.g. capturing
+// `this`), and each firing recycles the same slot instead of re-scheduling
+// through std::function.
 class PeriodicTask {
  public:
   PeriodicTask() = default;
-  PeriodicTask(Simulation& sim, Duration period, std::function<void()> fn);
-  ~PeriodicTask();
 
-  PeriodicTask(PeriodicTask&&) noexcept = default;
-  PeriodicTask& operator=(PeriodicTask&&) noexcept;
+  template <typename F>
+    requires std::invocable<std::decay_t<F>&>
+  PeriodicTask(Simulation& sim, Duration period, F&& fn)
+      : sim_(&sim), id_(sim.schedule_periodic(period, std::forward<F>(fn))) {}
+
+  ~PeriodicTask() { stop(); }
+
+  PeriodicTask(PeriodicTask&& other) noexcept
+      : sim_(other.sim_), id_(other.id_) {
+    other.sim_ = nullptr;
+    other.id_ = 0;
+  }
+  PeriodicTask& operator=(PeriodicTask&& other) noexcept {
+    if (this != &other) {
+      stop();
+      sim_ = other.sim_;
+      id_ = other.id_;
+      other.sim_ = nullptr;
+      other.id_ = 0;
+    }
+    return *this;
+  }
   PeriodicTask(const PeriodicTask&) = delete;
   PeriodicTask& operator=(const PeriodicTask&) = delete;
 
-  void stop();
-  bool active() const { return state_ != nullptr && state_->alive; }
+  void stop() {
+    if (sim_ != nullptr) {
+      sim_->cancel(id_);
+      sim_ = nullptr;
+      id_ = 0;
+    }
+  }
+  bool active() const { return sim_ != nullptr && sim_->event_pending(id_); }
 
  private:
-  struct State {
-    Simulation* sim;
-    Duration period;
-    std::function<void()> fn;
-    EventId pending = 0;
-    bool alive = true;
-  };
-  static void arm(const std::shared_ptr<State>& state);
-  std::shared_ptr<State> state_;
+  Simulation* sim_ = nullptr;
+  EventId id_ = 0;
 };
 
 }  // namespace picloud::sim

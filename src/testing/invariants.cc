@@ -343,7 +343,13 @@ InvariantChecker::Probe probe_convergence(cloud::PiCloud& cloud) {
 
 InvariantChecker::InvariantChecker(sim::Simulation& sim,
                                    cloud::PiCloud& cloud)
-    : sim_(sim), cloud_(cloud) {}
+    : sim_(sim),
+      cloud_(cloud),
+      probe_runs_(&sim.metrics().counter("testing.invariants.probe_runs")),
+      violation_count_(&sim.metrics().counter("testing.invariants.violations")),
+      sweep_count_(&sim.metrics().counter("testing.invariants.sweeps")),
+      quiesce_count_(
+          &sim.metrics().counter("testing.invariants.quiesce_runs")) {}
 
 void InvariantChecker::register_probe(std::string name, Phase phase,
                                       Probe probe) {
@@ -371,10 +377,8 @@ void InvariantChecker::install_builtin_probes() {
 }
 
 void InvariantChecker::run_phase(bool include_quiesce) {
-  util::Counter& probe_runs =
-      sim_.metrics().counter("testing.invariants.probe_runs");
-  util::Counter& violation_count =
-      sim_.metrics().counter("testing.invariants.violations");
+  util::Counter& probe_runs = *probe_runs_;
+  util::Counter& violation_count = *violation_count_;
   const std::int64_t now_ns = sim_.now().ns();
   for (const Entry& entry : probes_) {
     if (entry.phase == Phase::kQuiesce && !include_quiesce) continue;
@@ -403,12 +407,12 @@ void InvariantChecker::run_phase(bool include_quiesce) {
 
 void InvariantChecker::sweep() {
   ++sweeps_;
-  sim_.metrics().counter("testing.invariants.sweeps").inc();
+  sweep_count_->inc();
   run_phase(/*include_quiesce=*/false);
 }
 
 void InvariantChecker::run_quiesce() {
-  sim_.metrics().counter("testing.invariants.quiesce_runs").inc();
+  quiesce_count_->inc();
   run_phase(/*include_quiesce=*/true);
 }
 

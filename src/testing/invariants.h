@@ -85,6 +85,12 @@ class InvariantChecker {
 
   sim::Simulation& sim_;
   cloud::PiCloud& cloud_;
+  // Registry handles resolved once at construction (never null): sweeps run
+  // at a sim-time cadence, so per-sweep name lookups are avoidable work.
+  util::Counter* probe_runs_;
+  util::Counter* violation_count_;
+  util::Counter* sweep_count_;
+  util::Counter* quiesce_count_;
   std::vector<Entry> probes_;
   std::vector<Violation> violations_;
   std::uint64_t sweeps_ = 0;

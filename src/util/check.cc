@@ -7,10 +7,13 @@
 namespace picloud::util::internal {
 
 CheckFailure::CheckFailure(const char* file, int line, const char* condition)
-    : file_(file), line_(line), condition_(condition) {}
+    : file_(file),
+      line_(line),
+      condition_(condition),
+      stream_(new std::ostringstream) {}
 
 CheckFailure::~CheckFailure() {
-  std::string context = stream_.str();
+  std::string context = stream_->str();
   // Crash path: must not depend on the (possibly broken) log spine.
   // picloud-lint: allow(metrics-registry)
   std::fprintf(stderr, "%s:%d: CHECK failed: %s%s%s\n", file_, line_,

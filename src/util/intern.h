@@ -1,0 +1,109 @@
+// String interning — Symbol handles over a StringTable (DESIGN.md §12.4).
+//
+// Hot paths in the simulator key telemetry and dispatch on names: metric
+// series ("sim.events_executed"), trace components ("cloud.migration"),
+// REST routes ("/api/v1/nodes"). Comparing, hashing and copying
+// std::string keys on every event is pure overhead — the set of distinct
+// names in a run is tiny (hundreds) and fixed after warm-up. A StringTable
+// assigns each distinct string a dense 32-bit Symbol on first sight;
+// thereafter the hot path carries the handle and touches no characters.
+// Canonical strings are rematerialized only at snapshot/JSON boundaries.
+//
+// Determinism: Symbol ids are assigned in first-intern order, which is a
+// pure function of the (deterministic) event order; the unordered index is
+// only ever probed, never iterated, so hash layout cannot leak into run
+// digests. Sorted output (e.g. MetricsRegistry::snapshot) must sort by the
+// canonical string, not by id.
+//
+// Tables are owned per-Simulation (inside MetricsRegistry / TraceBuffer /
+// RouteTable), not global: no locks, no cross-run id bleed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace picloud::util {
+
+// A dense handle for an interned string. Trivially copyable, 4 bytes;
+// equality is an integer compare. Only meaningful with the StringTable
+// that issued it. Default-constructed Symbols are invalid.
+class Symbol {
+ public:
+  constexpr Symbol() = default;
+
+  constexpr bool valid() const { return id_ != kInvalidId; }
+  // Dense index in [0, table.size()) — usable as a vector slot.
+  constexpr std::uint32_t id() const { return id_; }
+
+  friend constexpr bool operator==(Symbol a, Symbol b) {
+    return a.id_ == b.id_;
+  }
+  friend constexpr bool operator!=(Symbol a, Symbol b) {
+    return a.id_ != b.id_;
+  }
+
+ private:
+  friend class StringTable;
+  explicit constexpr Symbol(std::uint32_t id) : id_(id) {}
+
+  static constexpr std::uint32_t kInvalidId = 0xffffffffu;
+  std::uint32_t id_ = kInvalidId;
+};
+
+// Append-only intern pool. intern() is allocation-free on a hit; str() is
+// an O(1) indexed load. Not thread-safe (the simulator is single-threaded).
+class StringTable {
+ public:
+  StringTable() = default;
+  StringTable(const StringTable&) = delete;
+  StringTable& operator=(const StringTable&) = delete;
+
+  // Returns the Symbol for `s`, interning it on first sight.
+  Symbol intern(std::string_view s) {
+    auto it = index_.find(s);
+    if (it != index_.end()) return Symbol(it->second);
+    const auto id = static_cast<std::uint32_t>(strings_.size());
+    PICLOUD_CHECK_LT(strings_.size(), Symbol::kInvalidId) << "intern pool";
+    // deque never relocates elements, so both the returned references and
+    // the string_view keys below stay valid for the table's lifetime.
+    const std::string& stored = strings_.emplace_back(s);
+    index_.emplace(std::string_view(stored), id);
+    return Symbol(id);
+  }
+
+  // Lookup without interning; invalid Symbol if `s` was never seen.
+  Symbol find(std::string_view s) const {
+    auto it = index_.find(s);
+    return it != index_.end() ? Symbol(it->second) : Symbol();
+  }
+
+  // Canonical string for a handle issued by this table.
+  const std::string& str(Symbol s) const {
+    PICLOUD_DCHECK(s.valid()) << "str() on invalid Symbol";
+    PICLOUD_DCHECK_LT(s.id(), strings_.size()) << "foreign Symbol";
+    return strings_[s.id()];
+  }
+
+  // Handle for an already-assigned id in [0, size()) — lets the owning
+  // container walk its dense pool without re-hashing names.
+  Symbol symbol_at(std::uint32_t id) const {
+    PICLOUD_DCHECK_LT(id, strings_.size()) << "symbol_at";
+    return Symbol(id);
+  }
+
+  // Number of distinct strings interned so far; ids are [0, size()).
+  std::size_t size() const { return strings_.size(); }
+
+ private:
+  std::deque<std::string> strings_;  // stable element addresses
+  // Probed only (find/emplace); never iterated, so its nondeterministic
+  // layout cannot reach run digests. picloud-lint: allow(unordered-container)
+  std::unordered_map<std::string_view, std::uint32_t> index_;
+};
+
+}  // namespace picloud::util

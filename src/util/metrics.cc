@@ -82,44 +82,94 @@ Json LogHistogram::to_json() const {
   return j;
 }
 
-Counter& MetricsRegistry::counter(const std::string& name) {
-  PICLOUD_DCHECK(!name.empty()) << "metric name";
-  auto& slot = counters_[name];
+namespace {
+
+// Grows `v` so Symbol id `id` is a valid slot (null until first request).
+template <typename T>
+std::unique_ptr<T>& slot_for(std::vector<std::unique_ptr<T>>& v,
+                             Symbol name) {
+  PICLOUD_DCHECK(name.valid()) << "metric name symbol";
+  if (v.size() <= name.id()) v.resize(name.id() + 1);
+  return v[name.id()];
+}
+
+// Read-side: the instance at `id`, or nullptr if absent / never requested.
+template <typename T>
+const T* peek(const std::vector<std::unique_ptr<T>>& v, Symbol name) {
+  if (!name.valid() || name.id() >= v.size()) return nullptr;
+  return v[name.id()].get();
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(Symbol name) {
+  PICLOUD_DCHECK(name.id() >= linked_counters_.size() ||
+                 linked_counters_[name.id()].read == nullptr)
+      << "counter name already bound to a linked source";
+  auto& slot = slot_for(counters_, name);
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return *slot;
 }
 
-Gauge& MetricsRegistry::gauge(const std::string& name) {
-  PICLOUD_DCHECK(!name.empty()) << "metric name";
-  auto& slot = gauges_[name];
+void MetricsRegistry::link_counter(Symbol name,
+                                   std::uint64_t (*read)(const void*),
+                                   const void* ctx) {
+  PICLOUD_CHECK(read != nullptr) << "link_counter source";
+  PICLOUD_DCHECK(peek(counters_, name) == nullptr)
+      << "counter name already has a stored cell";
+  if (linked_counters_.size() <= name.id()) {
+    linked_counters_.resize(name.id() + 1);
+  }
+  linked_counters_[name.id()] = LinkedCounter{read, ctx};
+}
+
+Gauge& MetricsRegistry::gauge(Symbol name) {
+  auto& slot = slot_for(gauges_, name);
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
-LogHistogram& MetricsRegistry::histogram(const std::string& name,
-                                         double min_value, double growth,
-                                         int max_buckets) {
-  PICLOUD_DCHECK(!name.empty()) << "metric name";
-  auto& slot = histograms_[name];
+LogHistogram& MetricsRegistry::histogram(Symbol name, double min_value,
+                                         double growth, int max_buckets) {
+  auto& slot = slot_for(histograms_, name);
   if (slot == nullptr) {
     slot = std::make_unique<LogHistogram>(min_value, growth, max_buckets);
   }
   return *slot;
 }
 
-std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
-  auto it = counters_.find(name);
-  return it != counters_.end() ? it->second->value() : 0;
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  const Symbol s = names_.find(name);
+  if (s.valid() && s.id() < linked_counters_.size()) {
+    const LinkedCounter& link = linked_counters_[s.id()];
+    if (link.read != nullptr) return link.read(link.ctx);
+  }
+  const Counter* c = peek(counters_, s);
+  return c != nullptr ? c->value() : 0;
 }
 
-double MetricsRegistry::gauge_value(const std::string& name) const {
-  auto it = gauges_.find(name);
-  return it != gauges_.end() ? it->second->value() : 0.0;
+double MetricsRegistry::gauge_value(std::string_view name) const {
+  const Gauge* g = peek(gauges_, names_.find(name));
+  return g != nullptr ? g->value() : 0.0;
 }
 
-bool MetricsRegistry::has(const std::string& name) const {
-  return counters_.count(name) > 0 || gauges_.count(name) > 0 ||
-         histograms_.count(name) > 0;
+bool MetricsRegistry::has(std::string_view name) const {
+  const Symbol s = names_.find(name);
+  if (s.valid() && s.id() < linked_counters_.size() &&
+      linked_counters_[s.id()].read != nullptr) {
+    return true;
+  }
+  return peek(counters_, s) != nullptr || peek(gauges_, s) != nullptr ||
+         peek(histograms_, s) != nullptr;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::size_t n = 0;
+  for (const auto& link : linked_counters_) n += link.read != nullptr;
+  for (const auto& c : counters_) n += c != nullptr;
+  for (const auto& g : gauges_) n += g != nullptr;
+  for (const auto& h : histograms_) n += h != nullptr;
+  return n;
 }
 
 namespace {
@@ -148,20 +198,36 @@ bool in_scope(const std::string& name, const std::string& prefix,
 }  // namespace
 
 Json MetricsRegistry::snapshot(const std::string& prefix) const {
+  // Symbol ids are first-use order; the export contract is sorted-by-name
+  // (byte-identical to the historical std::map-backed layout), so build a
+  // name-sorted view once and walk it per kind. Snapshot is a cold path.
+  std::vector<std::pair<const std::string*, std::uint32_t>> by_name;
+  by_name.reserve(names_.size());
+  for (std::uint32_t id = 0; id < names_.size(); ++id) {
+    by_name.emplace_back(&names_.str(names_.symbol_at(id)), id);
+  }
+  std::sort(by_name.begin(), by_name.end(),
+            [](const auto& a, const auto& b) { return *a.first < *b.first; });
+
   Json counters = Json::object();
   Json gauges = Json::object();
   Json histograms = Json::object();
   std::string key;
-  for (const auto& [name, c] : counters_) {
-    if (in_scope(name, prefix, &key)) {
+  for (const auto& [name, id] : by_name) {
+    const Symbol s = names_.symbol_at(id);
+    if (!in_scope(*name, prefix, &key)) continue;
+    if (const Counter* c = peek(counters_, s)) {
       counters.set(key, static_cast<unsigned long long>(c->value()));
     }
-  }
-  for (const auto& [name, g] : gauges_) {
-    if (in_scope(name, prefix, &key)) gauges.set(key, g->value());
-  }
-  for (const auto& [name, h] : histograms_) {
-    if (in_scope(name, prefix, &key)) histograms.set(key, h->to_json());
+    if (s.id() < linked_counters_.size() &&
+        linked_counters_[s.id()].read != nullptr) {
+      const LinkedCounter& link = linked_counters_[s.id()];
+      counters.set(key, static_cast<unsigned long long>(link.read(link.ctx)));
+    }
+    if (const Gauge* g = peek(gauges_, s)) gauges.set(key, g->value());
+    if (const LogHistogram* h = peek(histograms_, s)) {
+      histograms.set(key, h->to_json());
+    }
   }
   Json j = Json::object();
   j.set("counters", std::move(counters));

@@ -20,14 +20,22 @@
 // increment on the hot path without a map lookup. Everything is
 // deterministic: same-seed runs produce bit-identical snapshot() JSON
 // (asserted by tests/determinism_test.cc).
+//
+// Internally names are interned (util/intern.h): each kind's instances
+// live in a dense vector indexed by Symbol id, so a handle-keyed lookup is
+// one indexed load and a repeated string-keyed lookup is one hash probe —
+// no std::map node chase, no string compares. Canonical strings appear
+// only at the snapshot() boundary, where keys are sorted by name to keep
+// the JSON byte-identical to the historical std::map layout.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "util/intern.h"
 #include "util/json.h"
 
 namespace picloud::util {
@@ -109,18 +117,45 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
-  LogHistogram& histogram(const std::string& name, double min_value = 1e-6,
+  // Interns `name`, returning a handle usable with the Symbol overloads
+  // below. Components that emit under a fixed name should resolve it once
+  // (construction time) and keep the Counter*/Gauge* instead.
+  Symbol name_symbol(std::string_view name) {
+    PICLOUD_DCHECK(!name.empty()) << "metric name";
+    return names_.intern(name);
+  }
+  const std::string& name_of(Symbol s) const { return names_.str(s); }
+
+  Counter& counter(Symbol name);
+  Gauge& gauge(Symbol name);
+  LogHistogram& histogram(Symbol name, double min_value = 1e-6,
                           double growth = 1.08, int max_buckets = 512);
 
-  // Read-side helpers (tests, endpoints). Missing names read as zero.
-  std::uint64_t counter_value(const std::string& name) const;
-  double gauge_value(const std::string& name) const;
-  bool has(const std::string& name) const;
-  std::size_t size() const {
-    return counters_.size() + gauges_.size() + histograms_.size();
+  // Linked counter: `name` exports `read(ctx)` — evaluated at snapshot /
+  // read time — instead of a stored cell. For monotonic values a hot loop
+  // already maintains (e.g. the event loop's executed-event count), this
+  // keeps the loop free of a per-event registry increment while snapshots
+  // still see the exact value at any event boundary. `ctx` must outlive the
+  // registry. A name is either linked or stored, never both.
+  void link_counter(Symbol name, std::uint64_t (*read)(const void*),
+                    const void* ctx);
+
+  // String-keyed conveniences (construction-time call sites).
+  Counter& counter(const std::string& name) {
+    return counter(name_symbol(name));
   }
+  Gauge& gauge(const std::string& name) { return gauge(name_symbol(name)); }
+  LogHistogram& histogram(const std::string& name, double min_value = 1e-6,
+                          double growth = 1.08, int max_buckets = 512) {
+    return histogram(name_symbol(name), min_value, growth, max_buckets);
+  }
+
+  // Read-side helpers (tests, endpoints). Missing names read as zero and
+  // do not intern.
+  std::uint64_t counter_value(std::string_view name) const;
+  double gauge_value(std::string_view name) const;
+  bool has(std::string_view name) const;
+  std::size_t size() const;
 
   // Canonical JSON export:
   //   {"counters": {...}, "gauges": {...}, "histograms": {...}}
@@ -131,10 +166,22 @@ class MetricsRegistry {
   Json snapshot(const std::string& prefix = "") const;
 
  private:
-  // std::map keeps names ordered -> deterministic snapshots.
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<LogHistogram>> histograms_;
+  // Dense per-kind storage indexed by Symbol id; a slot is null until that
+  // (name, kind) pair is first requested. The three kinds share one symbol
+  // space, so each vector has gaps — cheap (8 bytes/gap) next to the O(1)
+  // hot-path lookup it buys. snapshot() sorts by canonical name to keep
+  // output deterministic (ids are first-use order, not lexicographic).
+  StringTable names_;
+  std::vector<std::unique_ptr<Counter>> counters_;
+  std::vector<std::unique_ptr<Gauge>> gauges_;
+  std::vector<std::unique_ptr<LogHistogram>> histograms_;
+  // Sparse, indexed by Symbol id like the stores above (read == nullptr
+  // means "not linked"); exported alongside counters_ on every read path.
+  struct LinkedCounter {
+    std::uint64_t (*read)(const void*) = nullptr;
+    const void* ctx = nullptr;
+  };
+  std::vector<LinkedCounter> linked_counters_;
 };
 
 }  // namespace picloud::util

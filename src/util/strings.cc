@@ -26,6 +26,19 @@ std::vector<std::string> split_nonempty(std::string_view s, char sep) {
   return out;
 }
 
+std::vector<std::string_view> split_nonempty_views(std::string_view s,
+                                                   char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t end = s.find(sep, start);
+    if (end == std::string_view::npos) end = s.size();
+    if (end > start) out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
 std::string join(const std::vector<std::string>& parts, std::string_view sep) {
   std::string out;
   for (size_t i = 0; i < parts.size(); ++i) {

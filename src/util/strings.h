@@ -15,6 +15,11 @@ std::vector<std::string> split(std::string_view s, char sep);
 // for URL path segments.
 std::vector<std::string> split_nonempty(std::string_view s, char sep);
 
+// As split_nonempty, but returns views into `s` — no per-segment copies.
+// Dispatch paths (proto::Router) use this; the caller must keep `s` alive.
+std::vector<std::string_view> split_nonempty_views(std::string_view s,
+                                                   char sep);
+
 // Joins `parts` with `sep` between each pair.
 std::string join(const std::vector<std::string>& parts, std::string_view sep);
 

@@ -28,24 +28,27 @@ TraceBuffer::TraceBuffer(std::size_t capacity) : capacity_(capacity) {
   ring_.reserve(capacity_);
 }
 
-void TraceBuffer::record(std::string component, std::string event,
-                         std::vector<std::pair<std::string, std::string>> kv) {
+void TraceBuffer::record(std::string_view component, std::string_view event,
+                         std::vector<std::pair<std::string_view, std::string>> kv) {
   if (!enabled_) return;
-  TraceEvent ev;
-  ev.t_ns = clock_ ? clock_() : 0;
-  ev.component = std::move(component);
-  ev.event = std::move(event);
-  ev.kv = std::move(kv);
+  Record rec;
+  rec.t_ns = clock_ ? clock_() : 0;
+  rec.component = names_.intern(component);
+  rec.event = names_.intern(event);
+  rec.kv.reserve(kv.size());
+  for (auto& [k, v] : kv) rec.kv.emplace_back(names_.intern(k), std::move(v));
   ++recorded_;
-  if (sink_) sink_(ev);
+  // Sinks (and events()) see the materialized all-strings view; only the
+  // ring stores handles.
+  if (sink_) sink_(materialize(rec));
   if (capacity_ == 0) {
     ++dropped_;
     return;
   }
   if (ring_.size() < capacity_) {
-    ring_.push_back(std::move(ev));
+    ring_.push_back(std::move(rec));
   } else {
-    ring_[next_] = std::move(ev);
+    ring_[next_] = std::move(rec);
     next_ = (next_ + 1) % capacity_;
     ++dropped_;
   }
@@ -53,11 +56,21 @@ void TraceBuffer::record(std::string component, std::string event,
 
 std::size_t TraceBuffer::size() const { return ring_.size(); }
 
+TraceEvent TraceBuffer::materialize(const Record& r) const {
+  TraceEvent ev;
+  ev.t_ns = r.t_ns;
+  ev.component = names_.str(r.component);
+  ev.event = names_.str(r.event);
+  ev.kv.reserve(r.kv.size());
+  for (const auto& [k, v] : r.kv) ev.kv.emplace_back(names_.str(k), v);
+  return ev;
+}
+
 std::vector<TraceEvent> TraceBuffer::events() const {
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());
   for (std::size_t i = 0; i < ring_.size(); ++i) {
-    out.push_back(ring_[(next_ + i) % ring_.size()]);
+    out.push_back(materialize(ring_[(next_ + i) % ring_.size()]));
   }
   return out;
 }

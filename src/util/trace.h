@@ -23,13 +23,18 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
+#include "util/intern.h"
 #include "util/json.h"
 
 namespace picloud::util {
 
+// The materialized (all-strings) view of a recorded event — what events(),
+// to_json() and sinks see. The ring itself stores interned handles
+// (DESIGN.md §12.4); canonical strings are rebuilt only at this boundary.
 struct TraceEvent {
   std::int64_t t_ns = 0;  // simulated time the event was recorded
   std::string component;  // dotted owner, e.g. "cloud.migration"
@@ -57,8 +62,11 @@ class TraceBuffer {
   void set_enabled(bool on) { enabled_ = on; }
   bool enabled() const { return enabled_; }
 
-  void record(std::string component, std::string event,
-              std::vector<std::pair<std::string, std::string>> kv = {});
+  // Component and event names, and kv keys, are interned on record();
+  // the small fixed vocabulary of a run means steady-state recording
+  // copies only kv *values* (which are genuinely dynamic).
+  void record(std::string_view component, std::string_view event,
+              std::vector<std::pair<std::string_view, std::string>> kv = {});
 
   // Retained events, oldest first.
   std::vector<TraceEvent> events() const;
@@ -72,12 +80,24 @@ class TraceBuffer {
   void clear();
 
  private:
+  // Ring-resident form: handles for the static vocabulary, strings only
+  // for dynamic kv values.
+  struct Record {
+    std::int64_t t_ns = 0;
+    Symbol component;
+    Symbol event;
+    std::vector<std::pair<Symbol, std::string>> kv;
+  };
+
+  TraceEvent materialize(const Record& r) const;
+
   std::size_t capacity_;
   bool enabled_ = true;
   Clock clock_;
   Sink sink_;
-  std::vector<TraceEvent> ring_;  // grows to capacity_, then wraps
-  std::size_t next_ = 0;          // insertion point once full
+  StringTable names_;          // component / event / kv-key vocabulary
+  std::vector<Record> ring_;   // grows to capacity_, then wraps
+  std::size_t next_ = 0;       // insertion point once full
   std::uint64_t recorded_ = 0;
   std::uint64_t dropped_ = 0;
 };

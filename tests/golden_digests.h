@@ -1,0 +1,52 @@
+// Pre-refactor golden digests for the hot-loop re-architecture.
+//
+// Captured on the pure binary-heap / std::function event kernel (the commit
+// before the pooled-event + timer-wheel rewrite) with the exact scenario code
+// committed in tests/hotloop_kernel.h and the stock ScenarioGenerator seeds
+// 1..25. The refactored kernel must reproduce every value bit-identically:
+// pooling, the wheel tier, and interning are representation changes only and
+// must be invisible to event ordering and to every digested observable.
+//
+// Re-capture (only when a *semantic* change is intended and documented):
+// build the known-good ref, run the dump described in DESIGN.md §12.5, and
+// paste the new values here in the same commit as the semantic change.
+#pragma once
+
+#include <cstdint>
+
+namespace picloud::testing_support {
+
+// hotloop_kernel_digest() on the pre-refactor kernel.
+inline constexpr std::uint64_t kHotloopKernelGolden = 0xeb8dbfb9d574e28eULL;
+
+// run_scenario(ScenarioGenerator().generate(seed)).digest for seeds 1..25,
+// indexed by seed - 1.
+inline constexpr std::uint64_t kFuzzSweepGoldens[25] = {
+    0x020061a37879ab1eULL,  // seed 1
+    0x0fbfb244c6fc997aULL,  // seed 2
+    0x6eb0a1f1acbc44b3ULL,  // seed 3
+    0xbc38c3503abada4aULL,  // seed 4
+    0xf8467c5e95f97e0cULL,  // seed 5
+    0x791495be68c06283ULL,  // seed 6
+    0xcee64d09dc4c460dULL,  // seed 7
+    0xfb9f97e83a6b1093ULL,  // seed 8
+    0x7d7e1fbfbbb8ea2bULL,  // seed 9
+    0x03dc09b3c2423ffcULL,  // seed 10
+    0x150fee2992a5760fULL,  // seed 11
+    0x0da03d5a1968bbd8ULL,  // seed 12
+    0x8ab767280137a399ULL,  // seed 13
+    0xe6aeb9901aeb14e2ULL,  // seed 14
+    0x9ff432a548ed71eeULL,  // seed 15
+    0xfdef1c4d2bb3cafeULL,  // seed 16
+    0xc9a8a7ab471fad46ULL,  // seed 17
+    0x851cd5429fb38388ULL,  // seed 18
+    0x651198a42e6bd7aeULL,  // seed 19
+    0x3743a6475dbecc2bULL,  // seed 20
+    0x57f03fd1fc20e848ULL,  // seed 21
+    0x54dcb0a0a41603eaULL,  // seed 22
+    0x67deeae6be63f4ddULL,  // seed 23
+    0xc42c4e627f1ff447ULL,  // seed 24
+    0xf635516be84516baULL,  // seed 25
+};
+
+}  // namespace picloud::testing_support

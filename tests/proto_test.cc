@@ -102,6 +102,54 @@ TEST(Router, LaterRegistrationWins) {
   EXPECT_EQ(router.dispatch(req).body.as_string(), "new");
 }
 
+TEST(Router, UnseenLiteralSegmentsFastRejectTo404) {
+  // The compiled route table interns literal segments at registration;
+  // dispatch resolves each path segment against that table, so a segment
+  // the table has never seen can only match param slots. No route here has
+  // params, so the probe fails without any per-route string compare.
+  Router router;
+  router.handle(Method::kGet, "/nodes/all/status",
+                [](const HttpRequest&, const PathParams&) {
+                  return HttpResponse::make(200);
+                });
+  HttpRequest unseen;
+  unseen.method = Method::kGet;
+  unseen.path = "/totally/unknown/segments";
+  EXPECT_EQ(router.dispatch(unseen).status, 404);
+  // A known prefix with the wrong segment count misses its bucket.
+  HttpRequest short_path;
+  short_path.method = Method::kGet;
+  short_path.path = "/nodes/all";
+  EXPECT_EQ(router.dispatch(short_path).status, 404);
+  HttpRequest long_path;
+  long_path.method = Method::kGet;
+  long_path.path = "/nodes/all/status/extra";
+  EXPECT_EQ(router.dispatch(long_path).status, 404);
+}
+
+TEST(Router, MixedLiteralAndParamRoutesResolvePerRoute) {
+  // Two same-count routes differing in which positions are parameters: the
+  // newest matching registration wins, and only the winner's params are
+  // materialized.
+  Router router;
+  router.handle(Method::kGet, "/a/:x/c",
+                [](const HttpRequest&, const PathParams& p) {
+                  return HttpResponse::make(200, Json("x=" + p.at("x")));
+                });
+  router.handle(Method::kGet, "/a/b/:y",
+                [](const HttpRequest&, const PathParams& p) {
+                  return HttpResponse::make(200, Json("y=" + p.at("y")));
+                });
+  HttpRequest both;
+  both.method = Method::kGet;
+  both.path = "/a/b/c";  // matches either; the later registration wins
+  EXPECT_EQ(router.dispatch(both).body.as_string(), "y=c");
+  HttpRequest first_only;
+  first_only.method = Method::kGet;
+  first_only.path = "/a/q/c";  // 'q' rules out the /a/b/:y literal
+  EXPECT_EQ(router.dispatch(first_only).body.as_string(), "x=q");
+}
+
 TEST(Router, ResponseIdEchoesRequestId) {
   Router router;
   HttpRequest req;
@@ -600,6 +648,47 @@ TEST(Idempotency, CompletedEntriesEvictFifo) {
   // The oldest key fell out, so it runs again (at-most-once is bounded by
   // cache capacity, as documented).
   EXPECT_TRUE(cache.admit("k0", [](HttpResponse) {}) != nullptr);
+}
+
+TEST(Idempotency, EvictedKeyReusesItsInternedSlot) {
+  // Keys are interned once; eviction frees the entry but the interned key
+  // (and its dense slot) survives, so a re-admitted key runs fresh and then
+  // replays its *new* response — not the evicted one.
+  IdempotencyCache cache(1);
+  Responder r0 = cache.admit("op", [](HttpResponse) {});
+  ASSERT_TRUE(r0 != nullptr);
+  r0(HttpResponse::make(201));
+  // A second key evicts "op" (capacity 1, FIFO).
+  Responder r1 = cache.admit("other", [](HttpResponse) {});
+  ASSERT_TRUE(r1 != nullptr);
+  r1(HttpResponse::make(200));
+  // "op" comes back: fresh execution with a fresh response...
+  std::vector<int> answers;
+  Responder r2 =
+      cache.admit("op", [&](HttpResponse r) { answers.push_back(r.status); });
+  ASSERT_TRUE(r2 != nullptr);
+  r2(HttpResponse::make(418));
+  // ...and its duplicate replays the new response.
+  EXPECT_TRUE(cache.admit("op", [&](HttpResponse r) {
+                answers.push_back(r.status);
+              }) == nullptr);
+  ASSERT_EQ(answers.size(), 2u);
+  EXPECT_EQ(answers[0], 418);
+  EXPECT_EQ(answers[1], 418);
+}
+
+TEST(Idempotency, LiveEntriesStayBoundedUnderDistinctKeyChurn) {
+  // size() counts live entries, which the FIFO keeps at or under capacity
+  // however many distinct keys flow through (the interned key table itself
+  // is append-only — bounded by distinct mutations per run, as documented).
+  IdempotencyCache cache(4);
+  for (int i = 0; i < 64; ++i) {
+    Responder r = cache.admit("key-" + std::to_string(i), [](HttpResponse) {});
+    ASSERT_TRUE(r != nullptr);
+    r(HttpResponse::make(200));
+    EXPECT_LE(cache.size(), 4u);
+  }
+  EXPECT_EQ(cache.stats().evicted, 60u);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,163 @@
+// Pooled-event / timer-wheel regression tests for the hot-loop
+// re-architecture (DESIGN.md §12): generation-tagged cancellation across
+// slot recycling, pool/wheel instrumentation, and bit-identical equivalence
+// of the wheel+pool kernel with the pre-refactor binary-heap kernel via the
+// committed golden digests.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "golden_digests.h"
+#include "hotloop_kernel.h"
+#include "sim/simulation.h"
+#include "testing/runner.h"
+#include "testing/scenario.h"
+#include "util/metrics.h"
+
+// picloud::testing shadows gtest's ::testing inside the picloud namespace;
+// aliasing and staying global sidesteps the collision (as in
+// scenario_fuzz_test.cc).
+namespace testing_ = picloud::testing;
+namespace sim = picloud::sim;
+namespace util = picloud::util;
+namespace support = picloud::testing_support;
+
+namespace {
+
+// --------------------------------------------------------------------------
+// generation-tagged pooled slots
+
+TEST(PooledEvents, CancelAfterFireIsANoOp) {
+  sim::Simulation s(1);
+  int fired = 0;
+  sim::EventId id = s.after(sim::Duration::millis(1), [&fired]() { ++fired; });
+  EXPECT_TRUE(s.event_pending(id));
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(s.event_pending(id));
+  s.cancel(id);  // already fired: must be inert
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(PooledEvents, CancelAfterRecycleIsANoOp) {
+  // The "timer raced with completion" pattern: A fires and its slot is
+  // recycled into B. A's stale id carries the old generation tag, so
+  // cancelling it must not disturb B even though both ids name the same
+  // pool slot.
+  sim::Simulation s(1);
+  int fired_a = 0;
+  int fired_b = 0;
+  sim::EventId a = s.after(sim::Duration::millis(1), [&fired_a]() { ++fired_a; });
+  s.run();
+  ASSERT_EQ(fired_a, 1);
+  sim::EventId b = s.after(sim::Duration::millis(1), [&fired_b]() { ++fired_b; });
+  EXPECT_NE(a, b);
+  s.cancel(a);  // stale generation
+  EXPECT_TRUE(s.event_pending(b));
+  s.run();
+  EXPECT_EQ(fired_b, 1);
+  EXPECT_EQ(fired_a, 1);
+}
+
+TEST(PooledEvents, DoubleCancelAndValueInitialisedIdsAreInert) {
+  sim::Simulation s(1);
+  int fired = 0;
+  sim::EventId id = s.after(sim::Duration::seconds(1), [&fired]() { ++fired; });
+  s.cancel(sim::EventId{});  // 0 is never a valid id
+  s.cancel(id);
+  s.cancel(id);  // second cancel of the same id
+  EXPECT_FALSE(s.event_pending(id));
+  s.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(PooledEvents, PeriodicKeepsOneIdAcrossReArms) {
+  // schedule_periodic() recycles a single slot; the id stays valid across
+  // re-arms and cancel() stops the series — including from inside the
+  // callback itself.
+  sim::Simulation s(1);
+  int ticks = 0;
+  sim::EventId id = 0;
+  id = s.schedule_periodic(sim::Duration::millis(10), [&]() {
+    if (++ticks == 3) s.cancel(id);
+  });
+  s.run_until(sim::SimTime::from_ns(1'000'000'000));
+  EXPECT_EQ(ticks, 3);
+  EXPECT_FALSE(s.event_pending(id));
+}
+
+// --------------------------------------------------------------------------
+// pool / wheel instrumentation
+
+TEST(PooledEvents, PoolHighWaterTracksPeakPendingCount) {
+  sim::Simulation s(1);
+  for (int i = 0; i < 100; ++i) {
+    s.after(sim::Duration::micros(i + 1), []() {});
+  }
+  EXPECT_GE(s.queue_stats().live_highwater, 100u);
+  s.run();
+  const sim::EventQueue::Stats st = s.queue_stats();
+  EXPECT_GE(st.live_highwater, 100u);
+  // The pool itself is high-water by design: capacity covers the peak.
+  EXPECT_GE(st.slots, st.live_highwater);
+}
+
+TEST(PooledEvents, WheelAndHeapTiersBothCarryTrafficInOrder) {
+  sim::Simulation s(1);
+  std::vector<int> order;
+  // Seconds-scale one-shot lands in the wheel tier; the sub-millisecond
+  // pair goes through the near tier. Firing order only depends on time.
+  s.after(sim::Duration::seconds(5), [&order]() { order.push_back(3); });
+  s.after(sim::Duration::micros(20), [&order]() { order.push_back(2); });
+  s.after(sim::Duration::micros(10), [&order]() { order.push_back(1); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  const sim::EventQueue::Stats st = s.queue_stats();
+  EXPECT_GE(st.wheel_inserts, 1u);
+  EXPECT_GE(st.heap_inserts, 1u);
+  EXPECT_GE(st.cascades, 1u);  // the far event migrated down to fire
+}
+
+TEST(PooledEvents, PublishQueueStatsRegistersGaugesOnDemandOnly) {
+  sim::Simulation s(1);
+  for (int i = 0; i < 10; ++i) {
+    s.after(sim::Duration::micros(i + 1), []() {});
+  }
+  s.run();
+  // Steady-state runs never register the series (digest neutrality)...
+  EXPECT_FALSE(s.metrics().has("sim.queue.pool_slots"));
+  // ...publishing is an explicit, on-demand act.
+  s.publish_queue_stats();
+  const sim::EventQueue::Stats st = s.queue_stats();
+  const util::MetricsRegistry& m = s.metrics();
+  EXPECT_TRUE(m.has("sim.queue.pool_slots"));
+  EXPECT_DOUBLE_EQ(m.gauge_value("sim.queue.pool_slots"),
+                   static_cast<double>(st.slots));
+  EXPECT_DOUBLE_EQ(m.gauge_value("sim.queue.live_highwater"),
+                   static_cast<double>(st.live_highwater));
+  EXPECT_DOUBLE_EQ(m.gauge_value("sim.queue.wheel_inserts"),
+                   static_cast<double>(st.wheel_inserts));
+}
+
+// --------------------------------------------------------------------------
+// representation-equivalence goldens: the pooled/wheel kernel must be
+// bit-identical to the pre-refactor binary-heap kernel
+
+TEST(WheelEquivalence, KernelScenarioMatchesPreRefactorGolden) {
+  EXPECT_EQ(support::hotloop_kernel_digest(), support::kHotloopKernelGolden);
+}
+
+TEST(WheelEquivalence, FuzzSweepMatchesPreRefactorGoldens) {
+  const testing_::ScenarioGenerator generator;
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const testing_::RunReport report =
+        testing_::run_scenario(generator.generate(seed));
+    EXPECT_FALSE(report.failed()) << report.summary;
+    EXPECT_EQ(report.digest, support::kFuzzSweepGoldens[seed - 1]);
+  }
+}
+
+}  // namespace

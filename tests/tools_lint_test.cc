@@ -852,6 +852,91 @@ TEST(LintInvariantCatalogue, SuppressionCommentSilences) {
 }
 
 // ---------------------------------------------------------------------------
+// hot-path-alloc
+
+TEST(LintHotPathAlloc, SimModuleIsHotWholeFile) {
+  auto diags = lint_content(
+      "src/sim/x.cc",
+      "void f() {\n"
+      "  int* p = new int(7);\n"
+      "  auto u = std::make_unique<int>(1);\n"
+      "  std::function<void()> cb;\n"
+      "  std::map<std::string, int> by_name;\n"
+      "}\n");
+  auto findings = with_rule(diags, "hot-path-alloc");
+  ASSERT_EQ(findings.size(), 4u);
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[1].message.find("make_unique"), std::string::npos);
+  EXPECT_NE(findings[2].message.find("std::function"), std::string::npos);
+  EXPECT_NE(findings[3].message.find("util::Symbol"), std::string::npos);
+}
+
+TEST(LintHotPathAlloc, AnnotatedRegionEndsAtTheBlockClose) {
+  // Outside src/sim only `// picloud-hot` regions are hot: the marker's line
+  // through the close of the next braced block.
+  auto diags = lint_content(
+      "src/net/x.cc",
+      "// picloud-hot\n"
+      "void hot_fn() {\n"
+      "  int* p = new int(7);\n"
+      "}\n"
+      "void cold_fn() {\n"
+      "  int* q = new int(9);\n"
+      "}\n");
+  auto findings = with_rule(diags, "hot-path-alloc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(LintHotPathAlloc, TrailingMarkerAnnotatesItsOwnLinesBlock) {
+  // `{  // picloud-hot` marks the block opened earlier on the marker's line.
+  auto diags = lint_content(
+      "src/os/x.cc",
+      "void hot_fn() {  // picloud-hot\n"
+      "  std::function<void()> cb;\n"
+      "}\n");
+  auto findings = with_rule(diags, "hot-path-alloc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(LintHotPathAlloc, PoolMachineryAndColdFilesAreClean) {
+  // Placement new and operator-new overloads are the pool's own machinery;
+  // comments/strings are opaque; non-string map keys compare cheaply.
+  auto diags = lint_content(
+      "src/sim/pool.cc",
+      "void f(void* buf) {\n"
+      "  int* p = new (buf) int(3);\n"
+      "  // new and std::function discussed in a comment\n"
+      "  const char* s = \"make_unique in a string\";\n"
+      "  std::map<int, int> by_id;\n"
+      "}\n"
+      "void* operator new(std::size_t n);\n");
+  EXPECT_FALSE(has_rule(diags, "hot-path-alloc"));
+  // A file without a marker outside src/sim has no hot region at all, and
+  // bench/ is out of scope even with one.
+  EXPECT_FALSE(has_rule(
+      lint_content("src/net/y.cc", "void f() { int* p = new int(1); }\n"),
+      "hot-path-alloc"));
+  EXPECT_FALSE(has_rule(
+      lint_content("bench/bench_x.cc",
+                   "// picloud-hot\nvoid f() { int* p = new int(1); }\n"),
+      "hot-path-alloc"));
+}
+
+TEST(LintHotPathAlloc, SuppressionCommentSilences) {
+  // Cold paths inside a hot file (one-time growth, error paths) carry an
+  // allow with their justification.
+  auto diags = lint_content(
+      "src/sim/x.cc",
+      "void grow() {\n"
+      "  // picloud-lint: allow(hot-path-alloc)\n"
+      "  int* block = new int[64];\n"
+      "}\n");
+  EXPECT_FALSE(has_rule(diags, "hot-path-alloc"));
+}
+
+// ---------------------------------------------------------------------------
 // suppressions
 
 TEST(LintSuppression, TrailingCommentSilencesThatLine) {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "util/intern.h"
 #include "util/metrics.h"
 #include "util/trace.h"
 
@@ -156,6 +157,96 @@ TEST(TraceBuffer, RingKeepsNewestAndCountsDrops) {
   EXPECT_EQ(events.front().kv.at(0).second, "6");
   EXPECT_EQ(events.back().kv.at(0).second, "9");
   EXPECT_EQ(events.back().t_ns, 9000);
+}
+
+TEST(StringTable, InternDedupesAndRoundTrips) {
+  StringTable t;
+  Symbol a = t.intern("net.fabric");
+  Symbol b = t.intern("os.sched");
+  Symbol a2 = t.intern("net.fabric");
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.str(a), "net.fabric");
+  EXPECT_EQ(t.str(b), "os.sched");
+  EXPECT_EQ(t.symbol_at(a.id()), a);
+  EXPECT_EQ(t.find("os.sched"), b);
+  EXPECT_FALSE(t.find("never.seen").valid());
+  EXPECT_FALSE(Symbol{}.valid());
+}
+
+TEST(StringTable, IdsFollowFirstInternOrder) {
+  // Ids are dense and assigned in first-intern order — a pure function of
+  // the (deterministic) event order, never of hash layout.
+  StringTable t;
+  EXPECT_EQ(t.intern("zebra").id(), 0u);
+  EXPECT_EQ(t.intern("aardvark").id(), 1u);
+  EXPECT_EQ(t.intern("zebra").id(), 0u);  // re-intern keeps the first id
+  EXPECT_EQ(t.intern("mid").id(), 2u);
+}
+
+TEST(StringTable, StoredStringsSurviveTableGrowth) {
+  // str() hands out references that components may hold across later
+  // interns (deque backing: growth never moves stored strings).
+  StringTable t;
+  Symbol first = t.intern("stable.key");
+  const std::string* addr = &t.str(first);
+  for (int i = 0; i < 1000; ++i) t.intern("fill." + std::to_string(i));
+  EXPECT_EQ(&t.str(first), addr);
+  EXPECT_EQ(t.str(first), "stable.key");
+}
+
+TEST(MetricsRegistry, SymbolHandlesAliasStringNames) {
+  // The Symbol overloads and the string conveniences reach the same
+  // instrument; name_symbol/name_of round-trip the canonical name.
+  MetricsRegistry m;
+  Symbol s = m.name_symbol("net.fabric.flows_started");
+  m.counter(s).inc(3);
+  EXPECT_EQ(&m.counter(s), &m.counter("net.fabric.flows_started"));
+  m.counter("net.fabric.flows_started").inc(4);
+  EXPECT_EQ(m.counter_value("net.fabric.flows_started"), 7u);
+  EXPECT_EQ(m.name_of(s), "net.fabric.flows_started");
+  // One name, one symbol — whichever instrument kind uses it.
+  m.gauge(s).set(1.5);
+  EXPECT_DOUBLE_EQ(m.gauge_value("net.fabric.flows_started"), 1.5);
+  EXPECT_EQ(m.name_symbol("net.fabric.flows_started"), s);
+}
+
+TEST(MetricsRegistry, SnapshotIsRegistrationOrderIndependent) {
+  // The dense handle-keyed stores lay instruments out in intern order, but
+  // snapshots stay canonically name-sorted: two registries fed the same
+  // series in different orders serialize byte-identically.
+  MetricsRegistry a;
+  a.counter("z.last").inc(2);
+  a.gauge("a.first").set(0.5);
+  a.counter("m.mid").inc(1);
+  MetricsRegistry b;
+  b.gauge("a.first").set(0.5);
+  b.counter("m.mid").inc(1);
+  b.counter("z.last").inc(2);
+  EXPECT_EQ(a.snapshot().dump(), b.snapshot().dump());
+}
+
+TEST(TraceBuffer, MaterializedEventsRebuildInternedStrings) {
+  // Records keep Symbol handles for component/event/kv-keys; materialized
+  // TraceEvents carry the full canonical strings again.
+  TraceBuffer tb(/*capacity=*/8);
+  std::int64_t now = 42;
+  tb.set_clock([&now]() { return now; });
+  for (int i = 0; i < 3; ++i) {
+    PICLOUD_TRACE(tb, "net.fabric", "flow_start", {"flow", std::to_string(i)});
+  }
+  std::vector<TraceEvent> events = tb.events();
+  ASSERT_EQ(events.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(events[i].component, "net.fabric");
+    EXPECT_EQ(events[i].event, "flow_start");
+    ASSERT_EQ(events[i].kv.size(), 1u);
+    EXPECT_EQ(events[i].kv[0].first, "flow");
+    EXPECT_EQ(events[i].kv[0].second, std::to_string(i));
+    EXPECT_EQ(events[i].t_ns, 42);
+  }
 }
 
 TEST(TraceBuffer, SinkSeesEverythingAndDisableSkips) {

@@ -492,6 +492,116 @@ void bounded_queue_rule(const ProjectModel& model, int fi,
   }
 }
 
+// --- hot-path-alloc ----------------------------------------------------------
+//
+// The event hot loop's budget is tens of nanoseconds per event (DESIGN.md
+// §12); one stray allocation or full-string compare in it costs more than
+// the rest of the loop combined. Everything under src/sim/ is hot by
+// definition. Elsewhere, a `// picloud-hot` comment marks a hot region: the
+// comment's line through the close of the next braced block (annotate a
+// function or a loop). Inside hot regions the rule flags:
+//   * std::function in code — a type-erased callable copies and may
+//     allocate per call; take a template parameter or use a pooled slot;
+//   * std::map / std::unordered_map keyed by std::string — every lookup
+//     hashes/compares full strings; intern to util::Symbol (util/intern.h);
+//   * non-placement `new`, make_unique, make_shared — per-call heap
+//     allocation; preallocate or pool.
+// Genuinely cold code inside a hot file (error paths, one-time growth)
+// carries allow(hot-path-alloc) with its justification.
+
+struct HotRegion {
+  int begin_line;
+  int end_line;
+};
+
+std::vector<HotRegion> hot_regions(const SourceFile& f, const FileView& v) {
+  std::vector<HotRegion> regions;
+  if (f.module == "sim") {
+    regions.push_back(HotRegion{1, 1 << 30});
+    return regions;
+  }
+  for (const Token& t : f.tokens) {
+    if (t.kind != TokenKind::kComment) continue;
+    if (t.text.find("picloud-hot") == std::string::npos) continue;
+    // The region closes with the first braced block opened at or after the
+    // marker (tokens earlier on the marker's own line count, so a trailing
+    // `{  // picloud-hot` annotates that block).
+    int end_line = 1 << 30;
+    int ci = 0;
+    while (ci < v.n && v.tok(ci).line < t.line) ++ci;
+    if (ci > 0 && v.tok(ci - 1).line == t.line) --ci;
+    while (ci < v.n && !v.punct(ci, "{")) ++ci;
+    int depth = 0;
+    for (; ci < v.n; ++ci) {
+      if (v.punct(ci, "{")) ++depth;
+      if (v.punct(ci, "}") && --depth == 0) {
+        end_line = v.tok(ci).line;
+        break;
+      }
+    }
+    regions.push_back(HotRegion{t.line, end_line});
+  }
+  return regions;
+}
+
+void hot_path_alloc_rule(const ProjectModel& model, int fi,
+                         const Reporter& report) {
+  const SourceFile& f = model.files()[fi];
+  const bool in_src = !f.module.empty() || f.path.find("src/") == 0 ||
+                      f.path.find("/src/") != std::string::npos;
+  if (!in_src) return;
+  const FileView v(f);
+  const std::vector<HotRegion> regions = hot_regions(f, v);
+  if (regions.empty()) return;
+  auto hot = [&regions](int line) {
+    for (const HotRegion& r : regions) {
+      if (line >= r.begin_line && line <= r.end_line) return true;
+    }
+    return false;
+  };
+  for (int ci = 0; ci < v.n; ++ci) {
+    const int line = v.tok(ci).line;
+    if (!hot(line)) continue;
+    // std::function in code (comments and strings are separate tokens).
+    if (v.ident(ci, "function") && v.punct(ci - 1, "::") &&
+        v.ident(ci - 2, "std")) {
+      report(fi, line, "hot-path-alloc",
+             "std::function in a hot region copies (and may heap-allocate) "
+             "its callable per call; take a template parameter or use a "
+             "pooled closure slot (sim/event_queue.h)");
+      continue;
+    }
+    // std::map<std::string, ...> / std::unordered_map<std::string, ...>.
+    if ((v.ident(ci, "map") || v.ident(ci, "unordered_map")) &&
+        v.punct(ci + 1, "<") && v.ident(ci + 2, "std") &&
+        v.punct(ci + 3, "::") && v.ident(ci + 4, "string")) {
+      report(fi, line, "hot-path-alloc",
+             "'" + v.tok(ci).text +
+                 "' keyed by std::string hashes/compares full strings on "
+                 "every hot-path lookup; intern the keys to util::Symbol "
+                 "handles (util/intern.h)");
+      continue;
+    }
+    // Non-placement new: `new (addr) T` and `::operator new` are the pool's
+    // own machinery, not per-call churn.
+    if (v.ident(ci, "new") && !v.punct(ci + 1, "(") &&
+        !(ci > 0 && v.ident(ci - 1, "operator"))) {
+      report(fi, line, "hot-path-alloc",
+             "'new' in a hot region heap-allocates per call; preallocate, "
+             "pool, or move this off the hot path");
+      continue;
+    }
+    if ((v.ident(ci, "make_unique") || v.ident(ci, "make_shared")) &&
+        (v.punct(ci + 1, "<") || v.punct(ci + 1, "("))) {
+      report(fi, line, "hot-path-alloc",
+             "'" + v.tok(ci).text +
+                 "' in a hot region heap-allocates per call; preallocate, "
+                 "pool, or move this off the hot path");
+      continue;
+    }
+  }
+}
+
 // --- dead-symbol -------------------------------------------------------------
 
 bool dead_symbol_exempt(const std::string& name) {
@@ -555,6 +665,9 @@ const std::vector<RuleInfo>& rule_catalogue() {
        "telemetry must flow through the MetricsRegistry / PICLOUD_LOG spine"},
       {"invariant-catalogue",
        "probe_* factories in src/testing must be register_probe()d"},
+      {"hot-path-alloc",
+       "allocation / string-keyed lookup / std::function in src/sim or a "
+       "`// picloud-hot` region"},
       {"io", "file or root could not be read"},
   };
   return kRules;
@@ -571,6 +684,7 @@ std::vector<Diagnostic> analyze(const ProjectModel& model,
     event_capture_rule(model, fi, report);
     rest_retry_rule(model, fi, report);
     invariant_catalogue_rule(model, fi, report);
+    hot_path_alloc_rule(model, fi, report);
     if (options.whole_program) {
       unused_include_rule(model, fi, report);
       bounded_queue_rule(model, fi, report);
