@@ -17,6 +17,8 @@
 #include "apps/lb.h"
 #include "apps/loadgen.h"
 #include "cloud/cloud.h"
+#include "mc/explorer.h"
+#include "mc/harness.h"
 #include "net/topology.h"
 #include "sim/event_queue.h"
 #include "sim/simulation.h"
@@ -196,6 +198,36 @@ void BM_FlashCrowd(benchmark::State& state) {
 }
 BENCHMARK(BM_FlashCrowd)->Unit(benchmark::kMillisecond);
 
+// Model-checker throughput (DESIGN.md §13): one exhaustive DPOR exploration
+// of the duplicate-spawn config per iteration. Every episode re-boots a
+// two-host cloud from scratch (stateless search), so this tracks episode
+// setup cost as much as the search itself. transitions_per_sec is the
+// decision-execution rate across the whole exploration; dpor_pruning_ratio
+// is naive episodes over DPOR episodes at exhaustion (measured once — both
+// searches are deterministic).
+void BM_McExplore(benchmark::State& state) {
+  auto config = mc::mc_config("duplicate-spawn");
+  std::uint64_t transitions = 0;
+  std::uint64_t episodes = 0;
+  for (auto _ : state) {
+    mc::Explorer explorer(config.value());
+    mc::ExploreResult result = explorer.run();
+    transitions += result.transitions;
+    episodes += result.episodes;
+    benchmark::DoNotOptimize(result.exhausted);
+  }
+  state.counters["transitions_per_sec"] = benchmark::Counter(
+      static_cast<double>(transitions), benchmark::Counter::kIsRate);
+  mc::ExplorerOptions naive_options;
+  naive_options.dpor = false;
+  mc::Explorer naive(config.value(), naive_options);
+  state.counters["dpor_pruning_ratio"] =
+      static_cast<double>(naive.run().episodes) *
+      static_cast<double>(state.iterations()) / static_cast<double>(episodes);
+  state.SetLabel("duplicate-spawn, exhaustive");
+}
+BENCHMARK(BM_McExplore)->Unit(benchmark::kMillisecond);
+
 // Canonical fixed-seed scenario whose full MetricsRegistry snapshot is
 // written as JSON after the benchmarks — the machine-readable artifact CI
 // uploads per build, so telemetry regressions (a counter that stops moving,
@@ -364,6 +396,36 @@ void write_perf_baseline() {
     util::Logging::set_level(prev_level);
   }
 
+  // (6) model-checker throughput: every canned config explored to
+  // exhaustion under DPOR (timed, transitions summed), then under naive
+  // full enumeration (untimed) for the pruning ratio. Both searches are
+  // deterministic, so the ratio is a property of the code, not the host —
+  // it moves only when the hook coverage, the window, or the DPOR analysis
+  // changes, which is exactly what a trajectory diff should surface.
+  std::uint64_t mc_transitions = 0;
+  std::uint64_t mc_dpor_episodes = 0;
+  std::uint64_t mc_naive_episodes = 0;
+  double mc_wall = 0;
+  {
+    util::LogLevel prev_level = util::Logging::level();
+    util::Logging::set_level(util::LogLevel::kOff);
+    for (const std::string& name : mc::list_mc_configs()) {
+      auto config = mc::mc_config(name);
+      mc::ExploreResult dpor_result;
+      mc_wall += wall_seconds([&]() {
+        mc::Explorer explorer(config.value());
+        dpor_result = explorer.run();
+      });
+      mc_transitions += dpor_result.transitions;
+      mc_dpor_episodes += dpor_result.episodes;
+      mc::ExplorerOptions naive_options;
+      naive_options.dpor = false;
+      mc::Explorer naive(config.value(), naive_options);
+      mc_naive_episodes += naive.run().episodes;
+    }
+    util::Logging::set_level(prev_level);
+  }
+
   util::Json doc(util::JsonObject{
       {"tool", "bench_sim_perf"},
       {"version", 2},
@@ -378,6 +440,8 @@ void write_perf_baseline() {
                      {"cloud_sim_seconds", kSimSeconds},
                      {"flash_sim_seconds", kFlashSimSeconds},
                      {"fuzz_seeds", kFuzzSeeds},
+                     {"mc_configs",
+                      static_cast<double>(mc::list_mc_configs().size())},
                  })},
       {"metrics", util::Json(util::JsonObject{
                       {"events_per_sec", events_per_sec},
@@ -388,6 +452,10 @@ void write_perf_baseline() {
                       {"fuzz_sweep_events_per_sec", util::Json(fuzz_series)},
                       {"fuzz_sweep_aggregate_events_per_sec",
                        fuzz_events / fuzz_wall},
+                      {"mc_transitions_per_sec", mc_transitions / mc_wall},
+                      {"mc_dpor_pruning_ratio",
+                       static_cast<double>(mc_naive_episodes) /
+                           static_cast<double>(mc_dpor_episodes)},
                   })},
   });
   std::ofstream out(env, std::ios::binary);

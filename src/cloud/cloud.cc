@@ -95,6 +95,7 @@ void PiCloud::build() {
   master_config.dhcp_range_end = config_.dhcp_range_end;
   master_config.placement_policy = config_.placement_policy;
   master_config.placement_limits = config_.placement_limits;
+  master_config.reconcile = config_.reconcile;
   master_ = std::make_unique<PiMaster>(*network_, master_node, master_config);
   master_->set_node_accessor([this](const std::string& hostname) {
     return daemon_by_hostname(hostname);
@@ -303,6 +304,24 @@ MigrationReport PiCloud::migrate_and_wait(const std::string& name,
   });
   run_until(max, [&]() { return done; });
   return out;
+}
+
+sim::EventId PiCloud::schedule_fault(sim::Duration delay, std::string label,
+                                     std::function<void()> fault) {
+  return sim_.after(delay, [this, label = std::move(label),
+                            fault = std::move(fault)]() {
+    // Fault schedule point (DESIGN.md §13): inline in default runs, parked
+    // for reordering when a model-checking strategy is installed.
+    if (!sim_.schedule_points().active()) {
+      fault();
+      return;
+    }
+    sim::SchedulePoint point;
+    point.kind = sim::SchedulePointKind::kFault;
+    point.label = "fault:" + label;
+    point.object = "fault";
+    sim_.schedule_points().intercept(std::move(point), fault);
+  });
 }
 
 util::Result<std::string> PiCloud::dashboard(sim::Duration max) {

@@ -52,6 +52,9 @@ struct PiCloudConfig {
   std::string placement_policy = "first-fit";
   PlacementLimits placement_limits;
   sim::Duration heartbeat_period = sim::Duration::seconds(2);
+  // Anti-entropy loop tuning, passed through to PiMaster::Config (the model
+  // checker shortens the period so lost-marking happens inside an episode).
+  Reconciler::Config reconcile;
 
   // --- Addressing -----------------------------------------------------------------
   net::Subnet subnet{net::Ipv4Addr(10, 0, 0, 0), 16};
@@ -139,6 +142,16 @@ class PiCloud {
   MigrationReport migrate_and_wait(
       const std::string& name, const std::string& to, bool live,
       sim::Duration max = sim::Duration::seconds(600));
+  // --- Fault schedule points (DESIGN.md §13) -------------------------------------
+  // Schedules `fault` (e.g. a daemon crash or link blip) to be applied
+  // `delay` from now, routed through the simulation's SchedulePoint hub: in
+  // a default run it fires exactly at now+delay; under a model-checking
+  // strategy it becomes a parked kFault action the explorer can reorder
+  // against in-flight deliveries. `label` must be stable across episodes;
+  // faults are treated as dependent with every other action.
+  sim::EventId schedule_fault(sim::Duration delay, std::string label,
+                              std::function<void()> fault);
+
   // Renders the control panel dashboard over REST.
   util::Result<std::string> dashboard(
       sim::Duration max = sim::Duration::seconds(30));

@@ -634,9 +634,20 @@ void PiMaster::install_routes() {
              proto::Responder respond) {
         // A retried spawn (client resent after a lost response) replays the
         // recorded outcome instead of reporting a spurious name collision.
+        const std::uint64_t replays_before = idem_.stats().replayed;
         proto::Responder once =
             idem_.admit(req.body.get_string("idem"), std::move(respond));
-        if (!once) return;
+        if (!once) {
+          if (util::FaultInjection::instance().recount_replayed_spawn &&
+              idem_.stats().replayed > replays_before) {
+            // Planted, schedule-dependent bug for the model checker
+            // (util/faults.h): the replay path re-counts the recorded
+            // success, which only happens when the duplicate arrived after
+            // the original completed — a specific interleaving.
+            spawns_ok_->inc();
+          }
+          return;
+        }
         respond = std::move(once);
         SpawnSpec spec;
         spec.name = req.body.get_string("name");

@@ -1,0 +1,260 @@
+#include "mc/explorer.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace picloud::mc {
+
+namespace {
+
+// Two actions are dependent when reordering them can change the outcome:
+// conservatively, any fault against anything, otherwise same dependence
+// object (same destination for deliveries, same client for timeouts).
+bool dependent(sim::SchedulePointKind kind_a, const std::string& object_a,
+               sim::SchedulePointKind kind_b, const std::string& object_b) {
+  if (kind_a == sim::SchedulePointKind::kFault ||
+      kind_b == sim::SchedulePointKind::kFault) {
+    return true;
+  }
+  return object_a == object_b;
+}
+
+// One frame of the DFS: a decision point along the current schedule prefix.
+struct StackNode {
+  std::vector<std::string> ready;
+  std::vector<std::string> objects;
+  std::vector<sim::SchedulePointKind> kinds;
+  std::string chosen;
+  std::set<std::string> done;       // fully-explored choices
+  std::set<std::string> backtrack;  // scheduled choices
+  std::set<std::string> sleep;      // redundant here (explored by a sibling)
+
+  std::size_t index_of(const std::string& label) const {
+    for (std::size_t i = 0; i < ready.size(); ++i) {
+      if (ready[i] == label) return i;
+    }
+    return ready.size();
+  }
+};
+
+}  // namespace
+
+Explorer::Explorer(McConfig config, ExplorerOptions options)
+    : config_(std::move(config)), options_(options) {}
+
+ExploreResult Explorer::run() {
+  ExploreResult result;
+  util::Counter& episodes_c = metrics_.counter("mc.episodes");
+  util::Counter& transitions_c = metrics_.counter("mc.transitions");
+  util::Counter& sleep_skips_c = metrics_.counter("mc.sleep_skips");
+  util::Counter& prunes_c = metrics_.counter("mc.state_prunes");
+  util::Counter& violations_c = metrics_.counter("mc.violations");
+  util::Gauge& depth_g = metrics_.gauge("mc.max_depth");
+
+  std::vector<StackNode> stack;
+  std::vector<std::string> prefix;
+  std::set<std::uint64_t> digests_seen;
+
+  while (true) {
+    if (result.episodes >= options_.max_episodes ||
+        result.transitions >= options_.max_transitions) {
+      result.exhausted = false;
+      break;
+    }
+
+    EpisodeResult episode = run_episode(config_, prefix);
+    ++result.episodes;
+    episodes_c.inc();
+    result.transitions += episode.steps.size();
+    transitions_c.inc(episode.steps.size());
+    result.max_depth = std::max(result.max_depth,
+                                static_cast<std::uint64_t>(
+                                    episode.steps.size()));
+    depth_g.set(static_cast<double>(result.max_depth));
+    const bool new_digest = digests_seen.insert(episode.digest).second;
+
+    const std::string signature = episode.violation_signature();
+    if (!signature.empty()) {
+      violations_c.inc();
+      result.found_violation = true;
+      result.violation_signature = signature;
+      result.counterexample.config = config_.name;
+      result.counterexample.seed = config_.seed;
+      for (const EpisodeStep& step : episode.steps) {
+        result.counterexample.choices.push_back(step.chosen);
+      }
+      result.counterexample.violation = signature;
+      result.counterexample.digest = episode.digest;
+      result.exhausted = false;
+      break;
+    }
+
+    // Fold the episode into the stack: verify the replayed prefix, then push
+    // a frame per fresh decision. Sleep sets are recomputed top-down so a
+    // sibling switch deeper in the tree sees its ancestors' current done
+    // sets.
+    PICLOUD_CHECK_GE(episode.steps.size(), stack.size())
+        << "mc episode diverged: shorter than its forced prefix";
+    for (std::size_t i = 0; i < episode.steps.size(); ++i) {
+      const EpisodeStep& step = episode.steps[i];
+      if (i < stack.size()) {
+        PICLOUD_CHECK(stack[i].ready == step.ready &&
+                      stack[i].chosen == step.chosen)
+            << "mc determinism breach: replayed decision " << i
+            << " produced a different ready set";
+        continue;
+      }
+      StackNode node;
+      node.ready = step.ready;
+      node.objects = step.objects;
+      node.kinds = step.kinds;
+      node.chosen = step.chosen;
+      node.backtrack.insert(step.chosen);
+      if (!options_.dpor) {
+        // Naive enumeration: every ready action is a scheduled branch.
+        for (const std::string& label : step.ready) {
+          node.backtrack.insert(label);
+        }
+      }
+      stack.push_back(std::move(node));
+    }
+    // Sleep propagation: sleep(i+1) = {b in sleep(i) ∪ (done(i) \ chosen) :
+    // independent(b, chosen(i))}.
+    if (options_.dpor) {
+      for (std::size_t i = 0; i + 1 < stack.size(); ++i) {
+        const StackNode& n = stack[i];
+        const std::size_t ci = n.index_of(n.chosen);
+        std::set<std::string> carried = n.sleep;
+        for (const std::string& d : n.done) {
+          if (d != n.chosen) carried.insert(d);
+        }
+        std::set<std::string> child_sleep;
+        for (const std::string& b : carried) {
+          const std::size_t bi = n.index_of(b);
+          if (bi >= n.ready.size() || ci >= n.ready.size()) continue;
+          if (!dependent(n.kinds[bi], n.objects[bi], n.kinds[ci],
+                         n.objects[ci])) {
+            child_sleep.insert(b);
+          }
+        }
+        stack[i + 1].sleep = std::move(child_sleep);
+      }
+    }
+
+    // DPOR race analysis over the executed trace: seed backtrack points.
+    const bool analyze =
+        options_.dpor && (!options_.state_prune || new_digest);
+    if (options_.state_prune && !new_digest) {
+      ++result.state_prunes;
+      prunes_c.inc();
+    }
+    if (analyze) {
+      const std::size_t n = stack.size();
+      // hb[i][j]: transitive closure of the dependence relation over the
+      // executed order (i ran before j). Traces are tens of steps; O(n^3)
+      // over bools is noise next to an episode's simulation cost.
+      std::vector<std::vector<bool>> hb(n, std::vector<bool>(n, false));
+      auto dep_steps = [&](std::size_t i, std::size_t j) {
+        const std::size_t ii = stack[i].index_of(stack[i].chosen);
+        const std::size_t jj = stack[j].index_of(stack[j].chosen);
+        return dependent(stack[i].kinds[ii], stack[i].objects[ii],
+                         stack[j].kinds[jj], stack[j].objects[jj]);
+      };
+      for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t i = 0; i < j; ++i) {
+          if (!dep_steps(i, j)) continue;
+          hb[i][j] = true;
+          for (std::size_t k = 0; k < i; ++k) {
+            if (hb[k][i]) hb[k][j] = true;
+          }
+        }
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t i = 0; i < j; ++i) {
+          if (!dep_steps(i, j)) continue;
+          // A race needs no causal chain through an intermediate step.
+          bool chained = false;
+          for (std::size_t k = i + 1; k < j && !chained; ++k) {
+            chained = hb[i][k] && hb[k][j];
+          }
+          if (chained) continue;
+          // Schedule the later racer before step i. If it was not yet
+          // parked at i, conservatively schedule every alternative.
+          StackNode& site = stack[i];
+          const std::string& racer = stack[j].chosen;
+          if (site.index_of(racer) < site.ready.size()) {
+            site.backtrack.insert(racer);
+          } else {
+            for (const std::string& label : site.ready) {
+              site.backtrack.insert(label);
+            }
+          }
+        }
+      }
+    }
+
+    // Backtrack: deepest frame with an unexplored, not-asleep candidate.
+    bool advanced = false;
+    while (!stack.empty()) {
+      StackNode& top = stack.back();
+      top.done.insert(top.chosen);
+      std::string next;
+      for (const std::string& c : top.backtrack) {
+        if (top.done.count(c) > 0) continue;
+        if (top.sleep.count(c) > 0) {
+          // Explored from an equivalent sibling ordering.
+          top.done.insert(c);
+          ++result.sleep_skips;
+          sleep_skips_c.inc();
+          continue;
+        }
+        next = c;
+        break;
+      }
+      if (next.empty()) {
+        stack.pop_back();
+        continue;
+      }
+      top.chosen = next;
+      advanced = true;
+      break;
+    }
+    if (!advanced) {
+      result.exhausted = true;
+      break;
+    }
+    prefix.clear();
+    for (const StackNode& node : stack) prefix.push_back(node.chosen);
+  }
+
+  result.end_digests.assign(digests_seen.begin(), digests_seen.end());
+  return result;
+}
+
+Schedule minimize_schedule(const Schedule& schedule) {
+  auto config = mc_config(schedule.config);
+  PICLOUD_CHECK(config.ok()) << "minimize: " << config.error().message;
+  config.value().seed = schedule.seed;
+  for (std::size_t k = 0; k <= schedule.choices.size(); ++k) {
+    std::vector<std::string> prefix(schedule.choices.begin(),
+                                    schedule.choices.begin() +
+                                        static_cast<std::ptrdiff_t>(k));
+    EpisodeResult episode = run_episode(config.value(), prefix);
+    if (episode.violation_signature() == schedule.violation) {
+      Schedule minimized = schedule;
+      minimized.choices = std::move(prefix);
+      minimized.digest = episode.digest;
+      return minimized;
+    }
+  }
+  // Unreachable when the input schedule itself reproduces (k == n re-runs
+  // it); return it unchanged as a defensive fallback.
+  LOG_WARN("mc", "minimize: schedule no longer reproduces %s",
+           schedule.violation.c_str());
+  return schedule;
+}
+
+}  // namespace picloud::mc

@@ -1,0 +1,92 @@
+// mc::Explorer — stateless-search model checking over control-plane
+// interleavings with dynamic partial-order reduction (DESIGN.md §13).
+//
+// The explorer does iterative depth-first search over schedule prefixes: it
+// re-runs whole episodes (mc/harness.h) from a clean simulation each time —
+// stateless search in the SimGrid/VeriSoft tradition, no snapshotting —
+// extending a stack of decision nodes and backtracking through it until
+// every node's backtrack set is exhausted.
+//
+//   naive mode:  every ready action at every decision joins the backtrack
+//                set — full enumeration of the bounded-window interleavings.
+//   DPOR mode:   only the chosen action is scheduled initially; after each
+//                episode a happens-before analysis over the executed trace
+//                finds *racing* pairs (dependent actions with no causal
+//                chain between them — dependence is same-object or
+//                either-is-a-fault) and seeds backtrack points just before
+//                the earlier member of each race. Sleep sets carry already-
+//                explored actions across commuting siblings so equivalent
+//                interleavings are skipped instead of re-run.
+//
+// Properties come from testing::InvariantChecker (swept at every decision,
+// full catalogue at each episode's quiesce). The first violating episode
+// stops the search; its full decision list becomes a Schedule counterexample
+// that minimize_schedule() shrinks to the shortest reproducing prefix and
+// replay_schedule() re-executes bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mc/harness.h"
+#include "mc/schedule.h"
+#include "util/metrics.h"
+
+namespace picloud::mc {
+
+struct ExplorerOptions {
+  // Dynamic partial-order reduction (sleep sets + happens-before races).
+  // Off = naive full enumeration, the baseline DPOR is measured against.
+  bool dpor = true;
+  // End-state digest pruning: when an episode reaches an end state already
+  // seen, skip seeding new backtrack points from its trace (its reorderings
+  // converge with an explored branch). Heuristic — leave off when exact
+  // naive/DPOR equivalence matters; used by the CLI for big sweeps.
+  bool state_prune = false;
+  // Transition budget: the search reports exhausted=false when it runs out.
+  std::uint64_t max_episodes = 20000;
+  std::uint64_t max_transitions = 200000;
+};
+
+struct ExploreResult {
+  bool exhausted = false;       // search space fully covered within budget
+  bool found_violation = false;
+  std::string violation_signature;
+  Schedule counterexample;      // populated when found_violation
+  std::uint64_t episodes = 0;     // full episode executions
+  std::uint64_t transitions = 0;  // decisions executed across all episodes
+  std::uint64_t sleep_skips = 0;  // backtrack candidates skipped asleep
+  std::uint64_t state_prunes = 0;
+  std::uint64_t max_depth = 0;    // deepest decision stack seen
+  // Sorted distinct end-state digests over all episodes: DPOR's set must be
+  // a subset of naive's on the same config (asserted in tests/mc_test.cc).
+  std::vector<std::uint64_t> end_digests;
+};
+
+class Explorer {
+ public:
+  explicit Explorer(McConfig config, ExplorerOptions options = {});
+
+  // Runs the search to exhaustion, first violation, or budget. Deterministic.
+  ExploreResult run();
+
+  // Progress stats ("mc.episodes", "mc.transitions", "mc.sleep_skips",
+  // "mc.state_prunes", "mc.violations", "mc.max_depth"), updated as the
+  // search runs — a CLI can snapshot mid-flight from another thread-free
+  // vantage (the explorer is single-threaded; read between episodes).
+  util::MetricsRegistry& metrics() { return metrics_; }
+
+ private:
+  McConfig config_;
+  ExplorerOptions options_;
+  util::MetricsRegistry metrics_;
+};
+
+// Shrinks a counterexample to the shortest choice prefix that still
+// reproduces the same violation signature (the tail re-runs under the
+// default strategy), re-recording the minimized run's digest so replays
+// assert bit-identity against the committed file.
+Schedule minimize_schedule(const Schedule& schedule);
+
+}  // namespace picloud::mc

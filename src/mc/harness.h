@@ -1,0 +1,98 @@
+// mc harness — runs ONE control-plane episode under a forced schedule prefix
+// (DESIGN.md §13).
+//
+// An episode boots a small PiCloud, lets it reach steady state, installs a
+// parking ScheduleStrategy on the simulation's SchedulePoint hub and then
+// launches the config's racing operations (a migration against a source
+// crash, a reconciler sweep against a master uplink blip, two idempotent
+// spawns of the same instance). From that moment the harness single-steps
+// the simulation: hooked actions (control-plane deliveries, REST timeouts,
+// faults) park in a ready set instead of firing, and whenever letting the
+// clock advance further would push a parked action past its reorder window
+// the harness stops and makes a *decision* — it picks one parked action and
+// executes it at the current instant. The sequence of decisions is the
+// schedule; everything between decisions is the ordinary deterministic
+// event loop.
+//
+// Decisions are identified by stable labels: the SchedulePoint label plus a
+// per-episode FIFO occurrence counter ("deliver:10.0.0.2:9000>...#2"), so a
+// recorded choice list replays exactly (run_episode PICLOUD_CHECKs that the
+// ready set at each replayed decision matches the recording). Invariant
+// probes (testing::InvariantChecker) sweep after every decision and the
+// full catalogue runs at quiesce; the end state is digested with the same
+// FNV-1a construction as testing/runner.cc, so "bit-identical replay" is a
+// single uint64 comparison.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mc/schedule.h"
+#include "sim/schedule_point.h"
+#include "sim/time.h"
+#include "testing/invariants.h"
+#include "util/result.h"
+
+namespace picloud::mc {
+
+// A canned small configuration. All three ship 1 rack x 2 hosts; they differ
+// in which racing operations start once the strategy is installed.
+struct McConfig {
+  enum class Kind {
+    kDuplicateSpawn,          // two POST /instances with one idempotency key
+    kMigrationVsSourceCrash,  // live migration racing a source-node crash
+    kReconcilerVsMasterBlip,  // anti-entropy sweep racing a master blip
+  };
+
+  std::string name;
+  Kind kind = Kind::kDuplicateSpawn;
+  std::uint64_t seed = 1;
+  int hosts = 2;
+  // Reorder window: a parked action may be deferred until (first parked
+  // offer time + window). Bounds the ready set — and the search space —
+  // while still letting causally-close actions commute.
+  sim::Duration window = sim::Duration::millis(200);
+  // How long the episode runs after the last decision before quiesce probes.
+  sim::Duration settle = sim::Duration::seconds(90);
+  // Safety horizon for the decision phase (sim time, from ops start).
+  sim::Duration horizon = sim::Duration::seconds(300);
+};
+
+// Lookup by name ("duplicate-spawn", "migration-vs-source-crash",
+// "reconciler-vs-master-blip"); list_mc_configs() returns the valid names.
+util::Result<McConfig> mc_config(const std::string& name);
+std::vector<std::string> list_mc_configs();
+
+// One decision the episode made: the parked actions that were ready (in
+// offer order — the EventQueue's documented (time, seq) order makes this
+// deterministic) and which label was executed.
+struct EpisodeStep {
+  std::vector<std::string> ready;             // occurrence-suffixed labels
+  std::vector<std::string> objects;           // dependence object per entry
+  std::vector<sim::SchedulePointKind> kinds;  // kind per entry
+  std::string chosen;
+};
+
+struct EpisodeResult {
+  bool completed = false;  // ops finished inside the horizon
+  std::vector<EpisodeStep> steps;
+  std::vector<testing::Violation> violations;
+  std::uint64_t digest = 0;  // FNV-1a end state (same fields as runner.cc)
+  std::uint64_t events = 0;  // sim events executed
+  // "probe:<name>" for the first violation, "" for a clean episode.
+  std::string violation_signature() const;
+};
+
+// Runs one episode of `config`, forcing `choices` at the first decisions and
+// the default (first-offered) action past the end of the list. Deterministic:
+// same config + same choices => bit-identical EpisodeResult.
+EpisodeResult run_episode(const McConfig& config,
+                          const std::vector<std::string>& choices);
+
+// Re-executes a serialized counterexample: resolves the config by name and
+// replays its recorded choices. The caller compares digest / signature
+// against the schedule's recorded values.
+util::Result<EpisodeResult> replay_schedule(const Schedule& schedule);
+
+}  // namespace picloud::mc

@@ -1,0 +1,66 @@
+#include "mc/schedule.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace picloud::mc {
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf);
+}
+
+}  // namespace
+
+util::Json Schedule::to_json() const {
+  util::Json j = util::Json::object();
+  j.set("config", config);
+  j.set("seed", static_cast<unsigned long long>(seed));
+  util::Json arr = util::Json::array();
+  for (const std::string& c : choices) arr.push_back(c);
+  j.set("choices", std::move(arr));
+  j.set("violation", violation);
+  // Hex string: a JSON number is a double and would shear 64-bit digests.
+  j.set("digest", hex64(digest));
+  return j;
+}
+
+util::Result<Schedule> Schedule::from_json(const util::Json& json) {
+  if (!json.is_object()) {
+    return util::Error::make("bad_schedule", "schedule is not a JSON object");
+  }
+  Schedule s;
+  s.config = json.get_string("config");
+  if (s.config.empty()) {
+    return util::Error::make("bad_schedule", "schedule names no config");
+  }
+  s.seed = static_cast<std::uint64_t>(json.get_number("seed", 1));
+  if (json.get("choices").is_array()) {
+    for (const auto& c : json.get("choices").as_array()) {
+      if (!c.is_string()) {
+        return util::Error::make("bad_schedule", "non-string choice label");
+      }
+      s.choices.push_back(c.as_string());
+    }
+  }
+  s.violation = json.get_string("violation");
+  const std::string digest = json.get_string("digest");
+  if (!digest.empty()) {
+    s.digest = std::strtoull(digest.c_str(), nullptr, 16);
+  }
+  return s;
+}
+
+std::string Schedule::dump() const { return to_json().pretty(); }
+
+util::Result<Schedule> Schedule::parse(const std::string& text) {
+  auto j = util::Json::parse(text);
+  if (!j.ok()) return j.error();
+  return from_json(j.value());
+}
+
+}  // namespace picloud::mc

@@ -1,0 +1,39 @@
+// mc::Schedule — a serialized control-plane interleaving (DESIGN.md §13).
+//
+// A schedule is the explorer's counterexample format: the canned config it
+// ran, the seed, and the ordered list of decision labels it forced at each
+// schedule point. Past the recorded prefix the episode continues under the
+// default (FIFO offer-order) strategy, so a short prefix fully determines a
+// run. replay_schedule() (mc/harness.h) re-executes one bit-identically:
+// same violation signature, same end-state digest.
+//
+// JSON round-trip mirrors testing/scenario.h: integers that must not lose
+// precision (the digest) travel as hex strings, everything else as plain
+// JSON values, so a schedule file is diffable and hand-editable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/result.h"
+
+namespace picloud::mc {
+
+struct Schedule {
+  std::string config;                 // canned config name (mc/harness.h)
+  std::uint64_t seed = 1;
+  std::vector<std::string> choices;   // decision labels, in decision order
+  // What the recorded run produced — replay asserts both.
+  std::string violation;              // failure signature ("" = clean run)
+  std::uint64_t digest = 0;           // FNV-1a end-state digest
+
+  util::Json to_json() const;
+  static util::Result<Schedule> from_json(const util::Json& json);
+
+  std::string dump() const;  // pretty JSON
+  static util::Result<Schedule> parse(const std::string& text);
+};
+
+}  // namespace picloud::mc

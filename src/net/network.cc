@@ -1,5 +1,7 @@
 #include "net/network.h"
 
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "util/check.h"
@@ -94,7 +96,28 @@ void Network::transmit(NetNodeId src_node, NetNodeId dst_node, Message msg) {
       ++dropped_;
       return;
     }
-    sim_.after(delay, [this, msg]() { deliver(msg); });
+    sim_.after(delay, [this, msg]() {
+      // Delivery schedule point (DESIGN.md §13): in a default run the hub is
+      // empty and the message is handed to its listener right here, exactly
+      // where it always was. Under a model-checking strategy the delivery is
+      // parked and the strategy picks its place in the interleaving.
+      if (!sim_.schedule_points().active()) {
+        deliver(msg);
+        return;
+      }
+      sim::SchedulePoint point;
+      point.kind = sim::SchedulePointKind::kDelivery;
+      point.label = "deliver:" + msg.src.to_string() + ":" +
+                    std::to_string(msg.src_port) + ">" + msg.dst.to_string() +
+                    ":" + std::to_string(msg.dst_port);
+      point.object = msg.dst.to_string();
+      point.src_ip = msg.src.to_string();
+      point.dst_ip = msg.dst.to_string();
+      point.src_port = msg.src_port;
+      point.dst_port = msg.dst_port;
+      sim_.schedule_points().intercept(std::move(point),
+                                       [this, msg]() { deliver(msg); });
+    });
   };
   FlowId id = fabric_.start_flow(std::move(spec));
   // The flow is still registered until its completion event fires, so the
@@ -151,7 +174,25 @@ void Network::transmit_to_node(NetNodeId src_node, NetNodeId dst_node,
       ++dropped_;
       return;
     }
-    sim_.after(delay, [this, dst_node, msg]() { deliver_to_node(dst_node, msg); });
+    sim_.after(delay, [this, dst_node, msg]() {
+      // Delivery schedule point — see transmit() above.
+      if (!sim_.schedule_points().active()) {
+        deliver_to_node(dst_node, msg);
+        return;
+      }
+      sim::SchedulePoint point;
+      point.kind = sim::SchedulePointKind::kDelivery;
+      point.label = "deliver-l2:node" + std::to_string(dst_node) + ":" +
+                    std::to_string(msg.dst_port);
+      point.object = "node" + std::to_string(dst_node);
+      point.src_ip = msg.src.to_string();
+      point.dst_ip = msg.dst.to_string();
+      point.src_port = msg.src_port;
+      point.dst_port = msg.dst_port;
+      sim_.schedule_points().intercept(
+          std::move(point),
+          [this, dst_node, msg]() { deliver_to_node(dst_node, msg); });
+    });
   };
   FlowId id = fabric_.start_flow(std::move(spec));
   std::vector<LinkId> path = fabric_.flow_path(id);

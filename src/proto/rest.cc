@@ -184,8 +184,28 @@ void RestClient::call(net::Ipv4Addr server, std::uint16_t port, Method method,
   Pending pending;
   pending.cb = std::move(cb);
   pending.timeout_event = sim_.after(timeout, [this, id]() {
-    timeouts_->inc();
-    finish(id, util::Error::make("timeout", "REST call timed out"));
+    // Timeout schedule point (DESIGN.md §13). finish() cancels the timeout
+    // event, so in a default run a firing timeout always has a live pending
+    // entry and behaviour here is unchanged. Under a model-checking strategy
+    // the expiry is parked: by the time the strategy runs it, a parked
+    // delivery may have completed the call first, so the action re-checks.
+    if (!sim_.schedule_points().active()) {
+      timeouts_->inc();
+      finish(id, util::Error::make("timeout", "REST call timed out"));
+      return;
+    }
+    sim::SchedulePoint point;
+    point.kind = sim::SchedulePointKind::kTimeout;
+    point.label =
+        "timeout:" + self_.to_string() + ":" + std::to_string(id);
+    point.object = self_.to_string();
+    point.src_ip = self_.to_string();
+    point.src_port = port_;
+    sim_.schedule_points().intercept(std::move(point), [this, id]() {
+      if (pending_.find(id) == pending_.end()) return;  // raced a delivery
+      timeouts_->inc();
+      finish(id, util::Error::make("timeout", "REST call timed out"));
+    });
   });
   pending_[id] = std::move(pending);
 

@@ -1,11 +1,16 @@
 // Deterministic discrete-event queue — the simulator's hot loop.
 //
-// Events are (time, sequence, closure) triples ordered by time with FIFO
-// tie-break on the monotonically increasing sequence number, so two events
-// scheduled for the same instant always fire in scheduling order — the
-// property that makes whole-cloud runs bit-reproducible (DESIGN.md §6.1,
-// §12.4). That contract is independent of the representation below: the
-// wheel and the pool are invisible to event ordering.
+// Tie-break contract (load-bearing, locked by tests/sim_test.cc
+// EventQueue.TieBreakIsStableAcrossTiers): events are (time, sequence,
+// closure) triples ordered by time with FIFO tie-break on the monotonically
+// increasing sequence number, so two events scheduled for the same instant
+// always fire in scheduling order — the property that makes whole-cloud
+// runs bit-reproducible (DESIGN.md §6.1, §12.4) and that the model
+// checker's schedule replay (DESIGN.md §13) leans on for deterministic
+// ready-set enumeration. The contract is independent of the representation
+// below: whether a same-instant event was parked in the singleton buffer,
+// the binary heap, or a wheel bucket (and later cascaded) is invisible to
+// firing order.
 //
 // Representation (DESIGN.md §12):
 //  * Pooled slots. Every pending event lives in one 48-byte slot in a slab

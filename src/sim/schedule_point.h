@@ -1,0 +1,105 @@
+// SchedulePoint — the decision-point hook the model checker steers through
+// (DESIGN.md §13).
+//
+// A schedule point is a place where the control plane commits to an ordering
+// the real world does not guarantee: a message delivery coming off the
+// fabric, a REST attempt timeout firing, a fault being applied. In a default
+// run these actions execute exactly where the event queue put them — the
+// hub is empty and intercept() is never reached, so behaviour (and every
+// golden digest in tests/golden_digests.h) is bit-identical to a build
+// without this header. When a ScheduleStrategy is installed (mc::Explorer,
+// mc::replay_schedule), hook sites hand the action to the strategy instead,
+// which may park it and fire ready actions in any order it chooses.
+//
+// Hook-site contract (enforced by picloud_analyze's schedule-point rule):
+// an event-queue callback that performs a delivery or applies a fault must
+// first check `sim.schedule_points().active()` and route the action through
+// intercept() when a strategy is installed. The default path costs one
+// predictable branch; the std::function materialises only in MC mode.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace picloud::sim {
+
+enum class SchedulePointKind {
+  kDelivery,  // a Network message handed to its listener
+  kTimeout,   // a RestClient attempt timeout expiring
+  kFault,     // an injected fault (crash, blip) being applied
+};
+
+inline const char* schedule_point_kind_name(SchedulePointKind kind) {
+  switch (kind) {
+    case SchedulePointKind::kDelivery:
+      return "delivery";
+    case SchedulePointKind::kTimeout:
+      return "timeout";
+    case SchedulePointKind::kFault:
+      return "fault";
+  }
+  return "?";
+}
+
+struct SchedulePoint {
+  SchedulePointKind kind = SchedulePointKind::kDelivery;
+  // Stable identity of the hook site + payload (e.g. "deliver:10.0.0.2:80").
+  // The explorer derives replayable action labels from it.
+  std::string label;
+  // Coarse dependence object for partial-order reduction: two actions with
+  // different objects (and neither a fault) are treated as independent.
+  // Deliveries use the destination address, timeouts the client address.
+  std::string object;
+  // Transport endpoints: filled for deliveries ("10.0.0.2"); timeouts carry
+  // the client address in src_ip. Empty/zero for faults. A strategy uses
+  // these to scope which points it parks (e.g. only control-plane traffic).
+  std::string src_ip;
+  std::string dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+};
+
+// Interface an exploration/replay engine implements. offer() takes ownership
+// of the action; the strategy decides when (at what sim time, in what order
+// relative to other parked actions) to invoke it. Actions must be invoked at
+// most once, on the same simulation, and never after it is destroyed.
+class ScheduleStrategy {
+ public:
+  virtual ~ScheduleStrategy() = default;
+  // MC-mode only: type erasure is off the default hot path by construction.
+  // picloud-lint: allow(hot-path-alloc)
+  virtual void offer(const SchedulePoint& point, std::function<void()> run) = 0;
+};
+
+// Per-simulation registry of the installed strategy. Default-constructed
+// empty: active() is false and every hook site runs its action inline,
+// preserving EventQueue (time, seq) order exactly.
+class SchedulePointHub {
+ public:
+  bool active() const { return strategy_ != nullptr; }
+
+  // Installs `strategy` (not owned; must outlive the run). Install/uninstall
+  // only while no hooked actions are in flight — i.e. from the explorer's
+  // episode boundary, never from inside an event callback.
+  void install(ScheduleStrategy* strategy) { strategy_ = strategy; }
+  void uninstall() { strategy_ = nullptr; }
+
+  // Hands one ready action to the installed strategy. Hook sites must only
+  // call this when active() — the inline default path skips the closure
+  // materialisation entirely.
+  // picloud-lint: allow(hot-path-alloc)
+  void intercept(SchedulePoint point, std::function<void()> run) {
+    PICLOUD_CHECK(strategy_ != nullptr)
+        << "SchedulePointHub::intercept without an installed strategy";
+    strategy_->offer(point, std::move(run));
+  }
+
+ private:
+  ScheduleStrategy* strategy_ = nullptr;
+};
+
+}  // namespace picloud::sim

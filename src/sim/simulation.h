@@ -19,6 +19,7 @@
 #include <utility>
 
 #include "sim/event_queue.h"
+#include "sim/schedule_point.h"
 #include "sim/time.h"
 #include "util/check.h"
 #include "util/metrics.h"
@@ -77,6 +78,23 @@ class Simulation {
   // Convenience: run_until(now + d).
   void run_for(Duration d) { run_until(now_ + d); }
 
+  // --- Single-stepping (model checker driver, DESIGN.md §13) -----------------
+  // True while at least one event is pending.
+  bool has_events() const { return !queue_.empty(); }
+  // Absolute time of the earliest pending event. Requires has_events().
+  // Non-const: may cascade timer-wheel buckets to locate the head.
+  SimTime next_event_time() { return queue_.next_time(); }
+  // Executes exactly one event (the earliest), advancing now() to its fire
+  // time first. Requires has_events(). The mc::Explorer drives the clock
+  // with this instead of run_until() so it can interpose schedule decisions
+  // between any two events.
+  void step() { queue_.run_next_into(&now_); }
+
+  // Decision-point hook registry (sim/schedule_point.h): empty — and
+  // digest-invisible — unless a model-checking strategy is installed.
+  SchedulePointHub& schedule_points() { return schedule_points_; }
+  const SchedulePointHub& schedule_points() const { return schedule_points_; }
+
   // Stops the current run_*() call after the in-flight event completes.
   void stop() { stop_requested_ = true; }
 
@@ -123,6 +141,7 @@ class Simulation {
   util::Rng rng_;
   util::MetricsRegistry metrics_;
   util::TraceBuffer trace_;
+  SchedulePointHub schedule_points_;
 };
 
 // A repeating timer with RAII / explicit-stop semantics. Used by monitoring

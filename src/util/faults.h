@@ -13,11 +13,23 @@
 //   skip_link_drop_accounting    net/fabric.cc omits the per-link drop
 //                                increment on a lossy-link admission drop,
 //                                violating sum(link drops) == flows_lost.
+//   recount_replayed_spawn       cloud/pimaster.cc re-counts a spawn success
+//                                when an idempotent duplicate is answered
+//                                from the completed-entry replay path. The
+//                                violation is schedule-dependent: a duplicate
+//                                that coalesces with the in-flight original
+//                                never takes the replay path, so only
+//                                interleavings that defer the duplicate past
+//                                first completion trip the spawn-accounting
+//                                probe — the model checker's planted bug
+//                                (DESIGN.md §13.4).
 //
 // All knobs default to off; flipping one costs a single branch on a cold
 // path, so production behaviour and determinism are unchanged when unused.
 // The singleton is process-global (tests run scenarios back to back in one
-// process) — call reset() in test teardown.
+// process) — prefer ScopedFaultInjection below over manual reset() calls:
+// it restores the pre-existing knob state even when the test body exits
+// early through an ASSERT or an exception.
 #pragma once
 
 namespace picloud::util {
@@ -25,11 +37,38 @@ namespace picloud::util {
 struct FaultInjection {
   bool double_count_spawn_ok = false;
   bool skip_link_drop_accounting = false;
+  bool recount_replayed_spawn = false;
 
   void reset() { *this = FaultInjection(); }
-  bool any() const { return double_count_spawn_ok || skip_link_drop_accounting; }
+  bool any() const {
+    return double_count_spawn_ok || skip_link_drop_accounting ||
+           recount_replayed_spawn;
+  }
 
   static FaultInjection& instance();
+};
+
+// RAII guard over the process-global knobs: snapshots them on construction
+// and restores the snapshot on destruction, so a scenario (or the model
+// checker's planted-bug pipeline, DESIGN.md §13.4) can flip knobs without
+// leaking state into whatever runs next in the same process. Dereferences
+// to the live singleton for ergonomic flipping:
+//
+//   util::ScopedFaultInjection faults;
+//   faults->double_count_spawn_ok = true;
+//   ...  // knob restored at scope exit, whatever state it started in
+class ScopedFaultInjection {
+ public:
+  ScopedFaultInjection() : saved_(FaultInjection::instance()) {}
+  ~ScopedFaultInjection() { FaultInjection::instance() = saved_; }
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+  FaultInjection& operator*() const { return FaultInjection::instance(); }
+  FaultInjection* operator->() const { return &FaultInjection::instance(); }
+
+ private:
+  FaultInjection saved_;
 };
 
 }  // namespace picloud::util

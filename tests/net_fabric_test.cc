@@ -328,7 +328,8 @@ TEST(Fabric, PerLinkDropOdometersSumToFlowsLost) {
 // with accounting skipped, the global counter advances while the per-link
 // odometers stay flat — exactly the divergence the probe must flag.
 TEST(Fabric, SkipAccountingKnobDivergesOdometerFromCounter) {
-  util::FaultInjection::instance().skip_link_drop_accounting = true;
+  util::ScopedFaultInjection faults;
+  faults->skip_link_drop_accounting = true;
   TwoHosts t(100e6);
   t.fabric.set_link_pair_loss(t.fabric.links()[0].id, 1.0);
 
@@ -344,7 +345,6 @@ TEST(Fabric, SkipAccountingKnobDivergesOdometerFromCounter) {
     t.fabric.start_flow(std::move(spec));
   }
   t.sim.run();
-  util::FaultInjection::instance().reset();
 
   EXPECT_EQ(failed, 20);
   EXPECT_EQ(t.fabric.flows_lost(), 20u);

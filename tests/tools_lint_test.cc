@@ -538,6 +538,71 @@ TEST(LintEventCapture, SuppressionCommentSilences) {
 }
 
 // ---------------------------------------------------------------------------
+// schedule-point
+
+TEST(LintSchedulePoint, FlagsDeliveryBypassingTheHub) {
+  auto diags = lint_content(
+      "src/net/x.cc",
+      "void X::go() {\n"
+      "  sim_.after(d, [this, msg]() { deliver(msg); });\n"
+      "}\n");
+  auto findings = with_rule(diags, "schedule-point");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("SchedulePoint"), std::string::npos);
+}
+
+TEST(LintSchedulePoint, FlagsL2DeliveryToo) {
+  EXPECT_TRUE(has_rule(
+      lint_content("src/net/x.cc",
+                   "void f() { deliver_to_node(node, msg); }\n"),
+      "schedule-point"));
+}
+
+TEST(LintSchedulePoint, HubConsultationIsClean) {
+  // The canonical shape: active() fast path, then the intercept() offer.
+  auto diags = lint_content(
+      "src/net/x.cc",
+      "void X::go() {\n"
+      "  sim_.after(d, [this, msg]() {\n"
+      "    if (!sim_.schedule_points().active()) {\n"
+      "      deliver(msg);\n"
+      "      return;\n"
+      "    }\n"
+      "    sim_.schedule_points().intercept(std::move(p),\n"
+      "                                     [this, msg]() { deliver(msg); });\n"
+      "  });\n"
+      "}\n");
+  EXPECT_FALSE(has_rule(diags, "schedule-point"));
+}
+
+TEST(LintSchedulePoint, DefinitionsAndOtherModulesAreOutOfScope) {
+  // The qualified member definition is not a dispatch site.
+  EXPECT_FALSE(has_rule(
+      lint_content("src/net/network.cc",
+                   "void Network::deliver(Message msg) { route(msg); }\n"),
+      "schedule-point"));
+  // The rule only patrols src/net sources.
+  EXPECT_FALSE(has_rule(
+      lint_content("src/cloud/x.cc", "void f() { deliver(msg); }\n"),
+      "schedule-point"));
+  EXPECT_FALSE(has_rule(
+      lint_content("src/net/network.h", "void f() { deliver(msg); }\n"),
+      "schedule-point"));
+  EXPECT_FALSE(has_rule(
+      lint_content("tests/x_test.cc", "void f() { deliver(msg); }\n"),
+      "schedule-point"));
+}
+
+TEST(LintSchedulePoint, SuppressionCommentSilences) {
+  auto diags = lint_content(
+      "src/net/x.cc",
+      "// picloud-lint: allow(schedule-point)\n"
+      "void f() { deliver(msg); }\n");
+  EXPECT_FALSE(has_rule(diags, "schedule-point"));
+}
+
+// ---------------------------------------------------------------------------
 // dead-symbol
 
 TEST(LintDeadSymbol, FlagsUnreferencedSrcFunctionAndType) {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/faults.h"
 #include "util/json.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -359,6 +360,34 @@ TEST(Rng, ShufflePermutes) {
   auto sorted = v;
   std::sort(sorted.begin(), sorted.end());
   EXPECT_EQ(sorted, original);
+}
+
+// ---------------------------------------------------------------------------
+// faults (ScopedFaultInjection)
+
+TEST(Faults, ScopedGuardRestoresKnobsOnExit) {
+  FaultInjection::instance().reset();
+  {
+    ScopedFaultInjection faults;
+    faults->double_count_spawn_ok = true;
+    EXPECT_TRUE(FaultInjection::instance().any());
+  }
+  EXPECT_FALSE(FaultInjection::instance().any());
+}
+
+TEST(Faults, ScopedGuardRestoresPreExistingState) {
+  // The guard restores whatever state it found — including knobs that were
+  // already flipped — not merely the all-off default.
+  FaultInjection::instance().reset();
+  FaultInjection::instance().skip_link_drop_accounting = true;
+  {
+    ScopedFaultInjection faults;
+    faults->skip_link_drop_accounting = false;
+    faults->double_count_spawn_ok = true;
+  }
+  EXPECT_TRUE(FaultInjection::instance().skip_link_drop_accounting);
+  EXPECT_FALSE(FaultInjection::instance().double_count_spawn_ok);
+  FaultInjection::instance().reset();
 }
 
 }  // namespace

@@ -244,6 +244,45 @@ void event_capture_rule(const ProjectModel& model, int fi,
   }
 }
 
+// --- schedule-point ----------------------------------------------------------
+//
+// Model-checker seam enforcement (DESIGN.md §13.1): the network's delivery
+// dispatches are where the control plane commits to a message order, and
+// every one must consult the SchedulePoint hub so an installed exploration
+// strategy can intercept it — a delivery path that bypasses the hub
+// silently escapes the model checker's state space. Heuristic: a
+// deliver()/deliver_to_node() call in a src/net source file needs a
+// `schedule_points` token within the preceding window (the active()
+// fast-path test or the intercept() offer both carry one); the qualified
+// member definitions themselves are exempt.
+
+void schedule_point_rule(const ProjectModel& model, int fi,
+                         const Reporter& report) {
+  const SourceFile& f = model.files()[fi];
+  if (f.module != "net" || f.is_header) return;
+  const FileView v(f);
+  constexpr int kWindow = 60;
+  for (int ci = 0; ci < v.n; ++ci) {
+    if (!v.is_ident(ci) || !v.punct(ci + 1, "(")) continue;
+    const std::string& name = v.tok(ci).text;
+    if (name != "deliver" && name != "deliver_to_node") continue;
+    if (v.punct(ci - 1, "::")) continue;  // definition/qualified, not a call
+    bool consulted = false;
+    for (int j = ci - 1; j >= 0 && j >= ci - kWindow; --j) {
+      if (v.ident(j, "schedule_points")) {
+        consulted = true;
+        break;
+      }
+    }
+    if (consulted) continue;
+    report(fi, v.tok(ci).line, "schedule-point",
+           "'" + name +
+               "' dispatches a delivery without consulting the SchedulePoint "
+               "hub; gate it on schedule_points().active() and offer the "
+               "parked action via intercept() (DESIGN.md §13.1)");
+  }
+}
+
 // --- rest-retry --------------------------------------------------------------
 
 void rest_retry_rule(const ProjectModel& model, int fi,
@@ -655,6 +694,9 @@ const std::vector<RuleInfo>& rule_catalogue() {
       {"event-capture",
        "[&] default-reference capture in a scheduled lambda dangles by fire "
        "time"},
+      {"schedule-point",
+       "delivery dispatch in src/net must consult the SchedulePoint hub "
+       "(model-checker seam, DESIGN.md §13.1)"},
       {"dead-symbol", "function/type defined in src/ but referenced nowhere"},
       {"bounded-queue",
        "pending-work std::deque/std::vector in src/apps or src/cloud with no "
@@ -682,6 +724,7 @@ std::vector<Diagnostic> analyze(const ProjectModel& model,
   for (int fi = 0; fi < static_cast<int>(model.files().size()); ++fi) {
     per_file_rules(model, fi, report);
     event_capture_rule(model, fi, report);
+    schedule_point_rule(model, fi, report);
     rest_retry_rule(model, fi, report);
     invariant_catalogue_rule(model, fi, report);
     hot_path_alloc_rule(model, fi, report);

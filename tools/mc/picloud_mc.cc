@@ -1,0 +1,211 @@
+// picloud_mc — command-line driver for the control-plane model checker
+// (DESIGN.md §13).
+//
+//   picloud_mc --list
+//   picloud_mc --config=duplicate-spawn [--naive] [--state-prune]
+//              [--seed=N] [--max-episodes=N] [--max-transitions=N]
+//              [--out=counterexample.json]
+//   picloud_mc --all
+//   picloud_mc --replay=counterexample.json
+//
+// Exit status: 0 = explored clean (or replay matched), 1 = violation found
+// (counterexample written), 2 = usage / IO error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mc/explorer.h"
+#include "mc/harness.h"
+#include "mc/schedule.h"
+#include "util/faults.h"
+
+namespace {
+
+using picloud::mc::ExploreResult;
+using picloud::mc::Explorer;
+using picloud::mc::ExplorerOptions;
+using picloud::mc::McConfig;
+using picloud::mc::Schedule;
+
+struct Args {
+  bool list = false;
+  bool all = false;
+  bool naive = false;
+  bool state_prune = false;
+  std::string config;
+  std::string replay;
+  std::string out;
+  std::string plant;
+  std::uint64_t seed = 1;
+  std::uint64_t max_episodes = 20000;
+  std::uint64_t max_transitions = 200000;
+};
+
+bool parse_flag(const std::string& arg, const std::string& name,
+                std::string* value) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+int usage() {
+  std::cerr
+      << "usage: picloud_mc --list | --all | --config=<name> | "
+         "--replay=<file>\n"
+         "  [--naive] [--state-prune] [--seed=N] [--max-episodes=N]\n"
+         "  [--max-transitions=N] [--out=<counterexample.json>]\n"
+         "  [--plant=<fault-knob>]   (double-count-spawn | "
+         "skip-link-drop-accounting |\n"
+         "                            recount-replayed-spawn)\n";
+  return 2;
+}
+
+void print_result(const std::string& name, const ExploreResult& r) {
+  std::printf("config %-28s episodes=%llu transitions=%llu depth=%llu "
+              "sleep_skips=%llu prunes=%llu distinct_states=%zu %s\n",
+              name.c_str(), static_cast<unsigned long long>(r.episodes),
+              static_cast<unsigned long long>(r.transitions),
+              static_cast<unsigned long long>(r.max_depth),
+              static_cast<unsigned long long>(r.sleep_skips),
+              static_cast<unsigned long long>(r.state_prunes),
+              r.end_digests.size(),
+              r.found_violation
+                  ? ("VIOLATION " + r.violation_signature).c_str()
+                  : (r.exhausted ? "exhausted" : "budget"));
+}
+
+int explore_one(const Args& args, const std::string& name) {
+  auto config = picloud::mc::mc_config(name);
+  if (!config.ok()) {
+    std::cerr << "picloud_mc: " << config.error().message << "\n";
+    return 2;
+  }
+  config.value().seed = args.seed;
+  ExplorerOptions options;
+  options.dpor = !args.naive;
+  options.state_prune = args.state_prune;
+  options.max_episodes = args.max_episodes;
+  options.max_transitions = args.max_transitions;
+  Explorer explorer(config.value(), options);
+  ExploreResult result = explorer.run();
+  print_result(name, result);
+  if (!result.found_violation) return 0;
+
+  Schedule minimized = picloud::mc::minimize_schedule(result.counterexample);
+  std::printf("  counterexample: %zu decisions, minimized to %zu\n",
+              result.counterexample.choices.size(),
+              minimized.choices.size());
+  const std::string out =
+      args.out.empty() ? ("mc_counterexample_" + name + ".json") : args.out;
+  std::ofstream file(out);
+  if (!file) {
+    std::cerr << "picloud_mc: cannot write " << out << "\n";
+    return 2;
+  }
+  file << minimized.dump() << "\n";
+  std::printf("  wrote %s\n", out.c_str());
+  return 1;
+}
+
+int replay(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    std::cerr << "picloud_mc: cannot read " << path << "\n";
+    return 2;
+  }
+  std::stringstream buf;
+  buf << file.rdbuf();
+  auto schedule = Schedule::parse(buf.str());
+  if (!schedule.ok()) {
+    std::cerr << "picloud_mc: " << schedule.error().message << "\n";
+    return 2;
+  }
+  auto episode = picloud::mc::replay_schedule(schedule.value());
+  if (!episode.ok()) {
+    std::cerr << "picloud_mc: " << episode.error().message << "\n";
+    return 2;
+  }
+  const std::string signature = episode.value().violation_signature();
+  const bool signature_ok = signature == schedule.value().violation;
+  const bool digest_ok = episode.value().digest == schedule.value().digest;
+  std::printf("replay %s: signature %s (%s) digest %s\n", path.c_str(),
+              signature.empty() ? "<clean>" : signature.c_str(),
+              signature_ok ? "match" : "MISMATCH",
+              digest_ok ? "bit-identical" : "MISMATCH");
+  for (const auto& v : episode.value().violations) {
+    std::printf("  t=%lldns %s: %s\n", static_cast<long long>(v.t_ns),
+                v.probe.c_str(), v.message.c_str());
+  }
+  return (signature_ok && digest_ok) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  std::string value;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      args.list = true;
+    } else if (arg == "--all") {
+      args.all = true;
+    } else if (arg == "--naive") {
+      args.naive = true;
+    } else if (arg == "--state-prune") {
+      args.state_prune = true;
+    } else if (parse_flag(arg, "config", &args.config) ||
+               parse_flag(arg, "replay", &args.replay) ||
+               parse_flag(arg, "out", &args.out) ||
+               parse_flag(arg, "plant", &args.plant)) {
+      // parsed
+    } else if (parse_flag(arg, "seed", &value)) {
+      args.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parse_flag(arg, "max-episodes", &value)) {
+      args.max_episodes = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parse_flag(arg, "max-transitions", &value)) {
+      args.max_transitions = std::strtoull(value.c_str(), nullptr, 10);
+    } else {
+      return usage();
+    }
+  }
+
+  if (args.list) {
+    for (const std::string& name : picloud::mc::list_mc_configs()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+  // Planted-bug mode (DESIGN.md §13.4): flip a fault-injection knob for the
+  // whole exploration / replay so the checker's probes have something to
+  // catch. The guard restores the knob on every exit path.
+  picloud::util::ScopedFaultInjection faults;
+  if (!args.plant.empty()) {
+    if (args.plant == "double-count-spawn") {
+      faults->double_count_spawn_ok = true;
+    } else if (args.plant == "skip-link-drop-accounting") {
+      faults->skip_link_drop_accounting = true;
+    } else if (args.plant == "recount-replayed-spawn") {
+      faults->recount_replayed_spawn = true;
+    } else {
+      std::cerr << "picloud_mc: unknown fault knob " << args.plant << "\n";
+      return usage();
+    }
+  }
+  if (!args.replay.empty()) return replay(args.replay);
+  if (args.all) {
+    int status = 0;
+    for (const std::string& name : picloud::mc::list_mc_configs()) {
+      const int s = explore_one(args, name);
+      if (s != 0) status = s == 2 ? 2 : 1;
+    }
+    return status;
+  }
+  if (!args.config.empty()) return explore_one(args, args.config);
+  return usage();
+}
