@@ -94,6 +94,91 @@ void BM_FabricReallocate(benchmark::State& state) {
 }
 BENCHMARK(BM_FabricReallocate)->Arg(8)->Arg(64)->Arg(256);
 
+// Incremental-solver churn cost (DESIGN.md §14): a fat-tree carrying a
+// local flow fleet, two flows per host, one cancel+start pair per churn
+// event. Traffic pairs hosts within fixed 4-host groups (4 divides the
+// rack size at every even k >= 8), so the flow-sharing component an event
+// touches is the same size at every scale — "fixed churn". With the
+// dirty-set solver the per-event cost tracks that component — flat from
+// k=8 (128 hosts, 256 flows) to k=16 (1,024 hosts, 2,048 flows) — while
+// the progressive-filling oracle re-solves the whole fleet every event.
+// steps_per_event (heap ops + flow visits + link scans) is deterministic:
+// it moves only when the solver changes, never with the host, which is
+// what the CI flatness gate keys on.
+struct FabricChurnWorld {
+  static constexpr int kGroup = 4;  // churn locality, constant across k
+
+  sim::Simulation sim{1};
+  net::Fabric fabric{sim};
+  net::Topology topo;
+  std::vector<net::FlowId> ids;
+  std::size_t cursor = 0;
+
+  FabricChurnWorld(int k, net::SolverMode mode) {
+    net::FatTreeConfig cfg;
+    cfg.k = k;
+    topo = net::build_fat_tree(fabric, cfg);
+    fabric.set_solver_mode(mode);
+    const int n = static_cast<int>(topo.hosts.size());
+    ids.reserve(static_cast<size_t>(n) * 2);
+    for (int i = 0; i < n; ++i) {
+      for (int f = 1; f <= 2; ++f) {
+        ids.push_back(fabric.start_flow(spec_for(i, f)));
+      }
+    }
+  }
+
+  net::FlowSpec spec_for(int host, int offset) const {
+    const int group_base = (host / kGroup) * kGroup;
+    net::FlowSpec spec;
+    spec.src = topo.hosts[static_cast<size_t>(host)];
+    spec.dst = topo.hosts[static_cast<size_t>(
+        group_base + (host - group_base + offset) % kGroup)];
+    spec.bytes = 1e12;  // effectively infinite: rates churn, flows persist
+    return spec;
+  }
+
+  void churn() {
+    const std::size_t slot = cursor % ids.size();
+    fabric.cancel_flow(ids[slot]);
+    ids[slot] = fabric.start_flow(
+        spec_for(static_cast<int>(slot / 2), static_cast<int>(slot % 2) + 1));
+    ++cursor;
+  }
+
+  // Deterministic work metric across both solvers.
+  std::uint64_t solver_steps() const {
+    const net::FabricSolverStats& st = fabric.solver_stats();
+    return st.heap_ops + st.flow_visits + st.link_scans;
+  }
+};
+
+void BM_FabricChurn(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const bool oracle = state.range(1) != 0;
+  FabricChurnWorld world(
+      k, oracle ? net::SolverMode::kFullOracle  // picloud-lint: allow(full-solve)
+                : net::SolverMode::kIncremental);
+  const std::uint64_t steps_before = world.solver_steps();
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    world.churn();
+    ++events;
+  }
+  state.counters["steps_per_event"] =
+      static_cast<double>(world.solver_steps() - steps_before) /
+      static_cast<double>(events);
+  state.SetLabel(std::to_string(world.topo.hosts.size()) + " hosts, " +
+                 std::to_string(world.ids.size()) + " flows, " +
+                 (oracle ? "oracle" : "incremental"));
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_FabricChurn)
+    ->Args({8, 0})
+    ->Args({16, 0})
+    ->Args({8, 1})
+    ->Args({16, 1});
+
 // Whole-cloud boot: 56 nodes x (DHCP DORA + registration + heartbeats).
 void BM_CloudBoot(benchmark::State& state) {
   for (auto _ : state) {
@@ -426,6 +511,28 @@ void write_perf_baseline() {
     util::Logging::set_level(prev_level);
   }
 
+  // (7) fabric churn at scale (DESIGN.md §14): the incremental solver's
+  // per-event cost on rack-local churn at k=8 vs k=16. steps/event is a
+  // deterministic instruction-independent work count; the k16/k8 ratio is
+  // the flatness number CI gates on (≤2x: cost tracks churn, not fleet).
+  constexpr int kChurnEvents = 2000;
+  double churn_steps_per_event[2] = {0, 0};
+  double churn_events_per_sec[2] = {0, 0};
+  {
+    const int ks[2] = {8, 16};
+    for (int i = 0; i < 2; ++i) {
+      FabricChurnWorld world(ks[i], net::SolverMode::kIncremental);
+      const std::uint64_t steps_before = world.solver_steps();
+      double wall = wall_seconds([&]() {
+        for (int e = 0; e < kChurnEvents; ++e) world.churn();
+      });
+      churn_steps_per_event[i] =
+          static_cast<double>(world.solver_steps() - steps_before) /
+          kChurnEvents;
+      churn_events_per_sec[i] = kChurnEvents / wall;
+    }
+  }
+
   util::Json doc(util::JsonObject{
       {"tool", "bench_sim_perf"},
       {"version", 2},
@@ -442,6 +549,7 @@ void write_perf_baseline() {
                      {"fuzz_seeds", kFuzzSeeds},
                      {"mc_configs",
                       static_cast<double>(mc::list_mc_configs().size())},
+                     {"fabric_churn_events", kChurnEvents},
                  })},
       {"metrics", util::Json(util::JsonObject{
                       {"events_per_sec", events_per_sec},
@@ -456,6 +564,16 @@ void write_perf_baseline() {
                       {"mc_dpor_pruning_ratio",
                        static_cast<double>(mc_naive_episodes) /
                            static_cast<double>(mc_dpor_episodes)},
+                      {"fabric_churn_k8_steps_per_event",
+                       churn_steps_per_event[0]},
+                      {"fabric_churn_k16_steps_per_event",
+                       churn_steps_per_event[1]},
+                      {"fabric_churn_k8_events_per_sec",
+                       churn_events_per_sec[0]},
+                      {"fabric_churn_k16_events_per_sec",
+                       churn_events_per_sec[1]},
+                      {"fabric_churn_scale_ratio",
+                       churn_steps_per_event[1] / churn_steps_per_event[0]},
                   })},
   });
   std::ofstream out(env, std::ios::binary);

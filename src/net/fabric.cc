@@ -25,6 +25,12 @@ Fabric::Fabric(sim::Simulation& sim) : sim_(sim) {
   reroutes_ = &m.counter("net.fabric.reroutes");
 }
 
+void Fabric::reserve_topology(size_t nodes, size_t link_pairs) {
+  nodes_.reserve(nodes_.size() + nodes);
+  links_.reserve(links_.size() + 2 * link_pairs);
+  link_flows_.reserve(links_.size() + 2 * link_pairs);
+}
+
 NetNodeId Fabric::add_node(NodeKind kind, std::string name) {
   NetNodeId id = static_cast<NetNodeId>(nodes_.size());
   nodes_.push_back(NetNode{id, kind, std::move(name), {}});
@@ -45,6 +51,7 @@ std::pair<LinkId, LinkId> Fabric::add_link(NetNodeId a, NetNodeId b,
       DirectedLink{ba, b, a, capacity_bps, delay, true, 0, 0, 0, 0, 0});
   nodes_[a].out_links.push_back(ab);
   nodes_[b].out_links.push_back(ba);
+  link_flows_.resize(links_.size());
   return {ab, ba};
 }
 
@@ -204,8 +211,32 @@ FlowId Fabric::start_flow(FlowSpec spec) {
   flow.path = std::move(path);
   flow.remaining_bytes = std::max(flow.spec.bytes, kDrainEpsilonBytes);
   flow.last_update = sim_.now();
-  flows_.emplace(id, std::move(flow));
-  reallocate();
+  Flow& stored = flows_.emplace(id, std::move(flow)).first->second;
+  for (LinkId lid : stored.path) link_flows_[lid].insert(id);
+
+  if (mode_ == SolverMode::kIncremental && pending_dirty_.empty() &&
+      path_uncontended(stored.path)) {
+    // Constant tier: no link on the path carries another flow, so the new
+    // flow runs at the path's narrowest capacity and nothing else moves.
+    // This equals what progressive filling computes for a singleton
+    // component (first bottleneck round fixes the flow at min capacity),
+    // so rates stay bit-identical to the oracle.
+    ++stats_.solves;
+    ++stats_.fast_path;
+    settle_all();
+    double rate = std::numeric_limits<double>::infinity();
+    for (LinkId lid : stored.path) {
+      rate = std::min(rate, links_[lid].capacity_bps);
+    }
+    stored.rate_bps = std::max(rate, 0.0);
+    for (LinkId lid : stored.path) {
+      links_[lid].allocated_bps = stored.rate_bps;
+      links_[lid].active_flows = 1;
+    }
+    schedule_completion(stored);
+  } else {
+    resolve_after_change(stored.path);
+  }
   return id;
 }
 
@@ -238,52 +269,228 @@ void Fabric::settle(Flow& flow) {
   flow.last_update = sim_.now();
 }
 
-void Fabric::reallocate() {
-  // 1. Settle all flows to now.
+void Fabric::settle_all() {
   for (auto& [id, flow] : flows_) settle(flow);
+}
 
-  // 2. Progressive-filling max-min fair share.
-  std::vector<double> residual(links_.size());
-  std::vector<int> unfixed_count(links_.size(), 0);
-  for (const auto& l : links_) residual[l.id] = l.capacity_bps;
-  for (auto& [id, flow] : flows_) {
-    flow.rate_bps = -1;  // unfixed marker
-    for (LinkId lid : flow.path) ++unfixed_count[lid];
+bool Fabric::path_uncontended(const std::vector<LinkId>& path) const {
+  for (LinkId lid : path) {
+    if (link_flows_[lid].size() != 1) return false;
+  }
+  return true;
+}
+
+void Fabric::schedule_completion(Flow& flow) {
+  // When a flow's rate is unchanged its projected finish time is unchanged
+  // too (settle() moved last_update and remaining consistently), so the
+  // existing event stays — this keeps event churn proportional to the flows
+  // a change actually touched.
+  if (flow.completion_event != 0 && flow.rate_bps == flow.scheduled_rate) {
+    return;
+  }
+  if (flow.completion_event != 0) {
+    sim_.cancel(flow.completion_event);
+    flow.completion_event = 0;
+  }
+  flow.scheduled_rate = flow.rate_bps;
+  if (flow.rate_bps <= 0) {
+    // No capacity at all (fully saturated zero-residual path after a cut);
+    // leave the flow parked — the next solve will retry.
+    return;
+  }
+  double seconds = flow.remaining_bytes * 8.0 / flow.rate_bps;
+  FlowId fid = flow.id;
+  flow.completion_event =
+      sim_.after(sim::Duration::seconds(seconds),
+                 [this, fid]() { finish_flow(fid, /*success=*/true); });
+}
+
+void Fabric::resolve_after_change(const std::vector<LinkId>& seed) {
+  pending_dirty_.insert(pending_dirty_.end(), seed.begin(), seed.end());
+  ++stats_.solves;
+  settle_all();
+  if (mode_ == SolverMode::kFullOracle) {
+    pending_dirty_.clear();
+    run_filling_full();
+  } else {
+    solve_component();
+    pending_dirty_.clear();
+  }
+}
+
+void Fabric::reallocate_full() {
+  ++stats_.solves;
+  pending_dirty_.clear();
+  settle_all();
+  run_filling_full();
+}
+
+// Incremental max-min: progressive filling restricted to the connected
+// component of links reachable from the dirty set through shared flows.
+// Components share no links or flows, so a component-local fill computes
+// exactly the values a whole-fabric fill would (same divisions on the same
+// operands, same ascending-id tie-breaks) — flows outside keep their rates
+// and their scheduled completion events bit-for-bit.
+// picloud-hot
+void Fabric::solve_component() {
+  ++stats_.component_solves;
+  if (++epoch_ == 0) {
+    // Stamp wrap (once per 2^32 solves): clear stale marks and restart.
+    std::fill(link_epoch_.begin(), link_epoch_.end(), 0u);
+    for (auto& [id, flow] : flows_) flow.mark_epoch = 0;
+    epoch_ = 1;
+  }
+  link_epoch_.resize(links_.size(), 0u);
+  residual_.resize(links_.size());
+  unfixed_.resize(links_.size());
+  comp_links_.clear();
+  comp_flows_.clear();
+  bfs_stack_.clear();
+
+  // Closure: alternate links -> flows crossing them -> those flows' links.
+  for (LinkId lid : pending_dirty_) {
+    if (link_epoch_[lid] == epoch_) continue;
+    link_epoch_[lid] = epoch_;
+    comp_links_.push_back(lid);
+    bfs_stack_.push_back(lid);
+  }
+  while (!bfs_stack_.empty()) {
+    LinkId lid = bfs_stack_.back();
+    bfs_stack_.pop_back();
+    for (FlowId fid : link_flows_[lid]) {
+      Flow& flow = flows_.find(fid)->second;
+      if (flow.mark_epoch == epoch_) continue;
+      flow.mark_epoch = epoch_;
+      comp_flows_.push_back(&flow);
+      for (LinkId pl : flow.path) {
+        if (link_epoch_[pl] == epoch_) continue;
+        link_epoch_[pl] = epoch_;
+        comp_links_.push_back(pl);
+        bfs_stack_.push_back(pl);
+      }
+    }
+  }
+  // Ascending flow id everywhere below, matching the oracle's map order.
+  std::sort(comp_flows_.begin(), comp_flows_.end(),
+            [](const Flow* a, const Flow* b) { return a->id < b->id; });
+  stats_.component_links += comp_links_.size();
+  stats_.component_flows += comp_flows_.size();
+
+  for (LinkId lid : comp_links_) {
+    residual_[lid] = links_[lid].capacity_bps;
+    unfixed_[lid] = 0;
+  }
+  for (Flow* flow : comp_flows_) {
+    flow->rate_bps = -1;  // unfixed marker
+    for (LinkId lid : flow->path) ++unfixed_[lid];
   }
 
-  size_t unfixed = flows_.size();
-  while (unfixed > 0) {
-    // Find the bottleneck link: minimum fair share among loaded links.
-    double best = std::numeric_limits<double>::infinity();
+  // Bottleneck search via a lazy-invalidation min-heap: every time a link's
+  // (residual, unfixed) pair changes we push a fresh (share, id) entry; a
+  // popped entry is discarded unless it still equals the live share. The
+  // live minimum is always present, so pops surface the same
+  // (min share, min id) the oracle's whole-table scan selects.
+  share_heap_.clear();
+  auto heap_push = [this](LinkId lid) {
+    share_heap_.emplace_back(residual_[lid] / unfixed_[lid], lid);
+    std::push_heap(share_heap_.begin(), share_heap_.end(), std::greater<>{});
+    ++stats_.heap_ops;
+  };
+  for (LinkId lid : comp_links_) {
+    if (unfixed_[lid] > 0) heap_push(lid);
+  }
+  size_t unfixed_flows = comp_flows_.size();
+  while (unfixed_flows > 0) {
     LinkId best_link = kInvalidLink;
-    for (const auto& l : links_) {
-      if (unfixed_count[l.id] == 0) continue;
-      double share = residual[l.id] / unfixed_count[l.id];
-      if (share < best) {
-        best = share;
-        best_link = l.id;
-      }
+    double best = 0;
+    while (!share_heap_.empty()) {
+      auto [share, lid] = share_heap_.front();
+      std::pop_heap(share_heap_.begin(), share_heap_.end(), std::greater<>{});
+      share_heap_.pop_back();
+      ++stats_.heap_ops;
+      if (unfixed_[lid] == 0) continue;  // fully fixed since pushed
+      if (residual_[lid] / unfixed_[lid] != share) continue;  // stale entry
+      best_link = lid;
+      best = share;
+      break;
     }
     if (best_link == kInvalidLink) break;  // defensive; cannot happen
     // Floating-point residue can drive a residual slightly negative; a fixed
     // rate must never be, or the flow would look unfixed to later rounds.
     best = std::max(best, 0.0);
     // Fix every unfixed flow crossing the bottleneck at the fair share.
-    for (auto& [id, flow] : flows_) {
+    for (FlowId fid : link_flows_[best_link]) {
+      ++stats_.flow_visits;
+      Flow& flow = flows_.find(fid)->second;
       if (flow.rate_bps >= 0) continue;
-      bool crosses = std::find(flow.path.begin(), flow.path.end(),
-                               best_link) != flow.path.end();
-      if (!crosses) continue;
       flow.rate_bps = best;
-      --unfixed;
+      --unfixed_flows;
       for (LinkId lid : flow.path) {
-        residual[lid] -= best;
-        --unfixed_count[lid];
+        residual_[lid] -= best;
+        if (--unfixed_[lid] > 0) heap_push(lid);
       }
     }
   }
 
-  // 3. Refresh link allocation gauges.
+  // Refresh gauges on component links only (closure: every flow crossing a
+  // component link is a component flow, so the sums are complete).
+  for (LinkId lid : comp_links_) {
+    links_[lid].allocated_bps = 0;
+    links_[lid].active_flows = 0;
+  }
+  for (Flow* flow : comp_flows_) {
+    for (LinkId lid : flow->path) {
+      links_[lid].allocated_bps += flow->rate_bps;
+      links_[lid].active_flows += 1;
+    }
+  }
+  for (Flow* flow : comp_flows_) schedule_completion(*flow);
+}
+
+// The reference oracle: whole-fabric progressive-filling max-min fair share.
+// Kept verbatim from the original eager solver, except bottleneck rounds fix
+// flows via the per-link flow sets instead of an O(flows) path scan (same
+// flows, same ascending-id order, same arithmetic — bit-identical rates).
+void Fabric::run_filling_full() {
+  ++stats_.full_solves;
+  residual_.assign(links_.size(), 0.0);
+  unfixed_.assign(links_.size(), 0);
+  for (const auto& l : links_) residual_[l.id] = l.capacity_bps;
+  for (auto& [id, flow] : flows_) {
+    flow.rate_bps = -1;  // unfixed marker
+    for (LinkId lid : flow.path) ++unfixed_[lid];
+  }
+
+  size_t unfixed_flows = flows_.size();
+  while (unfixed_flows > 0) {
+    // Find the bottleneck link: minimum fair share among loaded links.
+    double best = std::numeric_limits<double>::infinity();
+    LinkId best_link = kInvalidLink;
+    for (const auto& l : links_) {
+      if (unfixed_[l.id] == 0) continue;
+      ++stats_.link_scans;
+      double share = residual_[l.id] / unfixed_[l.id];
+      if (share < best) {
+        best = share;
+        best_link = l.id;
+      }
+    }
+    if (best_link == kInvalidLink) break;  // defensive; cannot happen
+    best = std::max(best, 0.0);
+    for (FlowId fid : link_flows_[best_link]) {
+      ++stats_.flow_visits;
+      Flow& flow = flows_.find(fid)->second;
+      if (flow.rate_bps >= 0) continue;
+      flow.rate_bps = best;
+      --unfixed_flows;
+      for (LinkId lid : flow.path) {
+        residual_[lid] -= best;
+        --unfixed_[lid];
+      }
+    }
+  }
+
+  // Refresh link allocation gauges.
   for (auto& l : links_) {
     l.allocated_bps = 0;
     l.active_flows = 0;
@@ -295,30 +502,7 @@ void Fabric::reallocate() {
     }
   }
 
-  // 4. Reschedule completion events. When a flow's rate is unchanged its
-  // projected finish time is unchanged too (settle() moved last_update and
-  // remaining consistently), so the existing event stays — this keeps event
-  // churn proportional to the flows a change actually touched.
-  for (auto& [id, flow] : flows_) {
-    if (flow.completion_event != 0 && flow.rate_bps == flow.scheduled_rate) {
-      continue;
-    }
-    if (flow.completion_event != 0) {
-      sim_.cancel(flow.completion_event);
-      flow.completion_event = 0;
-    }
-    flow.scheduled_rate = flow.rate_bps;
-    if (flow.rate_bps <= 0) {
-      // No capacity at all (fully saturated zero-residual path after a cut);
-      // leave the flow parked — the next reallocate will retry.
-      continue;
-    }
-    double seconds = flow.remaining_bytes * 8.0 / flow.rate_bps;
-    FlowId fid = id;
-    flow.completion_event =
-        sim_.after(sim::Duration::seconds(seconds),
-                   [this, fid]() { finish_flow(fid, /*success=*/true); });
-  }
+  for (auto& [id, flow] : flows_) schedule_completion(flow);
 }
 
 void Fabric::finish_flow(FlowId id, bool success) {
@@ -328,14 +512,37 @@ void Fabric::finish_flow(FlowId id, bool success) {
   settle(flow);
   if (flow.completion_event != 0) sim_.cancel(flow.completion_event);
   FlowCallback cb = std::move(flow.spec.on_complete);
+  std::vector<LinkId> path = std::move(flow.path);
   flows_.erase(it);
+  for (LinkId lid : path) link_flows_[lid].erase(id);
   if (success) {
     flows_completed_->inc();
   } else {
     flows_failed_->inc();
   }
   if (routing_ != nullptr) routing_->on_flow_end(id);
-  reallocate();
+
+  bool links_now_idle = true;
+  for (LinkId lid : path) {
+    if (!link_flows_[lid].empty()) {
+      links_now_idle = false;
+      break;
+    }
+  }
+  if (mode_ == SolverMode::kIncremental && pending_dirty_.empty() &&
+      links_now_idle) {
+    // Constant tier: the departed flow shared no link with anyone, so no
+    // other rate can move — just settle and zero the path's gauges.
+    ++stats_.solves;
+    ++stats_.fast_path;
+    settle_all();
+    for (LinkId lid : path) {
+      links_[lid].allocated_bps = 0;
+      links_[lid].active_flows = 0;
+    }
+  } else {
+    resolve_after_change(path);
+  }
   if (cb) cb(id, success);
 }
 
@@ -367,19 +574,18 @@ void Fabric::set_link_pair_up(LinkId id, bool up) {
   LOG_INFO("fabric", "link %s <-> %s %s", nodes_[links_[a].from].name.c_str(),
            nodes_[links_[a].to].name.c_str(), up ? "up" : "DOWN");
   if (up) {
-    reallocate();
+    resolve_after_change({a, b});
     return;
   }
-  // Reroute or fail the flows that crossed the dead pair.
-  std::vector<FlowId> affected;
-  for (const auto& [fid, flow] : flows_) {
-    for (LinkId lid : flow.path) {
-      if (lid == a || lid == b) {
-        affected.push_back(fid);
-        break;
-      }
-    }
-  }
+  // Reroute or fail the flows that crossed the dead pair. The per-link flow
+  // sets give the affected set directly; merged ascending it matches the
+  // flow-id order the original whole-map scan produced.
+  std::vector<FlowId> affected(link_flows_[a].begin(), link_flows_[a].end());
+  affected.insert(affected.end(), link_flows_[b].begin(),
+                  link_flows_[b].end());
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
   for (FlowId fid : affected) {
     auto it = flows_.find(fid);
     if (it == flows_.end()) continue;
@@ -390,11 +596,45 @@ void Fabric::set_link_pair_up(LinkId id, bool up) {
     if (new_path.empty()) {
       finish_flow(fid, /*success=*/false);
     } else {
+      // Both the abandoned and the adopted links feed the dirty set; the
+      // next solve (possibly a finish_flow-triggered one mid-loop) folds
+      // them into its component.
+      for (LinkId lid : flow.path) {
+        link_flows_[lid].erase(fid);
+        pending_dirty_.push_back(lid);
+      }
+      for (LinkId lid : new_path) {
+        link_flows_[lid].insert(fid);
+        pending_dirty_.push_back(lid);
+      }
       flow.path = std::move(new_path);
       reroutes_->inc();
     }
   }
-  reallocate();
+  resolve_after_change({a, b});
+}
+
+void Fabric::set_link_pair_capacity(LinkId id, double capacity_bps) {
+  PICLOUD_CHECK_GT(capacity_bps, 0) << "set_link_pair_capacity";
+  LinkId a = id;
+  LinkId b = reverse(id);
+  links_[a].capacity_bps = capacity_bps;
+  links_[b].capacity_bps = capacity_bps;
+  PICLOUD_TRACE(sim_.trace(), "net.fabric", "link_capacity",
+                {"from", nodes_[links_[a].from].name},
+                {"to", nodes_[links_[a].to].name});
+  if (routing_ != nullptr) {
+    routing_->on_link_changed(a);
+    routing_->on_link_changed(b);
+  }
+  resolve_after_change({a, b});
+}
+
+std::vector<FlowId> Fabric::active_flow_ids() const {
+  std::vector<FlowId> ids;
+  ids.reserve(flows_.size());
+  for (const auto& [id, flow] : flows_) ids.push_back(id);
+  return ids;
 }
 
 double Fabric::max_link_utilization() const {

@@ -11,6 +11,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -74,6 +75,11 @@ class RoutingProvider {
                                     NetNodeId dst, FlowId flow) = 0;
   // Notified when a flow finishes or is cancelled (lets SDN age rules).
   virtual void on_flow_end(FlowId /*flow*/) {}
+  // Notified when a directed link's properties (capacity) change so cached
+  // routing state chosen under the old properties can be invalidated. Not
+  // fired for up/down transitions — those are already handled lazily by the
+  // providers' dead-link checks.
+  virtual void on_link_changed(LinkId /*link*/) {}
 };
 
 // Completion callback: success=false when the flow was failed by a link cut
@@ -87,11 +93,42 @@ struct FlowSpec {
   FlowCallback on_complete;  // may be empty
 };
 
+// Which bandwidth solver runs on flow add/remove/link-change.
+enum class SolverMode {
+  // Dirty-set incremental solver (default): re-solves only the connected
+  // component of links reachable from the changed links through shared
+  // flows, with a constant-time fast tier for uncontended paths. Flows
+  // outside the component keep their rates and completion events untouched.
+  kIncremental,
+  // Whole-fabric progressive filling on every change — the original
+  // algorithm, kept as the in-tree reference oracle for differential tests.
+  kFullOracle,
+};
+
+// Deterministic work counters for the bandwidth solver. Plain values (not
+// registry counters) so they never perturb metrics snapshots or digests;
+// tests use deltas of these to pin algorithmic cost without wall clocks.
+struct FabricSolverStats {
+  std::uint64_t solves = 0;            // solver invocations, any tier
+  std::uint64_t full_solves = 0;       // whole-fabric progressive fillings
+  std::uint64_t component_solves = 0;  // dirty-set component re-solves
+  std::uint64_t fast_path = 0;         // uncontended-path constant-tier hits
+  std::uint64_t component_links = 0;   // links swept by component re-solves
+  std::uint64_t component_flows = 0;   // flows swept by component re-solves
+  std::uint64_t flow_visits = 0;       // flows touched fixing bottlenecks
+  std::uint64_t heap_ops = 0;          // share-heap pushes + pops
+  std::uint64_t link_scans = 0;        // per-round link evaluations (oracle)
+};
+
 class Fabric {
  public:
   explicit Fabric(sim::Simulation& sim);
 
   // --- Topology construction -----------------------------------------------
+  // Pre-sizes the node/link/flow-set arrays. Generated topologies (fat-tree
+  // k=16 is ~1.3k nodes, ~6.3k directed links) call this with exact counts
+  // so construction never rehashes or reallocates mid-build.
+  void reserve_topology(size_t nodes, size_t link_pairs);
   NetNodeId add_node(NodeKind kind, std::string name);
   // Adds a full-duplex link (two directed links). Returns {a->b, b->a}.
   std::pair<LinkId, LinkId> add_link(NetNodeId a, NetNodeId b,
@@ -113,6 +150,14 @@ class Fabric {
   // The reverse direction of a directed link.
   LinkId reverse(LinkId id) const;
   size_t active_flow_count() const { return flows_.size(); }
+  // Ids of all active flows, ascending. For invariant probes and tests.
+  std::vector<FlowId> active_flow_ids() const;
+  // Number of active flows whose path crosses a directed link (from the
+  // solver's per-link flow sets; cross-checked against the active_flows
+  // gauge by the fabric-conservation probe).
+  size_t link_flow_count(LinkId id) const {
+    return id < link_flows_.size() ? link_flows_[id].size() : 0;
+  }
   sim::Simulation& simulation() { return sim_; }
 
   // BFS shortest path over up links (deterministic neighbour order).
@@ -140,6 +185,25 @@ class Fabric {
   void set_link_pair_loss(LinkId id, double loss_p);
   // Reseeds the loss stream (chaos injectors tie it to their own seed).
   void seed_loss_rng(std::uint64_t seed) { loss_rng_ = util::Rng(seed); }
+  // Changes the capacity of both directions of a full-duplex pair and
+  // re-solves the affected component. Notifies the routing provider via
+  // on_link_changed so congestion-aware cached paths can be invalidated.
+  void set_link_pair_capacity(LinkId id, double capacity_bps);
+
+  // --- Solver ---------------------------------------------------------------
+  // Switches between the incremental solver and the whole-fabric oracle.
+  // Both produce bit-identical rates; the oracle exists so differential
+  // tests can prove that. Switch only while no flows are active (the
+  // incremental bookkeeping is maintained in both modes, so this is not
+  // strictly required, but keeps comparisons clean).
+  void set_solver_mode(SolverMode mode) { mode_ = mode; }
+  SolverMode solver_mode() const { return mode_; }
+  // Reference oracle: settles every flow and re-runs whole-fabric
+  // progressive filling. Production code must not call this — the analyzer
+  // flags it outside fabric.cc/tests (escape: allow(full-solve)).
+  void reallocate_full();
+  // Deterministic solver work counters (monotonic; never reset).
+  const FabricSolverStats& solver_stats() const { return stats_; }
 
   // --- Flows -----------------------------------------------------------------
   // Starts a byte flow. Completion fires when the last byte has been
@@ -180,12 +244,30 @@ class Fabric {
     double scheduled_rate = -1;
     sim::SimTime last_update;
     sim::EventId completion_event = 0;
+    // Component-BFS visit stamp (solver scratch; see solve_component).
+    std::uint32_t mark_epoch = 0;
   };
 
   // Charges elapsed transfer against remaining bytes and link counters.
   void settle(Flow& flow);
-  // Recomputes all rates (max-min fair) and reschedules completions.
-  void reallocate();
+  // Settles every active flow to now, in flow-id order. Runs before every
+  // solve, full or partial: remaining-byte rounding trajectories (and thus
+  // completion times) depend on the settle cadence, so partial re-solves
+  // must keep the oracle's cadence to stay bit-identical.
+  void settle_all();
+  // Cancels/reschedules a flow's completion event after a rate change
+  // (no-op when the rate is unchanged — the reschedule guard).
+  void schedule_completion(Flow& flow);
+  // Merges `seed` into the pending dirty set, settles, and re-solves: the
+  // dirty component under kIncremental, the whole fabric under kFullOracle.
+  void resolve_after_change(const std::vector<LinkId>& seed);
+  // Progressive filling restricted to the connected component of links
+  // reachable from the pending dirty set through shared flows.
+  void solve_component();
+  // Whole-fabric progressive filling (shared by reallocate_full()).
+  void run_filling_full();
+  // Constant tier: true when every path link carries exactly one flow.
+  bool path_uncontended(const std::vector<LinkId>& path) const;
   void finish_flow(FlowId id, bool success);
   std::vector<LinkId> route_flow(NetNodeId src, NetNodeId dst, FlowId id);
 
@@ -195,6 +277,24 @@ class Fabric {
   RoutingProvider* routing_ = nullptr;
   std::map<FlowId, Flow> flows_;  // ordered -> deterministic allocation
   FlowId next_flow_id_ = 1;
+  SolverMode mode_ = SolverMode::kIncremental;
+  FabricSolverStats stats_;
+  // flow ids crossing each directed link (ordered: bottleneck rounds fix
+  // flows in ascending id, matching the oracle's whole-map scan order).
+  std::vector<std::set<FlowId>> link_flows_;
+  // Links whose flow sets or properties changed since the last solve.
+  // Mutations (reroutes mid link-cut) accumulate here; the next solve
+  // consumes it as the component seed.
+  std::vector<LinkId> pending_dirty_;
+  // Solver scratch, reused across solves so steady state never allocates.
+  std::vector<LinkId> comp_links_;
+  std::vector<Flow*> comp_flows_;
+  std::vector<LinkId> bfs_stack_;
+  std::vector<double> residual_;
+  std::vector<int> unfixed_;
+  std::vector<std::pair<double, LinkId>> share_heap_;
+  std::vector<std::uint32_t> link_epoch_;
+  std::uint32_t epoch_ = 0;
   // Registry counter handles under `net.fabric.*` (never null).
   util::Counter* flows_started_ = nullptr;
   util::Counter* flows_completed_ = nullptr;

@@ -29,6 +29,19 @@ void FlowTable::remove(NetNodeId src, NetNodeId dst) {
   rules_.erase({src, dst});
 }
 
+size_t FlowTable::remove_by_link(LinkId link) {
+  size_t evicted = 0;
+  for (auto it = rules_.begin(); it != rules_.end();) {
+    if (it->second.out_link == link) {
+      it = rules_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
 size_t FlowTable::evict_idle(sim::SimTime now, sim::Duration idle_timeout) {
   size_t evicted = 0;
   for (auto it = rules_.begin(); it != rules_.end();) {
@@ -157,6 +170,12 @@ void SdnController::install_path(Fabric& fabric, NetNodeId src, NetNodeId dst,
     if (fabric.node(from).kind == NodeKind::kHost) continue;
     tables_[from].install(src, dst, lid, sim_.now());
     rules_installed_->inc();
+  }
+}
+
+void SdnController::on_link_changed(LinkId link) {
+  for (auto& [node, table] : tables_) {
+    rules_evicted_->inc(table.remove_by_link(link));
   }
 }
 

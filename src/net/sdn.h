@@ -41,6 +41,9 @@ class FlowTable {
   // Exact-match lookup; updates hit counters on success.
   std::optional<LinkId> lookup(NetNodeId src, NetNodeId dst, sim::SimTime now);
   void remove(NetNodeId src, NetNodeId dst);
+  // Drops every rule whose action forwards out of `link`. Returns evicted
+  // count. Used when a link's properties change under installed rules.
+  size_t remove_by_link(LinkId link);
   // Drops rules idle for longer than `idle_timeout`. Returns evicted count.
   size_t evict_idle(sim::SimTime now, sim::Duration idle_timeout);
   size_t size() const { return rules_.size(); }
@@ -76,6 +79,11 @@ class SdnController : public RoutingProvider {
 
   std::vector<LinkId> route(Fabric& fabric, NetNodeId src, NetNodeId dst,
                             FlowId flow) override;
+
+  // Link property change (capacity): evicts every rule forwarding over the
+  // link, so paths picked under the old capacity (kLeastCongested) get
+  // recomputed on the next packet-in instead of lingering until idle-out.
+  void on_link_changed(LinkId link) override;
 
   void set_policy(SdnPolicy policy) { policy_ = policy; }
   SdnPolicy policy() const { return policy_; }

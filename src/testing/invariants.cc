@@ -1,10 +1,12 @@
 #include "testing/invariants.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <memory>
 #include <set>
 #include <sstream>
+#include <vector>
 
 #include "apps/httpd.h"
 #include "apps/kvstore.h"
@@ -192,6 +194,44 @@ InvariantChecker::Probe probe_fabric_conservation(cloud::PiCloud& cloud) {
       msg << "per-link drop accounting: sum " << link_drops
           << " != fabric flows_lost " << fabric.flows_lost();
       fail(msg.str());
+    }
+    // Incremental-solver bookkeeping: the per-link flow sets, active_flows
+    // gauges and allocated_bps gauges must agree with a from-scratch
+    // recomputation over the active flows. A partial re-solve that forgets
+    // to refresh a touched link — or refreshes one it shouldn't — breaks
+    // one of these equalities at the next sweep.
+    std::vector<int> flow_counts(fabric.links().size(), 0);
+    std::vector<double> rate_sums(fabric.links().size(), 0.0);
+    for (net::FlowId fid : fabric.active_flow_ids()) {
+      const double rate = fabric.flow_rate_bps(fid);
+      for (net::LinkId lid : fabric.flow_path(fid)) {
+        flow_counts[lid] += 1;
+        rate_sums[lid] += rate;
+      }
+    }
+    for (const net::DirectedLink& link : fabric.links()) {
+      if (link.active_flows != flow_counts[link.id]) {
+        std::ostringstream msg;
+        msg << "link " << link.id << " active_flows gauge "
+            << link.active_flows << " != recomputed flow count "
+            << flow_counts[link.id];
+        fail(msg.str());
+      }
+      if (fabric.link_flow_count(link.id) !=
+          static_cast<size_t>(flow_counts[link.id])) {
+        std::ostringstream msg;
+        msg << "link " << link.id << " solver flow set size "
+            << fabric.link_flow_count(link.id)
+            << " != recomputed flow count " << flow_counts[link.id];
+        fail(msg.str());
+      }
+      const double tol = std::max(1.0, std::abs(link.allocated_bps)) * 1e-6;
+      if (std::abs(link.allocated_bps - rate_sums[link.id]) > tol) {
+        std::ostringstream msg;
+        msg << "link " << link.id << " allocated gauge " << link.allocated_bps
+            << " bps != recomputed rate sum " << rate_sums[link.id];
+        fail(msg.str());
+      }
     }
   };
 }

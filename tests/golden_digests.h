@@ -49,4 +49,20 @@ inline constexpr std::uint64_t kFuzzSweepGoldens[25] = {
     0xf635516be84516baULL,  // seed 25
 };
 
+// Fat-tree k=8 fuzz-scenario digests, captured on the pre-incremental
+// whole-fabric progressive-filling solver (commit 712cae2's fabric). The
+// generated scenarios are re-targeted onto a k=8 fat-tree (128 hosts, real
+// core/agg path diversity — see fat_tree_fuzz_scenario() in
+// net_fabric_test.cc), so these pin the incremental dirty-set solver
+// bit-identical to the oracle on a topology where components actually span
+// pods, not just on the small multi-root racks kFuzzSweepGoldens covers.
+// Indexed by seed - 1.
+inline constexpr std::uint64_t kFatTreeFuzzGoldens[5] = {
+    0xf71dce194fdbfe8dULL,  // seed 1
+    0x659f0a31158dda0cULL,  // seed 2
+    0x0f1a060f8a10ceffULL,  // seed 3
+    0x8887bf7c88ee67d0ULL,  // seed 4
+    0x87dfe116e7859ef6ULL,  // seed 5
+};
+
 }  // namespace picloud::testing_support

@@ -150,6 +150,43 @@ TEST(SdnController, IdleEvictionReclaimsRules) {
   EXPECT_GT(world.controller->stats().rules_evicted, 0u);
 }
 
+TEST(FlowTable, RemoveByLinkDropsOnlyMatchingRules) {
+  sim::Simulation sim;
+  FlowTable table;
+  table.install(1, 2, 10, sim.now());
+  table.install(1, 3, 10, sim.now());
+  table.install(2, 3, 11, sim.now());
+  EXPECT_EQ(table.remove_by_link(10), 2u);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_TRUE(table.lookup(2, 3, sim.now()).has_value());
+  EXPECT_EQ(table.remove_by_link(10), 0u);
+}
+
+TEST(SdnController, CapacityChangeEvictsRulesOverThatLink) {
+  // A capacity change fires RoutingProvider::on_link_changed, which must
+  // evict the rules forwarding over the changed link so a congestion-aware
+  // policy can re-route the next packet-in — without disturbing rules
+  // elsewhere in the fabric.
+  SdnWorld world(SdnPolicy::kLeastCongested);
+  FlowId id = world.flow(0, 14, 1e9);
+  const std::uint64_t installed = world.controller->stats().rules_installed;
+  ASSERT_GT(installed, 0u);
+  ASSERT_EQ(world.controller->stats().rules_evicted, 0u);
+
+  // Halve a switch-to-switch link on the installed path.
+  auto path = world.fabric.flow_path(id);
+  ASSERT_GE(path.size(), 3u);
+  LinkId mid = path[1];
+  world.fabric.set_link_pair_capacity(
+      mid, world.fabric.link(mid).capacity_bps / 2);
+  EXPECT_GT(world.controller->stats().rules_evicted, 0u);
+  EXPECT_LT(world.controller->stats().rules_evicted, installed)
+      << "rules off the changed link must survive";
+
+  world.fabric.cancel_flow(id);
+  world.sim.run();
+}
+
 TEST(SdnController, AdminInstalledPathOverridesPolicy) {
   SdnWorld world(SdnPolicy::kShortestPath);
   // Find the two equal-cost paths and pin traffic to the second.

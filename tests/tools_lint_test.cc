@@ -1002,6 +1002,49 @@ TEST(LintHotPathAlloc, SuppressionCommentSilences) {
 }
 
 // ---------------------------------------------------------------------------
+// full-solve
+
+TEST(LintFullSolve, FlagsOracleSolverOutsideFabricAndTests) {
+  auto diags = lint_content("src/cloud/autopilot.cc",
+                            "void rebalance(net::Fabric& fabric) {\n"
+                            "  fabric.reallocate_full();\n"
+                            "}\n");
+  auto findings = with_rule(diags, "full-solve");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("reallocate_full"), std::string::npos);
+
+  auto bench = with_rule(
+      lint_content("bench/bench_x.cc",
+                   "fabric.set_solver_mode(net::SolverMode::kFullOracle);\n"),
+      "full-solve");
+  ASSERT_EQ(bench.size(), 1u);
+  EXPECT_NE(bench[0].message.find("kFullOracle"), std::string::npos);
+}
+
+TEST(LintFullSolve, FabricImplementationAndTestsAreExempt) {
+  EXPECT_FALSE(has_rule(
+      lint_content("src/net/fabric.cc", "void Fabric::reallocate_full() {}\n"),
+      "full-solve"));
+  EXPECT_FALSE(has_rule(
+      lint_content("src/net/fabric.h", "enum class SolverMode { kFullOracle };\n"),
+      "full-solve"));
+  EXPECT_FALSE(has_rule(
+      lint_content("tests/net_fabric_test.cc",
+                   "oracle.set_solver_mode(net::SolverMode::kFullOracle);\n"
+                   "oracle.reallocate_full();\n"),
+      "full-solve"));
+}
+
+TEST(LintFullSolve, SuppressionCommentSilences) {
+  auto diags = lint_content(
+      "bench/bench_x.cc",
+      "// picloud-lint: allow(full-solve)\n"
+      "fabric.set_solver_mode(net::SolverMode::kFullOracle);\n");
+  EXPECT_FALSE(has_rule(diags, "full-solve"));
+}
+
+// ---------------------------------------------------------------------------
 // suppressions
 
 TEST(LintSuppression, TrailingCommentSilencesThatLine) {

@@ -6,7 +6,7 @@
 // by-reference lambda capture firing from the event queue — so the analyzer
 // lexes the whole tree (lexer.h), builds a cross-file project model
 // (model.h: include graph, computed module layering, symbol index) and runs
-// thirteen rules over it:
+// fourteen rules over it:
 //
 //   nondeterminism       banned wall-clock / libc-RNG / threading APIs
 //                        (rand/srand, std::random_device, time(),
@@ -60,6 +60,11 @@
 //                        sibling — unbounded queues turn overload into
 //                        memory exhaustion instead of load shedding
 //                        (DESIGN.md §11).
+//   full-solve           reallocate_full / kFullOracle outside
+//                        src/net/fabric.* and tests/ — the whole-fabric
+//                        progressive-filling oracle is a differential-
+//                        testing reference (DESIGN.md §14); production
+//                        paths use the incremental dirty-set solver.
 //
 // A finding on a line is suppressed with a trailing or immediately
 // preceding comment:  // picloud-lint: allow(<rule>[, <rule>...])

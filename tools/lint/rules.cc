@@ -142,10 +142,31 @@ void per_file_rules(const ProjectModel& model, int fi, const Reporter& report) {
     }
   }
 
+  // full-solve exemptions: the solver's own implementation and the test
+  // tree (differential harness, property tests) use the oracle by design.
+  const bool fabric_impl =
+      f.path.find("src/net/fabric.") == 0 ||
+      f.path.find("/src/net/fabric.") != std::string::npos;
+  const bool in_tests =
+      f.path.find("tests/") == 0 || f.path.find("/tests/") != std::string::npos;
+
   for (int ci = 0; ci < v.n; ++ci) {
     const Token& t = v.tok(ci);
     if (t.kind != TokenKind::kIdentifier) continue;
     const bool called = v.punct(ci + 1, "(");
+
+    // full-solve: the whole-fabric progressive-filling oracle exists for
+    // differential testing (DESIGN.md §14); production code must go through
+    // the incremental dirty-set path or every flow event re-pays
+    // O(flows x links).
+    if ((t.text == "reallocate_full" || t.text == "kFullOracle") &&
+        !fabric_impl && !in_tests) {
+      report(fi, t.line, "full-solve",
+             "'" + t.text +
+                 "' invokes the whole-fabric oracle solver outside "
+                 "src/net/fabric.* and tests/; use the incremental solver, "
+                 "or justify with allow(full-solve)");
+    }
 
     // nondeterminism: banned wall-clock / libc-RNG / threading APIs.
     for (const BannedApi& api : kBannedApis) {
@@ -710,6 +731,9 @@ const std::vector<RuleInfo>& rule_catalogue() {
       {"hot-path-alloc",
        "allocation / string-keyed lookup / std::function in src/sim or a "
        "`// picloud-hot` region"},
+      {"full-solve",
+       "whole-fabric oracle solver (reallocate_full / kFullOracle) invoked "
+       "outside src/net/fabric.* and tests/"},
       {"io", "file or root could not be read"},
   };
   return kRules;
